@@ -1,0 +1,112 @@
+// Package cmd_test runs the command-line tools end to end through `go
+// run`, checking that every binary builds and produces sane output on a
+// real document. These are integration tests; skip with -short.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes a tool via `go run` from the repository root.
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = ".." // repo root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "doc.xml")
+
+	// xmarkgen writes a document.
+	out := run(t, "./cmd/xmarkgen", "-sf", "0.2", "-scale", "0.01", "-seed", "5", "-o", docPath)
+	if out != "" {
+		t.Fatalf("xmarkgen output: %q", out)
+	}
+	data, err := os.ReadFile(docPath)
+	if err != nil || !strings.Contains(string(data), "<site>") {
+		t.Fatalf("generated doc bad: %v", err)
+	}
+
+	// xpathq evaluates a query against it, for each strategy plus auto.
+	var counts []string
+	for _, strat := range []string{"simple", "xschedule", "xscan", "auto"} {
+		out = run(t, "./cmd/xpathq", "-xml", docPath, "-q", "/site/regions//item",
+			"-strategy", strat, "-explain", "-plan")
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "count(") {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("xpathq (%s) printed no count:\n%s", strat, out)
+		}
+		counts = append(counts, strings.Fields(line)[2])
+		if !strings.Contains(out, "cost:") {
+			t.Fatalf("xpathq (%s) printed no cost report", strat)
+		}
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("strategies disagree across CLI runs: %v", counts)
+		}
+	}
+
+	// xpathq -print serializes results.
+	out = run(t, "./cmd/xpathq", "-xml", docPath, "-q", "/site/regions/africa/item", "-print")
+	if !strings.Contains(out, "<item") {
+		t.Fatalf("xpathq -print produced no items:\n%.300s", out)
+	}
+
+	// xvolume inspects the volume.
+	out = run(t, "./cmd/xvolume", "-xml", docPath, "-tags")
+	for _, want := range []string{"volume:", "records:", "dictionary:", "item"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xvolume missing %q:\n%s", want, out)
+		}
+	}
+
+	// xbench runs a tiny figure.
+	out = run(t, "./cmd/xbench", "-scale", "0.01", "-quick", "-fig", "11")
+	if !strings.Contains(out, "xschedule") || !strings.Contains(out, "0.25") {
+		t.Fatalf("xbench figure output:\n%s", out)
+	}
+}
+
+func TestShellSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cmd := exec.Command("go", "run", "./cmd/xshell", "-xmark", "0.2", "-scale", "0.01")
+	cmd.Dir = ".."
+	cmd.Stdin = strings.NewReader(
+		"/site/regions//item\n" +
+			"\\strategy xscan\n" +
+			"\\plan /site\n" +
+			"\\insert /site <extra/>\n" +
+			"/site/extra\n" +
+			"\\quit\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("xshell: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"pathdb shell", "count = ", "XScan(", "inserted", "count = 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("shell output missing %q:\n%s", want, s)
+		}
+	}
+}

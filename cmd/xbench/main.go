@@ -1,0 +1,120 @@
+// Command xbench regenerates the tables and figures of the paper's
+// evaluation (Sec. 6) plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	xbench                     # everything: Figs. 9-11, Table 3, ablations
+//	xbench -fig 10             # one figure (Q7 across scale factors)
+//	xbench -table 3            # Table 3 at scale factor 1
+//	xbench -ablation k         # one ablation (k, layout, speculative,
+//	                           # fallback, multiquery, policy, firststep)
+//	xbench -scale 0.02 -quick  # smaller populations / fewer scale factors
+//
+// Times are virtual seconds from the calibrated disk/CPU model, which is
+// deterministic and machine independent; compare shapes against the
+// paper's figures, not absolute values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathdb/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (9, 10 or 11)")
+	table := flag.Int("table", 0, "regenerate one table (3)")
+	ablation := flag.String("ablation", "", "run one ablation: k, layout, speculative, fallback, multiquery, policy, firststep, updates, buffer")
+	scale := flag.Float64("scale", 0.2, "entity scale (0.2 ≈ one tenth of official XMark by bytes)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	quick := flag.Bool("quick", false, "use fewer scale factors (0.25, 0.5, 1)")
+	flag.Parse()
+
+	cfg := bench.Config{EntityScale: *scale, Seed: *seed}
+	w := bench.NewWorkload(cfg)
+	sfs := bench.PaperScaleFactors
+	if *quick {
+		sfs = []float64{0.25, 0.5, 1}
+	}
+
+	figures := map[int]bench.Query{9: bench.Q6, 10: bench.Q7, 11: bench.Q15}
+
+	ran := false
+	if *fig != 0 {
+		q, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xbench: no figure %d (have 9, 10, 11)\n", *fig)
+			os.Exit(1)
+		}
+		bench.RenderFigure(os.Stdout, figName(*fig, q), w.Figure(q, sfs))
+		ran = true
+	}
+	if *table != 0 {
+		if *table != 3 {
+			fmt.Fprintln(os.Stderr, "xbench: only table 3 exists")
+			os.Exit(1)
+		}
+		bench.RenderTable3(os.Stdout, w.Table3(1))
+		ran = true
+	}
+	if *ablation != "" {
+		runAblation(w, cfg, *ablation)
+		ran = true
+	}
+	if ran {
+		return
+	}
+
+	// Default: the full evaluation.
+	for _, f := range []int{9, 10, 11} {
+		bench.RenderFigure(os.Stdout, figName(f, figures[f]), w.Figure(figures[f], sfs))
+		fmt.Println()
+	}
+	bench.RenderTable3(os.Stdout, w.Table3(1))
+	fmt.Println()
+	for _, a := range []string{"k", "layout", "speculative", "fallback", "multiquery", "policy", "firststep", "updates", "buffer"} {
+		runAblation(w, cfg, a)
+		fmt.Println()
+	}
+}
+
+func figName(f int, q bench.Query) string {
+	return fmt.Sprintf("Figure %d — %s: %v", f, q.Name, q.Paths)
+}
+
+func runAblation(w *bench.Workload, cfg bench.Config, name string) {
+	switch name {
+	case "k":
+		bench.RenderAblation(os.Stdout, "XSchedule queue fill target k (Q6', sf 1)",
+			w.AblationK(1, []int{1, 10, 100, 1000}))
+	case "layout":
+		bench.RenderAblation(os.Stdout, "physical layout vs plan (Q6', sf 1)",
+			bench.AblationLayout(cfg, 1, bench.Q6))
+	case "speculative":
+		bench.RenderAblation(os.Stdout, "speculative XSchedule on a revisit-prone path (sf 1)",
+			w.AblationSpeculative(1))
+	case "fallback":
+		bench.RenderAblation(os.Stdout, "memory-limit fallback on an XScan plan (sf 1)",
+			w.AblationFallback(1, []int{0, 1000, 100, 10}))
+	case "multiquery":
+		bench.RenderAblation(os.Stdout, "Q7's three paths: concurrent plans vs one shared scheduler (sf 1)",
+			w.AblationMultiQuery(1))
+	case "policy":
+		bench.RenderAblation(os.Stdout, "device queue scheduling policy (Q6' XSchedule, sf 1)",
+			w.AblationDiskPolicy(1))
+	case "firststep":
+		bench.RenderAblation(os.Stdout, "'//' first-step optimisation (XScan, //description, sf 1)",
+			w.AblationFirstStepAll(1))
+	case "updates":
+		bench.RenderAblation(os.Stdout, "plan gap before/after 500 incremental inserts (Q6', sf 1)",
+			w.AblationUpdates(1, 500))
+	case "buffer":
+		bench.RenderAblation(os.Stdout, "buffer pool size across a 3-query session (Q7, sf 1)",
+			w.AblationBufferSize(1, []int{12, 45, 90, 360, 1440}))
+	default:
+		fmt.Fprintf(os.Stderr, "xbench: unknown ablation %q\n", name)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command xmarkgen emits an XMark-shaped benchmark document as XML — the
+// repository's stand-in for the original xmlgen tool.
+//
+// Usage:
+//
+//	xmarkgen -sf 1 -seed 42 -scale 0.1 [-indent] [-o file.xml]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pathdb/internal/xmark"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xmlwrite"
+)
+
+func main() {
+	sf := flag.Float64("sf", 1, "XMark scale factor")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	scale := flag.Float64("scale", 0.1, "entity scale (1.0 = official XMark populations)")
+	indent := flag.Bool("indent", false, "pretty-print the output")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	dict := xmltree.NewDictionary()
+	doc := xmark.Generate(dict, xmark.Config{ScaleFactor: *sf, Seed: *seed, EntityScale: *scale})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	opts := xmlwrite.Options{Declaration: true}
+	if *indent {
+		opts.Indent = "  "
+	}
+	if err := xmlwrite.Write(bw, dict, doc, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command xpathq evaluates one location path against a document and
+// reports the results together with the physical cost ledger, making the
+// effect of the three plan strategies visible.
+//
+// Usage:
+//
+//	xpathq -xml doc.xml -q '/site//item' [-strategy auto|simple|xschedule|xscan]
+//	xpathq -xmark 1 -q '/site//description' -strategy xscan -stats
+//
+// With -print the result nodes are serialized; otherwise the cardinality
+// is reported (count(...) semantics, as in the paper's Q6' and Q7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathdb"
+)
+
+func main() {
+	xmlFile := flag.String("xml", "", "XML document to load")
+	xmarkSF := flag.Float64("xmark", 0, "generate an XMark document with this scale factor instead")
+	seed := flag.Uint64("seed", 42, "seed for -xmark and fragmented layouts")
+	scale := flag.Float64("scale", 0.1, "entity scale for -xmark")
+	query := flag.String("q", "", "location path to evaluate (required)")
+	strategy := flag.String("strategy", "auto", "plan strategy: auto, simple, xschedule, xscan")
+	layoutName := flag.String("layout", "natural", "physical layout: natural, contiguous, shuffled")
+	buffer := flag.Int("buffer", 0, "buffer pool pages (default 1000)")
+	sorted := flag.Bool("sorted", false, "return results in document order")
+	print := flag.Bool("print", false, "serialize result nodes instead of counting")
+	explain := flag.Bool("explain", false, "show the cost-model decision")
+	showPlan := flag.Bool("plan", false, "show the physical operator tree")
+	stats := flag.Bool("stats", true, "show the physical cost report")
+	trace := flag.Int("trace", 0, "print the first N I/O trace events")
+	flag.Parse()
+
+	if *query == "" {
+		fail("missing -q")
+	}
+	strat, ok := map[string]pathdb.Strategy{
+		"auto": pathdb.Auto, "simple": pathdb.Simple,
+		"xschedule": pathdb.Schedule, "xscan": pathdb.Scan,
+	}[*strategy]
+	if !ok {
+		fail("unknown -strategy %q", *strategy)
+	}
+	layout, ok := map[string]pathdb.Layout{
+		"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
+	}[*layoutName]
+	if !ok {
+		fail("unknown -layout %q", *layoutName)
+	}
+
+	opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
+	var db *pathdb.DB
+	var err error
+	switch {
+	case *xmlFile != "":
+		data, rerr := os.ReadFile(*xmlFile)
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+		db, err = pathdb.LoadXML(data, opts)
+	case *xmarkSF > 0:
+		db, err = pathdb.GenerateXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts)
+	default:
+		fail("need -xml or -xmark")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("document: %d pages\n", db.Pages())
+
+	q, err := db.Query(*query)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *explain {
+		fmt.Println("cost model:", q.Explain())
+	}
+	q.WithStrategy(strat)
+	if *sorted {
+		q.Sorted()
+	}
+	if *showPlan {
+		fmt.Print(q.Plan())
+	}
+
+	db.ResetStats()
+	if *trace > 0 {
+		db.SetIOTrace(true)
+	}
+	if *print {
+		n := 0
+		q.Each(func(node pathdb.Node) bool {
+			fmt.Println(node.XML())
+			n++
+			return true
+		})
+		fmt.Printf("-- %d results (%s)\n", n, strat)
+	} else {
+		fmt.Printf("count(%s) = %d  [%s]\n", *query, q.Count(), strat)
+	}
+	if *stats {
+		fmt.Println("cost:", db.CostReport())
+	}
+	if *trace > 0 {
+		events := db.IOTrace()
+		fmt.Printf("I/O trace (%d events, showing %d):\n", len(events), min(*trace, len(events)))
+		for i, ev := range events {
+			if i >= *trace {
+				break
+			}
+			fmt.Printf("  %-10s page %-6d at %v\n", ev.Op, ev.Page, ev.At)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xpathq: "+format+"\n", args...)
+	os.Exit(1)
+}

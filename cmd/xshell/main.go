@@ -1,0 +1,200 @@
+// Command xshell is an interactive query shell over a stored document.
+//
+// Usage:
+//
+//	xshell -xml doc.xml
+//	xshell -xmark 0.5
+//
+// Each input line is a location path (evaluated with the current strategy)
+// or a backslash command:
+//
+//	\strategy auto|simple|xschedule|xscan   pick the physical strategy
+//	\explain <path>                         cost-model decision for a path
+//	\plan <path>                            physical operator tree
+//	\print <path>                           serialize result nodes
+//	\insert <parent-path> <xml-fragment>    append a fragment
+//	\delete <path>                          delete all matching subtrees
+//	\stats                                  volume statistics
+//	\help                                   this list
+//	\quit                                   exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathdb"
+)
+
+func main() {
+	xmlFile := flag.String("xml", "", "XML document to load")
+	xmarkSF := flag.Float64("xmark", 0, "generate an XMark document instead")
+	seed := flag.Uint64("seed", 42, "seed")
+	scale := flag.Float64("scale", 0.05, "entity scale for -xmark")
+	flag.Parse()
+
+	var db *pathdb.DB
+	var err error
+	switch {
+	case *xmlFile != "":
+		data, rerr := os.ReadFile(*xmlFile)
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+		db, err = pathdb.LoadXML(data, pathdb.Options{})
+	case *xmarkSF > 0:
+		db, err = pathdb.GenerateXMark(
+			pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale},
+			pathdb.Options{})
+	default:
+		fail("need -xml or -xmark")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	sh := &shell{db: db, strategy: pathdb.Auto, out: os.Stdout}
+	fmt.Printf("pathdb shell — %d pages loaded; \\help for commands\n", db.Pages())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("pathdb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		if sh.exec(strings.TrimSpace(sc.Text())) {
+			return
+		}
+	}
+}
+
+type shell struct {
+	db       *pathdb.DB
+	strategy pathdb.Strategy
+	out      *os.File
+}
+
+// exec runs one input line; it reports whether the shell should exit.
+func (sh *shell) exec(line string) bool {
+	if line == "" {
+		return false
+	}
+	if !strings.HasPrefix(line, `\`) {
+		sh.query(line)
+		return false
+	}
+	cmd, rest, _ := strings.Cut(line[1:], " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "quit", "q", "exit":
+		return true
+	case "help":
+		fmt.Fprintln(sh.out, `paths evaluate directly; commands:
+  \strategy auto|simple|xschedule|xscan
+  \explain <path>    \plan <path>     \print <path>
+  \insert <parent-path> <xml-fragment>
+  \delete <path>     \stats           \quit`)
+	case "strategy":
+		s, ok := map[string]pathdb.Strategy{
+			"auto": pathdb.Auto, "simple": pathdb.Simple,
+			"xschedule": pathdb.Schedule, "xscan": pathdb.Scan,
+		}[rest]
+		if !ok {
+			fmt.Fprintf(sh.out, "unknown strategy %q\n", rest)
+			return false
+		}
+		sh.strategy = s
+		fmt.Fprintln(sh.out, "strategy:", s)
+	case "explain":
+		if q := sh.compile(rest); q != nil {
+			fmt.Fprintln(sh.out, q.Explain())
+		}
+	case "plan":
+		if q := sh.compile(rest); q != nil {
+			fmt.Fprint(sh.out, q.Plan())
+		}
+	case "print":
+		if q := sh.compile(rest); q != nil {
+			n := 0
+			q.Sorted().Each(func(node pathdb.Node) bool {
+				fmt.Fprintln(sh.out, node.XML())
+				n++
+				return n < 50 // keep interactive output bounded
+			})
+			if n == 50 {
+				fmt.Fprintln(sh.out, "… (truncated at 50)")
+			}
+		}
+	case "insert":
+		parentPath, frag, ok := strings.Cut(rest, " ")
+		if !ok {
+			fmt.Fprintln(sh.out, `usage: \insert <parent-path> <xml-fragment>`)
+			return false
+		}
+		q := sh.compile(parentPath)
+		if q == nil {
+			return false
+		}
+		parents := q.Nodes()
+		if len(parents) != 1 {
+			fmt.Fprintf(sh.out, "parent path matches %d nodes, need exactly 1\n", len(parents))
+			return false
+		}
+		if _, err := sh.db.InsertXML(parents[0], strings.TrimSpace(frag)); err != nil {
+			fmt.Fprintln(sh.out, "insert:", err)
+			return false
+		}
+		fmt.Fprintln(sh.out, "inserted; volume now has", sh.db.Pages(), "pages")
+	case "delete":
+		q := sh.compile(rest)
+		if q == nil {
+			return false
+		}
+		victims := q.Nodes()
+		for _, v := range victims {
+			if err := sh.db.Delete(v); err != nil {
+				fmt.Fprintln(sh.out, "delete:", err)
+				return false
+			}
+		}
+		fmt.Fprintf(sh.out, "deleted %d subtrees\n", len(victims))
+	case "stats":
+		fmt.Fprintf(sh.out, "pages: %d, documents: %d\n", sh.db.Pages(), sh.db.Documents())
+	default:
+		fmt.Fprintf(sh.out, "unknown command \\%s (try \\help)\n", cmd)
+	}
+	return false
+}
+
+// query evaluates a path, printing count and cost.
+func (sh *shell) query(path string) {
+	q := sh.compile(path)
+	if q == nil {
+		return
+	}
+	sh.db.ResetStats()
+	n := q.Count()
+	fmt.Fprintf(sh.out, "count = %d   [%s]  %s\n", n, sh.strategy, sh.db.CostReport())
+}
+
+func (sh *shell) compile(path string) *pathdb.Query {
+	if path == "" {
+		fmt.Fprintln(sh.out, "missing path")
+		return nil
+	}
+	q, err := sh.db.Query(path)
+	if err != nil {
+		fmt.Fprintln(sh.out, err)
+		return nil
+	}
+	return q.WithStrategy(sh.strategy)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xshell: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Cost-based operator choice (the paper's outlook, Sec. 7): the chooser
+// estimates each query's physical coverage from offline tag statistics and
+// picks XScan for low-selectivity paths and XSchedule for selective ones.
+// The example prints the decision and then verifies it by measuring both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdb"
+)
+
+func main() {
+	db, err := pathdb.GenerateXMark(
+		pathdb.XMarkConfig{ScaleFactor: 1, Seed: 7, EntityScale: 0.05},
+		pathdb.Options{BufferPages: 100},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		"/site//description", // touches nearly everything -> scan
+		"/site/closed_auctions/closed_auction/annotation/description" +
+			"/parlist/listitem/parlist/listitem/text/emph/keyword", // selective -> schedule
+		"/site/regions//item",              // near the crossover
+		"/site/people/person/emailaddress", // selective child chain
+	}
+
+	for _, src := range queries {
+		q, err := db.Query(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  %s\n", src, q.Explain())
+
+		// Verify against measurement.
+		measure := func(s pathdb.Strategy) float64 {
+			db.ResetStats()
+			qq, _ := db.Query(src)
+			qq.WithStrategy(s).Count()
+			return db.CostReport().Total.Seconds()
+		}
+		sched, scan := measure(pathdb.Schedule), measure(pathdb.Scan)
+		winner := "xschedule"
+		if scan < sched {
+			winner = "xscan"
+		}
+		fmt.Printf("  measured: xschedule %.2fs, xscan %.2fs -> %s wins\n\n", sched, scan, winner)
+	}
+}

@@ -1,0 +1,104 @@
+// The paper's running example, executable: the four-cluster document of
+// Fig. 2/3/5, the query /A//B from context d1, and both plan families.
+//
+//   - The XSchedule plan (Example 6 / Fig. 6) visits only clusters d, a
+//     and c — cluster b is never loaded because node d4 fails the node
+//     test A, so the border below it is never produced as an XStep result.
+//   - The XScan plan (Example 7 / Fig. 8) reads the clusters in physical
+//     order a, b, c, d, creates speculative left-incomplete path instances
+//     in a and c, and merges them into the results a3 and c4 when the scan
+//     finally reaches the context cluster d.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdb/internal/core"
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xpath"
+)
+
+func main() {
+	dict := xmltree.NewDictionary()
+	A, B := dict.Intern("A"), dict.Intern("B")
+
+	// Logical tree (Fig. 2): context d1 with two A children whose B
+	// descendants are the results, plus a C child shielding cluster b.
+	doc := xmltree.NewDocument()
+	d1 := xmltree.NewElement(dict.Intern("R"))
+	doc.AppendChild(d1)
+	a2 := xmltree.NewElement(A)
+	d1.AppendChild(a2)
+	a3 := xmltree.NewElement(B)
+	a2.AppendChild(a3)
+	d4 := xmltree.NewElement(dict.Intern("C"))
+	d1.AppendChild(d4)
+	b2 := xmltree.NewElement(dict.Intern("X"))
+	d4.AppendChild(b2)
+	c2 := xmltree.NewElement(A)
+	d1.AppendChild(c2)
+	c4 := xmltree.NewElement(B)
+	c2.AppendChild(c4)
+
+	// Physical clusters (Fig. 3), pages in the scan order of Fig. 8:
+	// a=1, b=2, c=3, d=4.
+	assign := func(n *xmltree.Node) int {
+		switch n {
+		case a2, a3:
+			return 0
+		case b2:
+			return 1
+		case c2, c4:
+			return 2
+		default:
+			return 3
+		}
+	}
+	disk := vdisk.New(vdisk.DefaultCostModel(), stats.NewLedger(), 512)
+	st, err := storage.ImportManual(disk, dict, doc, assign, storage.ImportOptions{PageSize: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// /A//B with the paper's two-step reading.
+	path := []xpath.Step{
+		{Axis: xpath.Child, Test: xpath.NameTest(A)},
+		{Axis: xpath.Descendant, Test: xpath.NameTest(B)},
+	}
+	// Resolve the context node d1.
+	ctx := core.BuildPlan(st, []xpath.Step{{Axis: xpath.Child, Test: xpath.Wildcard()}},
+		[]storage.NodeID{st.Root()}, core.StrategySimple, core.PlanOptions{}).Run()[0].Node
+
+	clusterName := map[vdisk.PageID]string{1: "a", 2: "b", 3: "c", 4: "d"}
+	run := func(name string, strat core.Strategy) {
+		st.ResetForRun()
+		st.Disk().SetTrace(true)
+		plan := core.BuildPlan(st, path, []storage.NodeID{ctx}, strat, core.PlanOptions{})
+		rs := plan.Run()
+		led := st.Ledger()
+		fmt.Printf("%s plan for /A//B from d1:\n", name)
+		for _, r := range rs {
+			fmt.Printf("  result %s at NodeID %v (cluster %s)\n",
+				dict.Name(st.Swizzle(r.Node).Tag()), r.Node, clusterName[r.Node.Page()])
+		}
+		order := ""
+		for _, ev := range st.Disk().Trace() {
+			if order != "" {
+				order += " → "
+			}
+			order += clusterName[ev.Page] + " (" + ev.Op + ")"
+		}
+		fmt.Printf("  physical access order: %s\n", order)
+		fmt.Printf("  clusters visited: %d, page reads: %d (sequential %d), async: %d, speculative instances: %d\n",
+			led.ClustersVisited, led.PageReads, led.SeqPageReads, led.AsyncSubmitted, led.SpecInstances)
+		fmt.Printf("  cluster b (page 2) loaded: %v\n\n", st.Loaded(2))
+		st.Disk().SetTrace(false)
+	}
+
+	run("XSchedule (Example 6)", core.StrategySchedule)
+	run("XScan (Example 7)", core.StrategyScan)
+}

@@ -1,0 +1,56 @@
+// Quickstart: load a small XML document, run a few location paths, and
+// inspect the physical cost report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdb"
+)
+
+const doc = `<?xml version="1.0"?>
+<library>
+  <shelf floor="1">
+    <book id="b1"><title>Query Evaluation Techniques</title><year>1993</year></book>
+    <book id="b2"><title>Anatomy of a Native XML Base</title><year>2003</year></book>
+  </shelf>
+  <shelf floor="2">
+    <book id="b3"><title>ORDPATHs</title><year>2004</year></book>
+  </shelf>
+</library>`
+
+func main() {
+	db, err := pathdb.LoadXMLString(doc, pathdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count books anywhere in the library.
+	q, err := db.Query("/library//book")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books:", q.Count())
+
+	// List titles in document order.
+	q, _ = db.Query("//book/title")
+	for _, n := range q.Sorted().Nodes() {
+		fmt.Printf("  %-40s ord=%s\n", n.Text(), n.OrdPath())
+	}
+
+	// Attribute access and relative navigation.
+	q, _ = db.Query("/library/shelf")
+	for _, shelf := range q.Sorted().Nodes() {
+		floor, _ := shelf.Query("@floor")
+		count, _ := shelf.Query("book")
+		fmt.Printf("shelf on floor %s: %d books\n", floor.Nodes()[0].Text(), count.Count())
+	}
+
+	// Every query runs against a simulated disk; the ledger shows what the
+	// evaluation cost physically.
+	db.ResetStats()
+	q, _ = db.Query("//year")
+	fmt.Println("years:", q.Count())
+	fmt.Println("cost:", db.CostReport())
+}

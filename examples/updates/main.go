@@ -1,0 +1,71 @@
+// Incremental updates: the storage property the paper holds against
+// scan-order formats (Sec. 2) — preorder numbering and enforced physical
+// order "are difficult to maintain during updates", whereas this engine's
+// ORDPATH-style keys and anywhere-on-disk clusters make inserts local.
+//
+// The example inserts new auction items into a stored XMark document,
+// shows that no existing node moved (stable NodeIDs, stable order keys),
+// and demonstrates that the growing fragmentation widens the gap between
+// the Simple plan and the cost-sensitive ones — the paper's motivation
+// playing out live.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdb"
+)
+
+func main() {
+	db, err := pathdb.GenerateXMark(
+		pathdb.XMarkConfig{ScaleFactor: 0.5, Seed: 21, EntityScale: 0.05},
+		pathdb.Options{BufferPages: 64},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before updates: %d pages\n", db.Pages())
+
+	measure := func(label string) {
+		for _, s := range []pathdb.Strategy{pathdb.Simple, pathdb.Schedule, pathdb.Scan} {
+			db.ResetStats()
+			q, _ := db.Query("/site/regions//item")
+			n := q.WithStrategy(s).Count()
+			fmt.Printf("  %-10s %-10s count=%-5d %s\n", label, s, n, db.CostReport())
+		}
+	}
+	measure("baseline")
+
+	// Remember an existing item's identity to prove stability.
+	regions, _ := db.Query("/site/regions")
+	region := regions.Nodes()[0]
+	items, _ := db.Query("/site/regions//item")
+	witness := items.Sorted().Nodes()[0]
+	witnessID, witnessOrd := witness.ID(), witness.OrdPath()
+
+	// Insert a batch of new items; each is a multi-node fragment.
+	africa, _ := region.Query("africa")
+	target := africa.Nodes()[0]
+	for i := 0; i < 200; i++ {
+		frag := fmt.Sprintf(
+			`<item id="fresh%d"><location>here</location><quantity>1</quantity>`+
+				`<name>freshly inserted thing %d</name><payment>cash</payment>`+
+				`<description><text>brand new merchandise, never relabeled</text></description>`+
+				`<shipping>immediate</shipping><mailbox/></item>`, i, i)
+		if _, err := db.InsertXML(target, frag); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nafter 200 inserts: %d pages (extension clusters appended at the end)\n", db.Pages())
+
+	// The witness node did not move or get relabeled.
+	if witness.ID() != witnessID || witness.OrdPath() != witnessOrd {
+		log.Fatal("existing node was disturbed by updates")
+	}
+	fmt.Printf("witness item untouched: id=%d ord=%s\n\n", witnessID, witnessOrd)
+
+	measure("updated")
+	fmt.Println("\nNote how the Simple plan absorbs the new random I/O while " +
+		"XScan's sequential cost barely changes.")
+}

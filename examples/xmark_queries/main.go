@@ -1,0 +1,56 @@
+// The paper's experiment in miniature: generate an XMark-shaped document,
+// evaluate Q6', Q7 and Q15 under all three plan strategies, and print a
+// Table-3-style comparison. Orderings should match the paper: XSchedule
+// wins Q6', XScan wins Q7 by a wide margin and loses Q15 badly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdb"
+)
+
+var queries = []struct {
+	name  string
+	paths []string
+}{
+	{"Q6'", []string{"/site/regions//item"}},
+	{"Q7", []string{"/site//description", "/site//annotation", "/site//emailaddress"}},
+	{"Q15", []string{"/site/closed_auctions/closed_auction/annotation/description" +
+		"/parlist/listitem/parlist/listitem/text/emph/keyword"}},
+}
+
+func main() {
+	db, err := pathdb.GenerateXMark(
+		pathdb.XMarkConfig{ScaleFactor: 1, Seed: 42, EntityScale: 0.05},
+		pathdb.Options{BufferPages: 100},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XMark document: %d pages\n\n", db.Pages())
+	fmt.Printf("%-5s %-10s %10s %10s %6s %8s\n", "query", "plan", "total[s]", "CPU[s]", "CPU%", "count")
+
+	for _, q := range queries {
+		for _, strat := range []pathdb.Strategy{pathdb.Simple, pathdb.Schedule, pathdb.Scan} {
+			total := 0.0
+			cpu := 0.0
+			count := 0
+			for _, path := range q.paths {
+				db.ResetStats()
+				query, err := db.Query(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				count += query.WithStrategy(strat).Count()
+				r := db.CostReport()
+				total += r.Total.Seconds()
+				cpu += r.CPU.Seconds()
+			}
+			fmt.Printf("%-5s %-10s %10.2f %10.2f %5.0f%% %8d\n",
+				q.name, strat, total, cpu, 100*cpu/total, count)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module pathdb
+
+go 1.22

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"pathdb/internal/core"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// Tests use a small entity scale so the whole suite stays fast; the
+// figure-level assertions are about orderings, which hold across scales.
+func testWorkload() *Workload {
+	return NewWorkload(Config{EntityScale: 0.02, Seed: 11})
+}
+
+func TestStrategiesReturnSameCounts(t *testing.T) {
+	w := testWorkload()
+	for _, q := range AllQueries {
+		var counts []int
+		for _, s := range []core.Strategy{core.StrategySimple, core.StrategySchedule, core.StrategyScan} {
+			counts = append(counts, w.Run(1, q, s).Count)
+		}
+		if counts[0] != counts[1] || counts[1] != counts[2] {
+			t.Fatalf("%s counts diverge: %v", q.Name, counts)
+		}
+		if counts[0] == 0 {
+			t.Fatalf("%s returned no results", q.Name)
+		}
+	}
+}
+
+// TestTable3Shape asserts the paper's qualitative Table 3 findings. It
+// runs at the calibrated workload scale (a tenth of full XMark), where the
+// crossovers of the paper reproduce; smaller toy scales shift them.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated-scale workload")
+	}
+	w := NewWorkload(Config{EntityScale: 0.1, Seed: 11})
+	get := func(q Query, s core.Strategy) Measurement { return w.Run(1, q, s) }
+
+	// Q6': XSchedule fastest, Simple slowest.
+	q6s, q6d, q6c := get(Q6, core.StrategySimple), get(Q6, core.StrategySchedule), get(Q6, core.StrategyScan)
+	if !(q6d.Total < q6c.Total && q6c.Total < q6s.Total) {
+		t.Errorf("Q6' ordering wrong: simple=%v sched=%v scan=%v", q6s.Total, q6d.Total, q6c.Total)
+	}
+
+	// Q7: XScan fastest by a clear margin; Simple slowest.
+	q7s, q7d, q7c := get(Q7, core.StrategySimple), get(Q7, core.StrategySchedule), get(Q7, core.StrategyScan)
+	if !(q7c.Total < q7d.Total && q7d.Total < q7s.Total) {
+		t.Errorf("Q7 ordering wrong: simple=%v sched=%v scan=%v", q7s.Total, q7d.Total, q7c.Total)
+	}
+	if float64(q7s.Total) < 2*float64(q7c.Total) {
+		t.Errorf("Q7 scan advantage too small: simple=%v scan=%v", q7s.Total, q7c.Total)
+	}
+
+	// Q15: XScan much slower than the others; XSchedule still beats Simple.
+	q15s, q15d, q15c := get(Q15, core.StrategySimple), get(Q15, core.StrategySchedule), get(Q15, core.StrategyScan)
+	if !(q15d.Total < q15s.Total && q15s.Total < q15c.Total) {
+		t.Errorf("Q15 ordering wrong: simple=%v sched=%v scan=%v", q15s.Total, q15d.Total, q15c.Total)
+	}
+
+	// CPU fractions: XScan plans are CPU-heavy (paper: 62-77%).
+	if q7c.CPUFraction() < 0.3 {
+		t.Errorf("Q7 scan CPU fraction %v too low", q7c.CPUFraction())
+	}
+	if q15c.CPUFraction() < q15s.CPUFraction() {
+		t.Error("Q15 scan should be more CPU-bound than simple")
+	}
+}
+
+func TestXScheduleAlwaysBeatsSimple(t *testing.T) {
+	// The paper: "the XSchedule plan was always faster than the Simple
+	// plan". Check across queries and scale factors.
+	w := testWorkload()
+	for _, q := range AllQueries {
+		for _, sf := range []float64{0.5, 1, 2} {
+			s := w.Run(sf, q, core.StrategySimple)
+			d := w.Run(sf, q, core.StrategySchedule)
+			if d.Total >= s.Total {
+				t.Errorf("%s sf=%v: schedule (%v) not faster than simple (%v)", q.Name, sf, d.Total, s.Total)
+			}
+		}
+	}
+}
+
+func TestFigureGrowsWithScaleFactor(t *testing.T) {
+	w := testWorkload()
+	ms := w.Figure(Q7, []float64{0.5, 1, 2})
+	byKey := map[string]Measurement{}
+	for _, m := range ms {
+		byKey[m.Strategy.String()+"@"+fmtSF(m.SF)] = m
+	}
+	for _, s := range []string{"simple", "xschedule", "xscan"} {
+		if !(byKey[s+"@0.5"].Total < byKey[s+"@1"].Total && byKey[s+"@1"].Total < byKey[s+"@2"].Total) {
+			t.Errorf("%s not monotone in scale factor", s)
+		}
+	}
+}
+
+func fmtSF(sf float64) string {
+	switch sf {
+	case 0.5:
+		return "0.5"
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	}
+	return "?"
+}
+
+func TestRenderFigureAndTable(t *testing.T) {
+	w := testWorkload()
+	var sb strings.Builder
+	RenderFigure(&sb, "Fig 9 (Q6')", w.Figure(Q6, []float64{0.5, 1}))
+	if !strings.Contains(sb.String(), "xschedule") || !strings.Contains(sb.String(), "0.50") {
+		t.Fatalf("figure rendering: %q", sb.String())
+	}
+	sb.Reset()
+	RenderTable3(&sb, w.Table3(1))
+	if !strings.Contains(sb.String(), "Q15") || !strings.Contains(sb.String(), "total[s]") {
+		t.Fatalf("table rendering: %q", sb.String())
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	w := testWorkload()
+	rows := w.AblationK(1, []int{1, 100})
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	if rows[0].Count != rows[1].Count {
+		t.Fatalf("k changed results: %v", rows)
+	}
+}
+
+func TestAblationLayoutShufflePenalizesSimple(t *testing.T) {
+	rows := AblationLayout(Config{EntityScale: 0.05, Seed: 11}, 1, Q6)
+	byLabel := map[string]AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	// Fragmentation hurts Simple hard, XScan barely.
+	simpleContig := byLabel["contiguous/simple"].Total
+	simpleShuffle := byLabel["shuffled/simple"].Total
+	if float64(simpleShuffle) < 1.5*float64(simpleContig) {
+		t.Errorf("shuffle should slow simple: contiguous=%v shuffled=%v", simpleContig, simpleShuffle)
+	}
+	scanContig := byLabel["contiguous/xscan"].Total
+	scanShuffle := byLabel["shuffled/xscan"].Total
+	if float64(scanShuffle) > 1.2*float64(scanContig) {
+		t.Errorf("shuffle should not slow scan: contiguous=%v shuffled=%v", scanContig, scanShuffle)
+	}
+}
+
+func TestAblationSpeculativeReducesRevisits(t *testing.T) {
+	w := testWorkload()
+	rows := w.AblationSpeculative(1)
+	if rows[0].Count != rows[1].Count {
+		t.Fatalf("speculation changed results: %v", rows)
+	}
+	if rows[1].Clusters > rows[0].Clusters {
+		t.Errorf("speculation should not increase cluster visits: %v vs %v", rows[1].Clusters, rows[0].Clusters)
+	}
+}
+
+func TestAblationFallbackCorrectUnderPressure(t *testing.T) {
+	w := testWorkload()
+	rows := w.AblationFallback(0.5, []int{0, 8})
+	if rows[0].Count != rows[1].Count {
+		t.Fatalf("fallback changed results: %v", rows)
+	}
+	if !strings.Contains(rows[1].Extra, "fallbacks=1") {
+		t.Fatalf("limited run did not fall back: %v", rows[1])
+	}
+}
+
+func TestAblationMultiQuerySharesIO(t *testing.T) {
+	// Use a larger document: the interference between concurrent plans
+	// only shows once the working set clearly exceeds the buffer pool.
+	w := NewWorkload(Config{EntityScale: 0.1, Seed: 11})
+	rows := w.AblationMultiQuery(1)
+	if rows[0].Count != rows[1].Count {
+		t.Fatalf("multi-query changed results: %v", rows)
+	}
+	// Note: Clusters counts queue activations, which the shared scheduler
+	// may have more of; the decisive metric is total time.
+	if float64(rows[1].Total) > 0.9*float64(rows[0].Total) {
+		t.Errorf("shared scheduler not clearly faster: %v vs %v", rows[1].Total, rows[0].Total)
+	}
+}
+
+func TestAblationDiskPolicy(t *testing.T) {
+	w := testWorkload()
+	rows := w.AblationDiskPolicy(1)
+	byLabel := map[string]AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	if byLabel["policy=sstf"].Total > byLabel["policy=fifo"].Total {
+		t.Errorf("SSTF slower than FIFO: %v vs %v",
+			byLabel["policy=sstf"].Total, byLabel["policy=fifo"].Total)
+	}
+	if byLabel["policy=sstf"].Count != byLabel["policy=fifo"].Count {
+		t.Fatal("policy changed results")
+	}
+}
+
+func TestAblationFirstStepAll(t *testing.T) {
+	w := testWorkload()
+	rows := w.AblationFirstStepAll(0.5)
+	if rows[0].Count != rows[1].Count {
+		t.Fatalf("// optimisation changed results: %v", rows)
+	}
+	// The optimisation avoids storing step-1 right ends.
+	if rows[0].CPU > rows[1].CPU {
+		t.Errorf("optimised run used more CPU: %v vs %v", rows[0].CPU, rows[1].CPU)
+	}
+}
+
+func TestAblationUpdatesWidensGap(t *testing.T) {
+	w := testWorkload()
+	rows := w.AblationUpdates(0.5, 150)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	fresh := byLabel["fresh/simple"]
+	after := byLabel["after 150 inserts/simple"]
+	if after.Count != fresh.Count+150 {
+		t.Fatalf("insert count wrong: %d vs %d", after.Count, fresh.Count)
+	}
+	if after.Total <= fresh.Total {
+		t.Error("updates should slow the simple plan")
+	}
+	// All strategies agree after updates.
+	if byLabel["after 150 inserts/xscan"].Count != after.Count ||
+		byLabel["after 150 inserts/xschedule"].Count != after.Count {
+		t.Fatal("strategies disagree after updates")
+	}
+}
+
+// TestDeterministicFigureOutput pins the rendered figure data against a
+// golden file: the virtual-clock simulation must be bit-identical across
+// runs and machines. Regenerate with -run TestDeterministicFigureOutput
+// -update-golden after an intentional cost-model change.
+func TestDeterministicFigureOutput(t *testing.T) {
+	w := NewWorkload(Config{EntityScale: 0.01, Seed: 7})
+	var sb strings.Builder
+	RenderFigure(&sb, "golden", w.Figure(Q6, []float64{0.5, 1}))
+	got := sb.String()
+
+	const golden = "testdata/fig_q6_golden.txt"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("figure output changed:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestAblationBufferSizeSessionReuse(t *testing.T) {
+	w := testWorkload()
+	st, _ := w.Store(1)
+	_, pages := st.DataPages()
+	rows := w.AblationBufferSize(1, []int{12, pages + 10})
+	byLabel := map[string]AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	small := byLabel["buffer=12/simple"]
+	big := byLabel[fmt.Sprintf("buffer=%d/simple", pages+10)]
+	if small.Count != big.Count {
+		t.Fatal("buffer size changed results")
+	}
+	if float64(big.Total) > 0.7*float64(small.Total) {
+		t.Errorf("whole-document pool should speed the session: %v vs %v", big.Total, small.Total)
+	}
+}

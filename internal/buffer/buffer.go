@@ -1,0 +1,277 @@
+// Package buffer implements the page buffer manager between the storage
+// engine and the virtual disk.
+//
+// It models the costs the paper attributes to this layer (Sec. 1, 3.6): a
+// page access requires a hash-table probe (with its latch), a miss adds a
+// disk read and possibly an eviction, and translating a NodeID into an
+// in-memory pointer ("swizzling") is charged separately by the storage
+// layer on top of Fix.
+//
+// The manager also fronts the asynchronous interface the XSchedule operator
+// expects (Sec. 3.7): Request enqueues a cluster load without blocking, and
+// WaitLoaded returns some cluster whose load has completed — already-cached
+// clusters complete immediately.
+package buffer
+
+import (
+	"fmt"
+
+	"pathdb/internal/stats"
+	"pathdb/internal/vdisk"
+)
+
+// Frame is a buffered page. Data aliases the manager's internal copy; it is
+// valid while the frame is pinned (and until eviction otherwise).
+type Frame struct {
+	Page vdisk.PageID
+	Data []byte
+
+	pins       int
+	prev, next *Frame // LRU list, most recent at head
+}
+
+// Pinned reports whether the frame is currently pinned.
+func (f *Frame) Pinned() bool { return f.pins > 0 }
+
+// Manager is the buffer pool. Not safe for concurrent use; the virtual
+// clock is single-threaded by design.
+type Manager struct {
+	disk     *vdisk.Disk
+	led      *stats.Ledger
+	capacity int
+
+	frames map[vdisk.PageID]*Frame
+	head   *Frame // MRU
+	tail   *Frame // LRU
+
+	pendingAsync map[vdisk.PageID]bool
+	ready        []vdisk.PageID // requests satisfied from cache
+	overflow     int64          // frames allocated beyond capacity (all pinned)
+
+	onEvict func(vdisk.PageID) // notifies upper layers (swizzle caches)
+}
+
+// New returns a buffer pool over disk holding at most capacity pages.
+func New(disk *vdisk.Disk, capacity int) *Manager {
+	if capacity <= 0 {
+		panic("buffer: non-positive capacity")
+	}
+	return &Manager{
+		disk:         disk,
+		led:          disk.Ledger(),
+		capacity:     capacity,
+		frames:       make(map[vdisk.PageID]*Frame, capacity),
+		pendingAsync: make(map[vdisk.PageID]bool),
+	}
+}
+
+// SetEvictHandler registers f to be called whenever a page leaves the pool
+// (eviction or FlushAll). The storage layer uses this to invalidate its
+// swizzled in-memory representations, the "swapping out" concern of
+// Sec. 5.3.2.3.
+func (m *Manager) SetEvictHandler(f func(vdisk.PageID)) { m.onEvict = f }
+
+// Capacity returns the configured page capacity.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Len returns the number of buffered pages.
+func (m *Manager) Len() int { return len(m.frames) }
+
+// Overflow returns how many times the pool had to exceed its capacity
+// because every frame was pinned.
+func (m *Manager) Overflow() int64 { return m.overflow }
+
+// Contains reports whether page p is buffered, without charging costs or
+// touching the LRU order (for tests and the scheduler's bookkeeping).
+func (m *Manager) Contains(p vdisk.PageID) bool {
+	_, ok := m.frames[p]
+	return ok
+}
+
+// Disk exposes the underlying device (the storage layer needs its cost
+// model and page size).
+func (m *Manager) Disk() *vdisk.Disk { return m.disk }
+
+// Fix returns a pinned frame for page p, reading it from disk on a miss.
+// The caller must Unfix it. Each call charges one hash probe.
+func (m *Manager) Fix(p vdisk.PageID) *Frame {
+	m.led.HashLookups++
+	m.led.AdvanceCPU(m.disk.Model().CPUHashLookup)
+	if f, ok := m.frames[p]; ok {
+		m.led.BufferHits++
+		m.touch(f)
+		f.pins++
+		return f
+	}
+	m.led.BufferMisses++
+	f := m.newFrame(p)
+	m.disk.ReadSync(p, f.Data)
+	f.pins++
+	delete(m.pendingAsync, p) // a sync read supersedes a pending request
+	return f
+}
+
+// Unfix releases a pin taken by Fix.
+func (m *Manager) Unfix(f *Frame) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unfix of unpinned page %d", f.Page))
+	}
+	f.pins--
+}
+
+// Request schedules an asynchronous load of page p. If p is already
+// buffered or already requested, the request is recorded so that a later
+// WaitLoaded can still deliver it.
+func (m *Manager) Request(p vdisk.PageID) {
+	if _, ok := m.frames[p]; ok {
+		m.ready = append(m.ready, p)
+		return
+	}
+	if m.pendingAsync[p] {
+		return
+	}
+	m.pendingAsync[p] = true
+	m.disk.Submit(p)
+}
+
+// WaitLoaded blocks until some requested page is available and returns it.
+// ok is false when nothing is outstanding. Cache-satisfied requests are
+// delivered first (they are ready immediately).
+func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool) {
+	if len(m.ready) > 0 {
+		p = m.ready[0]
+		m.ready = m.ready[1:]
+		return p, true
+	}
+	if len(m.pendingAsync) == 0 {
+		return vdisk.InvalidPage, false
+	}
+	f := m.newFrame(vdisk.InvalidPage) // placeholder; page set below
+	page, got := m.disk.WaitAny(f.Data)
+	if !got {
+		// All pending requests were superseded by sync reads.
+		m.unlink(f)
+		m.pendingAsync = make(map[vdisk.PageID]bool)
+		return vdisk.InvalidPage, false
+	}
+	delete(m.pendingAsync, page)
+	if old, exists := m.frames[page]; exists {
+		// Already (re)loaded synchronously in the meantime; keep the
+		// existing frame and discard the fresh buffer.
+		m.unlink(f)
+		m.touch(old)
+		return page, true
+	}
+	f.Page = page
+	m.frames[page] = f
+	return page, true
+}
+
+// OutstandingRequests returns the number of async requests not yet
+// delivered by WaitLoaded.
+func (m *Manager) OutstandingRequests() int {
+	return len(m.pendingAsync) + len(m.ready)
+}
+
+// Invalidate drops page p from the pool after an out-of-band write (the
+// update path rewrites pages directly). It panics if the frame is pinned.
+func (m *Manager) Invalidate(p vdisk.PageID) {
+	f, ok := m.frames[p]
+	if !ok {
+		return
+	}
+	if f.Pinned() {
+		panic(fmt.Sprintf("buffer: invalidate of pinned page %d", p))
+	}
+	m.unlink(f)
+	delete(m.frames, p)
+	if m.onEvict != nil {
+		m.onEvict(p)
+	}
+}
+
+// FlushAll drops every unpinned frame (used between benchmark runs to
+// start cold). It panics if any frame is still pinned.
+func (m *Manager) FlushAll() {
+	for p, f := range m.frames {
+		if f.Pinned() {
+			panic(fmt.Sprintf("buffer: FlushAll with pinned page %d", p))
+		}
+	}
+	if m.onEvict != nil {
+		for p := range m.frames {
+			m.onEvict(p)
+		}
+	}
+	m.frames = make(map[vdisk.PageID]*Frame, m.capacity)
+	m.head, m.tail = nil, nil
+	m.pendingAsync = make(map[vdisk.PageID]bool)
+	m.ready = nil
+}
+
+// newFrame allocates (or steals via eviction) a frame, links it at MRU and
+// registers it under page p (unless p is InvalidPage, for placeholders).
+func (m *Manager) newFrame(p vdisk.PageID) *Frame {
+	if len(m.frames) >= m.capacity {
+		if !m.evictOne() {
+			m.overflow++
+		}
+	}
+	f := &Frame{Page: p, Data: make([]byte, m.disk.PageSize())}
+	m.linkFront(f)
+	if p != vdisk.InvalidPage {
+		m.frames[p] = f
+	}
+	return f
+}
+
+// evictOne drops the least recently used unpinned frame. It returns false
+// if every frame is pinned.
+func (m *Manager) evictOne() bool {
+	for f := m.tail; f != nil; f = f.prev {
+		if !f.Pinned() {
+			m.unlink(f)
+			delete(m.frames, f.Page)
+			m.led.Evictions++
+			if m.onEvict != nil {
+				m.onEvict(f.Page)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) touch(f *Frame) {
+	if m.head == f {
+		return
+	}
+	m.unlink(f)
+	m.linkFront(f)
+}
+
+func (m *Manager) linkFront(f *Frame) {
+	f.prev = nil
+	f.next = m.head
+	if m.head != nil {
+		m.head.prev = f
+	}
+	m.head = f
+	if m.tail == nil {
+		m.tail = f
+	}
+}
+
+func (m *Manager) unlink(f *Frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else if m.head == f {
+		m.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else if m.tail == f {
+		m.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}

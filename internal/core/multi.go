@@ -1,0 +1,176 @@
+package core
+
+import (
+	"pathdb/internal/storage"
+	"pathdb/internal/xpath"
+)
+
+// MultiPlan evaluates several location paths with a single I/O-performing
+// XSchedule operator — the multi-query extension sketched in the paper's
+// outlook (Sec. 7): "Our method can be easily extended to evaluate
+// multiple location paths with a single I/O-performing operator", giving
+// the scheduler more pending requests to reorder and letting paths share
+// cluster loads.
+//
+// Architecture: every path keeps its own XStep chain and XAssembly, but
+// all chains read from one shared XSchedule through a demultiplexer that
+// routes instances by their Path tag. Continuations enqueued by any
+// XAssembly land in the same queue, so the asynchronous I/O subsystem sees
+// the union of all paths' pending cluster accesses.
+type MultiPlan struct {
+	es     []*EvalState
+	shared *XSchedule
+	asms   []*XAssembly
+}
+
+// MultiQuery is one member query of a MultiPlan.
+type MultiQuery struct {
+	Path     []xpath.Step
+	Contexts []storage.NodeID
+}
+
+// BuildMultiPlan compiles a shared-scheduler plan for the given queries.
+func BuildMultiPlan(store *storage.Store, queries []MultiQuery, opts PlanOptions) *MultiPlan {
+	mp := &MultiPlan{}
+
+	// The shared scheduler lives on the first path's state; it only uses
+	// the store, ledger and queue machinery, which all paths share.
+	// Contexts of all paths are multiplexed into its producer, tagged.
+	var seeds []Instance
+	for pi, q := range queries {
+		for _, id := range q.Contexts {
+			inst := ContextInstance(id)
+			inst.Path = pi
+			seeds = append(seeds, inst)
+		}
+	}
+	es0 := NewEvalState(store, nil)
+	shared := NewXSchedule(es0, &sliceOp{es: es0, items: seeds})
+	if opts.K > 0 {
+		shared.K = opts.K
+	}
+	mp.shared = shared
+
+	d := &demux{shared: shared, buffers: make([][]Instance, len(queries))}
+	for pi, q := range queries {
+		es := NewEvalState(store, q.Path)
+		es.MemLimit = opts.MemLimit
+		mp.es = append(mp.es, es)
+		var op Operator = &demuxPort{d: d, path: pi}
+		for i := 1; i <= len(q.Path); i++ {
+			op = NewXStep(es, op, i)
+		}
+		mp.asms = append(mp.asms, NewXAssembly(es, op, shared))
+	}
+	return mp
+}
+
+// Run evaluates all member queries and returns one result list per query.
+// Queries are drained in round-robin fashion so their cluster accesses
+// interleave in the shared queue.
+func (mp *MultiPlan) Run() [][]Result {
+	for _, a := range mp.asms {
+		a.Open()
+	}
+	out := make([][]Result, len(mp.asms))
+	done := make([]bool, len(mp.asms))
+	remaining := len(mp.asms)
+	for remaining > 0 {
+		for i, a := range mp.asms {
+			if done[i] {
+				continue
+			}
+			inst, ok := a.Next()
+			if !ok {
+				done[i] = true
+				remaining--
+				continue
+			}
+			out[i] = append(out[i], Result{Node: inst.NR, Ord: inst.Ord})
+		}
+	}
+	for _, a := range mp.asms {
+		a.Close()
+	}
+	return out
+}
+
+// Counts evaluates all member queries and returns their cardinalities.
+func (mp *MultiPlan) Counts() []int {
+	rs := mp.Run()
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = len(r)
+	}
+	return out
+}
+
+// sliceOp replays a fixed instance list (the multiplexed context seeds).
+type sliceOp struct {
+	es    *EvalState
+	items []Instance
+	pos   int
+}
+
+func (s *sliceOp) Open() { s.pos = 0 }
+func (s *sliceOp) Next() (Instance, bool) {
+	if s.pos >= len(s.items) {
+		return Instance{}, false
+	}
+	out := s.items[s.pos]
+	s.pos++
+	s.es.chargeTuple()
+	return out, true
+}
+func (s *sliceOp) Close() {}
+
+// demux routes instances from the shared scheduler to per-path ports,
+// buffering instances that belong to other paths.
+type demux struct {
+	shared  *XSchedule
+	buffers [][]Instance
+	opened  bool
+	closed  bool
+}
+
+// demuxPort is the per-path view of the demux; it implements Operator.
+type demuxPort struct {
+	d    *demux
+	path int
+}
+
+func (p *demuxPort) Open() {
+	if !p.d.opened {
+		p.d.opened = true
+		p.d.shared.Open()
+	}
+}
+
+func (p *demuxPort) Close() {
+	if !p.d.closed {
+		p.d.closed = true
+		p.d.shared.Close()
+	}
+}
+
+func (p *demuxPort) Next() (Instance, bool) {
+	d := p.d
+	if buf := d.buffers[p.path]; len(buf) > 0 {
+		out := buf[0]
+		d.buffers[p.path] = buf[1:]
+		return out, true
+	}
+	for {
+		inst, ok := d.shared.Next()
+		if !ok {
+			// The shared queue is drained *for now*; another path's
+			// assembly may still enqueue more later, at which point this
+			// port's Next will be called again and resume.
+			return Instance{}, false
+		}
+		if inst.Path == p.path {
+			return inst, true
+		}
+		d.buffers[inst.Path] = append(d.buffers[inst.Path], inst)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xpath"
+)
+
+// paperTree reconstructs the running example of the paper (Fig. 2/3/5):
+// four clusters a, b, c, d laid out physically in that order, the context
+// node d1 in cluster d, and the query /A//B whose results are a3 and c4.
+//
+//	R  (d1, cluster d)
+//	├── A (a2, cluster a)  — via border pair d2/a1
+//	│   └── B (a3, cluster a)
+//	├── C (d4, cluster d)
+//	│   └── X (b2, cluster b) — via border pair d5/b1
+//	└── A (c2, cluster c)  — via border pair d3/c1
+//	    └── B (c4, cluster c)
+//
+// Physical pages: a=1, b=2, c=3, d=4 (the scan order of Fig. 8).
+func paperTree(t testing.TB) (*xmltree.Dictionary, *storage.Store, []xpath.Step) {
+	t.Helper()
+	dict := xmltree.NewDictionary()
+	A, B, C, R, X := dict.Intern("A"), dict.Intern("B"), dict.Intern("C"), dict.Intern("R"), dict.Intern("X")
+	_ = B
+
+	doc := xmltree.NewDocument()
+	d1 := xmltree.NewElement(R)
+	doc.AppendChild(d1)
+	a2 := xmltree.NewElement(A)
+	d1.AppendChild(a2)
+	a3 := xmltree.NewElement(dict.Intern("B"))
+	a2.AppendChild(a3)
+	d4 := xmltree.NewElement(C)
+	d1.AppendChild(d4)
+	b2 := xmltree.NewElement(X)
+	d4.AppendChild(b2)
+	c2 := xmltree.NewElement(A)
+	d1.AppendChild(c2)
+	c4 := xmltree.NewElement(dict.Intern("B"))
+	c2.AppendChild(c4)
+
+	assign := func(n *xmltree.Node) int {
+		switch n {
+		case a2, a3:
+			return 0 // cluster a -> page 1
+		case b2:
+			return 1 // cluster b -> page 2
+		case c2, c4:
+			return 2 // cluster c -> page 3
+		default:
+			return 3 // cluster d -> page 4 (root R and C)
+		}
+	}
+	disk := vdisk.New(vdisk.DefaultCostModel(), stats.NewLedger(), 512)
+	st, err := storage.ImportManual(disk, dict, doc, assign, storage.ImportOptions{PageSize: 512})
+	if err != nil {
+		t.Fatalf("ImportManual: %v", err)
+	}
+
+	// /A//B with the paper's two-step reading: child::A / descendant::B.
+	path := []xpath.Step{
+		{Axis: xpath.Child, Test: xpath.NameTest(A)},
+		{Axis: xpath.Descendant, Test: xpath.NameTest(dict.Intern("B"))},
+	}
+	return dict, st, path
+}
+
+// paperContext resolves the NodeID of d1, the context node of the paper's
+// examples (the R element under the document node).
+func paperContext(t testing.TB, st *storage.Store) storage.NodeID {
+	t.Helper()
+	rs := BuildPlan(st, []xpath.Step{{Axis: xpath.Child, Test: xpath.Wildcard()}},
+		[]storage.NodeID{st.Root()}, StrategySimple, PlanOptions{}).Run()
+	if len(rs) != 1 {
+		t.Fatalf("expected one root element, got %d", len(rs))
+	}
+	return rs[0].Node
+}
+
+func resultTags(t *testing.T, dict *xmltree.Dictionary, st *storage.Store, rs []Result) []string {
+	t.Helper()
+	var tags []string
+	for _, r := range rs {
+		tags = append(tags, dict.Name(st.Swizzle(r.Node).Tag())+"@"+r.Node.String())
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// TestPaperExample6 reproduces Example 6: the XSchedule plan finds a3 and
+// c4 while never visiting cluster b, because d5 is never produced as an
+// XStep result (d4 fails the node test A).
+func TestPaperExample6(t *testing.T) {
+	_, st, path := paperTree(t)
+	const pageB = 2
+
+	d1 := paperContext(t, st)
+	st.ResetForRun()
+	plan := BuildPlan(st, path, []storage.NodeID{d1}, StrategySchedule, PlanOptions{})
+	rs := plan.Run()
+
+	if len(rs) != 2 {
+		t.Fatalf("results = %d, want 2", len(rs))
+	}
+	var tags []string
+	for _, r := range rs {
+		tags = append(tags, st.Dict().Name(st.Swizzle(r.Node).Tag()))
+	}
+	sort.Strings(tags)
+	if strings.Join(tags, ",") != "B,B" {
+		t.Fatalf("result tags = %v", tags)
+	}
+	if st.Loaded(pageB) {
+		t.Fatal("cluster b was visited despite failing node test")
+	}
+	led := st.Ledger()
+	// Clusters visited: d (context), a, c — not b.
+	if led.ClustersVisited != 3 {
+		t.Fatalf("clusters visited = %d, want 3", led.ClustersVisited)
+	}
+	// Both continuation loads (a and c) went through the async subsystem.
+	if led.AsyncSubmitted < 2 {
+		t.Fatalf("async submitted = %d, want >= 2", led.AsyncSubmitted)
+	}
+}
+
+// TestPaperExample7 reproduces Example 7: the XScan plan reads the four
+// clusters sequentially (a, b, c, d), creates speculative left-incomplete
+// instances in clusters a and c that merge when the scan reaches d, and
+// returns the same two results. Every cluster is visited exactly once.
+func TestPaperExample7(t *testing.T) {
+	_, st, path := paperTree(t)
+
+	d1 := paperContext(t, st)
+	st.ResetForRun()
+	plan := BuildPlan(st, path, []storage.NodeID{d1}, StrategyScan, PlanOptions{})
+	rs := plan.Run()
+
+	if len(rs) != 2 {
+		t.Fatalf("results = %d, want 2", len(rs))
+	}
+	led := st.Ledger()
+	if led.ClustersVisited != 4 {
+		t.Fatalf("clusters visited = %d, want 4 (one sequential pass)", led.ClustersVisited)
+	}
+	if led.PageReads != 4 {
+		t.Fatalf("page reads = %d, want 4", led.PageReads)
+	}
+	// All but the first read continue the sequential pattern.
+	if led.SeqPageReads != 3 {
+		t.Fatalf("sequential reads = %d, want 3", led.SeqPageReads)
+	}
+	if led.SpecInstances == 0 {
+		t.Fatal("no speculative instances were generated")
+	}
+	// No asynchronous machinery is involved in a scan plan.
+	if led.AsyncSubmitted != 0 {
+		t.Fatalf("async submitted = %d, want 0", led.AsyncSubmitted)
+	}
+}
+
+// TestPaperBothPlansAgree ties the two examples together: identical result
+// sets for all three strategies on the paper's tree.
+func TestPaperBothPlansAgree(t *testing.T) {
+	dict, st, path := paperTree(t)
+	d1 := paperContext(t, st)
+	var sets []string
+	for _, strat := range allStrategies {
+		st.ResetForRun()
+		plan := BuildPlan(st, path, []storage.NodeID{d1}, strat, PlanOptions{})
+		sets = append(sets, strings.Join(resultTags(t, dict, st, plan.Run()), ";"))
+	}
+	if sets[0] != sets[1] || sets[1] != sets[2] {
+		t.Fatalf("strategies disagree: %v", sets)
+	}
+}
+
+// TestPaperSimpleVisitsMorePages documents the cost asymmetry of Example
+// 1/6: the Simple plan performs its inter-cluster traversals synchronously
+// in encounter order, while XSchedule batches them; both must touch the
+// same 3 clusters here, but only XSchedule overlaps the loads.
+func TestPaperSimpleCostShape(t *testing.T) {
+	_, st, path := paperTree(t)
+
+	d1 := paperContext(t, st)
+	st.ResetForRun()
+	BuildPlan(st, path, []storage.NodeID{d1}, StrategySimple, PlanOptions{}).Run()
+	simple := st.Ledger().Snapshot()
+
+	st.ResetForRun()
+	BuildPlan(st, path, []storage.NodeID{d1}, StrategySchedule, PlanOptions{}).Run()
+	sched := st.Ledger().Snapshot()
+
+	if simple.AsyncSubmitted != 0 {
+		t.Fatal("simple plan used async I/O")
+	}
+	if sched.AsyncSubmitted == 0 {
+		t.Fatal("schedule plan did not use async I/O")
+	}
+	if simple.PageReads != sched.PageReads {
+		t.Fatalf("page reads differ: simple=%d sched=%d", simple.PageReads, sched.PageReads)
+	}
+}

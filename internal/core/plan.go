@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"pathdb/internal/ordpath"
+	"pathdb/internal/storage"
+	"pathdb/internal/xpath"
+)
+
+// Strategy selects the physical evaluation method for a location path —
+// the three plan alternatives of the paper's evaluation (Sec. 6.2).
+type Strategy uint8
+
+// Plan strategies.
+const (
+	// StrategySimple is the nested-loop Unnest-Map baseline (Sec. 5.1).
+	StrategySimple Strategy = iota
+	// StrategySchedule uses XSchedule with asynchronous I/O (Sec. 5.3.4).
+	StrategySchedule
+	// StrategyScan uses XScan with one sequential scan (Sec. 5.4.3).
+	StrategyScan
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategySimple:
+		return "simple"
+	case StrategySchedule:
+		return "xschedule"
+	case StrategyScan:
+		return "xscan"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// PlanOptions tunes plan construction.
+type PlanOptions struct {
+	// K is XSchedule's queue fill target; 0 means DefaultK (100).
+	K int
+	// Speculative turns on left-incomplete generation in XSchedule
+	// (Sec. 5.4.4); XScan always speculates.
+	Speculative bool
+	// MemLimit bounds XAssembly's S structure (0 = unlimited); exceeding
+	// it triggers fallback mode (Sec. 5.4.6).
+	MemLimit int
+	// SortResults appends a document-order sort (Sec. 5.5).
+	SortResults bool
+	// NoFirstStepAllOpt disables the '//' optimisation of Sec. 5.4.5.4
+	// even when it applies (for ablations).
+	NoFirstStepAllOpt bool
+}
+
+// Plan is an executable physical plan for one location path.
+type Plan struct {
+	es   *EvalState
+	root Operator
+
+	Strategy Strategy
+	Assembly *XAssembly // nil for Simple plans
+	Schedule *XSchedule // nil unless StrategySchedule
+}
+
+// BuildPlan compiles a plan evaluating path from the given context nodes
+// over store. The path is the physical step list (apply xpath.Simplify
+// beforehand if desired); absolute paths pass the document root as the
+// single context.
+func BuildPlan(store *storage.Store, path []xpath.Step, contexts []storage.NodeID, strat Strategy, opts PlanOptions) *Plan {
+	es := NewEvalState(store, path)
+	es.MemLimit = opts.MemLimit
+
+	ctxIDs := append([]storage.NodeID(nil), contexts...)
+	p := &Plan{es: es, Strategy: strat}
+
+	// chain appends XStepᵢ (plus a predicate filter when the step carries
+	// predicates) for every location step.
+	chain := func(op Operator, crossBorders bool) Operator {
+		for i := 1; i <= len(path); i++ {
+			xs := NewXStep(es, op, i)
+			xs.CrossBorders = crossBorders
+			op = xs
+			if len(path[i-1].Predicates) > 0 {
+				op = NewPredFilter(es, op, i)
+			}
+		}
+		return op
+	}
+
+	var top Operator
+	switch strat {
+	case StrategySimple:
+		top = NewDistinct(es, chain(NewContextOp(es, ctxIDs), true))
+
+	case StrategySchedule:
+		sched := NewXSchedule(es, NewContextOp(es, ctxIDs))
+		if opts.K > 0 {
+			sched.K = opts.K
+		}
+		sched.Speculative = opts.Speculative
+		asm := NewXAssembly(es, chain(sched, false), sched)
+		p.Assembly, p.Schedule = asm, sched
+		top = asm
+
+	case StrategyScan:
+		SortContexts(ctxIDs)
+		scan := NewXScan(es, NewContextOp(es, ctxIDs))
+		asm := NewXAssembly(es, chain(scan, false), nil)
+		if !opts.NoFirstStepAllOpt && len(path) > 0 &&
+			path[0].Axis == xpath.DescendantOrSelf && path[0].Test.Kind == xpath.KindAny &&
+			len(path[0].Predicates) == 0 {
+			// '//' optimisation: every node is reachable after step 1
+			// because the scan visits all clusters (Sec. 5.4.5.4).
+			asm.FirstStepAll = true
+		}
+		p.Assembly = asm
+		top = asm
+
+	default:
+		panic("core: unknown strategy")
+	}
+
+	if opts.SortResults {
+		top = NewSortByDocumentOrder(es, top)
+	}
+	p.root = top
+	return p
+}
+
+// State exposes the shared evaluation state (tests, stats).
+func (p *Plan) State() *EvalState { return p.es }
+
+// Root returns the top operator for custom consumption.
+func (p *Plan) Root() Operator { return p.root }
+
+// Result is one result node of a path evaluation.
+type Result struct {
+	Node storage.NodeID
+	Ord  ordpath.Key
+}
+
+// Run executes the plan and collects all result nodes.
+func (p *Plan) Run() []Result {
+	p.root.Open()
+	defer p.root.Close()
+	var out []Result
+	for {
+		inst, ok := p.root.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, Result{Node: inst.NR, Ord: inst.Ord})
+	}
+}
+
+// Count executes the plan and returns the number of results — the
+// aggregate form used by XMark Q6' and Q7, where no sort is needed
+// (Sec. 5.5).
+func (p *Plan) Count() int {
+	p.root.Open()
+	defer p.root.Close()
+	n := 0
+	for {
+		if _, ok := p.root.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

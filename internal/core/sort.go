@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sort"
+
+	"pathdb/internal/ordpath"
+	"pathdb/internal/storage"
+)
+
+// Distinct eliminates duplicate result nodes by their NodeID. Simple plans
+// need it to honour XPath node-set semantics (Sec. 5.1); XSchedule/XScan
+// plans get duplicate elimination from XAssembly's R for free
+// (Sec. 5.3.3.3).
+type Distinct struct {
+	es    *EvalState
+	input Operator
+	seen  map[storage.NodeID]bool
+}
+
+// NewDistinct wraps input with duplicate elimination.
+func NewDistinct(es *EvalState, input Operator) *Distinct {
+	return &Distinct{es: es, input: input}
+}
+
+// Open opens the producer and resets the seen set.
+func (d *Distinct) Open() {
+	d.input.Open()
+	d.seen = make(map[storage.NodeID]bool)
+}
+
+// Close releases the seen set.
+func (d *Distinct) Close() {
+	d.input.Close()
+	d.seen = nil
+}
+
+// Next returns the next previously unseen instance.
+func (d *Distinct) Next() (Instance, bool) {
+	for {
+		in, ok := d.input.Next()
+		if !ok {
+			return Instance{}, false
+		}
+		d.es.chargeSetOp(1)
+		d.es.ledger().SetLookups++
+		if d.seen[in.NR] {
+			continue
+		}
+		d.es.chargeSetOp(1)
+		d.es.ledger().SetInserts++
+		d.seen[in.NR] = true
+		return in, true
+	}
+}
+
+// SortByDocumentOrder materializes its input and emits it in document
+// order using the ORDPATH-style keys captured on each instance — the
+// final sort of Sec. 5.5, always required after cost-based reordering.
+// It is the only pipeline breaker in a plan.
+type SortByDocumentOrder struct {
+	es    *EvalState
+	input Operator
+	buf   []Instance
+	pos   int
+	done  bool
+}
+
+// NewSortByDocumentOrder wraps input with the final sort.
+func NewSortByDocumentOrder(es *EvalState, input Operator) *SortByDocumentOrder {
+	return &SortByDocumentOrder{es: es, input: input}
+}
+
+// Open opens the producer; materialization is lazy on first Next.
+func (s *SortByDocumentOrder) Open() {
+	s.input.Open()
+	s.buf = s.buf[:0]
+	s.pos = 0
+	s.done = false
+}
+
+// Close drops the buffer.
+func (s *SortByDocumentOrder) Close() {
+	s.input.Close()
+	s.buf = nil
+}
+
+// Next drains the producer on first call, sorts, then emits in order.
+func (s *SortByDocumentOrder) Next() (Instance, bool) {
+	if !s.done {
+		for {
+			in, ok := s.input.Next()
+			if !ok {
+				break
+			}
+			s.buf = append(s.buf, in.dropCur())
+		}
+		// n log n comparisons, each charged as a set operation.
+		n := len(s.buf)
+		if n > 1 {
+			cmp := 0
+			sort.SliceStable(s.buf, func(i, j int) bool {
+				cmp++
+				return ordpath.Compare(s.buf[i].Ord, s.buf[j].Ord) < 0
+			})
+			s.es.chargeSetOp(cmp)
+		}
+		s.done = true
+	}
+	if s.pos >= len(s.buf) {
+		return Instance{}, false
+	}
+	out := s.buf[s.pos]
+	s.pos++
+	return out, true
+}

@@ -1,0 +1,151 @@
+package core
+
+import ()
+
+// XScan is the scan-based I/O-performing operator (Sec. 5.4.3): it reads
+// every cluster of the document exactly once, in physical order, with
+// sequential I/O. For each cluster it first returns the producer's context
+// instances located there (the producer must be sorted by cluster), then
+// speculatively generates one left-incomplete instance per border node and
+// step, so that all information relevant to the path is extracted in this
+// single visit — no cluster is ever visited twice.
+//
+// In fallback mode (Sec. 5.4.6) the scan restarts its producer and becomes
+// the identity: the Unnest-Map behaviour of the XStep chain re-evaluates
+// the whole path, with XAssembly's R preventing duplicate results.
+type XScan struct {
+	es       *EvalState
+	producer Operator
+
+	n   int
+	idx int
+
+	pending []Instance
+	peeked  *Instance
+	prodEOF bool
+
+	fbStarted bool
+}
+
+// NewXScan builds the operator over every data page of the store, in
+// physical scan order (the bulk-load range followed by update extensions).
+func NewXScan(es *EvalState, producer Operator) *XScan {
+	return &XScan{es: es, producer: producer, n: es.Store.NumDataPages()}
+}
+
+// Open opens the producer and rewinds the scan.
+func (x *XScan) Open() {
+	x.producer.Open()
+	x.idx = 0
+	x.pending = x.pending[:0]
+	x.peeked = nil
+	x.prodEOF = false
+	x.fbStarted = false
+}
+
+// Close closes the producer.
+func (x *XScan) Close() { x.producer.Close() }
+
+// enterFallback implements the fallbackAware reaction (Sec. 5.4.6):
+// restart the producer and stop scanning; Next becomes the identity on the
+// producer.
+func (x *XScan) enterFallback() {
+	if x.fbStarted {
+		return
+	}
+	x.fbStarted = true
+	x.pending = nil
+	x.peeked = nil
+	if r, ok := x.producer.(interface{ Rewind() }); ok {
+		r.Rewind()
+		x.prodEOF = false
+	}
+}
+
+// Next returns the producer's instances and the speculative instances, one
+// cluster at a time, scanning sequentially.
+func (x *XScan) Next() (Instance, bool) {
+	if x.es.Fallback() && !x.fbStarted {
+		x.enterFallback()
+	}
+	if x.fbStarted {
+		in, ok := x.producer.Next()
+		if ok {
+			x.es.chargeTuple()
+		}
+		return in, ok
+	}
+	for {
+		if n := len(x.pending); n > 0 {
+			out := x.pending[0]
+			x.pending = x.pending[1:]
+			x.es.chargeTuple()
+			return out, true
+		}
+		if x.idx >= x.n {
+			// All clusters scanned. Any remaining producer instances would
+			// violate the sorted-input contract; drain them defensively so
+			// no context is silently lost.
+			if in, ok := x.next(); ok {
+				x.es.chargeTuple()
+				return in, true
+			}
+			return Instance{}, false
+		}
+		page := x.es.Store.DataPage(x.idx)
+		x.idx++
+		x.es.Store.LoadCluster(page) // sequential read
+		x.es.ledger().ClustersVisited++
+
+		// Context instances located in this cluster come first.
+		for {
+			in, ok := x.peek()
+			if !ok || in.NR.Page() != page {
+				break
+			}
+			x.take()
+			x.pending = append(x.pending, in)
+		}
+		// Then the speculative left-incomplete instances (Sec. 5.4.3.2):
+		// one per border node and step 0 ≤ i < |π|.
+		pathLen := x.es.Len()
+		for _, b := range x.es.Store.BordersOf(page) {
+			for i := 0; i < pathLen; i++ {
+				x.pending = append(x.pending, Instance{SL: i, NL: b, NLBorder: true, SR: i, NR: b, NRBorder: true})
+				x.es.ledger().SpecInstances++
+			}
+		}
+	}
+}
+
+// peek returns the producer's next instance without consuming it.
+func (x *XScan) peek() (Instance, bool) {
+	if x.peeked != nil {
+		return *x.peeked, true
+	}
+	if x.prodEOF {
+		return Instance{}, false
+	}
+	in, ok := x.producer.Next()
+	if !ok {
+		x.prodEOF = true
+		return Instance{}, false
+	}
+	x.peeked = &in
+	return in, true
+}
+
+func (x *XScan) take() { x.peeked = nil }
+
+// next consumes the producer directly (drain path).
+func (x *XScan) next() (Instance, bool) {
+	if x.peeked != nil {
+		in := *x.peeked
+		x.peeked = nil
+		return in, true
+	}
+	if x.prodEOF {
+		return Instance{}, false
+	}
+	return x.producer.Next()
+}

@@ -1,0 +1,271 @@
+package ordpath
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pathdb/internal/rng"
+)
+
+func TestRootAndChild(t *testing.T) {
+	r := Root()
+	if len(r) != 0 || r.Level() != 0 {
+		t.Fatal("root key not empty")
+	}
+	c := r.Child(2)
+	if c.Level() != 1 || c.Components()[0] != 2 {
+		t.Fatalf("child = %v", c.Components())
+	}
+}
+
+func TestBulkChildOrdinals(t *testing.T) {
+	r := Root()
+	for i := 0; i < 5; i++ {
+		k := r.BulkChild(i)
+		if got := k.Components()[0]; got != uint64(i+1)*2 {
+			t.Fatalf("BulkChild(%d) ordinal = %d", i, got)
+		}
+	}
+}
+
+func TestComponentsRoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{2},
+		{2, 4, 6},
+		{0, 1, 127, 128, 300, 1 << 20, 1 << 40},
+	}
+	for _, comps := range cases {
+		k := FromComponents(comps...)
+		got := k.Components()
+		if len(got) != len(comps) {
+			t.Fatalf("round trip of %v = %v", comps, got)
+		}
+		for i := range comps {
+			if got[i] != comps[i] {
+				t.Fatalf("round trip of %v = %v", comps, got)
+			}
+		}
+	}
+}
+
+func TestCompareDocumentOrder(t *testing.T) {
+	// Document order: ancestor before descendant, siblings by ordinal.
+	ordered := []Key{
+		FromComponents(2),
+		FromComponents(2, 2),
+		FromComponents(2, 2, 2),
+		FromComponents(2, 2, 4),
+		FromComponents(2, 4),
+		FromComponents(4),
+		FromComponents(4, 2),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	a := FromComponents(2, 4)
+	d := FromComponents(2, 4, 6)
+	if !a.IsAncestorOf(d) {
+		t.Fatal("direct ancestor not detected")
+	}
+	if !Root().IsAncestorOf(a) {
+		t.Fatal("root not ancestor")
+	}
+	if a.IsAncestorOf(a) {
+		t.Fatal("self is not a proper ancestor")
+	}
+	if d.IsAncestorOf(a) {
+		t.Fatal("descendant claimed as ancestor")
+	}
+	if FromComponents(2, 5).IsAncestorOf(FromComponents(2, 50)) {
+		t.Fatal("sibling-prefix confusion (2.5 vs 2.50)")
+	}
+	// Multi-byte component boundary: 300 encodes to two bytes.
+	big := FromComponents(300)
+	if FromComponents(44).IsAncestorOf(big) {
+		t.Fatal("byte-prefix of a multi-byte component misdetected")
+	}
+	if !big.IsAncestorOf(FromComponents(300, 2)) {
+		t.Fatal("multi-byte ancestor missed")
+	}
+}
+
+func TestBetweenSimpleGap(t *testing.T) {
+	a, b := FromComponents(2), FromComponents(6)
+	m := Between(a, b)
+	if Compare(a, m) >= 0 || Compare(m, b) >= 0 {
+		t.Fatalf("Between(%v,%v) = %v not strictly between", a, b, m)
+	}
+}
+
+func TestBetweenAdjacent(t *testing.T) {
+	a, b := FromComponents(2), FromComponents(3)
+	m := Between(a, b)
+	if Compare(a, m) >= 0 || Compare(m, b) >= 0 {
+		t.Fatalf("Between adjacent = %v", m)
+	}
+}
+
+func TestBetweenAncestorChild(t *testing.T) {
+	a, b := FromComponents(2), FromComponents(2, 2)
+	m := Between(a, b)
+	if Compare(a, m) >= 0 || Compare(m, b) >= 0 {
+		t.Fatalf("Between(%v,%v) = %v", a, b, m)
+	}
+}
+
+func TestBetweenRequiresOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Between(FromComponents(4), FromComponents(2))
+}
+
+func TestBetweenRepeatedInsertions(t *testing.T) {
+	// Insert 200 keys always between the first two; order must stay strict
+	// and no relabeling is ever needed.
+	lo, hi := FromComponents(2), FromComponents(4)
+	keys := []Key{lo, hi}
+	for i := 0; i < 200; i++ {
+		m := Between(keys[0], keys[1])
+		if Compare(keys[0], m) >= 0 || Compare(m, keys[1]) >= 0 {
+			t.Fatalf("insertion %d broke order: %v", i, m)
+		}
+		// Insert at position 1.
+		keys = append(keys[:1], append([]Key{m}, keys[1:]...)...)
+	}
+	for i := 1; i < len(keys); i++ {
+		if Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("sequence out of order at %d", i)
+		}
+	}
+}
+
+func TestBetweenPropertyRandomPairs(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		mk := func() Key {
+			depth := r.IntRange(1, 5)
+			k := Root()
+			for i := 0; i < depth; i++ {
+				k = k.BulkChild(r.Intn(20))
+			}
+			return k
+		}
+		a, b := mk(), mk()
+		switch Compare(a, b) {
+		case 0:
+			return true
+		case 1:
+			a, b = b, a
+		}
+		m := Between(a, b)
+		return Compare(a, m) < 0 && Compare(m, b) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetweenChainDeepens(t *testing.T) {
+	// Keep inserting between a fixed left neighbour and the last insert.
+	a := FromComponents(2)
+	b := FromComponents(2, 2)
+	for i := 0; i < 64; i++ {
+		m := Between(a, b)
+		if Compare(a, m) >= 0 || Compare(m, b) >= 0 {
+			t.Fatalf("iteration %d: %v not between %v and %v", i, m, a, b)
+		}
+		b = m
+	}
+}
+
+func TestSortUsesCompare(t *testing.T) {
+	r := rng.New(99)
+	var keys []Key
+	for i := 0; i < 100; i++ {
+		depth := r.IntRange(1, 4)
+		k := Root()
+		for j := 0; j < depth; j++ {
+			k = k.BulkChild(r.Intn(10))
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return Compare(keys[i], keys[j]) < 0 })
+	for i := 1; i < len(keys); i++ {
+		if Compare(keys[i-1], keys[i]) > 0 {
+			t.Fatal("sorted sequence violates Compare")
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromComponents(2, 4, 6).String(); got != "2.4.6" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Root().String(); got != "" {
+		t.Fatalf("root String = %q", got)
+	}
+}
+
+func TestLargeComponents(t *testing.T) {
+	k := FromComponents(1 << 62)
+	if k.Components()[0] != 1<<62 {
+		t.Fatal("large component mangled")
+	}
+	if Compare(FromComponents(1<<62), FromComponents(1<<62+1)) != -1 {
+		t.Fatal("large comparison wrong")
+	}
+}
+
+func TestLevelMatchesDepth(t *testing.T) {
+	k := Root()
+	for i := 1; i <= 10; i++ {
+		k = k.BulkChild(3)
+		if k.Level() != i {
+			t.Fatalf("level = %d, want %d", k.Level(), i)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	k := FromComponents(2, 4)
+	a := After(k)
+	if Compare(k, a) >= 0 {
+		t.Fatal("After not greater")
+	}
+	// After(k) must also follow every descendant of k.
+	if Compare(k.Child(1000), a) >= 0 {
+		t.Fatal("After not greater than descendants")
+	}
+	// But still precede k's parent's next sibling.
+	if Compare(a, FromComponents(4)) >= 0 {
+		t.Fatal("After escaped the parent's range")
+	}
+}
+
+func TestAfterOfRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	After(Root())
+}

@@ -1,0 +1,178 @@
+// Package plan implements the cost-based choice between the two
+// I/O-performing operators — the open problem the paper names in its
+// outlook (Sec. 7): "Further research is needed to create a cost model to
+// support the choice of the I/O-performing operator."
+//
+// The model is deliberately simple and uses only statistics a storage
+// engine maintains anyway (per-tag record and cluster counts):
+//
+//   - an XSchedule plan touches roughly the clusters that contain nodes
+//     matching any of the path's node tests, paying a reordered random
+//     access each;
+//   - an XScan plan touches every cluster once, paying a sequential
+//     transfer each, plus the CPU for speculative instances on every
+//     border node and step.
+//
+// The crossover therefore depends on the path's physical coverage — the
+// same effect the paper measures: Q7 (high coverage) wants the scan, Q15
+// (low coverage) wants the scheduler, Q6' sits near the break-even point.
+package plan
+
+import (
+	"fmt"
+
+	"pathdb/internal/core"
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/xpath"
+)
+
+// Estimate is the cost breakdown the chooser computed for one strategy.
+type Estimate struct {
+	Strategy     core.Strategy
+	PagesTouched int
+	Cost         stats.Ticks
+}
+
+// Choice is the chooser's full output, for explainability.
+type Choice struct {
+	Strategy core.Strategy
+	Schedule Estimate
+	Scan     Estimate
+	Simple   Estimate
+	Coverage float64 // fraction of clusters the path is estimated to touch
+}
+
+// String renders the decision for logs and the xpathq tool.
+func (c Choice) String() string {
+	return fmt.Sprintf("choose %v (coverage %.0f%%: schedule %v, scan %v, simple %v)",
+		c.Strategy, 100*c.Coverage, c.Schedule.Cost, c.Scan.Cost, c.Simple.Cost)
+}
+
+// Chooser estimates plan costs over one store. Construct with NewChooser
+// (which collects document statistics in an offline pass) and reuse across
+// queries.
+type Chooser struct {
+	store *storage.Store
+	ds    *storage.DocStats
+}
+
+// NewChooser gathers the statistics the cost model needs. Call before
+// resetting the ledger for measurements: the collection pass is offline
+// bookkeeping, not query work.
+func NewChooser(store *storage.Store) *Chooser {
+	return &Chooser{store: store, ds: store.CollectDocStats()}
+}
+
+// Choose picks the cheaper I/O-performing operator for the path and
+// returns the full cost breakdown.
+func (c *Chooser) Choose(path []xpath.Step) Choice {
+	m := c.store.Disk().Model()
+	n := c.ds.Pages
+	if n == 0 {
+		n = 1
+	}
+
+	touched := c.pagesTouched(path)
+	coverage := float64(touched) / float64(n)
+	span := int64(n)
+
+	// CPU per visited page: decoding into the swizzled image (one node
+	// visit per record) plus navigating the records once. The bulk loader
+	// packs ≈330 records into an 8 KiB page.
+	recsPerPage := stats.Ticks(330)
+	pageCPU := 2 * recsPerPage * m.CPUNodeVisit
+
+	// XSchedule: one reordered random access per touched cluster. The
+	// asynchronous queue lets the device choose among roughly
+	// queueDepth pending requests, dividing the average travel distance.
+	const queueDepth = 32
+	reordered := m.SeekCost(span/queueDepth) + m.Transfer
+	scheduleCost := stats.Ticks(touched) * (reordered + pageCPU)
+
+	// Simple: the same clusters, but accessed in encounter order with no
+	// overlap; average travel is a third of the span.
+	random := m.SeekCost(span/3) + m.Transfer
+	simpleCost := stats.Ticks(touched) * (random + pageCPU)
+
+	// XScan: every cluster once, sequentially, plus speculative work per
+	// border and step: each speculative instance crosses (on average half
+	// of) the XStep chain and touches the R/S structures.
+	perSpec := stats.Ticks(len(path))*m.CPUTupleMove/2 + 2*m.CPUNodeVisit + 2*m.CPUSetOp
+	specCount := int64(c.ds.Borders) * int64(len(path))
+	scanCost := stats.Ticks(n)*(m.Transfer+pageCPU) + stats.Ticks(specCount)*perSpec
+
+	choice := Choice{
+		Coverage: coverage,
+		Schedule: Estimate{Strategy: core.StrategySchedule, PagesTouched: touched, Cost: scheduleCost},
+		Scan:     Estimate{Strategy: core.StrategyScan, PagesTouched: n, Cost: scanCost},
+		Simple:   Estimate{Strategy: core.StrategySimple, PagesTouched: touched, Cost: simpleCost},
+	}
+	// The paper's finding: XSchedule always dominates Simple, so the real
+	// decision is schedule vs. scan.
+	if scanCost < scheduleCost {
+		choice.Strategy = core.StrategyScan
+	} else {
+		choice.Strategy = core.StrategySchedule
+	}
+	return choice
+}
+
+// pagesTouched estimates how many clusters the path evaluation must load.
+// It tracks the subtree coverage of the running context set (as a fraction
+// of all clusters): a recursive step must traverse that whole subtree,
+// while a non-recursive step only touches the clusters holding elements
+// matching its name test, bounded by the current coverage. Name tests
+// shrink the coverage to the tested tag's subtree footprint.
+func (c *Chooser) pagesTouched(path []xpath.Step) int {
+	n := float64(c.ds.Pages)
+	frac := 1.0 // subtree coverage of the current context set
+	touched := 1.0
+	for _, s := range path {
+		candidate := touched
+		switch s.Axis {
+		case xpath.Descendant, xpath.DescendantOrSelf:
+			candidate = frac * n
+		default:
+			if !s.Test.AnyName && s.Test.Kind == xpath.KindElement {
+				own := 0.0
+				for _, tag := range s.Test.Tags {
+					own += float64(c.ds.Tags[tag].Pages)
+				}
+				candidate = minf(own, frac*n)
+			}
+		}
+		if candidate > touched {
+			touched = candidate
+		}
+		// The context set narrows to nodes passing the test.
+		if !s.Test.AnyName && s.Test.Kind == xpath.KindElement {
+			sub := 0.0
+			for _, tag := range s.Test.Tags {
+				sub += float64(c.ds.Tags[tag].SubtreePages)
+			}
+			frac = minf(frac, sub/n)
+		}
+	}
+	if touched > n {
+		touched = n
+	}
+	if touched < 1 {
+		touched = 1
+	}
+	return int(touched + 0.5)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Build compiles the path with the chosen strategy — the convenience entry
+// point used by the pathdb facade.
+func (c *Chooser) Build(path []xpath.Step, contexts []storage.NodeID, opts core.PlanOptions) (*core.Plan, Choice) {
+	choice := c.Choose(path)
+	return core.BuildPlan(c.store, path, contexts, choice.Strategy, opts), choice
+}

@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"testing"
+
+	"pathdb/internal/core"
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmark"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xpath"
+)
+
+func xmarkStore(t testing.TB, sf float64) (*xmltree.Dictionary, *storage.Store) {
+	t.Helper()
+	dict := xmltree.NewDictionary()
+	doc := xmark.Generate(dict, xmark.Config{ScaleFactor: sf, Seed: 17, EntityScale: 0.02})
+	disk := vdisk.New(vdisk.DefaultCostModel(), stats.NewLedger(), 8192)
+	st, err := storage.Import(disk, dict, doc, storage.ImportOptions{
+		PageSize: 8192, Layout: storage.LayoutNatural, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dict, st
+}
+
+func TestChooserPicksScanForLowSelectivity(t *testing.T) {
+	dict, st := xmarkStore(t, 1)
+	ch := NewChooser(st)
+	// Q7-style: //description touches most of the document.
+	path := xpath.MustParse(dict, "/site//description").Simplify().Steps
+	choice := ch.Choose(path)
+	if choice.Strategy != core.StrategyScan {
+		t.Fatalf("want scan for //description, got %v (%v)", choice.Strategy, choice)
+	}
+	if choice.Coverage < 0.3 {
+		t.Fatalf("coverage estimate %v too low for //description", choice.Coverage)
+	}
+}
+
+func TestChooserPicksScheduleForHighSelectivity(t *testing.T) {
+	dict, st := xmarkStore(t, 1)
+	ch := NewChooser(st)
+	// Q15-style: a long selective child path.
+	path := xpath.MustParse(dict,
+		"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword").Steps
+	choice := ch.Choose(path)
+	if choice.Strategy != core.StrategySchedule {
+		t.Fatalf("want schedule for Q15, got %v (%v)", choice.Strategy, choice)
+	}
+}
+
+func TestChooserScheduleNeverWorseThanSimpleEstimate(t *testing.T) {
+	dict, st := xmarkStore(t, 0.5)
+	ch := NewChooser(st)
+	for _, src := range []string{"/site//item", "//keyword", "/site/people/person/emailaddress"} {
+		path := xpath.MustParse(dict, src).Simplify().Steps
+		choice := ch.Choose(path)
+		if choice.Schedule.Cost > choice.Simple.Cost {
+			t.Fatalf("%s: schedule estimate (%v) worse than simple (%v)", src, choice.Schedule.Cost, choice.Simple.Cost)
+		}
+	}
+}
+
+func TestChooserDecisionMatchesMeasurement(t *testing.T) {
+	// The chooser must agree with actual simulated cost on the paper's
+	// extreme queries (Q7-like scan win, Q15-like schedule win).
+	dict, st := xmarkStore(t, 1)
+	ch := NewChooser(st)
+	st.SetBufferCapacity(64)
+
+	queries := []string{
+		"/site//description",
+		"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
+	}
+	for _, src := range queries {
+		path := xpath.MustParse(dict, src).Simplify().Steps
+		choice := ch.Choose(path)
+
+		measure := func(s core.Strategy) stats.Ticks {
+			st.ResetForRun()
+			core.BuildPlan(st, path, []storage.NodeID{st.Root()}, s, core.PlanOptions{}).Count()
+			return st.Ledger().Total()
+		}
+		sched := measure(core.StrategySchedule)
+		scan := measure(core.StrategyScan)
+		var fasterIs core.Strategy
+		if scan < sched {
+			fasterIs = core.StrategyScan
+		} else {
+			fasterIs = core.StrategySchedule
+		}
+		if choice.Strategy != fasterIs {
+			t.Errorf("%s: chooser picked %v but %v measured faster (sched=%v scan=%v)",
+				src, choice.Strategy, fasterIs, sched, scan)
+		}
+	}
+}
+
+func TestBuildReturnsRunnablePlan(t *testing.T) {
+	dict, st := xmarkStore(t, 0.5)
+	ch := NewChooser(st)
+	path := xpath.MustParse(dict, "/site//item").Simplify().Steps
+	st.ResetForRun()
+	p, choice := ch.Build(path, []storage.NodeID{st.Root()}, core.PlanOptions{})
+	if p.Strategy != choice.Strategy {
+		t.Fatal("plan strategy mismatch")
+	}
+	if n := p.Count(); n == 0 {
+		t.Fatal("plan returned no items")
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	dict, st := xmarkStore(t, 0.2)
+	ch := NewChooser(st)
+	choice := ch.Choose(xpath.MustParse(dict, "//keyword").Simplify().Steps)
+	if choice.String() == "" {
+		t.Fatal("empty choice string")
+	}
+}

@@ -1,0 +1,193 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the repository.
+//
+// Reproducibility is a hard requirement for this project: the XMark-shaped
+// document generator, the fragmented storage layouts and the benchmark
+// harness must all produce bit-identical output for a given seed so that
+// experiments can be compared across runs and machines. The standard
+// library's math/rand does not guarantee a stable stream across Go
+// releases, so we implement our own generator.
+//
+// The core generator is splitmix64 (Steele, Lea, Flood: "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014), a tiny, full-period,
+// statistically solid 64-bit generator that is trivially seedable and
+// splittable.
+package rng
+
+// RNG is a deterministic 64-bit pseudo-random number generator.
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split returns a new generator whose stream is independent of r's.
+// It advances r once.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform value in [lo, hi]. It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits, the usual construction.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It is used to model skewed sizes (e.g. text block lengths).
+func (r *RNG) Exp(mean float64) float64 {
+	// Inverse transform sampling; guard against log(0).
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-18
+	}
+	return -mean * ln(1-u)
+}
+
+// ln is a minimal natural-log implementation so the package stays free of
+// math imports in hot paths; accuracy is more than sufficient for sampling.
+func ln(x float64) float64 {
+	// Use the identity ln(x) = 2*atanh((x-1)/(x+1)) with a short series,
+	// after range reduction by powers of 2.
+	if x <= 0 {
+		return -1e308
+	}
+	k := 0
+	for x > 1.5 {
+		x /= 2
+		k++
+	}
+	for x < 0.75 {
+		x *= 2
+		k--
+	}
+	y := (x - 1) / (x + 1)
+	y2 := y * y
+	s := y * (1 + y2*(1.0/3+y2*(1.0/5+y2*(1.0/7+y2*(1.0/9+y2/11)))))
+	const ln2 = 0.6931471805599453
+	return 2*s + float64(k)*ln2
+}
+
+// Zipf samples from a Zipf-like distribution over [0, n) with skew s >= 0.
+// s == 0 degenerates to uniform. Sampling is by inverse CDF over
+// precomputed weights; use NewZipf for repeated draws.
+type Zipf struct {
+	cdf []float64
+	r   *RNG
+}
+
+// NewZipf prepares a Zipf sampler over n ranks with exponent s.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / pow(float64(i+1), s)
+		sum += w
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns the next rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow computes x**y for x > 0 via exp(y*ln(x)) with a small exp series.
+func pow(x, y float64) float64 {
+	if y == 0 {
+		return 1
+	}
+	return exp(y * ln(x))
+}
+
+func exp(x float64) float64 {
+	// Range-reduce by ln2, then a 10-term Taylor series.
+	const ln2 = 0.6931471805599453
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	k := int(x / ln2)
+	x -= float64(k) * ln2
+	s, term := 1.0, 1.0
+	for i := 1; i <= 12; i++ {
+		term *= x / float64(i)
+		s += term
+	}
+	for i := 0; i < k; i++ {
+		s *= 2
+	}
+	if neg {
+		return 1 / s
+	}
+	return s
+}

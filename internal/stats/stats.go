@@ -1,0 +1,159 @@
+// Package stats provides the virtual clock and the cost ledger shared by
+// the storage, buffer and algebra layers.
+//
+// The paper's evaluation reports total execution time and CPU time of plans
+// running against a real disk (Linux, O_DIRECT). We do not have the authors'
+// testbed, so the repository runs against a simulated disk with a calibrated
+// cost model (package vdisk). All layers charge their work to a single
+// Ledger in virtual nanoseconds: CPU work advances the clock directly, I/O
+// completions advance it when the query has to block, and asynchronous I/O
+// that finishes while the CPU is busy costs no wall time at all — exactly
+// the overlap effect the XSchedule operator exploits (Sec. 3.7, 5.3.4).
+package stats
+
+import "fmt"
+
+// Ticks is a duration or instant in virtual nanoseconds.
+type Ticks int64
+
+// Common tick units.
+const (
+	Nanosecond  Ticks = 1
+	Microsecond Ticks = 1000
+	Millisecond Ticks = 1000 * 1000
+	Second      Ticks = 1000 * 1000 * 1000
+)
+
+// Seconds converts ticks to float seconds (for reporting).
+func (t Ticks) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders ticks with an adaptive unit.
+func (t Ticks) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Counters aggregates event counts from all layers.
+type Counters struct {
+	PageReads    int64 // pages transferred from disk
+	SeqPageReads int64 // of which sequential (scan) reads
+	PageWrites   int64
+	Seeks        int64 // repositioning operations
+	SeekDistance int64 // total page distance sought across
+
+	BufferHits   int64
+	BufferMisses int64
+	HashLookups  int64 // buffer-manager hash-table probes
+	Evictions    int64
+
+	Swizzles   int64 // NodeID -> pointer conversions
+	Unswizzles int64 // pointer -> NodeID conversions
+
+	NodesVisited int64 // navigation primitive node touches
+	TuplesMoved  int64 // path instances passed between operators
+	SetInserts   int64 // R/S set maintenance
+	SetLookups   int64
+
+	AsyncSubmitted int64
+	AsyncCompleted int64
+
+	ClustersVisited int64 // distinct cluster activations by I/O operators
+	SpecInstances   int64 // speculative left-incomplete instances created
+	FallbackEvents  int64 // low-memory fallback activations
+}
+
+// Ledger is the virtual clock plus counters. It is not safe for concurrent
+// use; each query evaluation owns one.
+type Ledger struct {
+	Now    Ticks // current virtual time
+	CPU    Ticks // total CPU ticks charged
+	IOWait Ticks // total time spent blocked on I/O
+	Counters
+}
+
+// NewLedger returns a zeroed ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// AdvanceCPU charges t ticks of CPU work, advancing the clock.
+func (l *Ledger) AdvanceCPU(t Ticks) {
+	if t < 0 {
+		panic("stats: negative CPU charge")
+	}
+	l.Now += t
+	l.CPU += t
+}
+
+// BlockUntil advances the clock to at least t, accounting the gap as I/O
+// wait. A t in the past is a no-op (the I/O had already completed while the
+// CPU was busy).
+func (l *Ledger) BlockUntil(t Ticks) {
+	if t <= l.Now {
+		return
+	}
+	l.IOWait += t - l.Now
+	l.Now = t
+}
+
+// Total returns the total elapsed virtual time.
+func (l *Ledger) Total() Ticks { return l.Now }
+
+// CPUFraction returns CPU/Total, or 0 for an empty ledger.
+func (l *Ledger) CPUFraction() float64 {
+	if l.Now == 0 {
+		return 0
+	}
+	return float64(l.CPU) / float64(l.Now)
+}
+
+// Reset zeroes the ledger for reuse.
+func (l *Ledger) Reset() { *l = Ledger{} }
+
+// Snapshot returns a copy of the ledger's current state.
+func (l *Ledger) Snapshot() Ledger { return *l }
+
+// Sub returns the difference l - base, for measuring a phase that started at
+// the base snapshot.
+func (l *Ledger) Sub(base Ledger) Ledger {
+	d := *l
+	d.Now -= base.Now
+	d.CPU -= base.CPU
+	d.IOWait -= base.IOWait
+	d.PageReads -= base.PageReads
+	d.SeqPageReads -= base.SeqPageReads
+	d.PageWrites -= base.PageWrites
+	d.Seeks -= base.Seeks
+	d.SeekDistance -= base.SeekDistance
+	d.BufferHits -= base.BufferHits
+	d.BufferMisses -= base.BufferMisses
+	d.HashLookups -= base.HashLookups
+	d.Evictions -= base.Evictions
+	d.Swizzles -= base.Swizzles
+	d.Unswizzles -= base.Unswizzles
+	d.NodesVisited -= base.NodesVisited
+	d.TuplesMoved -= base.TuplesMoved
+	d.SetInserts -= base.SetInserts
+	d.SetLookups -= base.SetLookups
+	d.AsyncSubmitted -= base.AsyncSubmitted
+	d.AsyncCompleted -= base.AsyncCompleted
+	d.ClustersVisited -= base.ClustersVisited
+	d.SpecInstances -= base.SpecInstances
+	d.FallbackEvents -= base.FallbackEvents
+	return d
+}
+
+// String summarizes the ledger for logs and the cost report of cmd/xpathq.
+func (l *Ledger) String() string {
+	return fmt.Sprintf(
+		"total=%v cpu=%v (%.0f%%) iowait=%v reads=%d (seq=%d) seeks=%d dist=%d hits=%d misses=%d spec=%d",
+		l.Now, l.CPU, 100*l.CPUFraction(), l.IOWait,
+		l.PageReads, l.SeqPageReads, l.Seeks, l.SeekDistance,
+		l.BufferHits, l.BufferMisses, l.SpecInstances)
+}

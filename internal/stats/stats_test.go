@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdvanceCPU(t *testing.T) {
+	l := NewLedger()
+	l.AdvanceCPU(5 * Millisecond)
+	if l.Now != 5*Millisecond || l.CPU != 5*Millisecond {
+		t.Fatalf("ledger = %+v", l)
+	}
+	if l.IOWait != 0 {
+		t.Fatal("CPU work must not add IOWait")
+	}
+}
+
+func TestAdvanceCPUNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLedger().AdvanceCPU(-1)
+}
+
+func TestBlockUntil(t *testing.T) {
+	l := NewLedger()
+	l.AdvanceCPU(2 * Millisecond)
+	l.BlockUntil(10 * Millisecond)
+	if l.Now != 10*Millisecond {
+		t.Fatalf("Now = %v", l.Now)
+	}
+	if l.IOWait != 8*Millisecond {
+		t.Fatalf("IOWait = %v", l.IOWait)
+	}
+	// Blocking on a past instant is free (overlapped I/O).
+	l.BlockUntil(3 * Millisecond)
+	if l.Now != 10*Millisecond || l.IOWait != 8*Millisecond {
+		t.Fatal("past BlockUntil changed the clock")
+	}
+}
+
+func TestCPUFraction(t *testing.T) {
+	l := NewLedger()
+	if l.CPUFraction() != 0 {
+		t.Fatal("empty ledger fraction != 0")
+	}
+	l.AdvanceCPU(1 * Second)
+	l.BlockUntil(4 * Second)
+	if f := l.CPUFraction(); f != 0.25 {
+		t.Fatalf("fraction = %v, want 0.25", f)
+	}
+}
+
+func TestSub(t *testing.T) {
+	l := NewLedger()
+	l.AdvanceCPU(Second)
+	l.PageReads = 10
+	base := l.Snapshot()
+	l.AdvanceCPU(Second)
+	l.BlockUntil(5 * Second)
+	l.PageReads = 17
+	d := l.Sub(base)
+	if d.CPU != Second || d.Now != 4*Second || d.PageReads != 7 {
+		t.Fatalf("diff = now=%v cpu=%v reads=%d", d.Now, d.CPU, d.PageReads)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLedger()
+	l.AdvanceCPU(Second)
+	l.Seeks = 3
+	l.Reset()
+	if l.Now != 0 || l.Seeks != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestTicksString(t *testing.T) {
+	cases := map[Ticks]string{
+		500:               "500ns",
+		2 * Microsecond:   "2.000µs",
+		3 * Millisecond:   "3.000ms",
+		Second + Second/2: "1.500s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestTicksSeconds(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2.0 {
+		t.Fatalf("Seconds = %v", s)
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	l := NewLedger()
+	l.AdvanceCPU(Second)
+	if s := l.String(); !strings.Contains(s, "cpu=1.000s") {
+		t.Fatalf("String = %q", s)
+	}
+}

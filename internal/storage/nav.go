@@ -1,0 +1,299 @@
+package storage
+
+import (
+	"fmt"
+
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xpath"
+)
+
+// StepIter enumerates, one node at a time, the result of applying a single
+// location step to a context cursor using intra-cluster navigation only —
+// the navigational primitive of Sec. 3.5. Core nodes are filtered through
+// the step's node test; border nodes encountered during the enumeration
+// are returned as-is (the caller defers the crossing), implementing the
+// two cases of the XStep algorithm (Sec. 5.3.2.2).
+//
+// The context may itself be a border node, in which case the iterator
+// performs the *continuation* of an interrupted enumeration on the far
+// side of the border. The continuation semantics dispatch on the border
+// kind: a ProxyParent continues a downward crossing (child/descendant/
+// sibling arrival), a ProxyChild continues an upward crossing (parent/
+// ancestor/sibling departure).
+type StepIter struct {
+	st  *Store
+	img *pageImage
+
+	axis xpath.Axis
+	test xpath.NodeTest
+
+	mode     iterMode
+	slots    []uint16 // list mode candidates / DFS stack
+	pos      int      // list mode position
+	rev      bool     // list mode: iterate in reverse
+	up       int      // up mode: next slot, -1 when done
+	attrs    int      // attr mode position / context attribute index
+	slot     uint16   // context slot (attr modes)
+	selfAttr bool     // emit the context attribute itself first
+	done     bool
+}
+
+type iterMode uint8
+
+const (
+	modeDone iterMode = iota
+	modeSingle
+	modeList
+	modeDFS
+	modeUp
+	modeAttrs
+)
+
+// Step starts the enumeration of one location step from ctx.
+func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter {
+	it := &StepIter{st: s, img: ctx.img, axis: axis, test: test, slot: ctx.slot}
+	r := ctx.rec()
+
+	if ctx.attr >= 0 {
+		// From an attribute node only self, parent and the ancestor axes
+		// are meaningful (attributes have no children or siblings in the
+		// XPath data model).
+		switch axis {
+		case xpath.Self:
+			it.selfAttr = true
+			it.attrs = ctx.attr
+			it.mode = modeDone
+		case xpath.AncestorOrSelf:
+			it.selfAttr = true
+			it.attrs = ctx.attr
+			it.mode = modeUp
+			it.up = int(ctx.slot)
+		case xpath.Parent:
+			it.mode = modeSingle
+			it.slots = []uint16{ctx.slot}
+		case xpath.Ancestor:
+			it.mode = modeUp
+			it.up = int(ctx.slot)
+		default:
+			it.mode = modeDone
+		}
+		return it
+	}
+
+	switch r.kind {
+	case RecProxyParent:
+		// Downward continuation: everything below this anchor belongs to
+		// the interrupted enumeration.
+		switch axis {
+		case xpath.Child, xpath.FollowingSibling, xpath.PrecedingSibling:
+			it.mode = modeList
+			it.slots = r.children
+			it.rev = axis == xpath.PrecedingSibling
+		case xpath.Descendant, xpath.DescendantOrSelf:
+			it.mode = modeDFS
+			it.slots = reversedCopy(r.children)
+		default:
+			it.mode = modeDone
+		}
+	case RecProxyChild:
+		// Upward continuation.
+		switch axis {
+		case xpath.Parent:
+			it.mode = modeSingle
+			if r.parent == noParent {
+				it.mode = modeDone
+			} else {
+				it.slots = []uint16{uint16(r.parent)}
+			}
+		case xpath.Ancestor, xpath.AncestorOrSelf:
+			it.mode = modeUp
+			it.up = r.parent
+		case xpath.FollowingSibling, xpath.PrecedingSibling:
+			it.initSiblings(r)
+		default:
+			it.mode = modeDone
+		}
+	default: // core node
+		switch axis {
+		case xpath.Self:
+			it.mode = modeSingle
+			it.slots = []uint16{ctx.slot}
+		case xpath.Child:
+			it.mode = modeList
+			it.slots = r.children
+		case xpath.Descendant:
+			it.mode = modeDFS
+			it.slots = reversedCopy(r.children)
+		case xpath.DescendantOrSelf:
+			it.mode = modeDFS
+			it.slots = []uint16{ctx.slot}
+		case xpath.Parent:
+			it.mode = modeSingle
+			if r.parent == noParent {
+				it.mode = modeDone
+			} else {
+				it.slots = []uint16{uint16(r.parent)}
+			}
+		case xpath.Ancestor:
+			it.mode = modeUp
+			it.up = r.parent
+		case xpath.AncestorOrSelf:
+			it.mode = modeUp
+			it.up = int(ctx.slot)
+		case xpath.FollowingSibling, xpath.PrecedingSibling:
+			it.initSiblings(r)
+		case xpath.AttributeAxis:
+			if r.kind == RecElem && len(r.attrs) > 0 {
+				it.mode = modeAttrs
+			} else {
+				it.mode = modeDone
+			}
+		default:
+			panic(fmt.Sprintf("storage: unsupported axis %v", axis))
+		}
+	}
+	return it
+}
+
+// initSiblings prepares sibling iteration for the record r at it.slot:
+// the candidates are the parent's other children after (or before,
+// reversed) r's own position.
+func (it *StepIter) initSiblings(r *rec) {
+	if r.parent == noParent {
+		it.mode = modeDone
+		return
+	}
+	sibs := it.img.recs[r.parent].children
+	idx := -1
+	for i, s := range sibs {
+		if s == it.slot {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("storage: node missing from its parent's child list")
+	}
+	it.mode = modeList
+	if it.axis == xpath.FollowingSibling {
+		it.slots = sibs[idx+1:]
+	} else {
+		it.slots = sibs[:idx]
+		it.rev = true
+	}
+	// A fragment root's remaining siblings live across the border: its
+	// physical parent is the ProxyParent anchor, which the list walk will
+	// not surface by itself — the anchor *is* the border to emit, so
+	// append it as a final candidate.
+	if it.img.recs[r.parent].kind == RecProxyParent {
+		appended := make([]uint16, 0, len(it.slots)+1)
+		if it.rev {
+			// Reverse iteration visits it last if placed first.
+			appended = append(appended, uint16(r.parent))
+			appended = append(appended, it.slots...)
+		} else {
+			appended = append(appended, it.slots...)
+			appended = append(appended, uint16(r.parent))
+		}
+		it.slots = appended
+	}
+}
+
+// Next returns the next step result. Border nodes are returned untested;
+// core nodes are filtered through the node test. ok is false at the end.
+func (it *StepIter) Next() (Cursor, bool) {
+	led := it.st.led
+	visit := it.st.model.CPUNodeVisit
+	if it.selfAttr {
+		it.selfAttr = false
+		led.NodesVisited++
+		led.AdvanceCPU(visit)
+		r := &it.img.recs[it.slot]
+		if it.test.Matches(xmltree.Attribute, r.attrs[it.attrs].tag) {
+			return Cursor{st: it.st, img: it.img, page: it.img.page, slot: it.slot, attr: it.attrs}, true
+		}
+	}
+	for {
+		var slot int
+		switch it.mode {
+		case modeDone:
+			return Cursor{}, false
+
+		case modeSingle:
+			if it.done {
+				return Cursor{}, false
+			}
+			it.done = true
+			slot = int(it.slots[0])
+
+		case modeList:
+			if it.pos >= len(it.slots) {
+				return Cursor{}, false
+			}
+			if it.rev {
+				slot = int(it.slots[len(it.slots)-1-it.pos])
+			} else {
+				slot = int(it.slots[it.pos])
+			}
+			it.pos++
+
+		case modeDFS:
+			if len(it.slots) == 0 {
+				return Cursor{}, false
+			}
+			slot = int(it.slots[len(it.slots)-1])
+			it.slots = it.slots[:len(it.slots)-1]
+			// Descend: children pushed in reverse for document order.
+			kids := it.img.recs[slot].children
+			for i := len(kids) - 1; i >= 0; i-- {
+				it.slots = append(it.slots, kids[i])
+			}
+
+		case modeUp:
+			if it.up == noParent {
+				return Cursor{}, false
+			}
+			slot = it.up
+			it.up = it.img.recs[slot].parent
+			if it.img.recs[slot].kind == RecProxyParent {
+				it.up = noParent // border ends the intra-cluster chain
+			}
+
+		case modeAttrs:
+			r := &it.img.recs[it.slot]
+			if it.attrs >= len(r.attrs) {
+				return Cursor{}, false
+			}
+			led.NodesVisited++
+			led.AdvanceCPU(visit)
+			a := it.attrs
+			it.attrs++
+			if !it.test.Matches(xmltree.Attribute, r.attrs[a].tag) {
+				continue
+			}
+			return Cursor{st: it.st, img: it.img, page: it.img.page, slot: it.slot, attr: a}, true
+		}
+
+		led.NodesVisited++
+		led.AdvanceCPU(visit)
+		r := &it.img.recs[slot]
+		if r.kind.IsProxy() {
+			return it.cursor(uint16(slot)), true
+		}
+		if it.test.Matches(r.kind.LogicalKind(), r.tag) {
+			return it.cursor(uint16(slot)), true
+		}
+	}
+}
+
+func (it *StepIter) cursor(slot uint16) Cursor {
+	return Cursor{st: it.st, img: it.img, page: it.img.page, slot: slot, attr: -1}
+}
+
+func reversedCopy(s []uint16) []uint16 {
+	out := make([]uint16, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package storage implements the paged tree storage engine underneath the
+// path algebra: slotted pages holding node records, subtree partitioning
+// into clusters with explicit border (proxy) nodes at inter-cluster edges
+// (Sec. 3.2–3.4 of the paper), NodeIDs from which the owning cluster is
+// derivable, swizzled in-memory page images (Sec. 3.6), and the
+// intra-cluster navigation primitives the XStep operator requires
+// (Sec. 3.5).
+package storage
+
+import (
+	"fmt"
+
+	"pathdb/internal/vdisk"
+)
+
+// NodeID identifies a stored node: a record ID in the classic
+// (page, slot) form of Example 2, plus an attribute index so attribute
+// nodes, which live inside their element's record, are addressable too.
+//
+// Layout: page (32 bits) | slot (16 bits) | attr (16 bits), where attr 0
+// addresses the record itself and attr i addresses attribute i-1.
+//
+// The cluster a node belongs to is its page — exactly the "cluster
+// deducible from the NodeID" requirement of Sec. 3.3.
+type NodeID uint64
+
+// InvalidNodeID is the nil NodeID.
+const InvalidNodeID NodeID = ^NodeID(0)
+
+// MakeNodeID builds the NodeID of the record at (page, slot).
+func MakeNodeID(page vdisk.PageID, slot uint16) NodeID {
+	return NodeID(uint64(page)<<32 | uint64(slot)<<16)
+}
+
+// Page returns the page (= cluster) component.
+func (id NodeID) Page() vdisk.PageID { return vdisk.PageID(id >> 32) }
+
+// Slot returns the slot component.
+func (id NodeID) Slot() uint16 { return uint16(id >> 16) }
+
+// AttrIndex returns the attribute index and whether the id addresses an
+// attribute node.
+func (id NodeID) AttrIndex() (int, bool) {
+	a := uint16(id)
+	if a == 0 {
+		return 0, false
+	}
+	return int(a) - 1, true
+}
+
+// WithAttr returns the NodeID of the i-th attribute of this record.
+func (id NodeID) WithAttr(i int) NodeID {
+	return id&^NodeID(0xFFFF) | NodeID(uint16(i)+1)
+}
+
+// WithoutAttr strips the attribute component.
+func (id NodeID) WithoutAttr() NodeID { return id &^ NodeID(0xFFFF) }
+
+// String renders the id as page.slot[@attr].
+func (id NodeID) String() string {
+	if id == InvalidNodeID {
+		return "invalid"
+	}
+	if a, ok := id.AttrIndex(); ok {
+		return fmt.Sprintf("%d.%d@%d", id.Page(), id.Slot(), a)
+	}
+	return fmt.Sprintf("%d.%d", id.Page(), id.Slot())
+}

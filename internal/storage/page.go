@@ -1,0 +1,479 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pathdb/internal/ordpath"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmltree"
+)
+
+// RecKind classifies physical records. Core kinds mirror logical node
+// kinds; the two proxy kinds are the paper's border nodes (Sec. 3.4): a
+// ProxyChild sits where an edge leaves its cluster downward, a ProxyParent
+// anchors a cluster's fragment and points back up. Each stores the NodeID
+// of its companion, realising the target() operation.
+type RecKind uint8
+
+// Record kinds.
+const (
+	RecDoc RecKind = iota
+	RecElem
+	RecText
+	RecComment
+	RecPI
+	RecProxyChild
+	RecProxyParent
+)
+
+// String returns a readable kind name.
+func (k RecKind) String() string {
+	switch k {
+	case RecDoc:
+		return "doc"
+	case RecElem:
+		return "elem"
+	case RecText:
+		return "text"
+	case RecComment:
+		return "comment"
+	case RecPI:
+		return "pi"
+	case RecProxyChild:
+		return "proxy-child"
+	case RecProxyParent:
+		return "proxy-parent"
+	default:
+		return fmt.Sprintf("rec(%d)", uint8(k))
+	}
+}
+
+// IsProxy reports whether the kind is a border node kind.
+func (k RecKind) IsProxy() bool { return k == RecProxyChild || k == RecProxyParent }
+
+// LogicalKind maps a core record kind to the logical node kind.
+func (k RecKind) LogicalKind() xmltree.Kind {
+	switch k {
+	case RecDoc:
+		return xmltree.Document
+	case RecElem:
+		return xmltree.Element
+	case RecText:
+		return xmltree.Text
+	case RecComment:
+		return xmltree.Comment
+	case RecPI:
+		return xmltree.ProcInst
+	default:
+		panic("storage: LogicalKind of proxy record")
+	}
+}
+
+const noParent = -1
+
+// attrRec is an attribute stored inline in its element's record.
+type attrRec struct {
+	tag xmltree.TagID
+	val string
+}
+
+// rec is the decoded form of one record.
+type rec struct {
+	kind   RecKind
+	parent int // slot of physical parent, noParent for fragment roots
+	tag    xmltree.TagID
+	text   string
+	ord    ordpath.Key
+	target NodeID // proxies: companion border node
+	attrs  []attrRec
+
+	dead     bool     // tombstoned slot (deleted record)
+	children []uint16 // derived at decode: live slots with parent == this slot
+}
+
+// deadSlotOff marks a tombstoned slot in the on-page slot table. Page
+// sizes are limited to 32 KiB so the sentinel cannot collide with a real
+// record offset.
+const deadSlotOff = 0xFFFF
+
+// MaxPageSize bounds page sizes (slot offsets are uint16 with a sentinel).
+const MaxPageSize = 32768
+
+// pageImage is the swizzled (decoded, directly navigable) representation of
+// one page — the object-buffer side of the dual-buffer scheme of Sec. 3.6.
+type pageImage struct {
+	page    vdisk.PageID
+	recs    []rec
+	borders []uint16 // slots of proxy records, for XScan's speculation
+}
+
+// --- binary encoding -------------------------------------------------------
+//
+// Page layout:
+//
+//	[0:2)  numSlots (uint16)
+//	[2:4)  free-space offset (uint16)
+//	[4:…)  record data, append-only
+//	[cap-2*numSlots : cap) slot table, slot i at cap-2*(i+1), value = record
+//	                        offset
+//
+// Record encoding: kind (1 byte), parent slot + 1 as uvarint (0 = none),
+// then kind-specific payload (see encodeRec).
+
+const pageHeaderSize = 4
+
+// pageBuilder assembles a page image for writing.
+type pageBuilder struct {
+	cap   int
+	data  []byte
+	slots []uint16
+}
+
+func newPageBuilder(pageSize int) *pageBuilder {
+	b := &pageBuilder{cap: pageSize, data: make([]byte, pageHeaderSize, pageSize)}
+	return b
+}
+
+// used returns consumed bytes including header and slot table.
+func (b *pageBuilder) used() int { return len(b.data) + 2*len(b.slots) }
+
+// free returns remaining bytes.
+func (b *pageBuilder) free() int { return b.cap - b.used() }
+
+// add appends an encoded record, returning its slot. It panics if the
+// record does not fit; callers check sizes via encodedSize first.
+func (b *pageBuilder) add(encoded []byte) uint16 {
+	if len(encoded)+2 > b.free() {
+		panic("storage: record does not fit in page")
+	}
+	off := len(b.data)
+	b.data = append(b.data, encoded...)
+	b.slots = append(b.slots, uint16(off))
+	return uint16(len(b.slots) - 1)
+}
+
+// finish serializes the page into a buffer of pageSize bytes.
+func (b *pageBuilder) finish() []byte {
+	out := make([]byte, b.cap)
+	binary.LittleEndian.PutUint16(out[0:2], uint16(len(b.slots)))
+	binary.LittleEndian.PutUint16(out[2:4], uint16(len(b.data)))
+	copy(out[pageHeaderSize:], b.data[pageHeaderSize:])
+	for i, off := range b.slots {
+		binary.LittleEndian.PutUint16(out[b.cap-2*(i+1):], off)
+	}
+	return out
+}
+
+// appendUvarint appends v in LEB128.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// encodeRec serializes r (children are not stored; they are derived from
+// parent pointers at decode time, which keeps record sizes fixed once
+// written).
+func encodeRec(r *rec) []byte {
+	out := make([]byte, 0, encodedSize(r))
+	out = append(out, byte(r.kind))
+	out = appendUvarint(out, uint64(r.parent+1))
+	switch r.kind {
+	case RecDoc:
+		// Nothing further.
+	case RecElem:
+		out = appendUvarint(out, uint64(r.tag))
+		out = appendBytes(out, r.ord)
+		out = appendUvarint(out, uint64(len(r.attrs)))
+		for _, a := range r.attrs {
+			out = appendUvarint(out, uint64(a.tag))
+			out = appendString(out, a.val)
+		}
+	case RecText, RecComment, RecPI:
+		out = appendBytes(out, r.ord)
+		out = appendString(out, r.text)
+	case RecProxyChild:
+		// The ord key of the far fragment's first node positions the
+		// proxy within its parent's child list, so document order
+		// survives updates that insert siblings out of slot order.
+		out = appendBytes(out, r.ord)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.target))
+		out = append(out, buf[:]...)
+	case RecProxyParent:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.target))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// encodedSize returns the exact byte size encodeRec will produce.
+func encodedSize(r *rec) int {
+	n := 1 + uvarintLen(uint64(r.parent+1))
+	switch r.kind {
+	case RecDoc:
+	case RecElem:
+		n += uvarintLen(uint64(r.tag))
+		n += uvarintLen(uint64(len(r.ord))) + len(r.ord)
+		n += uvarintLen(uint64(len(r.attrs)))
+		for _, a := range r.attrs {
+			n += uvarintLen(uint64(a.tag))
+			n += uvarintLen(uint64(len(a.val))) + len(a.val)
+		}
+	case RecText, RecComment, RecPI:
+		n += uvarintLen(uint64(len(r.ord))) + len(r.ord)
+		n += uvarintLen(uint64(len(r.text))) + len(r.text)
+	case RecProxyChild:
+		n += uvarintLen(uint64(len(r.ord))) + len(r.ord)
+		n += 8
+	case RecProxyParent:
+		n += 8
+	}
+	return n
+}
+
+// corruptError describes a malformed page.
+type corruptError struct {
+	page vdisk.PageID
+	msg  string
+}
+
+func (e *corruptError) Error() string {
+	return fmt.Sprintf("storage: page %d corrupt: %s", e.page, e.msg)
+}
+
+// decodePage parses raw page bytes into a pageImage.
+func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error) {
+	if len(raw) < pageHeaderSize {
+		return nil, &corruptError{page, "short page"}
+	}
+	n := int(binary.LittleEndian.Uint16(raw[0:2]))
+	if pageSize-2*n < pageHeaderSize {
+		return nil, &corruptError{page, "slot table overlaps header"}
+	}
+	img := &pageImage{page: page, recs: make([]rec, n)}
+	for i := 0; i < n; i++ {
+		off := int(binary.LittleEndian.Uint16(raw[pageSize-2*(i+1):]))
+		if off == deadSlotOff {
+			img.recs[i].dead = true
+			continue
+		}
+		if off < pageHeaderSize || off >= pageSize {
+			return nil, &corruptError{page, fmt.Sprintf("slot %d offset %d out of range", i, off)}
+		}
+		if err := decodeRec(&img.recs[i], raw[off:]); err != nil {
+			return nil, &corruptError{page, fmt.Sprintf("slot %d: %v", i, err)}
+		}
+	}
+	// Derive children lists and the border index, then order siblings by
+	// their document-order keys: the initial bulk load allocates slots in
+	// DFS order, but updates may insert out of slot order.
+	for i := 0; i < n; i++ {
+		r := &img.recs[i]
+		if r.dead {
+			continue
+		}
+		if r.parent != noParent {
+			if r.parent < 0 || r.parent >= n || img.recs[r.parent].dead {
+				return nil, &corruptError{page, fmt.Sprintf("slot %d: bad parent %d", i, r.parent)}
+			}
+			p := &img.recs[r.parent]
+			p.children = append(p.children, uint16(i))
+		}
+		if r.kind.IsProxy() {
+			img.borders = append(img.borders, uint16(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		kids := img.recs[i].children
+		if len(kids) > 1 {
+			sort.SliceStable(kids, func(a, b int) bool {
+				return ordpath.Compare(img.recs[kids[a]].ord, img.recs[kids[b]].ord) < 0
+			})
+		}
+	}
+	return img, nil
+}
+
+// encodePageImage serializes live records back to a page, preserving slot
+// numbers (NodeIDs embed them) and tombstoning dead slots. Trailing dead
+// slots are truncated so their numbers become reusable.
+func encodePageImage(img *pageImage, pageSize int) ([]byte, error) {
+	n := len(img.recs)
+	for n > 0 && img.recs[n-1].dead {
+		n--
+	}
+	out := make([]byte, pageSize)
+	dataOff := pageHeaderSize
+	for i := 0; i < n; i++ {
+		slotPos := pageSize - 2*(i+1)
+		if img.recs[i].dead {
+			binary.LittleEndian.PutUint16(out[slotPos:], deadSlotOff)
+			continue
+		}
+		enc := encodeRec(&img.recs[i])
+		if dataOff+len(enc) > pageSize-2*n {
+			return nil, &corruptError{img.page, "page overflow during rewrite"}
+		}
+		copy(out[dataOff:], enc)
+		binary.LittleEndian.PutUint16(out[slotPos:], uint16(dataOff))
+		dataOff += len(enc)
+	}
+	binary.LittleEndian.PutUint16(out[0:2], uint16(n))
+	binary.LittleEndian.PutUint16(out[2:4], uint16(dataOff))
+	return out, nil
+}
+
+// pageUsage returns the bytes consumed by live records plus slot table and
+// header, i.e. the fit check for in-page inserts.
+func pageUsage(img *pageImage) int {
+	n := len(img.recs)
+	for n > 0 && img.recs[n-1].dead {
+		n--
+	}
+	used := pageHeaderSize + 2*n
+	for i := 0; i < n; i++ {
+		if !img.recs[i].dead {
+			used += encodedSize(&img.recs[i])
+		}
+	}
+	return used
+}
+
+type decodeCursor struct {
+	b []byte
+	i int
+}
+
+func (d *decodeCursor) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for ; d.i < len(d.b); d.i++ {
+		c := d.b[d.i]
+		if c < 0x80 {
+			if shift > 63 {
+				return 0, fmt.Errorf("uvarint overflow")
+			}
+			d.i++
+			return v | uint64(c)<<shift, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+		if shift > 63 {
+			return 0, fmt.Errorf("uvarint overflow")
+		}
+	}
+	return 0, fmt.Errorf("truncated uvarint")
+}
+
+func (d *decodeCursor) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if d.i+int(n) > len(d.b) {
+		return nil, fmt.Errorf("truncated bytes field")
+	}
+	out := d.b[d.i : d.i+int(n)]
+	d.i += int(n)
+	return out, nil
+}
+
+func decodeRec(r *rec, raw []byte) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	d := &decodeCursor{b: raw, i: 1}
+	r.kind = RecKind(raw[0])
+	r.tag = xmltree.NoTag
+	p, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	r.parent = int(p) - 1
+	switch r.kind {
+	case RecDoc:
+	case RecElem:
+		tag, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		r.tag = xmltree.TagID(tag)
+		ord, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		r.ord = ordpath.Key(append([]byte(nil), ord...))
+		na, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if na > 0 {
+			r.attrs = make([]attrRec, na)
+			for i := range r.attrs {
+				at, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				v, err := d.bytes()
+				if err != nil {
+					return err
+				}
+				r.attrs[i] = attrRec{tag: xmltree.TagID(at), val: string(v)}
+			}
+		}
+	case RecText, RecComment, RecPI:
+		ord, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		r.ord = ordpath.Key(append([]byte(nil), ord...))
+		txt, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		r.text = string(txt)
+	case RecProxyChild:
+		ord, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		r.ord = ordpath.Key(append([]byte(nil), ord...))
+		if d.i+8 > len(raw) {
+			return fmt.Errorf("truncated proxy target")
+		}
+		r.target = NodeID(binary.LittleEndian.Uint64(raw[d.i:]))
+	case RecProxyParent:
+		if d.i+8 > len(raw) {
+			return fmt.Errorf("truncated proxy target")
+		}
+		r.target = NodeID(binary.LittleEndian.Uint64(raw[d.i:]))
+	default:
+		return fmt.Errorf("unknown record kind %d", raw[0])
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pathdb/internal/buffer"
+	"pathdb/internal/ordpath"
+	"pathdb/internal/stats"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmltree"
+)
+
+// Store provides access to one stored document: swizzling NodeIDs into
+// directly navigable cursors, the intra-cluster navigation primitives, and
+// the cluster-granular load interface used by the I/O operators.
+type Store struct {
+	disk  *vdisk.Disk
+	buf   *buffer.Manager
+	dict  *xmltree.Dictionary
+	led   *stats.Ledger
+	model vdisk.CostModel
+
+	rootID    NodeID
+	roots     []NodeID // collection document roots (first == rootID)
+	firstData uint32
+	nData     uint32
+	extras    []vdisk.PageID // data pages appended by updates
+
+	images map[vdisk.PageID]*pageImage
+}
+
+// DefaultBufferPages is the pool size used when none is configured; the
+// paper's setup used a 1000-page buffer.
+const DefaultBufferPages = 1000
+
+func newStore(disk *vdisk.Disk, dict *xmltree.Dictionary, roots []NodeID, firstData, nData uint32, extras []vdisk.PageID) *Store {
+	s := &Store{
+		disk:      disk,
+		buf:       buffer.New(disk, DefaultBufferPages),
+		dict:      dict,
+		led:       disk.Ledger(),
+		model:     disk.Model(),
+		rootID:    roots[0],
+		roots:     roots,
+		firstData: firstData,
+		nData:     nData,
+		extras:    extras,
+		images:    make(map[vdisk.PageID]*pageImage),
+	}
+	s.buf.SetEvictHandler(func(p vdisk.PageID) { delete(s.images, p) })
+	return s
+}
+
+// SetBufferCapacity replaces the buffer pool with one of the given
+// capacity (must be called before navigation starts).
+func (s *Store) SetBufferCapacity(pages int) {
+	s.buf = buffer.New(s.disk, pages)
+	s.buf.SetEvictHandler(func(p vdisk.PageID) { delete(s.images, p) })
+	s.images = make(map[vdisk.PageID]*pageImage)
+}
+
+// Buffer exposes the buffer manager (for stats and tests).
+func (s *Store) Buffer() *buffer.Manager { return s.buf }
+
+// Disk exposes the underlying device.
+func (s *Store) Disk() *vdisk.Disk { return s.disk }
+
+// Dict returns the shared tag dictionary.
+func (s *Store) Dict() *xmltree.Dictionary { return s.dict }
+
+// Ledger returns the cost ledger.
+func (s *Store) Ledger() *stats.Ledger { return s.led }
+
+// Root returns the NodeID of the (first) document node.
+func (s *Store) Root() NodeID { return s.rootID }
+
+// Roots returns the document nodes of the stored collection, in collection
+// order. Single-document volumes have exactly one.
+func (s *Store) Roots() []NodeID { return s.roots }
+
+// DataPages returns the physical range of the bulk-loaded document pages
+// [first, first+n); pages appended by later updates are listed separately
+// (NumDataPages / DataPage iterate over both).
+func (s *Store) DataPages() (first vdisk.PageID, n int) {
+	return vdisk.PageID(s.firstData), int(s.nData)
+}
+
+// NumDataPages returns the number of document pages including pages
+// appended by updates.
+func (s *Store) NumDataPages() int { return int(s.nData) + len(s.extras) }
+
+// DataPage returns the i-th document page in scan order: the bulk-loaded
+// range first, then update extensions in allocation order.
+func (s *Store) DataPage(i int) vdisk.PageID {
+	if i < int(s.nData) {
+		return vdisk.PageID(s.firstData) + vdisk.PageID(i)
+	}
+	return s.extras[i-int(s.nData)]
+}
+
+// ClusterOf returns the cluster (page) a node belongs to, a pure NodeID
+// computation (Sec. 3.3).
+func ClusterOf(id NodeID) vdisk.PageID { return id.Page() }
+
+// ResetForRun flushes the buffer pool, clears swizzled images and zeroes
+// the ledger — each measured run starts cold, as in the paper's setup
+// (O_DIRECT, distinct documents per run).
+func (s *Store) ResetForRun() {
+	s.buf.FlushAll()
+	s.images = make(map[vdisk.PageID]*pageImage)
+	s.led.Reset()
+	s.disk.ResetClockState()
+}
+
+// image returns the decoded (swizzled) representation of a page, loading
+// and decoding it if necessary. Decoding charges one node-visit per record:
+// the representation change from external to in-memory format.
+func (s *Store) image(p vdisk.PageID) *pageImage {
+	if img, ok := s.images[p]; ok {
+		return img
+	}
+	f := s.buf.Fix(p)
+	img, err := decodePage(p, f.Data, s.disk.PageSize())
+	s.buf.Unfix(f)
+	if err != nil {
+		panic(err) // a decode failure is data corruption, not a user error
+	}
+	s.led.AdvanceCPU(stats.Ticks(len(img.recs)) * s.model.CPUNodeVisit)
+	s.images[p] = img
+	return img
+}
+
+// LoadCluster ensures a cluster is buffered and decoded, reading it
+// synchronously if absent. XScan calls this in ascending physical order,
+// which the disk detects as a sequential pattern.
+func (s *Store) LoadCluster(p vdisk.PageID) { s.image(p) }
+
+// BordersOf lists the NodeIDs of all border (proxy) records in a cluster,
+// the seeds of XScan's speculative instances (Sec. 5.4.3.2). The cluster
+// must already be loaded.
+func (s *Store) BordersOf(p vdisk.PageID) []NodeID {
+	img := s.image(p)
+	out := make([]NodeID, len(img.borders))
+	for i, slot := range img.borders {
+		out[i] = MakeNodeID(p, slot)
+	}
+	return out
+}
+
+// Loaded reports whether the page is present in the buffer pool.
+func (s *Store) Loaded(p vdisk.PageID) bool { return s.buf.Contains(p) }
+
+// RequestCluster schedules an asynchronous load of a cluster (XSchedule's
+// interface to the I/O subsystem).
+func (s *Store) RequestCluster(p vdisk.PageID) { s.buf.Request(p) }
+
+// WaitCluster blocks until some requested cluster is loaded and returns it.
+func (s *Store) WaitCluster() (vdisk.PageID, bool) { return s.buf.WaitLoaded() }
+
+// Cursor is a swizzled node reference: direct pointers into the decoded
+// page image, so navigation between cursors on the same page costs no
+// buffer-manager interaction (Sec. 5.3.2.3).
+type Cursor struct {
+	st   *Store
+	img  *pageImage
+	page vdisk.PageID
+	slot uint16
+	attr int // -1 for the record itself, else attribute index
+}
+
+// Swizzle converts a NodeID into a Cursor, charging the swizzle cost
+// (buffer lookup, translation); the cluster is loaded synchronously if it
+// is not resident.
+func (s *Store) Swizzle(id NodeID) Cursor {
+	s.led.Swizzles++
+	s.led.AdvanceCPU(s.model.CPUSwizzle)
+	img := s.image(id.Page())
+	attr := -1
+	if i, ok := id.AttrIndex(); ok {
+		attr = i
+	}
+	if int(id.Slot()) >= len(img.recs) {
+		panic(fmt.Sprintf("storage: swizzle of invalid slot %v", id))
+	}
+	return Cursor{st: s, img: img, page: id.Page(), slot: id.Slot(), attr: attr}
+}
+
+// Unswizzle converts a Cursor back into a NodeID (cheap).
+func (c Cursor) Unswizzle() NodeID {
+	c.st.led.Unswizzles++
+	c.st.led.AdvanceCPU(c.st.model.CPUUnswizzle)
+	id := MakeNodeID(c.page, c.slot)
+	if c.attr >= 0 {
+		id = id.WithAttr(c.attr)
+	}
+	return id
+}
+
+// ID returns the cursor's NodeID without charging unswizzle cost (for
+// assertions and tests).
+func (c Cursor) ID() NodeID {
+	id := MakeNodeID(c.page, c.slot)
+	if c.attr >= 0 {
+		id = id.WithAttr(c.attr)
+	}
+	return id
+}
+
+func (c Cursor) rec() *rec { return &c.img.recs[c.slot] }
+
+// Valid reports whether the cursor references a node.
+func (c Cursor) Valid() bool { return c.st != nil }
+
+// IsBorder reports whether the cursor references a border (proxy) node.
+func (c Cursor) IsBorder() bool { return c.attr < 0 && c.rec().kind.IsProxy() }
+
+// RecKind returns the physical record kind.
+func (c Cursor) RecKind() RecKind {
+	if c.attr >= 0 {
+		return RecElem // attribute of an element record
+	}
+	return c.rec().kind
+}
+
+// Kind returns the logical node kind; panics on border nodes.
+func (c Cursor) Kind() xmltree.Kind {
+	if c.attr >= 0 {
+		return xmltree.Attribute
+	}
+	return c.rec().kind.LogicalKind()
+}
+
+// Tag returns the element or attribute tag.
+func (c Cursor) Tag() xmltree.TagID {
+	if c.attr >= 0 {
+		return c.rec().attrs[c.attr].tag
+	}
+	return c.rec().tag
+}
+
+// Text returns text/comment/PI content or the attribute value.
+func (c Cursor) Text() string {
+	if c.attr >= 0 {
+		return c.rec().attrs[c.attr].val
+	}
+	return c.rec().text
+}
+
+// OrdKey returns the document-order key of the node. Attribute nodes share
+// their element's key; border nodes return nil.
+func (c Cursor) OrdKey() ordpath.Key { return c.rec().ord }
+
+// Target returns the companion NodeID of a border node (the paper's
+// target() operation). It panics on core nodes.
+func (c Cursor) Target() NodeID {
+	r := c.rec()
+	if !r.kind.IsProxy() {
+		panic("storage: Target on a core node")
+	}
+	return r.target
+}
+
+// AttrCount returns the number of attributes on an element.
+func (c Cursor) AttrCount() int { return len(c.rec().attrs) }
+
+// StringValue computes the XPath string-value of a node: the attribute
+// value, the text content, or — for elements and documents — the
+// concatenated descendant text, crossing cluster borders as needed.
+func (s *Store) StringValue(id NodeID) string {
+	c := s.Swizzle(id)
+	switch c.Kind() {
+	case xmltree.Attribute, xmltree.Text, xmltree.Comment, xmltree.ProcInst:
+		return c.Text()
+	case xmltree.Document:
+		for i, r := range s.roots {
+			if r == id.WithoutAttr() {
+				return s.ExportDocument(i).TextContent()
+			}
+		}
+		return ""
+	default:
+		return s.ExportSubtree(id).TextContent()
+	}
+}
+
+// --- persistence -----------------------------------------------------------
+
+const metaMagic = "PATHDB1\x00"
+
+type metaInfo struct {
+	roots     []NodeID // collection document roots
+	firstData uint32
+	nData     uint32
+	dictStart uint32
+	dictCount uint32
+	walPage   vdisk.PageID   // committed-but-unapplied WAL header (0 = none)
+	extras    []vdisk.PageID // update-extension pages, in scan order
+}
+
+func writeMeta(disk *vdisk.Disk, page vdisk.PageID, m metaInfo) {
+	buf := make([]byte, 8+4*5+4+4*len(m.extras)+4+8*len(m.roots))
+	copy(buf, metaMagic)
+	binary.LittleEndian.PutUint32(buf[8:], m.firstData)
+	binary.LittleEndian.PutUint32(buf[12:], m.nData)
+	binary.LittleEndian.PutUint32(buf[16:], m.dictStart)
+	binary.LittleEndian.PutUint32(buf[20:], m.dictCount)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(m.walPage))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(m.extras)))
+	off := 32
+	for _, p := range m.extras {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(p))
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(m.roots)))
+	off += 4
+	for _, r := range m.roots {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(r))
+		off += 8
+	}
+	if len(buf) > disk.PageSize() {
+		panic("storage: meta page overflow (too many extension pages or roots)")
+	}
+	disk.Write(page, buf)
+}
+
+func readMeta(disk *vdisk.Disk) (metaInfo, error) {
+	buf := make([]byte, disk.PageSize())
+	disk.ReadSync(0, buf)
+	if string(buf[:8]) != metaMagic {
+		return metaInfo{}, errors.New("storage: bad magic, not a pathdb volume")
+	}
+	m := metaInfo{
+		firstData: binary.LittleEndian.Uint32(buf[8:]),
+		nData:     binary.LittleEndian.Uint32(buf[12:]),
+		dictStart: binary.LittleEndian.Uint32(buf[16:]),
+		dictCount: binary.LittleEndian.Uint32(buf[20:]),
+		walPage:   vdisk.PageID(binary.LittleEndian.Uint32(buf[24:])),
+	}
+	nExtra := binary.LittleEndian.Uint32(buf[28:])
+	off := 32
+	for i := uint32(0); i < nExtra; i++ {
+		m.extras = append(m.extras, vdisk.PageID(binary.LittleEndian.Uint32(buf[off:])))
+		off += 4
+	}
+	nRoots := binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	for i := uint32(0); i < nRoots; i++ {
+		m.roots = append(m.roots, NodeID(binary.LittleEndian.Uint64(buf[off:])))
+		off += 8
+	}
+	if len(m.roots) == 0 {
+		return metaInfo{}, errors.New("storage: volume has no document roots")
+	}
+	return m, nil
+}
+
+// writeDictionary appends the tag dictionary after the data pages as a
+// length-prefixed name list spanning as many pages as needed.
+func writeDictionary(disk *vdisk.Disk, dict *xmltree.Dictionary) (start, count uint32) {
+	var payload []byte
+	payload = appendUvarint(payload, uint64(dict.Len()))
+	for i := 0; i < dict.Len(); i++ {
+		payload = appendString(payload, dict.Name(xmltree.TagID(i)))
+	}
+	ps := disk.PageSize()
+	first := vdisk.PageID(disk.NumPages())
+	n := 0
+	for off := 0; off < len(payload) || n == 0; off += ps {
+		p := disk.Alloc()
+		end := off + ps
+		if end > len(payload) {
+			end = len(payload)
+		}
+		disk.Write(p, payload[off:end])
+		n++
+	}
+	return uint32(first), uint32(n)
+}
+
+func readDictionary(disk *vdisk.Disk, start, count uint32) (*xmltree.Dictionary, error) {
+	ps := disk.PageSize()
+	payload := make([]byte, 0, int(count)*ps)
+	buf := make([]byte, ps)
+	for i := uint32(0); i < count; i++ {
+		disk.ReadSync(vdisk.PageID(start+i), buf)
+		payload = append(payload, buf...)
+	}
+	d := &decodeCursor{b: payload}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("storage: dictionary header: %w", err)
+	}
+	dict := xmltree.NewDictionary()
+	for i := uint64(0); i < n; i++ {
+		name, err := d.bytes()
+		if err != nil {
+			return nil, fmt.Errorf("storage: dictionary entry %d: %w", i, err)
+		}
+		dict.Intern(string(name))
+	}
+	return dict, nil
+}
+
+// Open attaches to a previously imported volume, reconstructing the
+// dictionary from disk and replaying any committed-but-unapplied update
+// transaction (crash recovery). The ledger is reset afterwards.
+func Open(disk *vdisk.Disk) (*Store, error) {
+	m, err := readMeta(disk)
+	if err != nil {
+		return nil, err
+	}
+	if err := recoverWAL(disk, &m); err != nil {
+		return nil, err
+	}
+	dict, err := readDictionary(disk, m.dictStart, m.dictCount)
+	if err != nil {
+		return nil, err
+	}
+	disk.Ledger().Reset()
+	disk.ResetClockState()
+	return newStore(disk, dict, m.roots, m.firstData, m.nData, m.extras), nil
+}

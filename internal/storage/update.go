@@ -1,0 +1,729 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"pathdb/internal/ordpath"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmltree"
+)
+
+// This file implements incremental updates — the capability the paper
+// holds against scan-order storage formats (Sec. 2: preorder numbering
+// and enforced physical order "are difficult to maintain during
+// updates"). Our format needs neither: document order lives in
+// ORDPATH-style keys with insertion gaps, and clusters may sit anywhere
+// on disk, so an insert touches only the affected page (plus fresh pages
+// for overflow) and never relabels or moves existing nodes.
+//
+// Updates deliberately create the fragmentation the paper's introduction
+// describes: overflow clusters are appended at the end of the volume, far
+// from their logical neighbours — exactly the situation in which
+// cost-sensitive reordering beats encounter-order navigation.
+
+// Update errors.
+var (
+	ErrNotElement   = errors.New("storage: target is not an element or document node")
+	ErrNotChild     = errors.New("storage: 'before' node is not a child of the parent")
+	ErrIsRoot       = errors.New("storage: cannot delete the document node or root element anchor")
+	ErrMetaOverflow = errors.New("storage: too many update-extension pages for the meta page")
+)
+
+// InsertSubtree stores the logical fragment (an element, text, comment or
+// PI node, with its subtree) as a new child of parent. With before ==
+// InvalidNodeID the fragment is appended after the last child; otherwise
+// it is inserted immediately before that child. It returns the NodeID of
+// the new node.
+func (s *Store) InsertSubtree(parent NodeID, before NodeID, frag *xmltree.Node) (NodeID, error) {
+	if _, isAttr := parent.AttrIndex(); isAttr {
+		return InvalidNodeID, ErrNotElement
+	}
+	pc := s.Swizzle(parent)
+	if k := pc.rec().kind; k != RecElem && k != RecDoc {
+		return InvalidNodeID, ErrNotElement
+	}
+	ord, err := s.insertionOrd(pc, before)
+	if err != nil {
+		return InvalidNodeID, err
+	}
+
+	// Physical placement: under `before`'s physical parent when given
+	// (keeps the record next to its siblings), else under the parent
+	// record itself. The ord key alone determines logical position.
+	placePage, placeSlot := pc.page, pc.slot
+	if before != InvalidNodeID {
+		bc := s.Swizzle(before)
+		placePage, placeSlot = bc.page, uint16(bc.rec().parent)
+	}
+
+	u := newUpdater(s)
+	newID, err := u.placeSubtree(s.Swizzle(MakeNodeID(placePage, placeSlot)), frag, ord)
+	if err != nil {
+		return InvalidNodeID, err
+	}
+	if err := u.commit(); err != nil {
+		return InvalidNodeID, err
+	}
+	return newID, nil
+}
+
+// DeleteSubtree removes the node and its entire subtree, across clusters.
+// Deleting the document node or the root element is rejected.
+func (s *Store) DeleteSubtree(id NodeID) error {
+	c := s.Swizzle(id)
+	r := c.rec()
+	if r.kind == RecDoc || r.kind.IsProxy() {
+		return ErrIsRoot
+	}
+	if r.parent == noParent {
+		return ErrIsRoot
+	}
+	u := newUpdater(s)
+	lp := u.live(c.page)
+	u.deleteRec(lp, c.slot)
+	// If the physical parent was a ProxyParent that just lost its only
+	// fragment, collapse the whole proxy pair.
+	u.collapseAnchors(lp, uint16(r.parent))
+	return u.commit()
+}
+
+// insertionOrd computes the document-order key for the new node: strictly
+// between its logical neighbours, never relabeling anything.
+func (s *Store) insertionOrd(parent Cursor, before NodeID) (ordpath.Key, error) {
+	kids := parent.rec().children
+	if before == InvalidNodeID {
+		// Append: after the last logical child, which may live across a
+		// chain of proxies.
+		if len(kids) == 0 {
+			return parent.rec().ord.BulkChild(0), nil
+		}
+		last := Cursor{st: s, img: parent.img, page: parent.page, slot: kids[len(kids)-1], attr: -1}
+		return ordpath.After(s.lastOrdUnder(last)), nil
+	}
+
+	bc := s.Swizzle(before)
+	right := bc.rec().ord
+	if len(right) == 0 {
+		return nil, ErrNotChild
+	}
+	left, err := s.logicalLeftOrd(bc)
+	if err != nil {
+		return nil, err
+	}
+	if left == nil {
+		// First child: anything below parentOrd.Child(0) sorts before all
+		// existing children (generated keys never end in component 0).
+		return ordpath.Between(parent.rec().ord.Child(0), right), nil
+	}
+	return ordpath.Between(left, right), nil
+}
+
+// lastOrdUnder resolves the ord key of the last logical node in sibling
+// order reachable from child entry c: for a ProxyChild, the far fragment's
+// last member; for core records, the record itself.
+func (s *Store) lastOrdUnder(c Cursor) ordpath.Key {
+	for c.rec().kind == RecProxyChild {
+		far := s.Swizzle(c.rec().target) // ProxyParent anchor
+		kids := far.rec().children
+		if len(kids) == 0 {
+			return c.rec().ord // degenerate empty fragment
+		}
+		c = Cursor{st: s, img: far.img, page: far.page, slot: kids[len(kids)-1], attr: -1}
+	}
+	return c.rec().ord
+}
+
+// logicalLeftOrd finds the ord key of the node immediately preceding c in
+// its parent's child order, following proxy chains; nil if c is the first
+// child.
+func (s *Store) logicalLeftOrd(c Cursor) (ordpath.Key, error) {
+	for {
+		r := c.rec()
+		if r.parent == noParent {
+			return nil, ErrNotChild
+		}
+		siblings := c.img.recs[r.parent].children
+		idx := -1
+		for i, slot := range siblings {
+			if slot == c.slot {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, ErrNotChild
+		}
+		if idx > 0 {
+			leftEntry := Cursor{st: c.st, img: c.img, page: c.page, slot: siblings[idx-1], attr: -1}
+			return c.st.lastOrdUnder(leftEntry), nil
+		}
+		// First in this physical segment: if anchored by a ProxyParent,
+		// the logical predecessor lives before the companion ProxyChild.
+		anchor := &c.img.recs[r.parent]
+		if anchor.kind != RecProxyParent {
+			return nil, nil // genuinely the first child
+		}
+		c = c.st.Swizzle(anchor.target)
+	}
+}
+
+// --- updater ----------------------------------------------------------------
+
+// updater batches page mutations for one logical update and writes them
+// back atomically (in the single-threaded sense of this engine).
+type updater struct {
+	st    *Store
+	pages map[vdisk.PageID]*livePage
+	fresh []vdisk.PageID
+}
+
+type livePage struct {
+	page     vdisk.PageID
+	img      *pageImage
+	used     int
+	reserved int // spill headroom claimed by open elements (importer protocol)
+	dirty    bool
+	isNew    bool
+}
+
+func newUpdater(s *Store) *updater {
+	return &updater{st: s, pages: map[vdisk.PageID]*livePage{}}
+}
+
+// live returns the mutable view of page p, based on a private copy of the
+// decoded image.
+func (u *updater) live(p vdisk.PageID) *livePage {
+	if lp, ok := u.pages[p]; ok {
+		return lp
+	}
+	src := u.st.image(p)
+	cp := &pageImage{page: p, recs: append([]rec(nil), src.recs...)}
+	for i := range cp.recs {
+		cp.recs[i].children = append([]uint16(nil), cp.recs[i].children...)
+	}
+	lp := &livePage{page: p, img: cp, used: pageUsage(cp)}
+	u.pages[p] = lp
+	return lp
+}
+
+// freshPage allocates a new, empty data page at the end of the volume.
+func (u *updater) freshPage() *livePage {
+	p := u.st.disk.Alloc()
+	lp := &livePage{
+		page:  p,
+		img:   &pageImage{page: p},
+		used:  pageHeaderSize,
+		dirty: true,
+		isNew: true,
+	}
+	u.pages[p] = lp
+	u.fresh = append(u.fresh, p)
+	return lp
+}
+
+// fits reports whether a record of sz bytes (plus slot entry) fits beside
+// the claimed headroom.
+func (lp *livePage) fits(sz int, pageSize int) bool {
+	return lp.used+lp.reserved+sz+2 <= pageSize
+}
+
+// addRec stores r, reusing a dead slot when possible.
+func (u *updater) addRec(lp *livePage, r rec) uint16 {
+	sz := encodedSize(&r)
+	for i := range lp.img.recs {
+		if lp.img.recs[i].dead {
+			lp.img.recs[i] = r
+			lp.used += sz // slot entry already accounted
+			lp.dirty = true
+			u.linkChild(lp, uint16(i), r.parent)
+			return uint16(i)
+		}
+	}
+	lp.img.recs = append(lp.img.recs, r)
+	lp.used += sz + 2
+	lp.dirty = true
+	slot := uint16(len(lp.img.recs) - 1)
+	u.linkChild(lp, slot, r.parent)
+	return slot
+}
+
+// linkChild inserts slot into its parent's children list, ord-ordered.
+func (u *updater) linkChild(lp *livePage, slot uint16, parent int) {
+	if parent == noParent {
+		return
+	}
+	p := &lp.img.recs[parent]
+	ord := lp.img.recs[slot].ord
+	pos := len(p.children)
+	for i, k := range p.children {
+		if ordpath.Compare(ord, lp.img.recs[k].ord) < 0 {
+			pos = i
+			break
+		}
+	}
+	p.children = append(p.children, 0)
+	copy(p.children[pos+1:], p.children[pos:])
+	p.children[pos] = slot
+}
+
+// placeSubtree stores the logical fragment with root ord `ord` as a child
+// of the record at parent, overflowing to fresh pages through proxy pairs.
+// It follows the importer's reserve protocol so every open element can
+// always afford a continuation proxy.
+func (u *updater) placeSubtree(parent Cursor, frag *xmltree.Node, ord ordpath.Key) (NodeID, error) {
+	lp := u.live(parent.page)
+	r, err := draftRecFor(frag, ord)
+	if err != nil {
+		return InvalidNodeID, err
+	}
+	// Placement must follow the same route enumeration takes: if the new
+	// key falls after a ProxyChild entry, it belongs inside that entry's
+	// fragment, not beside it — otherwise fragment key ranges would
+	// overlap and streamed sibling order would break.
+	lp, parentSlot := u.descendToFragment(lp, parent.slot, ord)
+	cur, slot, err := u.placeRec(lp, parentSlot, r)
+	if err != nil {
+		return InvalidNodeID, err
+	}
+	id := MakeNodeID(cur.page, slot)
+	if frag.Kind == xmltree.Element {
+		cur.reserved += proxyReserve
+		final, err := u.placeChildren(cur, slot, frag.Children, ord)
+		if err != nil {
+			return InvalidNodeID, err
+		}
+		final.reserved -= proxyReserve
+	}
+	return id, nil
+}
+
+// descendToFragment follows ProxyChild entries whose key range covers ord,
+// returning the page and parent slot the new record must physically join.
+func (u *updater) descendToFragment(lp *livePage, parentSlot uint16, ord ordpath.Key) (*livePage, uint16) {
+	for {
+		kids := lp.img.recs[parentSlot].children
+		prev := -1
+		for _, k := range kids {
+			if ordpath.Compare(lp.img.recs[k].ord, ord) < 0 {
+				prev = int(k)
+			} else {
+				break
+			}
+		}
+		if prev < 0 || lp.img.recs[prev].kind != RecProxyChild {
+			return lp, parentSlot
+		}
+		target := lp.img.recs[prev].target
+		far := u.live(target.Page())
+		lp, parentSlot = far, target.Slot()
+	}
+}
+
+// placeChildren stores the children of an open element whose record lives
+// at (c, ps), switching to continuation pages on overflow (the spill case
+// consumes and re-establishes the element's reserve). It returns the page
+// holding the element's reserve at the end.
+func (u *updater) placeChildren(c *livePage, ps uint16, children []*xmltree.Node, ord ordpath.Key) (*livePage, error) {
+	cur, curPS := c, ps
+	for i, ch := range children {
+		r, err := draftRecFor(ch, ord.BulkChild(i))
+		if err != nil {
+			return cur, err
+		}
+		next, slot, err := u.placeRecSpilling(&cur, &curPS, r)
+		if err != nil {
+			return cur, err
+		}
+		if ch.Kind == xmltree.Element {
+			next.reserved += proxyReserve
+			final, err := u.placeChildren(next, slot, ch.Children, r.ord)
+			if err != nil {
+				return cur, err
+			}
+			final.reserved -= proxyReserve
+		}
+	}
+	return cur, nil
+}
+
+// placeRec stores r under (lp, parentSlot), using a dedicated proxy pair
+// to a fresh page when it does not fit. It returns the page and slot the
+// record landed in.
+func (u *updater) placeRec(lp *livePage, parentSlot uint16, r rec) (*livePage, uint16, error) {
+	ps := u.st.disk.PageSize()
+	needsReserve := 0
+	if r.kind == RecElem {
+		needsReserve = proxyReserve
+	}
+	if lp.fits(encodedSize(&r)+needsReserve, ps) {
+		r.parent = int(parentSlot)
+		return lp, u.addRec(lp, r), nil
+	}
+	proxySz := encodedSize(&rec{kind: RecProxyChild, parent: int(parentSlot), ord: r.ord})
+	if !lp.fits(proxySz, ps) && !u.makeRoom(lp, proxySz, parentSlot) {
+		return nil, 0, fmt.Errorf("%w: page %d full", ErrRecordTooLarge, lp.page)
+	}
+	far, ppSlot := u.proxyPair(lp, parentSlot, r.ord, encodedSize(&r)+needsReserve)
+	if !far.fits(encodedSize(&r)+needsReserve, ps) {
+		return nil, 0, ErrRecordTooLarge
+	}
+	r.parent = int(ppSlot)
+	return far, u.addRec(far, r), nil
+}
+
+// placeRecSpilling is placeRec for a sibling sequence: when not even a
+// dedicated proxy fits, the open element's reserve pays for a continuation
+// proxy and all following siblings move to the fresh page (*cur/*curPS are
+// redirected).
+func (u *updater) placeRecSpilling(cur **livePage, curPS *uint16, r rec) (*livePage, uint16, error) {
+	ps := u.st.disk.PageSize()
+	lp := *cur
+	needsReserve := 0
+	if r.kind == RecElem {
+		needsReserve = proxyReserve
+	}
+	sz := encodedSize(&r)
+	proxySz := encodedSize(&rec{kind: RecProxyChild, parent: int(*curPS), ord: r.ord})
+	switch {
+	case lp.fits(sz+needsReserve, ps):
+		r.parent = int(*curPS)
+		return lp, u.addRec(lp, r), nil
+	case lp.fits(proxySz, ps):
+		// Dedicated proxy: later siblings retry the current page.
+		far, ppSlot := u.proxyPair(lp, *curPS, r.ord, sz+needsReserve)
+		if !far.fits(sz+needsReserve, ps) {
+			return nil, 0, ErrRecordTooLarge
+		}
+		r.parent = int(ppSlot)
+		return far, u.addRec(far, r), nil
+	default:
+		// Spill: the open element's reserve funds the continuation.
+		lp.reserved -= proxyReserve
+		far, ppSlot := u.proxyPair(lp, *curPS, r.ord, sz+needsReserve+proxyReserve)
+		far.reserved += proxyReserve
+		*cur, *curPS = far, ppSlot
+		if !far.fits(sz+needsReserve, ps) {
+			return nil, 0, ErrRecordTooLarge
+		}
+		r.parent = int(ppSlot)
+		return far, u.addRec(far, r), nil
+	}
+}
+
+// makeRoom frees at least `need` bytes in lp by moving local subtrees to
+// overflow pages behind proxy pairs — the slotted-page equivalent of a
+// page split. Two candidate shapes are tried: whole subtrees (cheapest
+// proxy per byte freed), and, when every subtree contains the protected
+// slot, the tail of some record's child list behind a single continuation
+// proxy (which handles pages saturated with proxies). Moved nodes get new
+// NodeIDs; their old position holds the proxy, so navigation stays
+// correct. Subtrees containing avoid are never moved (it anchors the
+// in-flight insertion). Reports whether enough space was freed.
+func (u *updater) makeRoom(lp *livePage, need int, avoid uint16) bool {
+	ps := u.st.disk.PageSize()
+	maxMove := ps - pageHeaderSize - 64 // must fit one overflow page
+	for !lp.fits(need, ps) {
+		if u.moveBestSubtree(lp, avoid, maxMove) {
+			continue
+		}
+		if u.splitTail(lp, avoid, maxMove) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// localSubtree collects the slots of the page-local subtree rooted at
+// slot, in preorder, plus its total record bytes. ok is false when the
+// subtree contains the avoid slot (pass deadSlotOff for "no avoid").
+func localSubtree(img *pageImage, slot, avoid uint16) (members []uint16, bytes int, ok bool) {
+	stack := []uint16{slot}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s == avoid {
+			return nil, 0, false
+		}
+		members = append(members, s)
+		bytes += encodedSize(&img.recs[s])
+		kids := img.recs[s].children
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+	return members, bytes, true
+}
+
+// moveBestSubtree relocates the single local subtree with the best
+// bytes-freed-per-proxy ratio; false if no candidate frees space.
+func (u *updater) moveBestSubtree(lp *livePage, avoid uint16, maxMove int) bool {
+	best, bestGain := -1, 0
+	for i := range lp.img.recs {
+		r := &lp.img.recs[i]
+		if r.dead || r.kind == RecDoc || r.kind == RecProxyParent || r.parent == noParent {
+			continue
+		}
+		members, bytes, ok := localSubtree(lp.img, uint16(i), avoid)
+		if !ok || bytes+2*len(members) > maxMove {
+			continue
+		}
+		pcSz := encodedSize(&rec{kind: RecProxyChild, parent: r.parent, ord: r.ord})
+		if g := bytes - pcSz; g > bestGain {
+			best, bestGain = i, g
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	root := uint16(best)
+	u.moveFragment(lp, uint16(lp.img.recs[root].parent), []uint16{root})
+	return true
+}
+
+// splitTail moves the tail of the child list of the record with the most
+// local children behind one continuation proxy — the update-time
+// equivalent of the importer's spill. It tolerates avoid among the kept
+// head but never moves it.
+func (u *updater) splitTail(lp *livePage, avoid uint16, maxMove int) bool {
+	bestParent, bestKids := -1, 3 // need at least 4 children to split
+	for i := range lp.img.recs {
+		r := &lp.img.recs[i]
+		if r.dead {
+			continue
+		}
+		if len(r.children) > bestKids {
+			bestParent, bestKids = i, len(r.children)
+		}
+	}
+	if bestParent < 0 {
+		return false
+	}
+	kids := lp.img.recs[bestParent].children
+	// Accumulate a tail, newest-first, that fits one overflow page.
+	cut := len(kids)
+	bytes, slots := 0, 0
+	for idx := len(kids) - 1; idx >= len(kids)/2; idx-- {
+		m, b, ok := localSubtree(lp.img, kids[idx], avoid)
+		if !ok {
+			break
+		}
+		if bytes+b+2*(slots+len(m)) > maxMove {
+			break
+		}
+		bytes += b
+		slots += len(m)
+		cut = idx
+	}
+	if len(kids)-cut < 2 {
+		return false
+	}
+	tail := append([]uint16(nil), kids[cut:]...)
+	u.moveFragment(lp, uint16(bestParent), tail)
+	return true
+}
+
+// moveFragment moves the local subtrees rooted at roots (all children of
+// parentSlot, in child order) to an overflow page behind a single proxy
+// pair. The ProxyChild inherits the first root's ord key, so the sibling
+// order is preserved.
+func (u *updater) moveFragment(lp *livePage, parentSlot uint16, roots []uint16) {
+	total := 0
+	var perRoot [][]uint16
+	for _, root := range roots {
+		m, b, ok := localSubtree(lp.img, root, deadSlotOff) // no avoid here
+		if !ok {
+			panic("storage: moveFragment over protected slot")
+		}
+		perRoot = append(perRoot, m)
+		total += b + 2*len(m)
+	}
+	far := u.overflowPage(total + encodedSize(&rec{kind: RecProxyParent}) + 4)
+	ppSlot := u.addRec(far, rec{kind: RecProxyParent, parent: noParent})
+	firstOrd := lp.img.recs[roots[0]].ord
+
+	for ri, members := range perRoot {
+		newSlot := map[uint16]uint16{}
+		for _, s := range members {
+			moved := lp.img.recs[s] // copy
+			moved.children = nil
+			if s == roots[ri] {
+				moved.parent = int(ppSlot)
+			} else {
+				moved.parent = int(newSlot[uint16(lp.img.recs[s].parent)])
+			}
+			ns := u.addRec(far, moved)
+			newSlot[s] = ns
+			if moved.kind == RecProxyChild {
+				comp := u.live(moved.target.Page())
+				comp.img.recs[moved.target.Slot()].target = MakeNodeID(far.page, ns)
+				comp.dirty = true
+			}
+		}
+	}
+	for _, members := range perRoot {
+		for _, s := range members {
+			u.tombstone(lp, s)
+		}
+	}
+	// The replacement proxy takes the first root's (now dead) slot, so a
+	// stale NodeID for that root degrades to the border that leads to it.
+	pcSlot := roots[0]
+	pc := rec{kind: RecProxyChild, parent: int(parentSlot), ord: firstOrd,
+		target: MakeNodeID(far.page, ppSlot)}
+	lp.img.recs[pcSlot] = pc
+	lp.used += encodedSize(&pc)
+	u.linkChild(lp, pcSlot, int(parentSlot))
+	far.img.recs[ppSlot].target = MakeNodeID(lp.page, pcSlot)
+}
+
+// overflowPage returns an extension page with at least `need` bytes free:
+// first the pages this update already touched, then the newest extension
+// page from earlier updates, then a freshly allocated one. Reuse keeps the
+// extension directory small.
+func (u *updater) overflowPage(need int) *livePage {
+	ps := u.st.disk.PageSize()
+	if len(u.fresh) > 0 {
+		lp := u.pages[u.fresh[len(u.fresh)-1]]
+		if lp.fits(need, ps) {
+			return lp
+		}
+	}
+	if n := len(u.st.extras); n > 0 {
+		lp := u.live(u.st.extras[n-1])
+		if lp.fits(need, ps) {
+			return lp
+		}
+	}
+	return u.freshPage()
+}
+
+// proxyPair creates a linked ProxyChild (under lp/parentSlot, carrying
+// ord) and ProxyParent in an extension page with room for `need` more
+// bytes, returning the far page and the anchor slot.
+func (u *updater) proxyPair(lp *livePage, parentSlot uint16, ord ordpath.Key, need int) (*livePage, uint16) {
+	far := u.overflowPage(need + encodedSize(&rec{kind: RecProxyParent}) + 4)
+	ppSlot := u.addRec(far, rec{kind: RecProxyParent, parent: noParent})
+	pcSlot := u.addRec(lp, rec{kind: RecProxyChild, parent: int(parentSlot), ord: ord,
+		target: MakeNodeID(far.page, ppSlot)})
+	far.img.recs[ppSlot].target = MakeNodeID(lp.page, pcSlot)
+	return far, ppSlot
+}
+
+// draftRecFor converts one logical node into a record (attributes inline).
+func draftRecFor(n *xmltree.Node, ord ordpath.Key) (rec, error) {
+	switch n.Kind {
+	case xmltree.Element:
+		r := rec{kind: RecElem, tag: n.Tag, ord: ord}
+		for _, a := range n.Attrs {
+			r.attrs = append(r.attrs, attrRec{tag: a.Tag, val: a.Text})
+		}
+		return r, nil
+	case xmltree.Text:
+		return rec{kind: RecText, text: n.Text, ord: ord}, nil
+	case xmltree.Comment:
+		return rec{kind: RecComment, text: n.Text, ord: ord}, nil
+	case xmltree.ProcInst:
+		return rec{kind: RecPI, text: n.Text, ord: ord}, nil
+	default:
+		return rec{}, fmt.Errorf("storage: cannot insert %v node", n.Kind)
+	}
+}
+
+// deleteRec tombstones the record at (lp, slot) and its whole physical
+// subtree, following proxies into other clusters.
+func (u *updater) deleteRec(lp *livePage, slot uint16) {
+	r := &lp.img.recs[slot]
+	if r.dead {
+		return
+	}
+	// Children tombstones unlink themselves from r.children; iterate a
+	// snapshot so the shifting slice does not skip entries.
+	kids := append([]uint16(nil), r.children...)
+	for _, ch := range kids {
+		u.deleteRec(lp, ch)
+	}
+	if r.kind == RecProxyChild {
+		far := u.live(r.target.Page())
+		u.deleteRec(far, r.target.Slot()) // the ProxyParent + fragment
+	}
+	u.tombstone(lp, slot)
+}
+
+// tombstone marks one record dead and unlinks it from its parent.
+func (u *updater) tombstone(lp *livePage, slot uint16) {
+	r := &lp.img.recs[slot]
+	if r.parent != noParent {
+		p := &lp.img.recs[r.parent]
+		for i, k := range p.children {
+			if k == slot {
+				p.children = append(p.children[:i], p.children[i+1:]...)
+				break
+			}
+		}
+	}
+	lp.used -= encodedSize(r)
+	r.dead = true
+	r.children = nil
+	lp.dirty = true
+}
+
+// collapseAnchors removes a ProxyParent that lost all children, together
+// with its companion ProxyChild (recursively, should that empty another
+// anchor).
+func (u *updater) collapseAnchors(lp *livePage, slot uint16) {
+	r := &lp.img.recs[slot]
+	if r.dead || r.kind != RecProxyParent || len(r.children) > 0 {
+		return
+	}
+	companion := r.target
+	u.tombstone(lp, slot)
+	far := u.live(companion.Page())
+	fr := &far.img.recs[companion.Slot()]
+	parent := fr.parent
+	u.tombstone(far, companion.Slot())
+	if parent != noParent {
+		u.collapseAnchors(far, uint16(parent))
+	}
+}
+
+// commit applies every dirty page through the write-ahead log (see
+// wal.go), so a crash between page writes never leaves dangling proxy
+// pairs, and registers fresh pages in the volume directory (meta page).
+func (u *updater) commit() error {
+	images := map[vdisk.PageID][]byte{}
+	for _, lp := range u.pages {
+		if !lp.dirty {
+			continue
+		}
+		raw, err := encodePageImage(lp.img, u.st.disk.PageSize())
+		if err != nil {
+			return err
+		}
+		images[lp.page] = raw
+	}
+	if len(images) == 0 {
+		return nil
+	}
+
+	m, err := readMeta(u.st.disk)
+	if err != nil {
+		return err
+	}
+	newExtras := append(append([]vdisk.PageID(nil), u.st.extras...), u.fresh...)
+	if 32+4*len(newExtras)+4+8*len(m.roots)+8 > u.st.disk.PageSize() {
+		return ErrMetaOverflow
+	}
+	m.extras = newExtras
+
+	if err := u.st.commitWAL(images, m); err != nil {
+		return err
+	}
+	u.st.extras = newExtras
+	for p := range images {
+		delete(u.st.images, p) // invalidate the swizzled view…
+		u.st.buf.Invalidate(p) // …and the stale buffered bytes
+	}
+	return nil
+}

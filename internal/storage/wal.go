@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"pathdb/internal/vdisk"
+)
+
+// Write-ahead logging for the update path — requirement 2 of the paper's
+// introduction asks storage formats to "support synchronization and
+// recovery". Updates touch several pages (the target page, overflow
+// pages, companion pages of moved proxies, the meta page); without
+// logging, a crash between those writes leaves dangling proxy pairs.
+//
+// The protocol is physical redo with a single atomic commit point:
+//
+//  1. write the after-image of every dirty page to freshly allocated log
+//     pages at the end of the volume;
+//  2. write one log-header page describing the transaction (targets,
+//     checksums);
+//  3. write the meta page pointing at the header — the commit point
+//     (single-page writes are atomic);
+//  4. apply the after-images to their target pages;
+//  5. write the meta page again with the log pointer cleared.
+//
+// Recovery (run by Open) finds a non-zero log pointer, verifies the
+// header's checksums, replays the after-images and clears the pointer —
+// idempotent, so repeated crashes during recovery are safe. Log pages are
+// not recycled (the volume is append-only); a production system would
+// reuse them.
+//
+// Synchronization proper is out of scope by design: the evaluation engine
+// is deliberately single-threaded around a virtual clock.
+
+const walMagic = "PATHWAL1"
+
+// walEntry describes one logged page.
+type walEntry struct {
+	target   vdisk.PageID
+	logPage  vdisk.PageID
+	checksum uint64
+}
+
+// walHeaderCapacity returns how many entries fit one header page.
+func walHeaderCapacity(pageSize int) int {
+	return (pageSize - 8 - 4) / 16
+}
+
+func encodeWalHeader(pageSize int, entries []walEntry) []byte {
+	buf := make([]byte, 8+4+16*len(entries))
+	copy(buf, walMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(entries)))
+	off := 12
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(e.target))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(e.logPage))
+		binary.LittleEndian.PutUint64(buf[off+8:], e.checksum)
+		off += 16
+	}
+	return buf
+}
+
+func decodeWalHeader(raw []byte) ([]walEntry, bool) {
+	if len(raw) < 12 || string(raw[:8]) != walMagic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(raw[8:])
+	if 12+16*int(n) > len(raw) {
+		return nil, false
+	}
+	out := make([]walEntry, n)
+	off := 12
+	for i := range out {
+		out[i] = walEntry{
+			target:   vdisk.PageID(binary.LittleEndian.Uint32(raw[off:])),
+			logPage:  vdisk.PageID(binary.LittleEndian.Uint32(raw[off+4:])),
+			checksum: binary.LittleEndian.Uint64(raw[off+8:]),
+		}
+		off += 16
+	}
+	return out, true
+}
+
+func pageChecksum(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// commitWAL atomically applies the given after-images (page → content)
+// together with the new meta information.
+func (s *Store) commitWAL(images map[vdisk.PageID][]byte, meta metaInfo) error {
+	if len(images) == 0 {
+		return nil
+	}
+	ps := s.disk.PageSize()
+	if len(images) > walHeaderCapacity(ps) {
+		return fmt.Errorf("storage: transaction touches %d pages, exceeding one WAL header", len(images))
+	}
+
+	// Deterministic order for reproducible virtual timing.
+	targets := make([]vdisk.PageID, 0, len(images))
+	for p := range images {
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	// 1. After-images to fresh log pages.
+	entries := make([]walEntry, len(targets))
+	for i, t := range targets {
+		lp := s.disk.Alloc()
+		s.disk.Write(lp, images[t])
+		entries[i] = walEntry{target: t, logPage: lp, checksum: pageChecksum(images[t])}
+	}
+	// 2. The header.
+	hdr := s.disk.Alloc()
+	s.disk.Write(hdr, encodeWalHeader(ps, entries))
+	// 3. Commit point: meta references the header.
+	meta.walPage = hdr
+	writeMeta(s.disk, 0, meta)
+	// 4. Apply.
+	for _, t := range targets {
+		s.disk.Write(t, images[t])
+	}
+	// 5. Clear the log pointer.
+	meta.walPage = 0
+	writeMeta(s.disk, 0, meta)
+	return nil
+}
+
+// recover replays a committed-but-unapplied transaction, if any. Called by
+// Open before the store is used. Idempotent.
+func recoverWAL(disk *vdisk.Disk, m *metaInfo) error {
+	if m.walPage == 0 {
+		return nil
+	}
+	buf := make([]byte, disk.PageSize())
+	disk.ReadSync(m.walPage, buf)
+	entries, ok := decodeWalHeader(buf)
+	if !ok {
+		return fmt.Errorf("storage: corrupt WAL header at page %d", m.walPage)
+	}
+	img := make([]byte, disk.PageSize())
+	for _, e := range entries {
+		disk.ReadSync(e.logPage, img)
+		if pageChecksum(img) != e.checksum {
+			return fmt.Errorf("storage: WAL image for page %d fails checksum", e.target)
+		}
+		disk.Write(e.target, img)
+	}
+	m.walPage = 0
+	writeMeta(disk, 0, *m)
+	return nil
+}

@@ -1,0 +1,370 @@
+package vdisk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pathdb/internal/rng"
+	"pathdb/internal/stats"
+)
+
+func newDisk(t testing.TB, npages int) (*Disk, *stats.Ledger) {
+	led := stats.NewLedger()
+	d := New(DefaultCostModel(), led, 4096)
+	for i := 0; i < npages; i++ {
+		p := d.Alloc()
+		buf := bytes.Repeat([]byte{byte(i)}, 8)
+		d.Write(p, buf)
+	}
+	led.Reset()
+	d.ResetClockState()
+	return d, led
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, _ := newDisk(t, 10)
+	buf := make([]byte, d.PageSize())
+	for i := 0; i < 10; i++ {
+		d.ReadSync(PageID(i), buf)
+		if buf[0] != byte(i) || buf[7] != byte(i) {
+			t.Fatalf("page %d content wrong: % x", i, buf[:8])
+		}
+		if buf[8] != 0 {
+			t.Fatal("page tail not zeroed")
+		}
+	}
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	d, led := newDisk(t, 1000)
+	buf := make([]byte, d.PageSize())
+	for i := 0; i < 100; i++ {
+		d.ReadSync(PageID(i), buf)
+	}
+	seq := led.Now
+
+	d2, led2 := newDisk(t, 1000)
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		d2.ReadSync(PageID(r.Intn(1000)), buf)
+	}
+	rand := led2.Now
+	if rand < 5*seq {
+		t.Fatalf("random (%v) should be >5x sequential (%v)", rand, seq)
+	}
+	if led.SeqPageReads != 99 { // first read seeks, rest are sequential
+		t.Fatalf("SeqPageReads = %d, want 99", led.SeqPageReads)
+	}
+}
+
+func TestSeekCostMonotoneAndCapped(t *testing.T) {
+	m := DefaultCostModel()
+	if m.SeekCost(1) >= m.SeekCost(1000) {
+		t.Fatal("seek cost not monotone")
+	}
+	if m.SeekCost(1<<30) != m.SeekMax {
+		t.Fatal("seek cost not capped")
+	}
+	if m.SeekCost(-5) != m.SeekCost(5) {
+		t.Fatal("seek cost not symmetric")
+	}
+}
+
+func TestAsyncOverlapsWithCPU(t *testing.T) {
+	// Submit a request, then burn more CPU than the I/O takes: the
+	// subsequent wait must be free.
+	d, led := newDisk(t, 100)
+	buf := make([]byte, d.PageSize())
+	d.Submit(50)
+	led.AdvanceCPU(100 * stats.Millisecond) // plenty of time for one read
+	before := led.IOWait
+	p, ok := d.WaitAny(buf)
+	if !ok || p != 50 {
+		t.Fatalf("WaitAny = %d, %v", p, ok)
+	}
+	if led.IOWait != before {
+		t.Fatalf("overlapped I/O charged wait time: %v", led.IOWait-before)
+	}
+}
+
+func TestAsyncBlocksWhenCPUIsAhead(t *testing.T) {
+	d, led := newDisk(t, 100)
+	buf := make([]byte, d.PageSize())
+	d.Submit(50)
+	if _, ok := d.WaitAny(buf); !ok {
+		t.Fatal("WaitAny failed")
+	}
+	if led.IOWait == 0 {
+		t.Fatal("immediate wait should block")
+	}
+}
+
+func TestWaitAnyNoPending(t *testing.T) {
+	d, _ := newDisk(t, 10)
+	buf := make([]byte, d.PageSize())
+	if _, ok := d.WaitAny(buf); ok {
+		t.Fatal("WaitAny succeeded with empty queue")
+	}
+}
+
+func TestSSTFReordersRequests(t *testing.T) {
+	// Head parks at page 0 after a sync read; submitting far, near must
+	// complete near first under SSTF.
+	d, _ := newDisk(t, 1000)
+	buf := make([]byte, d.PageSize())
+	d.ReadSync(0, buf)
+	d.Submit(900)
+	d.Submit(10)
+	first, _ := d.WaitAny(buf)
+	second, _ := d.WaitAny(buf)
+	if first != 10 || second != 900 {
+		t.Fatalf("SSTF order = %d, %d; want 10, 900", first, second)
+	}
+}
+
+func TestFIFOPreservesOrder(t *testing.T) {
+	d, _ := newDisk(t, 1000)
+	d.SetPolicy(FIFO)
+	buf := make([]byte, d.PageSize())
+	d.ReadSync(0, buf)
+	d.Submit(900)
+	d.Submit(10)
+	first, _ := d.WaitAny(buf)
+	if first != 900 {
+		t.Fatalf("FIFO first = %d, want 900", first)
+	}
+}
+
+func TestElevatorSweeps(t *testing.T) {
+	d, _ := newDisk(t, 1000)
+	d.SetPolicy(Elevator)
+	buf := make([]byte, d.PageSize())
+	d.ReadSync(500, buf)
+	d.Submit(400) // behind head: served after the upward sweep
+	d.Submit(600)
+	d.Submit(550)
+	order := []PageID{}
+	for i := 0; i < 3; i++ {
+		p, ok := d.WaitAny(buf)
+		if !ok {
+			t.Fatal("WaitAny failed")
+		}
+		order = append(order, p)
+	}
+	want := []PageID{550, 600, 400}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("elevator order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSSTFFasterThanFIFOOnScatteredLoad(t *testing.T) {
+	run := func(p Policy) stats.Ticks {
+		d, led := newDisk(t, 4000)
+		d.SetPolicy(p)
+		buf := make([]byte, d.PageSize())
+		r := rng.New(7)
+		for i := 0; i < 64; i++ {
+			d.Submit(PageID(r.Intn(4000)))
+		}
+		for {
+			if _, ok := d.WaitAny(buf); !ok {
+				break
+			}
+		}
+		return led.Now
+	}
+	sstf, fifo := run(SSTF), run(FIFO)
+	if sstf >= fifo {
+		t.Fatalf("SSTF (%v) not faster than FIFO (%v)", sstf, fifo)
+	}
+}
+
+func TestDrainIsLazyButComplete(t *testing.T) {
+	// All submitted requests are eventually retrievable, exactly once.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		d, led := newDisk(t, 512)
+		r := rng.New(seed)
+		want := map[PageID]int{}
+		for i := 0; i < n; i++ {
+			p := PageID(r.Intn(512))
+			want[p]++
+			d.Submit(p)
+			if r.Bool(0.5) {
+				led.AdvanceCPU(stats.Ticks(r.Intn(10)) * stats.Millisecond)
+			}
+		}
+		buf := make([]byte, d.PageSize())
+		got := map[PageID]int{}
+		for {
+			p, ok := d.WaitAny(buf)
+			if !ok {
+				break
+			}
+			got[p]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for p, c := range want {
+			if got[p] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotoneUnderMixedOps(t *testing.T) {
+	f := func(seed uint64) bool {
+		d, led := newDisk(t, 256)
+		r := rng.New(seed)
+		buf := make([]byte, d.PageSize())
+		prev := led.Now
+		for i := 0; i < 100; i++ {
+			switch r.Intn(3) {
+			case 0:
+				d.ReadSync(PageID(r.Intn(256)), buf)
+			case 1:
+				d.Submit(PageID(r.Intn(256)))
+			case 2:
+				d.WaitAny(buf)
+			}
+			if led.Now < prev {
+				return false
+			}
+			prev = led.Now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletionTimesNonDecreasing(t *testing.T) {
+	d, led := newDisk(t, 1000)
+	buf := make([]byte, d.PageSize())
+	for i := 0; i < 20; i++ {
+		d.Submit(PageID(i * 37 % 1000))
+	}
+	prev := stats.Ticks(-1)
+	for {
+		_, ok := d.WaitAny(buf)
+		if !ok {
+			break
+		}
+		if led.Now < prev {
+			t.Fatal("completion times regressed")
+		}
+		prev = led.Now
+	}
+}
+
+func TestWriteThenReadOtherPage(t *testing.T) {
+	led := stats.NewLedger()
+	d := New(DefaultCostModel(), led, 128)
+	a, b := d.Alloc(), d.Alloc()
+	d.Write(a, []byte("aaaa"))
+	d.Write(b, []byte("bbbb"))
+	buf := make([]byte, 128)
+	d.ReadSync(a, buf)
+	if string(buf[:4]) != "aaaa" {
+		t.Fatalf("page a = %q", buf[:4])
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d, _ := newDisk(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.ReadSync(5, make([]byte, d.PageSize()))
+}
+
+func TestPolicyString(t *testing.T) {
+	if SSTF.String() != "sstf" || Elevator.String() != "elevator" || FIFO.String() != "fifo" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestPendingAsyncCount(t *testing.T) {
+	d, _ := newDisk(t, 100)
+	if d.PendingAsync() != 0 {
+		t.Fatal("fresh disk has pending requests")
+	}
+	d.Submit(1)
+	d.Submit(2)
+	if d.PendingAsync() != 2 {
+		t.Fatalf("PendingAsync = %d", d.PendingAsync())
+	}
+	buf := make([]byte, d.PageSize())
+	d.WaitAny(buf)
+	if d.PendingAsync() != 1 {
+		t.Fatalf("PendingAsync after wait = %d", d.PendingAsync())
+	}
+}
+
+func TestWriteFaultDropsWrites(t *testing.T) {
+	led := stats.NewLedger()
+	d := New(DefaultCostModel(), led, 64)
+	a := d.Alloc()
+	d.Write(a, []byte("before"))
+
+	d.SetWriteFault(1)
+	d.Write(a, []byte("first-ok"))
+	d.Write(a, []byte("dropped"))
+	buf := make([]byte, 64)
+	d.ReadSync(a, buf)
+	if string(buf[:8]) != "first-ok" {
+		t.Fatalf("page = %q", buf[:8])
+	}
+	// Disarm restores writes.
+	d.SetWriteFault(-1)
+	d.Write(a, []byte("after"))
+	d.ReadSync(a, buf)
+	if string(buf[:5]) != "after" {
+		t.Fatalf("page after disarm = %q", buf[:5])
+	}
+}
+
+func TestTraceRecordsOperations(t *testing.T) {
+	d, _ := newDisk(t, 100)
+	d.SetTrace(true)
+	buf := make([]byte, d.PageSize())
+	d.ReadSync(5, buf)
+	d.ReadSync(6, buf) // sequential
+	d.Submit(50)
+	d.Submit(20)
+	d.WaitAny(buf)
+	d.WaitAny(buf)
+	tr := d.Trace()
+	if len(tr) != 4 {
+		t.Fatalf("trace length = %d: %v", len(tr), tr)
+	}
+	if tr[0].Op != "read" || tr[1].Op != "read-seq" {
+		t.Fatalf("sync ops = %s, %s", tr[0].Op, tr[1].Op)
+	}
+	// SSTF from head 6: page 20 before 50.
+	if tr[2].Op != "read-async" || tr[2].Page != 20 || tr[3].Page != 50 {
+		t.Fatalf("async trace = %v", tr[2:])
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At < tr[i-1].At {
+			t.Fatal("trace times not monotone")
+		}
+	}
+	d.SetTrace(false)
+	d.ReadSync(5, buf)
+	if len(d.Trace()) != 0 {
+		t.Fatal("tracing not disabled")
+	}
+}

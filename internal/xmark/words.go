@@ -1,0 +1,40 @@
+package xmark
+
+import "strings"
+
+// wordList is the vocabulary for generated prose, standing in for the
+// Shakespeare word list xmlgen ships with.
+var wordList = strings.Fields(`
+the of and to in that was his he it with is for as had you not be her on at
+by which have or from this him but all she they were my are me one their so
+an said them we who would been will no when there if more out up into do any
+your what has man could other than our some very time upon about may its only
+now little like then can made should did us such a great before must two
+these see know over much down after first mister good men own never most old
+shall day where those came come himself way work life without go make well
+through being long say might among even soul house malicious fortune attack
+rapid rebuild golden ships crew merchant duty iron crown castle silver stone
+bridge harbour winter summer spring autumn journey letter answer question
+market garden mountain river forest village captain soldier doctor lawyer
+king queen prince princess knight squire farmer hunter miller baker butcher
+purple orange yellow crimson scarlet azure emerald amber ivory ebony marble
+quiet loud gentle fierce brave timid clever foolish wise noble humble proud
+`)
+
+// word returns one pseudo-random vocabulary word.
+func (g *generator) word() string {
+	return wordList[g.r.Intn(len(wordList))]
+}
+
+// words returns a phrase of lo..hi words.
+func (g *generator) words(lo, hi int) string {
+	n := g.r.IntRange(lo, hi)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(g.word())
+	}
+	return b.String()
+}

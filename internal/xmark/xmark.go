@@ -1,0 +1,394 @@
+// Package xmark generates XMark-shaped benchmark documents (Schmidt et
+// al., VLDB 2002) deterministically, substituting for the original xmlgen
+// tool, which is not available in this environment.
+//
+// The generator reproduces the structural features the paper's evaluation
+// queries exercise:
+//
+//   - the region hierarchy with its skewed item distribution (Q6'),
+//   - prose containers description/annotation/emailaddress spread across
+//     most of the document (Q7), and
+//   - the nested parlist/listitem/text/emph/keyword structure inside
+//     closed-auction annotations (Q15).
+//
+// Entity counts scale linearly with the scale factor, using the standard
+// XMark proportions (21 750 items, 25 500 persons, 12 000 open and 9 750
+// closed auctions, 1 000 categories at factor 1), multiplied by
+// EntityScale so experiments stay laptop-sized: with the default
+// EntityScale of 0.1, a factor-1 document is roughly a tenth of the
+// official 110 MB XMark document while preserving all selectivities.
+package xmark
+
+import (
+	"fmt"
+
+	"pathdb/internal/rng"
+	"pathdb/internal/xmltree"
+)
+
+// Config parameterises document generation.
+type Config struct {
+	// ScaleFactor is the XMark scale factor (the x-axis of Figs. 9-11).
+	ScaleFactor float64
+	// Seed makes documents reproducible; documents with different seeds
+	// differ in content but not in entity counts.
+	Seed uint64
+	// EntityScale multiplies the standard XMark entity counts (default
+	// 0.1). Set to 1.0 to reproduce full-size XMark populations.
+	EntityScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EntityScale == 0 {
+		c.EntityScale = 0.1
+	}
+	if c.ScaleFactor == 0 {
+		c.ScaleFactor = 1
+	}
+	return c
+}
+
+// Counts are the top-level entity populations for a configuration.
+type Counts struct {
+	Items          int // across all regions
+	Persons        int
+	OpenAuctions   int
+	ClosedAuctions int
+	Categories     int
+}
+
+// Standard XMark populations at scale factor 1.
+const (
+	baseItems          = 21750
+	basePersons        = 25500
+	baseOpenAuctions   = 12000
+	baseClosedAuctions = 9750
+	baseCategories     = 1000
+)
+
+// regionShare is the fraction of items per region, from the xmlgen source.
+var regionShare = []struct {
+	name  string
+	share float64
+}{
+	{"africa", 0.0253},
+	{"asia", 0.092},
+	{"australia", 0.1011},
+	{"europe", 0.2759},
+	{"namerica", 0.4598},
+	{"samerica", 0.0459},
+}
+
+// CountsFor returns the entity populations for cfg.
+func CountsFor(cfg Config) Counts {
+	cfg = cfg.withDefaults()
+	scale := cfg.ScaleFactor * cfg.EntityScale
+	n := func(base int) int {
+		v := int(float64(base)*scale + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return Counts{
+		Items:          n(baseItems),
+		Persons:        n(basePersons),
+		OpenAuctions:   n(baseOpenAuctions),
+		ClosedAuctions: n(baseClosedAuctions),
+		Categories:     n(baseCategories),
+	}
+}
+
+// Generate builds an XMark-shaped document, interning tags into dict.
+func Generate(dict *xmltree.Dictionary, cfg Config) *xmltree.Node {
+	cfg = cfg.withDefaults()
+	counts := CountsFor(cfg)
+	g := &generator{
+		b:      xmltree.NewBuilder(dict),
+		r:      rng.New(cfg.Seed ^ 0x44A7C0FFEE),
+		counts: counts,
+	}
+	return g.site()
+}
+
+type generator struct {
+	b      *xmltree.Builder
+	r      *rng.RNG
+	counts Counts
+	serial int
+}
+
+func (g *generator) id(prefix string) string {
+	g.serial++
+	return fmt.Sprintf("%s%d", prefix, g.serial)
+}
+
+// site emits the whole document.
+func (g *generator) site() *xmltree.Node {
+	b := g.b
+	b.Begin("site")
+
+	b.Begin("regions")
+	remaining := g.counts.Items
+	for i, reg := range regionShare {
+		n := int(float64(g.counts.Items)*reg.share + 0.5)
+		if i == len(regionShare)-1 {
+			n = remaining
+		}
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		b.Begin(reg.name)
+		for j := 0; j < n; j++ {
+			g.item()
+		}
+		b.End()
+	}
+	b.End() // regions
+
+	b.Begin("categories")
+	for i := 0; i < g.counts.Categories; i++ {
+		g.category()
+	}
+	b.End()
+
+	b.Begin("catgraph")
+	for i := 0; i < g.counts.Categories; i++ {
+		b.Begin("edge").
+			Attr("from", fmt.Sprintf("category%d", g.r.Intn(g.counts.Categories))).
+			Attr("to", fmt.Sprintf("category%d", g.r.Intn(g.counts.Categories))).
+			End()
+	}
+	b.End()
+
+	b.Begin("people")
+	for i := 0; i < g.counts.Persons; i++ {
+		g.person(i)
+	}
+	b.End()
+
+	b.Begin("open_auctions")
+	for i := 0; i < g.counts.OpenAuctions; i++ {
+		g.openAuction()
+	}
+	b.End()
+
+	b.Begin("closed_auctions")
+	for i := 0; i < g.counts.ClosedAuctions; i++ {
+		g.closedAuction()
+	}
+	b.End()
+
+	b.End() // site
+	return b.Doc()
+}
+
+func (g *generator) item() {
+	b := g.b
+	b.Begin("item").Attr("id", g.id("item"))
+	b.Leaf("location", g.words(1, 2))
+	b.Leaf("quantity", fmt.Sprintf("%d", g.r.IntRange(1, 10)))
+	b.Leaf("name", g.words(2, 4))
+	b.Begin("payment").Text(g.words(1, 3)).End()
+	g.description()
+	b.Begin("shipping").Text(g.words(2, 5)).End()
+	for i, n := 0, g.r.IntRange(1, 3); i < n; i++ {
+		b.Begin("incategory").
+			Attr("category", fmt.Sprintf("category%d", g.r.Intn(g.counts.Categories))).
+			End()
+	}
+	g.mailbox()
+	b.End()
+}
+
+func (g *generator) category() {
+	b := g.b
+	b.Begin("category").Attr("id", g.id("category"))
+	b.Leaf("name", g.words(1, 3))
+	g.description()
+	b.End()
+}
+
+func (g *generator) person(i int) {
+	b := g.b
+	b.Begin("person").Attr("id", fmt.Sprintf("person%d", i))
+	b.Leaf("name", g.words(2, 2))
+	b.Leaf("emailaddress", "mailto:"+g.word()+"@"+g.word()+".com")
+	if g.r.Bool(0.5) {
+		b.Leaf("phone", fmt.Sprintf("+%d (%d) %d", g.r.Intn(99), g.r.Intn(999), g.r.Intn(9999999)))
+	}
+	if g.r.Bool(0.4) {
+		b.Begin("address").
+			Leaf("street", g.words(2, 3)).
+			Leaf("city", g.word()).
+			Leaf("country", g.word()).
+			Leaf("zipcode", fmt.Sprintf("%d", g.r.Intn(99999))).
+			End()
+	}
+	if g.r.Bool(0.3) {
+		b.Leaf("homepage", "http://www."+g.word()+".com/~"+g.word())
+	}
+	if g.r.Bool(0.25) {
+		b.Leaf("creditcard", fmt.Sprintf("%d %d %d %d", g.r.Intn(9999), g.r.Intn(9999), g.r.Intn(9999), g.r.Intn(9999)))
+	}
+	if g.r.Bool(0.6) {
+		b.Begin("profile").Attr("income", fmt.Sprintf("%d", g.r.IntRange(9, 99)*1000))
+		for j, n := 0, g.r.Intn(4); j < n; j++ {
+			b.Begin("interest").
+				Attr("category", fmt.Sprintf("category%d", g.r.Intn(g.counts.Categories))).
+				End()
+		}
+		if g.r.Bool(0.5) {
+			b.Leaf("education", g.words(1, 2))
+		}
+		if g.r.Bool(0.5) {
+			b.Leaf("gender", []string{"male", "female"}[g.r.Intn(2)])
+		}
+		b.Leaf("business", []string{"Yes", "No"}[g.r.Intn(2)])
+		if g.r.Bool(0.5) {
+			b.Leaf("age", fmt.Sprintf("%d", g.r.IntRange(18, 90)))
+		}
+		b.End()
+	}
+	if g.r.Bool(0.3) {
+		b.Begin("watches")
+		for j, n := 0, g.r.IntRange(1, 4); j < n; j++ {
+			b.Begin("watch").
+				Attr("open_auction", fmt.Sprintf("open_auction%d", g.r.Intn(g.counts.OpenAuctions))).
+				End()
+		}
+		b.End()
+	}
+	b.End()
+}
+
+func (g *generator) openAuction() {
+	b := g.b
+	b.Begin("open_auction").Attr("id", g.id("open_auction"))
+	b.Leaf("initial", g.money())
+	if g.r.Bool(0.4) {
+		b.Leaf("reserve", g.money())
+	}
+	for i, n := 0, g.r.Intn(5); i < n; i++ {
+		b.Begin("bidder").
+			Leaf("date", g.date()).
+			Leaf("time", g.time()).
+			Begin("personref").Attr("person", fmt.Sprintf("person%d", g.r.Intn(g.counts.Persons))).End().
+			Leaf("increase", g.money()).
+			End()
+	}
+	b.Leaf("current", g.money())
+	if g.r.Bool(0.3) {
+		b.Leaf("privacy", "Yes")
+	}
+	b.Begin("itemref").Attr("item", fmt.Sprintf("item%d", g.r.IntRange(1, g.counts.Items))).End()
+	b.Begin("seller").Attr("person", fmt.Sprintf("person%d", g.r.Intn(g.counts.Persons))).End()
+	g.annotation()
+	b.Leaf("quantity", fmt.Sprintf("%d", g.r.IntRange(1, 5)))
+	b.Leaf("type", []string{"Regular", "Featured", "Dutch"}[g.r.Intn(3)])
+	b.Begin("interval").Leaf("start", g.date()).Leaf("end", g.date()).End()
+	b.End()
+}
+
+func (g *generator) closedAuction() {
+	b := g.b
+	b.Begin("closed_auction")
+	b.Begin("seller").Attr("person", fmt.Sprintf("person%d", g.r.Intn(g.counts.Persons))).End()
+	b.Begin("buyer").Attr("person", fmt.Sprintf("person%d", g.r.Intn(g.counts.Persons))).End()
+	b.Begin("itemref").Attr("item", fmt.Sprintf("item%d", g.r.IntRange(1, g.counts.Items))).End()
+	b.Leaf("price", g.money())
+	b.Leaf("date", g.date())
+	b.Leaf("quantity", fmt.Sprintf("%d", g.r.IntRange(1, 5)))
+	b.Leaf("type", []string{"Regular", "Featured", "Dutch"}[g.r.Intn(3)])
+	g.annotation()
+	b.End()
+}
+
+// annotation = (author, description, happiness), the prose container of
+// Q7 and the entry point of Q15's long child path.
+func (g *generator) annotation() {
+	b := g.b
+	b.Begin("annotation")
+	b.Begin("author").Attr("person", fmt.Sprintf("person%d", g.r.Intn(g.counts.Persons))).End()
+	g.description()
+	b.Leaf("happiness", fmt.Sprintf("%d", g.r.IntRange(1, 10)))
+	b.End()
+}
+
+// description = (text | parlist).
+func (g *generator) description() {
+	g.b.Begin("description")
+	if g.r.Bool(0.3) {
+		g.parlist(0)
+	} else {
+		g.text()
+	}
+	g.b.End()
+}
+
+// parlist = (listitem)*; listitem = (text | parlist)*.
+func (g *generator) parlist(depth int) {
+	b := g.b
+	b.Begin("parlist")
+	for i, n := 0, g.r.IntRange(1, 3); i < n; i++ {
+		b.Begin("listitem")
+		if depth < 2 && g.r.Bool(0.3) {
+			g.parlist(depth + 1)
+		} else {
+			g.text()
+		}
+		b.End()
+	}
+	b.End()
+}
+
+// text is mixed content with keyword/bold/emph markup; emph may nest a
+// keyword, completing Q15's .../text/emph/keyword tail.
+func (g *generator) text() {
+	b := g.b
+	b.Begin("text")
+	for i, n := 0, g.r.IntRange(1, 4); i < n; i++ {
+		b.Text(g.words(4, 12) + " ")
+		switch g.r.Intn(6) {
+		case 0:
+			b.Leaf("bold", g.words(1, 3))
+		case 1:
+			b.Leaf("keyword", g.words(1, 2))
+		case 2:
+			b.Begin("emph")
+			b.Text(g.words(1, 2))
+			if g.r.Bool(0.5) {
+				b.Leaf("keyword", g.words(1, 2))
+			}
+			b.End()
+		}
+	}
+	b.End()
+}
+
+func (g *generator) mailbox() {
+	b := g.b
+	b.Begin("mailbox")
+	for i, n := 0, g.r.Intn(3); i < n; i++ {
+		b.Begin("mail").
+			Leaf("from", g.words(2, 2)).
+			Leaf("to", g.words(2, 2)).
+			Leaf("date", g.date())
+		g.text()
+		b.End()
+	}
+	b.End()
+}
+
+func (g *generator) money() string {
+	return fmt.Sprintf("%d.%02d", g.r.IntRange(1, 300), g.r.Intn(100))
+}
+
+func (g *generator) date() string {
+	return fmt.Sprintf("%02d/%02d/%04d", g.r.IntRange(1, 12), g.r.IntRange(1, 28), g.r.IntRange(1998, 2001))
+}
+
+func (g *generator) time() string {
+	return fmt.Sprintf("%02d:%02d:%02d", g.r.Intn(24), g.r.Intn(60), g.r.Intn(60))
+}

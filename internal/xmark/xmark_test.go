@@ -1,0 +1,159 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xmlwrite"
+)
+
+func gen(t testing.TB, sf float64, seed uint64) (*xmltree.Dictionary, *xmltree.Node) {
+	t.Helper()
+	dict := xmltree.NewDictionary()
+	doc := Generate(dict, Config{ScaleFactor: sf, Seed: seed, EntityScale: 0.01})
+	return dict, doc
+}
+
+func countTag(dict *xmltree.Dictionary, doc *xmltree.Node, name string) int {
+	id, ok := dict.Lookup(name)
+	if !ok {
+		return 0
+	}
+	return doc.CountTag(id)
+}
+
+func TestDeterministic(t *testing.T) {
+	d1, doc1 := gen(t, 1, 7)
+	d2, doc2 := gen(t, 1, 7)
+	s1 := xmlwrite.String(d1, doc1, xmlwrite.Options{})
+	s2 := xmlwrite.String(d2, doc2, xmlwrite.Options{})
+	if s1 != s2 {
+		t.Fatal("same config produced different documents")
+	}
+}
+
+func TestSeedsChangeContent(t *testing.T) {
+	d1, doc1 := gen(t, 1, 1)
+	d2, doc2 := gen(t, 1, 2)
+	if xmlwrite.String(d1, doc1, xmlwrite.Options{}) == xmlwrite.String(d2, doc2, xmlwrite.Options{}) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestEntityCountsMatchConfig(t *testing.T) {
+	cfg := Config{ScaleFactor: 1, Seed: 3, EntityScale: 0.01}
+	counts := CountsFor(cfg)
+	dict := xmltree.NewDictionary()
+	doc := Generate(dict, cfg)
+	if got := countTag(dict, doc, "item"); got != counts.Items {
+		t.Fatalf("items = %d, want %d", got, counts.Items)
+	}
+	if got := countTag(dict, doc, "person"); got != counts.Persons {
+		t.Fatalf("persons = %d, want %d", got, counts.Persons)
+	}
+	if got := countTag(dict, doc, "open_auction"); got != counts.OpenAuctions {
+		t.Fatalf("open auctions = %d, want %d", got, counts.OpenAuctions)
+	}
+	if got := countTag(dict, doc, "closed_auction"); got != counts.ClosedAuctions {
+		t.Fatalf("closed auctions = %d, want %d", got, counts.ClosedAuctions)
+	}
+	if got := countTag(dict, doc, "category"); got != counts.Categories {
+		t.Fatalf("categories = %d, want %d", got, counts.Categories)
+	}
+}
+
+func TestCountsScaleLinearly(t *testing.T) {
+	small := CountsFor(Config{ScaleFactor: 0.5, EntityScale: 0.1})
+	big := CountsFor(Config{ScaleFactor: 2, EntityScale: 0.1})
+	if big.Items < 3*small.Items || big.Items > 5*small.Items {
+		t.Fatalf("items did not scale ~4x: %d vs %d", small.Items, big.Items)
+	}
+	if CountsFor(Config{ScaleFactor: 0.0001, EntityScale: 0.1}).Categories < 1 {
+		t.Fatal("counts must be at least 1")
+	}
+}
+
+func TestRegionDistributionSkewed(t *testing.T) {
+	dict, doc := gen(t, 2, 5)
+	na := countTag(dict, doc, "namerica")
+	if na != 1 {
+		t.Fatalf("namerica regions = %d", na)
+	}
+	// namerica holds the largest item share; africa the smallest.
+	items := func(region string) int {
+		id, _ := dict.Lookup(region)
+		var n int
+		itemID, _ := dict.Lookup("item")
+		doc.Walk(func(m *xmltree.Node) bool {
+			if m.Kind == xmltree.Element && m.Tag == id {
+				n = m.CountTag(itemID)
+				return false
+			}
+			return true
+		})
+		return n
+	}
+	if items("namerica") <= items("africa") {
+		t.Fatalf("region skew missing: namerica=%d africa=%d", items("namerica"), items("africa"))
+	}
+}
+
+func TestQueryRelevantStructure(t *testing.T) {
+	dict, doc := gen(t, 2, 9)
+	// Q7 prose containers must all exist.
+	for _, name := range []string{"description", "annotation", "emailaddress"} {
+		if countTag(dict, doc, name) == 0 {
+			t.Fatalf("no %s elements generated", name)
+		}
+	}
+	// Q15's long path must have a non-empty result: closed_auction
+	// annotations containing parlist/listitem/parlist/listitem/text/emph/
+	// keyword. Verify by logical navigation.
+	q15 := [][]string{{"site"}, {"closed_auctions"}, {"closed_auction"}, {"annotation"},
+		{"description"}, {"parlist"}, {"listitem"}, {"parlist"}, {"listitem"},
+		{"text"}, {"emph"}, {"keyword"}}
+	cur := []*xmltree.Node{doc}
+	for _, step := range q15 {
+		id, ok := dict.Lookup(step[0])
+		if !ok {
+			t.Fatalf("tag %s never generated", step[0])
+		}
+		var next []*xmltree.Node
+		for _, n := range cur {
+			for _, ch := range n.Children {
+				if ch.Kind == xmltree.Element && ch.Tag == id {
+					next = append(next, ch)
+				}
+			}
+		}
+		cur = next
+	}
+	if len(cur) == 0 {
+		t.Fatal("Q15 path has empty result; deepen parlist nesting")
+	}
+	t.Logf("Q15 results at EntityScale 0.01, SF 2: %d", len(cur))
+}
+
+func TestDocumentIsSerializable(t *testing.T) {
+	dict, doc := gen(t, 0.5, 11)
+	out := xmlwrite.String(dict, doc, xmlwrite.Options{})
+	if !strings.HasPrefix(out, "<site>") || !strings.HasSuffix(out, "</site>") {
+		t.Fatalf("unexpected document frame: %.60s ... %s", out, out[len(out)-20:])
+	}
+}
+
+func TestSizeGrowsWithScaleFactor(t *testing.T) {
+	_, doc1 := gen(t, 0.5, 1)
+	_, doc2 := gen(t, 2, 1)
+	if doc2.Size() < 2*doc1.Size() {
+		t.Fatalf("size did not grow: %d vs %d", doc1.Size(), doc2.Size())
+	}
+}
+
+func BenchmarkGenerateSF01(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dict := xmltree.NewDictionary()
+		Generate(dict, Config{ScaleFactor: 0.1, Seed: 1})
+	}
+}

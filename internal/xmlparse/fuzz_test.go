@@ -1,0 +1,76 @@
+package xmlparse
+
+import (
+	"testing"
+
+	"pathdb/internal/rng"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xmlwrite"
+)
+
+// corpus is the seed input set for mutation and fuzz testing.
+var corpus = []string{
+	`<a/>`,
+	`<a><b x="1">text</b><!-- c --><?pi d?></a>`,
+	`<?xml version="1.0"?><!DOCTYPE r SYSTEM "x"><r><![CDATA[<raw>]]></r>`,
+	`<a t="a&amp;b">x &lt; y &#65; &#x42;</a>`,
+	`<日本語 属性="値">混合<b/>内容</日本語>`,
+	`<deep><deep><deep><deep><deep>x</deep></deep></deep></deep></deep>`,
+}
+
+// TestParserNeverPanicsOnMutations mutates corpus entries aggressively;
+// the parser must return (tree, nil) or (nil, error) but never panic, and
+// any accepted input must survive a serialize/reparse round trip.
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	r := rng.New(0xF422)
+	for trial := 0; trial < 4000; trial++ {
+		base := []byte(corpus[r.Intn(len(corpus))])
+		mut := append([]byte(nil), base...)
+		for k, n := 0, r.IntRange(1, 5); k < n && len(mut) > 0; k++ {
+			switch r.Intn(4) {
+			case 0: // flip a byte
+				mut[r.Intn(len(mut))] = byte(r.Intn(256))
+			case 1: // delete a byte
+				i := r.Intn(len(mut))
+				mut = append(mut[:i], mut[i+1:]...)
+			case 2: // insert a random byte
+				i := r.Intn(len(mut) + 1)
+				mut = append(mut[:i], append([]byte{byte(r.Intn(256))}, mut[i:]...)...)
+			case 3: // truncate
+				mut = mut[:r.Intn(len(mut)+1)]
+			}
+		}
+		dict := xmltree.NewDictionary()
+		doc, err := Parse(dict, mut)
+		if err != nil {
+			continue
+		}
+		// Accepted: must serialize and reparse losslessly (after adjacent
+		// text merging, which serialization cannot distinguish).
+		out := xmlwrite.String(dict, doc, xmlwrite.Options{})
+		dict2 := xmltree.NewDictionary()
+		if _, err := ParseString(dict2, out); err != nil {
+			t.Fatalf("accepted input %q reserialized to unparseable %q: %v", mut, out, err)
+		}
+	}
+}
+
+// FuzzParse is the native fuzzing entry point (run with
+// `go test -fuzz FuzzParse ./internal/xmlparse`); in normal test runs it
+// executes the seed corpus only.
+func FuzzParse(f *testing.F) {
+	for _, s := range corpus {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dict := xmltree.NewDictionary()
+		doc, err := Parse(dict, data)
+		if err != nil {
+			return
+		}
+		out := xmlwrite.String(dict, doc, xmlwrite.Options{})
+		if _, err := ParseString(xmltree.NewDictionary(), out); err != nil {
+			t.Fatalf("round trip broke: %v", err)
+		}
+	})
+}

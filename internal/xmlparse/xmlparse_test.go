@@ -1,0 +1,328 @@
+package xmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathdb/internal/rng"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xmlwrite"
+)
+
+func mustParse(t *testing.T, src string) (*xmltree.Dictionary, *xmltree.Node) {
+	t.Helper()
+	d := xmltree.NewDictionary()
+	doc, err := ParseString(d, src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return d, doc
+}
+
+func TestSimpleElement(t *testing.T) {
+	d, doc := mustParse(t, `<a/>`)
+	if len(doc.Children) != 1 {
+		t.Fatal("no root element")
+	}
+	root := doc.Children[0]
+	if root.Kind != xmltree.Element || d.Name(root.Tag) != "a" {
+		t.Fatalf("root = %v %q", root.Kind, d.Name(root.Tag))
+	}
+}
+
+func TestNestedElementsAndText(t *testing.T) {
+	d, doc := mustParse(t, `<a><b>hi</b><c>there</c></a>`)
+	a := doc.Children[0]
+	if len(a.Children) != 2 {
+		t.Fatalf("a has %d children", len(a.Children))
+	}
+	b, c := a.Children[0], a.Children[1]
+	if d.Name(b.Tag) != "b" || b.TextContent() != "hi" {
+		t.Fatalf("b wrong: %q %q", d.Name(b.Tag), b.TextContent())
+	}
+	if d.Name(c.Tag) != "c" || c.TextContent() != "there" {
+		t.Fatal("c wrong")
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	d, doc := mustParse(t, `<item id="item0" featured='yes'/>`)
+	item := doc.Children[0]
+	if len(item.Attrs) != 2 {
+		t.Fatalf("got %d attrs", len(item.Attrs))
+	}
+	if d.Name(item.Attrs[0].Tag) != "id" || item.Attrs[0].Text != "item0" {
+		t.Fatal("first attr wrong")
+	}
+	if d.Name(item.Attrs[1].Tag) != "featured" || item.Attrs[1].Text != "yes" {
+		t.Fatal("second attr wrong")
+	}
+}
+
+func TestEntities(t *testing.T) {
+	_, doc := mustParse(t, `<a foo="&lt;x&gt;">a &amp; b &#65;&#x42;</a>`)
+	a := doc.Children[0]
+	if a.Attrs[0].Text != "<x>" {
+		t.Fatalf("attr = %q", a.Attrs[0].Text)
+	}
+	if got := a.TextContent(); got != "a & b AB" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	_, doc := mustParse(t, `<a><![CDATA[<raw> & stuff]]></a>`)
+	if got := doc.Children[0].TextContent(); got != "<raw> & stuff" {
+		t.Fatalf("CDATA = %q", got)
+	}
+}
+
+func TestCommentsAndPIs(t *testing.T) {
+	_, doc := mustParse(t, `<?xml version="1.0"?><!-- top --><a><!-- in --><?target data?></a>`)
+	if len(doc.Children) != 2 { // comment + root
+		t.Fatalf("doc has %d children", len(doc.Children))
+	}
+	if doc.Children[0].Kind != xmltree.Comment || doc.Children[0].Text != " top " {
+		t.Fatal("top comment wrong")
+	}
+	a := doc.Children[1]
+	if a.Children[0].Kind != xmltree.Comment {
+		t.Fatal("inner comment missing")
+	}
+	if a.Children[1].Kind != xmltree.ProcInst || a.Children[1].Text != "target data" {
+		t.Fatal("PI missing")
+	}
+}
+
+func TestDoctypeSkipped(t *testing.T) {
+	_, doc := mustParse(t, `<!DOCTYPE site SYSTEM "auction.dtd"><site/>`)
+	if len(doc.Children) != 1 {
+		t.Fatal("DOCTYPE not skipped")
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	_, doc := mustParse(t, `<p>one <b>two</b> three</p>`)
+	p := doc.Children[0]
+	if len(p.Children) != 3 {
+		t.Fatalf("p has %d children", len(p.Children))
+	}
+	if p.TextContent() != "one two three" {
+		t.Fatalf("text = %q", p.TextContent())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{`<a>`, "unterminated"},
+		{`<a></b>`, "mismatched"},
+		{`<a b=c/>`, "not quoted"},
+		{`<a b="x/>`, "unterminated attribute"},
+		{`hello`, "outside root"},
+		{``, "no root"},
+		{`<a/><b/>`, "multiple root"},
+		{`<a>&bogus;</a>`, "unknown entity"},
+		{`<a>&#xZZ;</a>`, "bad character reference"},
+		{`<a><![CDATA[x</a>`, "unterminated CDATA"},
+		{`<!-- x <a/>`, "unterminated comment"},
+		{`<1bad/>`, "expected name"},
+	}
+	for _, c := range cases {
+		d := xmltree.NewDictionary()
+		_, err := ParseString(d, c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	d := xmltree.NewDictionary()
+	_, err := ParseString(d, "<a>\n<b>\n</a>")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("error line = %d, want 3", se.Line)
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	_, doc := mustParse(t, "<a>\n  <b/>\n</a>")
+	a := doc.Children[0]
+	// Whitespace-only text nodes are preserved (no validation => no
+	// ignorable whitespace), which keeps round trips exact.
+	if len(a.Children) != 3 {
+		t.Fatalf("a has %d children, want 3 (ws, b, ws)", len(a.Children))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		`<a/>`,
+		`<a><b>hi</b><c x="1"/></a>`,
+		`<p>one <b>two</b> three</p>`,
+		`<a t="a&amp;b">x &lt; y</a>`,
+	}
+	for _, src := range srcs {
+		d, doc := mustParse(t, src)
+		out := xmlwrite.String(d, doc, xmlwrite.Options{})
+		d2 := xmltree.NewDictionary()
+		doc2, err := ParseString(d2, out)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v (serialized %q)", src, err, out)
+		}
+		if !treesEquivalent(d, doc, d2, doc2) {
+			t.Fatalf("round trip changed tree for %q: got %q", src, out)
+		}
+	}
+}
+
+// treesEquivalent compares trees across two dictionaries by name.
+func treesEquivalent(da *xmltree.Dictionary, a *xmltree.Node, db *xmltree.Dictionary, b *xmltree.Node) bool {
+	if a.Kind != b.Kind || a.Text != b.Text {
+		return false
+	}
+	if a.Kind == xmltree.Element || a.Kind == xmltree.Attribute {
+		if da.Name(a.Tag) != db.Name(b.Tag) {
+			return false
+		}
+	}
+	if len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if !treesEquivalent(da, a.Attrs[i], db, b.Attrs[i]) {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !treesEquivalent(da, a.Children[i], db, b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// genXML builds a random tree and returns it; the property test serializes
+// and reparses it, checking equivalence.
+func genTree(r *rng.RNG, d *xmltree.Dictionary) *xmltree.Node {
+	doc := xmltree.NewDocument()
+	tags := []string{"a", "b", "c", "data", "x-y"}
+	texts := []string{"", "plain", "a<b", "x & y", `quo"te`, "tab\tchar"}
+	var build func(parent *xmltree.Node, depth int)
+	build = func(parent *xmltree.Node, depth int) {
+		e := xmltree.NewElement(d.Intern(tags[r.Intn(len(tags))]))
+		parent.AppendChild(e)
+		if r.Bool(0.5) {
+			e.SetAttr(d.Intern("k"), texts[r.Intn(len(texts))])
+		}
+		n := r.Intn(4)
+		for i := 0; i < n && depth < 5; i++ {
+			if r.Bool(0.4) {
+				if s := texts[r.Intn(len(texts))]; s != "" {
+					e.AppendChild(xmltree.NewText(s))
+				}
+			} else {
+				build(e, depth+1)
+			}
+		}
+	}
+	build(doc, 0)
+	return doc
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := xmltree.NewDictionary()
+		doc := genTree(rng.New(seed), d)
+		out := xmlwrite.String(d, doc, xmlwrite.Options{})
+		d2 := xmltree.NewDictionary()
+		doc2, err := ParseString(d2, out)
+		if err != nil {
+			t.Logf("serialized: %q err: %v", out, err)
+			return false
+		}
+		// Serializer merges adjacent text nodes on reparse; normalise both.
+		return normalizedEqual(d, doc, d2, doc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalizedEqual compares trees after merging adjacent text children.
+func normalizedEqual(da *xmltree.Dictionary, a *xmltree.Node, db *xmltree.Dictionary, b *xmltree.Node) bool {
+	na, nb := mergeText(a), mergeText(b)
+	if na.Kind != nb.Kind || na.Text != nb.Text {
+		return false
+	}
+	if na.Kind == xmltree.Element || na.Kind == xmltree.Attribute {
+		if da.Name(na.Tag) != db.Name(nb.Tag) {
+			return false
+		}
+	}
+	if len(na.Children) != len(nb.Children) || len(na.Attrs) != len(nb.Attrs) {
+		return false
+	}
+	for i := range na.Attrs {
+		if !normalizedEqual(da, na.Attrs[i], db, nb.Attrs[i]) {
+			return false
+		}
+	}
+	for i := range na.Children {
+		if !normalizedEqual(da, na.Children[i], db, nb.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeText(n *xmltree.Node) *xmltree.Node {
+	out := &xmltree.Node{Kind: n.Kind, Tag: n.Tag, Text: n.Text, Attrs: n.Attrs}
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text && len(out.Children) > 0 && out.Children[len(out.Children)-1].Kind == xmltree.Text {
+			prev := out.Children[len(out.Children)-1]
+			merged := *prev
+			merged.Text = prev.Text + c.Text
+			out.Children[len(out.Children)-1] = &merged
+			continue
+		}
+		out.Children = append(out.Children, c)
+	}
+	return out
+}
+
+func TestUTF8Names(t *testing.T) {
+	d, doc := mustParse(t, `<日本語>text</日本語>`)
+	if d.Name(doc.Children[0].Tag) != "日本語" {
+		t.Fatal("multibyte name mangled")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString(`<item id="x"><name>thing</name><desc>some text here</desc></item>`)
+	}
+	sb.WriteString("</root>")
+	src := []byte(sb.String())
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := xmltree.NewDictionary()
+		if _, err := Parse(d, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package xmltree defines the logical document model used throughout the
+// repository: a labeled, ordered tree, exactly as in Sec. 3.1 of the paper.
+//
+// Element tags are interned in a Dictionary (the paper's tag alphabet Σ), so
+// node tests can be evaluated as integer comparisons against tag sets. Text
+// nodes, attributes, comments and processing instructions are carried along
+// as the paper permits ("they can be incorporated without difficulty").
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies logical nodes.
+type Kind uint8
+
+// Node kinds. Document is the virtual root that owns the root element.
+const (
+	Document Kind = iota
+	Element
+	Text
+	Attribute
+	Comment
+	ProcInst
+)
+
+// String returns a readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Document:
+		return "document"
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	case Attribute:
+		return "attribute"
+	case Comment:
+		return "comment"
+	case ProcInst:
+		return "processing-instruction"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// TagID is an interned element or attribute name. NoTag marks kinds that do
+// not carry a name (text, comment).
+type TagID int32
+
+// NoTag is the TagID of unnamed nodes.
+const NoTag TagID = -1
+
+// Dictionary interns tag names. It is the concrete representation of the tag
+// alphabet Σ; a given Document and all queries against it must share one.
+type Dictionary struct {
+	byName map[string]TagID
+	names  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byName: make(map[string]TagID)}
+}
+
+// Intern returns the TagID for name, assigning a fresh one if needed.
+func (d *Dictionary) Intern(name string) TagID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := TagID(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = id
+	return id
+}
+
+// Lookup returns the TagID for name, or (NoTag, false) if it was never
+// interned. Useful for queries: a name test over an unknown tag matches
+// nothing.
+func (d *Dictionary) Lookup(name string) (TagID, bool) {
+	id, ok := d.byName[name]
+	if !ok {
+		return NoTag, false
+	}
+	return id, true
+}
+
+// Name returns the string for id. It panics on an invalid id.
+func (d *Dictionary) Name(id TagID) string {
+	if id == NoTag {
+		return ""
+	}
+	return d.names[id]
+}
+
+// Len reports the number of interned tags.
+func (d *Dictionary) Len() int { return len(d.names) }
+
+// Node is a logical document node.
+//
+// Attributes are kept out of Children so that child/descendant axes see only
+// the XPath child sequence; the attribute axis walks Attrs.
+type Node struct {
+	Kind     Kind
+	Tag      TagID  // Element/Attribute name; NoTag otherwise
+	Text     string // Text content, Attribute value, Comment body, PI body
+	Parent   *Node
+	Children []*Node
+	Attrs    []*Node
+}
+
+// NewDocument returns a document root node.
+func NewDocument() *Node {
+	return &Node{Kind: Document, Tag: NoTag}
+}
+
+// NewElement returns an unattached element node.
+func NewElement(tag TagID) *Node {
+	return &Node{Kind: Element, Tag: tag}
+}
+
+// NewText returns an unattached text node.
+func NewText(s string) *Node {
+	return &Node{Kind: Text, Tag: NoTag, Text: s}
+}
+
+// AppendChild attaches c as the last child of n and returns c.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// SetAttr attaches an attribute node with the given name and value.
+func (n *Node) SetAttr(tag TagID, value string) *Node {
+	a := &Node{Kind: Attribute, Tag: tag, Text: value, Parent: n}
+	n.Attrs = append(n.Attrs, a)
+	return a
+}
+
+// Root returns the topmost ancestor of n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Walk visits n and all its element/text descendants in document order
+// (preorder). Attributes are not visited. If f returns false the subtree
+// below the current node is skipped.
+func (n *Node) Walk(f func(*Node) bool) {
+	if !f(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Count returns the number of nodes in the subtree rooted at n for which
+// pred is true (attributes included).
+func (n *Node) Count(pred func(*Node) bool) int {
+	total := 0
+	n.Walk(func(m *Node) bool {
+		if pred(m) {
+			total++
+		}
+		for _, a := range m.Attrs {
+			if pred(a) {
+				total++
+			}
+		}
+		return true
+	})
+	return total
+}
+
+// CountTag returns the number of elements with the given tag in the subtree.
+func (n *Node) CountTag(tag TagID) int {
+	return n.Count(func(m *Node) bool { return m.Kind == Element && m.Tag == tag })
+}
+
+// Size returns the number of nodes in the subtree (attributes included).
+func (n *Node) Size() int {
+	return n.Count(func(*Node) bool { return true })
+}
+
+// TextContent concatenates all descendant text, as XPath string() would.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	n.Walk(func(m *Node) bool {
+		if m.Kind == Text {
+			b.WriteString(m.Text)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// Equal reports deep structural equality of two subtrees (same kinds, tags,
+// texts, attribute lists and child lists). Parents are not compared.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Tag != b.Tag || a.Text != b.Text {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if !Equal(a.Attrs[i], b.Attrs[i]) {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Builder provides a convenient fluent way to construct trees in tests and
+// generators without tracking parent pointers by hand.
+type Builder struct {
+	Dict *Dictionary
+	cur  *Node
+	root *Node
+}
+
+// NewBuilder returns a builder with a fresh document root.
+func NewBuilder(dict *Dictionary) *Builder {
+	root := NewDocument()
+	return &Builder{Dict: dict, cur: root, root: root}
+}
+
+// Begin opens a new element with the given tag name and descends into it.
+func (b *Builder) Begin(name string) *Builder {
+	e := NewElement(b.Dict.Intern(name))
+	b.cur.AppendChild(e)
+	b.cur = e
+	return b
+}
+
+// End closes the current element, ascending to its parent.
+func (b *Builder) End() *Builder {
+	if b.cur.Parent == nil {
+		panic("xmltree: End called at document root")
+	}
+	b.cur = b.cur.Parent
+	return b
+}
+
+// Attr adds an attribute to the current element.
+func (b *Builder) Attr(name, value string) *Builder {
+	b.cur.SetAttr(b.Dict.Intern(name), value)
+	return b
+}
+
+// Text appends a text child to the current element.
+func (b *Builder) Text(s string) *Builder {
+	b.cur.AppendChild(NewText(s))
+	return b
+}
+
+// Leaf appends an element with pure text content and does not descend.
+func (b *Builder) Leaf(name, text string) *Builder {
+	return b.Begin(name).Text(text).End()
+}
+
+// Doc returns the document root. It panics if elements are still open, which
+// catches unbalanced Begin/End pairs in generator code.
+func (b *Builder) Doc() *Node {
+	if b.cur != b.root {
+		panic("xmltree: Doc called with unclosed elements")
+	}
+	return b.root
+}
+
+// Depth returns the number of currently open elements.
+func (b *Builder) Depth() int {
+	d := 0
+	for n := b.cur; n.Parent != nil; n = n.Parent {
+		d++
+	}
+	return d
+}

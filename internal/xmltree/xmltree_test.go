@@ -1,0 +1,255 @@
+package xmltree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pathdb/internal/rng"
+)
+
+func TestDictionaryIntern(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("site")
+	b := d.Intern("item")
+	a2 := d.Intern("site")
+	if a != a2 {
+		t.Fatalf("re-interning gave different ids: %d vs %d", a, a2)
+	}
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if d.Name(a) != "site" || d.Name(b) != "item" {
+		t.Fatal("Name round trip failed")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictionaryLookup(t *testing.T) {
+	d := NewDictionary()
+	d.Intern("a")
+	if _, ok := d.Lookup("a"); !ok {
+		t.Fatal("Lookup of interned name failed")
+	}
+	if id, ok := d.Lookup("missing"); ok || id != NoTag {
+		t.Fatal("Lookup of missing name should fail with NoTag")
+	}
+	if d.Name(NoTag) != "" {
+		t.Fatal("Name(NoTag) should be empty")
+	}
+}
+
+func buildSample(t *testing.T) (*Dictionary, *Node) {
+	t.Helper()
+	d := NewDictionary()
+	b := NewBuilder(d)
+	b.Begin("site").
+		Begin("regions").
+		Begin("africa").
+		Begin("item").Attr("id", "item0").Leaf("name", "widget").End().
+		End().
+		Begin("asia").
+		Begin("item").Attr("id", "item1").Leaf("name", "gadget").End().
+		Begin("item").Attr("id", "item2").Leaf("name", "sprocket").End().
+		End().
+		End().
+		End()
+	return d, b.Doc()
+}
+
+func TestBuilderStructure(t *testing.T) {
+	d, doc := buildSample(t)
+	if doc.Kind != Document {
+		t.Fatal("root is not a document node")
+	}
+	if len(doc.Children) != 1 {
+		t.Fatalf("document has %d children, want 1", len(doc.Children))
+	}
+	site := doc.Children[0]
+	if d.Name(site.Tag) != "site" {
+		t.Fatalf("root element is %q", d.Name(site.Tag))
+	}
+	item := d.Intern("item")
+	if got := doc.CountTag(item); got != 3 {
+		t.Fatalf("CountTag(item) = %d, want 3", got)
+	}
+}
+
+func TestBuilderUnbalancedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from unbalanced builder")
+		}
+	}()
+	b := NewBuilder(NewDictionary())
+	b.Begin("open")
+	b.Doc()
+}
+
+func TestEndAtRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(NewDictionary()).End()
+}
+
+func TestParentLinks(t *testing.T) {
+	_, doc := buildSample(t)
+	doc.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			if c.Parent != n {
+				t.Fatalf("child %v has wrong parent", c)
+			}
+		}
+		for _, a := range n.Attrs {
+			if a.Parent != n {
+				t.Fatal("attribute has wrong parent")
+			}
+		}
+		return true
+	})
+}
+
+func TestRoot(t *testing.T) {
+	_, doc := buildSample(t)
+	var leaf *Node
+	doc.Walk(func(n *Node) bool {
+		if len(n.Children) == 0 {
+			leaf = n
+		}
+		return true
+	})
+	if leaf == nil || leaf.Root() != doc {
+		t.Fatal("Root() did not reach the document")
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	d, doc := buildSample(t)
+	regions := d.Intern("regions")
+	visited := 0
+	doc.Walk(func(n *Node) bool {
+		visited++
+		return !(n.Kind == Element && n.Tag == regions) // prune below regions
+	})
+	// document, site, regions only.
+	if visited != 3 {
+		t.Fatalf("visited %d nodes, want 3", visited)
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	d := NewDictionary()
+	b := NewBuilder(d)
+	b.Begin("p").Text("hello ").Begin("b").Text("bold").End().Text(" world").End()
+	if got := b.Doc().TextContent(); got != "hello bold world" {
+		t.Fatalf("TextContent = %q", got)
+	}
+}
+
+func TestSizeCountsAttributes(t *testing.T) {
+	_, doc := buildSample(t)
+	// document + site + regions + africa + asia + 3 item + 3 name + 3 text + 3 attrs
+	want := 1 + 1 + 1 + 2 + 3 + 3 + 3 + 3
+	if got := doc.Size(); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+}
+
+func TestEqualReflexiveAndDetectsDiffs(t *testing.T) {
+	_, a := buildSample(t)
+	_, b := buildSample(t)
+	if !Equal(a, b) {
+		t.Fatal("identically built trees not Equal")
+	}
+	b.Children[0].Children[0].Children[0].AppendChild(NewText("extra"))
+	if Equal(a, b) {
+		t.Fatal("Equal missed a structural difference")
+	}
+	if !Equal(nil, nil) {
+		t.Fatal("Equal(nil,nil) should be true")
+	}
+	if Equal(a, nil) {
+		t.Fatal("Equal(tree,nil) should be false")
+	}
+}
+
+// randomTree builds a pseudo-random tree with n element nodes; used for
+// property tests here and reused conceptually by storage round-trip tests.
+func randomTree(r *rng.RNG, d *Dictionary, n int) *Node {
+	doc := NewDocument()
+	tags := []TagID{d.Intern("a"), d.Intern("b"), d.Intern("c"), d.Intern("d")}
+	nodes := []*Node{doc.AppendChild(NewElement(tags[0]))}
+	for i := 1; i < n; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		e := NewElement(tags[r.Intn(len(tags))])
+		parent.AppendChild(e)
+		if r.Bool(0.3) {
+			e.AppendChild(NewText("t"))
+		}
+		nodes = append(nodes, e)
+	}
+	return doc
+}
+
+func TestRandomTreeInvariants(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		n := int(sizeRaw%100) + 1
+		d := NewDictionary()
+		doc := randomTree(rng.New(seed), d, n)
+		// Every node reachable by Walk has a correct parent pointer and the
+		// element count matches n.
+		elems := 0
+		ok := true
+		doc.Walk(func(m *Node) bool {
+			if m.Kind == Element {
+				elems++
+			}
+			for _, c := range m.Children {
+				if c.Parent != m {
+					ok = false
+				}
+			}
+			return true
+		})
+		return ok && elems == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Document:  "document",
+		Element:   "element",
+		Text:      "text",
+		Attribute: "attribute",
+		Comment:   "comment",
+		ProcInst:  "processing-instruction",
+		Kind(99):  "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestBuilderDepth(t *testing.T) {
+	b := NewBuilder(NewDictionary())
+	if b.Depth() != 0 {
+		t.Fatal("fresh builder depth != 0")
+	}
+	b.Begin("a").Begin("b")
+	if b.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", b.Depth())
+	}
+	b.End().End()
+	if b.Depth() != 0 {
+		t.Fatal("depth after closing != 0")
+	}
+}

@@ -1,0 +1,182 @@
+// Package xmlwrite serializes xmltree documents back to XML text.
+//
+// It is the counterpart of xmlparse and also serves the paper's
+// document-export outlook (Sec. 7): the export example streams a stored
+// document through the navigation layer and serializes it with this
+// package.
+package xmlwrite
+
+import (
+	"io"
+	"strings"
+
+	"pathdb/internal/xmltree"
+)
+
+// Options controls serialization.
+type Options struct {
+	// Indent, when non-empty, pretty-prints with one Indent per depth level.
+	// Pretty-printing inserts whitespace and is therefore not round-trip
+	// safe for mixed content; leave it empty for canonical output.
+	Indent string
+	// Declaration, when true, emits an <?xml version="1.0"?> header.
+	Declaration bool
+}
+
+// Write serializes the subtree rooted at n (usually a document node) to w.
+func Write(w io.Writer, dict *xmltree.Dictionary, n *xmltree.Node, opt Options) error {
+	sw := &writer{w: w, dict: dict, opt: opt}
+	if opt.Declaration {
+		sw.raw(`<?xml version="1.0" encoding="UTF-8"?>`)
+		sw.nl(0)
+	}
+	sw.node(n, 0)
+	return sw.err
+}
+
+// String serializes to a string, panicking on writer errors (strings.Builder
+// never fails).
+func String(dict *xmltree.Dictionary, n *xmltree.Node, opt Options) string {
+	var b strings.Builder
+	if err := Write(&b, dict, n, opt); err != nil {
+		panic("xmlwrite: " + err.Error())
+	}
+	return b.String()
+}
+
+type writer struct {
+	w    io.Writer
+	dict *xmltree.Dictionary
+	opt  Options
+	err  error
+}
+
+func (sw *writer) raw(s string) {
+	if sw.err != nil {
+		return
+	}
+	_, sw.err = io.WriteString(sw.w, s)
+}
+
+func (sw *writer) nl(depth int) {
+	if sw.opt.Indent == "" {
+		return
+	}
+	sw.raw("\n")
+	for i := 0; i < depth; i++ {
+		sw.raw(sw.opt.Indent)
+	}
+}
+
+func (sw *writer) node(n *xmltree.Node, depth int) {
+	switch n.Kind {
+	case xmltree.Document:
+		for i, c := range n.Children {
+			if i > 0 {
+				sw.nl(0)
+			}
+			sw.node(c, depth)
+		}
+	case xmltree.Element:
+		sw.element(n, depth)
+	case xmltree.Text:
+		sw.raw(EscapeText(n.Text))
+	case xmltree.Comment:
+		sw.raw("<!--")
+		sw.raw(n.Text)
+		sw.raw("-->")
+	case xmltree.ProcInst:
+		sw.raw("<?")
+		sw.raw(n.Text)
+		sw.raw("?>")
+	case xmltree.Attribute:
+		// Attributes are emitted by their owning element.
+	}
+}
+
+func (sw *writer) element(n *xmltree.Node, depth int) {
+	name := sw.dict.Name(n.Tag)
+	sw.raw("<")
+	sw.raw(name)
+	for _, a := range n.Attrs {
+		sw.raw(" ")
+		sw.raw(sw.dict.Name(a.Tag))
+		sw.raw(`="`)
+		sw.raw(EscapeAttr(a.Text))
+		sw.raw(`"`)
+	}
+	if len(n.Children) == 0 {
+		sw.raw("/>")
+		return
+	}
+	sw.raw(">")
+	// Pretty-print only element-only content; mixed content stays inline.
+	pretty := sw.opt.Indent != "" && !hasTextChild(n)
+	for _, c := range n.Children {
+		if pretty {
+			sw.nl(depth + 1)
+		}
+		sw.node(c, depth+1)
+	}
+	if pretty {
+		sw.nl(depth)
+	}
+	sw.raw("</")
+	sw.raw(name)
+	sw.raw(">")
+}
+
+func hasTextChild(n *xmltree.Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			return true
+		}
+	}
+	return false
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes an attribute value for a double-quoted attribute.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `<>&"`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

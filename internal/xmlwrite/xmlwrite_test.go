@@ -1,0 +1,107 @@
+package xmlwrite
+
+import (
+	"strings"
+	"testing"
+
+	"pathdb/internal/xmltree"
+)
+
+func sample() (*xmltree.Dictionary, *xmltree.Node) {
+	d := xmltree.NewDictionary()
+	b := xmltree.NewBuilder(d)
+	b.Begin("site").
+		Begin("item").Attr("id", "i1").Leaf("name", "a & b").End().
+		Begin("empty").End().
+		End()
+	return d, b.Doc()
+}
+
+func TestBasicSerialization(t *testing.T) {
+	d, doc := sample()
+	got := String(d, doc, Options{})
+	want := `<site><item id="i1"><name>a &amp; b</name></item><empty/></site>`
+	if got != want {
+		t.Fatalf("got %q\nwant %q", got, want)
+	}
+}
+
+func TestDeclaration(t *testing.T) {
+	d, doc := sample()
+	got := String(d, doc, Options{Declaration: true})
+	if !strings.HasPrefix(got, `<?xml version="1.0"`) {
+		t.Fatalf("missing declaration: %q", got)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	d, doc := sample()
+	got := String(d, doc, Options{Indent: "  "})
+	if !strings.Contains(got, "\n  <item") {
+		t.Fatalf("no indentation: %q", got)
+	}
+	// Mixed/text content must remain inline.
+	if strings.Contains(got, "\n    a &") {
+		t.Fatalf("text content was indented: %q", got)
+	}
+}
+
+func TestEscapeText(t *testing.T) {
+	cases := map[string]string{
+		"plain":  "plain",
+		"a<b":    "a&lt;b",
+		"a>b":    "a&gt;b",
+		"a&b":    "a&amp;b",
+		`quo"te`: `quo"te`, // quotes are fine in text
+		"<&>mix": "&lt;&amp;&gt;mix",
+		"":       "",
+	}
+	for in, want := range cases {
+		if got := EscapeText(in); got != want {
+			t.Errorf("EscapeText(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeAttr(t *testing.T) {
+	if got := EscapeAttr(`a"b<c&d`); got != `a&quot;b&lt;c&amp;d` {
+		t.Fatalf("EscapeAttr = %q", got)
+	}
+}
+
+func TestCommentAndPI(t *testing.T) {
+	d := xmltree.NewDictionary()
+	doc := xmltree.NewDocument()
+	doc.AppendChild(&xmltree.Node{Kind: xmltree.Comment, Tag: xmltree.NoTag, Text: " c "})
+	e := xmltree.NewElement(d.Intern("a"))
+	doc.AppendChild(e)
+	e.AppendChild(&xmltree.Node{Kind: xmltree.ProcInst, Tag: xmltree.NoTag, Text: "t d"})
+	got := String(d, doc, Options{})
+	if got != "<!-- c --><a><?t d?></a>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n -= len(p)
+	if f.n <= 0 {
+		return 0, errBoom
+	}
+	return len(p), nil
+}
+
+var errBoom = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "boom" }
+
+func TestWriteErrorPropagates(t *testing.T) {
+	d, doc := sample()
+	err := Write(&failWriter{n: 10}, d, doc, Options{})
+	if err != errBoom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,73 @@
+package xpath
+
+import (
+	"testing"
+
+	"pathdb/internal/rng"
+	"pathdb/internal/xmltree"
+)
+
+var pathCorpus = []string{
+	"/site/regions//item",
+	"//a[b/c='x']/@id | //d",
+	"a/following::b[.='v']",
+	"/descendant-or-self::node()/child::x",
+	"../preceding-sibling::*[y]",
+}
+
+// TestPathParserNeverPanics mutates path inputs; Parse and ParseUnion must
+// never panic, and accepted paths must render and reparse stably.
+func TestPathParserNeverPanics(t *testing.T) {
+	r := rng.New(0xBADC0DE)
+	for trial := 0; trial < 6000; trial++ {
+		mut := []byte(pathCorpus[r.Intn(len(pathCorpus))])
+		for k, n := 0, r.IntRange(1, 4); k < n && len(mut) > 0; k++ {
+			switch r.Intn(3) {
+			case 0:
+				mut[r.Intn(len(mut))] = byte(r.Intn(128))
+			case 1:
+				i := r.Intn(len(mut))
+				mut = append(mut[:i], mut[i+1:]...)
+			case 2:
+				i := r.Intn(len(mut) + 1)
+				extra := []byte{'/', '[', ']', '|', '@', ':', '"', '*', 'a'}[r.Intn(9)]
+				mut = append(mut[:i], append([]byte{extra}, mut[i:]...)...)
+			}
+		}
+		dict := xmltree.NewDictionary()
+		ps, err := ParseUnion(dict, string(mut))
+		if err != nil {
+			continue
+		}
+		for _, p := range ps {
+			rendered := p.Render(dict)
+			p2, err := Parse(dict, rendered)
+			if err != nil {
+				t.Fatalf("accepted %q rendered to unparseable %q: %v", mut, rendered, err)
+			}
+			if p2.Render(dict) != rendered {
+				t.Fatalf("render not a fixpoint for %q: %q vs %q", mut, rendered, p2.Render(dict))
+			}
+		}
+	}
+}
+
+// FuzzParsePath is the native fuzzing entry point for the path parser.
+func FuzzParsePath(f *testing.F) {
+	for _, s := range pathCorpus {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dict := xmltree.NewDictionary()
+		ps, err := ParseUnion(dict, src)
+		if err != nil {
+			return
+		}
+		for _, p := range ps {
+			rendered := p.Render(dict)
+			if _, err := Parse(dict, rendered); err != nil {
+				t.Fatalf("accepted %q rendered to unparseable %q", src, rendered)
+			}
+		}
+	})
+}

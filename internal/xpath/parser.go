@@ -1,0 +1,355 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"pathdb/internal/xmltree"
+)
+
+// ParseError reports a syntax error with its byte offset in the input.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xpath: offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a location path in (abbreviated or verbose) XPath syntax.
+//
+// Grammar:
+//
+//	path     = ("/" | "//")? step (("/" | "//") step)*
+//	         | "/"                      (the document root itself)
+//	step     = axis "::" nodetest | "@" nodetest | nodetest | "." | ".."
+//	nodetest = NCName | "*" | "node()" | "text()" | "comment()"
+//	         | "processing-instruction()"
+//
+// "//" abbreviates /descendant-or-self::node()/ as usual. Tag names are
+// interned into dict so the resulting tests are integer comparisons.
+func Parse(dict *xmltree.Dictionary, src string) (*Path, error) {
+	p := &pathParser{dict: dict, src: src}
+	path, err := p.parse("")
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if !p.eof() {
+		return nil, p.errf("unexpected %q", p.src[p.pos:])
+	}
+	return path, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and fixed queries.
+func MustParse(dict *xmltree.Dictionary, src string) *Path {
+	path, err := Parse(dict, src)
+	if err != nil {
+		panic(err)
+	}
+	return path
+}
+
+type pathParser struct {
+	dict *xmltree.Dictionary
+	src  string
+	pos  int
+}
+
+func (p *pathParser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *pathParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *pathParser) skipWS() {
+	for !p.eof() && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *pathParser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// parse reads a path until EOF or one of the stop characters.
+func (p *pathParser) parse(stops string) (*Path, error) {
+	p.skipWS()
+	if p.eof() {
+		return nil, p.errf("empty path")
+	}
+	path := &Path{}
+	switch {
+	case p.consume("//"):
+		path.Absolute = true
+		path.Steps = append(path.Steps, Step{Axis: DescendantOrSelf, Test: AnyNode()})
+	case p.consume("/"):
+		path.Absolute = true
+		p.skipWS()
+		if p.eof() {
+			return path, nil // "/" selects the document root
+		}
+	}
+	for {
+		steps, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, steps...)
+		p.skipWS()
+		if p.eof() || (!p.eof() && strings.IndexByte(stops, p.src[p.pos]) >= 0) {
+			return path, nil
+		}
+		switch {
+		case p.consume("//"):
+			path.Steps = append(path.Steps, Step{Axis: DescendantOrSelf, Test: AnyNode()})
+		case p.consume("/"):
+		default:
+			return nil, p.errf("unexpected %q", p.src[p.pos:])
+		}
+	}
+}
+
+// parsePredicates reads zero or more [..] predicates and attaches them to
+// the last step of steps.
+func (p *pathParser) parsePredicates(steps []Step) ([]Step, error) {
+	for {
+		p.skipWS()
+		if p.eof() || p.src[p.pos] != '[' {
+			return steps, nil
+		}
+		p.pos++
+		var branches []*Path
+		for {
+			nested, err := p.parse("]=|")
+			if err != nil {
+				return nil, err
+			}
+			if nested.Absolute {
+				return nil, p.errf("absolute path inside predicate")
+			}
+			branches = append(branches, nested)
+			p.skipWS()
+			if !p.eof() && p.src[p.pos] == '|' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		pred := Predicate{Paths: branches}
+		p.skipWS()
+		if !p.eof() && p.src[p.pos] == '=' {
+			p.pos++
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			pred.Literal = lit
+			pred.HasLit = true
+			p.skipWS()
+		}
+		if p.eof() || p.src[p.pos] != ']' {
+			return nil, p.errf("unterminated predicate")
+		}
+		p.pos++
+		last := &steps[len(steps)-1]
+		last.Predicates = append(last.Predicates, pred)
+	}
+}
+
+// parseLiteral reads a single- or double-quoted string.
+func (p *pathParser) parseLiteral() (string, error) {
+	p.skipWS()
+	if p.eof() || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected string literal")
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated string literal")
+	}
+	out := p.src[start:p.pos]
+	p.pos++
+	return out, nil
+}
+
+func (p *pathParser) parseStep() ([]Step, error) {
+	p.skipWS()
+	if p.eof() {
+		return nil, p.errf("expected step")
+	}
+	// Abbreviations.
+	if p.consume("..") {
+		return []Step{{Axis: Parent, Test: AnyNode()}}, nil
+	}
+	if p.src[p.pos] == '.' {
+		p.pos++
+		return []Step{{Axis: Self, Test: AnyNode()}}, nil
+	}
+	if p.consume("@") {
+		test, err := p.parseNodeTest()
+		if err != nil {
+			return nil, err
+		}
+		return p.parsePredicates([]Step{{Axis: AttributeAxis, Test: test}})
+	}
+	// Verbose axis?
+	save := p.pos
+	if name := p.peekName(); name != "" {
+		after := p.pos + len(name)
+		if strings.HasPrefix(p.src[after:], "::") {
+			p.pos = after + 2
+			test, err := p.parseNodeTest()
+			if err != nil {
+				return nil, err
+			}
+			if axis, ok := axisByName(name); ok {
+				return p.parsePredicates([]Step{{Axis: axis, Test: test}})
+			}
+			// The document-order axes are supported through their classic
+			// set-equivalent rewrites (the duplicate-eliminating operators
+			// downstream restore node-set semantics):
+			//   following::T  = ancestor-or-self::node()
+			//                   /following-sibling::node()
+			//                   /descendant-or-self::T
+			//   preceding::T  = ancestor-or-self::node()
+			//                   /preceding-sibling::node()
+			//                   /descendant-or-self::T
+			switch name {
+			case "following":
+				return p.parsePredicates([]Step{
+					{Axis: AncestorOrSelf, Test: AnyNode()},
+					{Axis: FollowingSibling, Test: AnyNode()},
+					{Axis: DescendantOrSelf, Test: test},
+				})
+			case "preceding":
+				return p.parsePredicates([]Step{
+					{Axis: AncestorOrSelf, Test: AnyNode()},
+					{Axis: PrecedingSibling, Test: AnyNode()},
+					{Axis: DescendantOrSelf, Test: test},
+				})
+			}
+			return nil, p.errf("unknown axis %q", name)
+		}
+	}
+	p.pos = save
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePredicates([]Step{{Axis: Child, Test: test}})
+}
+
+func (p *pathParser) parseNodeTest() (NodeTest, error) {
+	p.skipWS()
+	if p.eof() {
+		return NodeTest{}, p.errf("expected node test")
+	}
+	if p.consume("*") {
+		return Wildcard(), nil
+	}
+	name := p.peekName()
+	if name == "" {
+		return NodeTest{}, p.errf("expected node test, found %q", p.src[p.pos:])
+	}
+	p.pos += len(name)
+	if p.consume("()") {
+		switch name {
+		case "node":
+			return AnyNode(), nil
+		case "text":
+			return TextTest(), nil
+		case "comment":
+			return CommentTest(), nil
+		case "processing-instruction":
+			return PITest(), nil
+		default:
+			return NodeTest{}, p.errf("unknown kind test %s()", name)
+		}
+	}
+	return NameTest(p.dict.Intern(name)), nil
+}
+
+// peekName returns the NCName at the cursor without consuming it.
+func (p *pathParser) peekName() string {
+	i := p.pos
+	if i >= len(p.src) || !isNCNameStart(p.src[i]) {
+		return ""
+	}
+	for i < len(p.src) && isNCNameChar(p.src[i]) {
+		i++
+	}
+	return p.src[p.pos:i]
+}
+
+func isNCNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNCNameChar(c byte) bool {
+	return isNCNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func axisByName(name string) (Axis, bool) {
+	for a, n := range axisNames {
+		if n == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// ParseUnion parses a union of location paths separated by top-level '|'
+// (the XPath union operator). Each branch is a full location path;
+// '|' inside predicates belongs to the nested path and is not split on.
+func ParseUnion(dict *xmltree.Dictionary, src string) ([]*Path, error) {
+	var out []*Path
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		part := strings.TrimSpace(src[start:end])
+		if part == "" {
+			return &ParseError{Pos: start, Msg: "empty union branch"}
+		}
+		p, err := Parse(dict, part)
+		if err != nil {
+			return err
+		}
+		out = append(out, p)
+		return nil
+	}
+	inQuote := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inQuote != 0:
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == '|' && depth == 0:
+			if err := flush(i); err != nil {
+				return nil, err
+			}
+			start = i + 1
+		}
+	}
+	if err := flush(len(src)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,395 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"pathdb/internal/xmltree"
+)
+
+func dict() *xmltree.Dictionary { return xmltree.NewDictionary() }
+
+func TestParseSimpleAbsolute(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "/site/regions")
+	if !p.Absolute || p.Len() != 2 {
+		t.Fatalf("path = %+v", p)
+	}
+	for i, want := range []string{"site", "regions"} {
+		s := p.Steps[i]
+		if s.Axis != Child {
+			t.Fatalf("step %d axis = %v", i, s.Axis)
+		}
+		if got := s.Test.Render(d); got != want {
+			t.Fatalf("step %d test = %q", i, got)
+		}
+	}
+}
+
+func TestParseDoubleSlash(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "/site//item")
+	if p.Len() != 3 {
+		t.Fatalf("len = %d, want 3", p.Len())
+	}
+	s := p.Steps[1]
+	if s.Axis != DescendantOrSelf || s.Test.Kind != KindAny {
+		t.Fatalf("// expansion wrong: %+v", s)
+	}
+	if p.Steps[2].Axis != Child {
+		t.Fatal("step after // should be child")
+	}
+}
+
+func TestParseLeadingDoubleSlash(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "//description")
+	if !p.Absolute || p.Len() != 2 {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.Steps[0].Axis != DescendantOrSelf {
+		t.Fatal("leading // not expanded")
+	}
+}
+
+func TestParseVerboseAxes(t *testing.T) {
+	d := dict()
+	cases := map[string]Axis{
+		"self::a":               Self,
+		"child::a":              Child,
+		"descendant::a":         Descendant,
+		"descendant-or-self::a": DescendantOrSelf,
+		"parent::a":             Parent,
+		"ancestor::a":           Ancestor,
+		"ancestor-or-self::a":   AncestorOrSelf,
+		"following-sibling::a":  FollowingSibling,
+		"preceding-sibling::a":  PrecedingSibling,
+		"attribute::a":          AttributeAxis,
+	}
+	for src, want := range cases {
+		p := MustParse(d, src)
+		if p.Absolute {
+			t.Fatalf("%q parsed absolute", src)
+		}
+		if p.Steps[0].Axis != want {
+			t.Fatalf("%q axis = %v, want %v", src, p.Steps[0].Axis, want)
+		}
+	}
+}
+
+func TestParseAbbreviations(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "../@id")
+	if p.Steps[0].Axis != Parent || p.Steps[1].Axis != AttributeAxis {
+		t.Fatalf("path = %+v", p.Steps)
+	}
+	p = MustParse(d, "./x")
+	if p.Steps[0].Axis != Self || p.Steps[1].Axis != Child {
+		t.Fatalf("path = %+v", p.Steps)
+	}
+}
+
+func TestParseKindTests(t *testing.T) {
+	d := dict()
+	cases := map[string]KindTest{
+		"node()":                   KindAny,
+		"text()":                   KindText,
+		"comment()":                KindComment,
+		"processing-instruction()": KindPI,
+	}
+	for src, want := range cases {
+		p := MustParse(d, src)
+		if p.Steps[0].Test.Kind != want {
+			t.Fatalf("%q kind = %v", src, p.Steps[0].Test.Kind)
+		}
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "child::*")
+	if !p.Steps[0].Test.AnyName || p.Steps[0].Test.Kind != KindElement {
+		t.Fatalf("wildcard test = %+v", p.Steps[0].Test)
+	}
+}
+
+func TestParseRootOnly(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "/")
+	if !p.Absolute || p.Len() != 0 {
+		t.Fatalf("path = %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := dict()
+	for _, src := range []string{"", "/site/", "bogus::a", "site/%", "unknown()", "/a//"} {
+		if _, err := Parse(d, src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	d := dict()
+	_, err := Parse(d, "/site/!")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pos != 6 {
+		t.Fatalf("error pos = %d", pe.Pos)
+	}
+	if !strings.Contains(pe.Error(), "offset 6") {
+		t.Fatalf("error text = %q", pe.Error())
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	d := dict()
+	srcs := []string{
+		"/site/regions//item",
+		"//description",
+		"a/b/c",
+		"parent::node()/child::x",
+	}
+	for _, src := range srcs {
+		p := MustParse(d, src)
+		rendered := p.Render(d)
+		p2 := MustParse(d, rendered)
+		if p2.Render(d) != rendered {
+			t.Fatalf("render not stable for %q: %q vs %q", src, rendered, p2.Render(d))
+		}
+		if p2.Len() != p.Len() || p2.Absolute != p.Absolute {
+			t.Fatalf("round trip changed shape for %q", src)
+		}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "/site//item")
+	s := p.Simplify()
+	if s.Len() != 2 {
+		t.Fatalf("simplified len = %d, want 2", s.Len())
+	}
+	if s.Steps[1].Axis != Descendant {
+		t.Fatalf("step axis = %v, want descendant", s.Steps[1].Axis)
+	}
+	if s.Steps[1].Test.Render(d) != "item" {
+		t.Fatal("node test lost in simplify")
+	}
+	// Original untouched.
+	if p.Len() != 3 {
+		t.Fatal("Simplify mutated receiver")
+	}
+}
+
+func TestSimplifyNoChange(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "/a/b")
+	s := p.Simplify()
+	if s.Render(d) != p.Render(d) {
+		t.Fatal("Simplify changed a plain path")
+	}
+	// Trailing descendant-or-self with nothing after it must be kept.
+	p2 := MustParse(d, "a/descendant-or-self::node()")
+	if got := p2.Simplify().Len(); got != 2 {
+		t.Fatalf("trailing d-o-s simplified away: len=%d", got)
+	}
+}
+
+func TestNodeTestMatches(t *testing.T) {
+	d := dict()
+	a, b := d.Intern("a"), d.Intern("b")
+	nt := NameTest(a)
+	if !nt.Matches(xmltree.Element, a) {
+		t.Fatal("name test misses its tag")
+	}
+	if nt.Matches(xmltree.Element, b) {
+		t.Fatal("name test matches wrong tag")
+	}
+	if nt.Matches(xmltree.Text, a) {
+		t.Fatal("name test matches text")
+	}
+	if !Wildcard().Matches(xmltree.Element, b) {
+		t.Fatal("wildcard misses element")
+	}
+	if Wildcard().Matches(xmltree.Text, xmltree.NoTag) {
+		t.Fatal("wildcard matches text")
+	}
+	if !AnyNode().Matches(xmltree.Text, xmltree.NoTag) {
+		t.Fatal("node() misses text")
+	}
+	if !TextTest().Matches(xmltree.Text, xmltree.NoTag) || TextTest().Matches(xmltree.Element, a) {
+		t.Fatal("text() wrong")
+	}
+}
+
+func TestNameSetTest(t *testing.T) {
+	d := dict()
+	x, y, z := d.Intern("x"), d.Intern("y"), d.Intern("z")
+	nt := NameSetTest(z, x)
+	if !nt.Matches(xmltree.Element, x) || !nt.Matches(xmltree.Element, z) {
+		t.Fatal("set test misses member")
+	}
+	if nt.Matches(xmltree.Element, y) {
+		t.Fatal("set test matches non-member")
+	}
+	if len(nt.Tags) != 2 || nt.Tags[0] > nt.Tags[1] {
+		t.Fatal("tags not sorted")
+	}
+}
+
+func TestAxisStringAndReverse(t *testing.T) {
+	if Child.String() != "child" || DescendantOrSelf.String() != "descendant-or-self" {
+		t.Fatal("axis names wrong")
+	}
+	if Child.Reverse() || Descendant.Reverse() {
+		t.Fatal("forward axis marked reverse")
+	}
+	if !Parent.Reverse() || !Ancestor.Reverse() || !PrecedingSibling.Reverse() {
+		t.Fatal("reverse axis not marked")
+	}
+}
+
+func TestRenderTestVariants(t *testing.T) {
+	d := dict()
+	if AnyNode().Render(d) != "node()" || TextTest().Render(d) != "text()" {
+		t.Fatal("render kind tests wrong")
+	}
+	if CommentTest().Render(d) != "comment()" || PITest().Render(d) != "processing-instruction()" {
+		t.Fatal("render comment/pi wrong")
+	}
+	if Wildcard().Render(d) != "*" {
+		t.Fatal("render wildcard wrong")
+	}
+	x, y := d.Intern("x"), d.Intern("y")
+	if got := NameSetTest(x, y).Render(d); got != "x|y" {
+		t.Fatalf("render set = %q", got)
+	}
+}
+
+func TestWhitespaceTolerated(t *testing.T) {
+	d := dict()
+	p := MustParse(d, " /site / regions ")
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestFollowingPrecedingRewrite(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "a/following::b")
+	if p.Len() != 4 {
+		t.Fatalf("len = %d, want 4", p.Len())
+	}
+	want := []Axis{Child, AncestorOrSelf, FollowingSibling, DescendantOrSelf}
+	for i, ax := range want {
+		if p.Steps[i].Axis != ax {
+			t.Fatalf("step %d axis = %v, want %v", i, p.Steps[i].Axis, ax)
+		}
+	}
+	if p.Steps[3].Test.Render(d) != "b" {
+		t.Fatal("node test lost")
+	}
+	q := MustParse(d, "preceding::text()")
+	if q.Len() != 3 || q.Steps[1].Axis != PrecedingSibling || q.Steps[2].Test.Kind != KindText {
+		t.Fatalf("preceding rewrite: %+v", q.Steps)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	d := dict()
+	p := MustParse(d, `/site//item[incategory][description//keyword="gold"]/name`)
+	if p.Len() != 4 {
+		t.Fatalf("len = %d, want 4", p.Len())
+	}
+	item := p.Steps[2]
+	if len(item.Predicates) != 2 {
+		t.Fatalf("predicates = %d", len(item.Predicates))
+	}
+	p0 := item.Predicates[0]
+	if p0.HasLit || len(p0.Paths) != 1 || p0.Paths[0].Len() != 1 || p0.Paths[0].Absolute {
+		t.Fatalf("pred 0 = %+v", p0)
+	}
+	p1 := item.Predicates[1]
+	if !p1.HasLit || p1.Literal != "gold" || p1.Paths[0].Len() != 3 {
+		t.Fatalf("pred 1 = %+v", p1)
+	}
+	if p.Steps[3].Test.Render(d) != "name" {
+		t.Fatal("step after predicate lost")
+	}
+}
+
+func TestParsePredicateAttribute(t *testing.T) {
+	d := dict()
+	p := MustParse(d, `//person[@id='p7']`)
+	pred := p.Steps[1].Predicates[0]
+	if pred.Paths[0].Steps[0].Axis != AttributeAxis || !pred.HasLit || pred.Literal != "p7" {
+		t.Fatalf("pred = %+v", pred)
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	d := dict()
+	for _, src := range []string{
+		"a[", "a[]", "a[b", "a[/abs]", `a[b="x]`, "a[b=42]", "a[b]]",
+	} {
+		if _, err := Parse(d, src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPredicateRenderRoundTrip(t *testing.T) {
+	d := dict()
+	src := `/a/b[c/d][e="v"]`
+	p := MustParse(d, src)
+	rendered := p.Render(d)
+	p2 := MustParse(d, rendered)
+	if p2.Render(d) != rendered {
+		t.Fatalf("render unstable: %q vs %q", rendered, p2.Render(d))
+	}
+}
+
+func TestSimplifyKeepsPredicates(t *testing.T) {
+	d := dict()
+	p := MustParse(d, "/a//b[c]").Simplify()
+	if p.Len() != 2 || len(p.Steps[1].Predicates) != 1 {
+		t.Fatalf("simplified = %+v", p.Steps)
+	}
+	// A predicated d-o-s step must not be merged away.
+	q := MustParse(d, "a/descendant-or-self::node()[b]/c").Simplify()
+	if q.Len() != 3 {
+		t.Fatalf("predicated d-o-s merged: %d", q.Len())
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	d := dict()
+	ps, err := ParseUnion(d, `/a/b | //c[x|y] | /d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("branches = %d", len(ps))
+	}
+	// '|' inside the predicate is a nested union, not a split point.
+	preds := ps[1].Steps[1].Predicates
+	if len(preds) != 1 || len(preds[0].Paths) != 2 {
+		t.Fatalf("nested union = %+v", preds)
+	}
+}
+
+func TestParseUnionErrors(t *testing.T) {
+	d := dict()
+	for _, src := range []string{"", "|a", "a|", "a||b"} {
+		if _, err := ParseUnion(d, src); err == nil {
+			t.Errorf("ParseUnion(%q) succeeded", src)
+		}
+	}
+	if ps, err := ParseUnion(d, "/plain"); err != nil || len(ps) != 1 {
+		t.Fatal("single path union failed")
+	}
+}

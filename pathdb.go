@@ -1,0 +1,593 @@
+// Package pathdb is a small XML path-query engine built around
+// cost-sensitive reordering of navigational primitives (Kanne, Brantner,
+// Moerkotte; SIGMOD 2005).
+//
+// Documents are stored in a paged tree store whose clusters (pages) are
+// connected subtree fragments with explicit border nodes at inter-cluster
+// edges. Location paths are evaluated by a physical algebra over *partial
+// path instances*: cheap intra-cluster navigation runs immediately
+// (XStep), while every expensive cluster load is pooled in a single
+// I/O-performing operator — XSchedule (asynchronous, reordered I/O) or
+// XScan (one sequential scan with speculative evaluation) — and a
+// cost-based chooser picks between them per query.
+//
+// Quick start:
+//
+//	db, err := pathdb.LoadXMLString(`<a><b/><b/></a>`, pathdb.Options{})
+//	q, err := db.Query("/a/b")
+//	n := q.Count()
+//
+// All I/O runs against a deterministic simulated disk with a calibrated
+// 2005-era cost model; db.CostReport() returns the virtual time, CPU
+// share and physical counters of the work done since the last reset.
+package pathdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pathdb/internal/core"
+	"pathdb/internal/ordpath"
+	"pathdb/internal/plan"
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmark"
+	"pathdb/internal/xmlparse"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xmlwrite"
+	"pathdb/internal/xpath"
+)
+
+// Strategy selects the physical evaluation method.
+type Strategy uint8
+
+// Evaluation strategies. Auto lets the cost model decide between
+// Schedule and Scan (Simple exists as the baseline).
+const (
+	Auto Strategy = iota
+	Simple
+	Schedule
+	Scan
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Simple:
+		return "simple"
+	case Schedule:
+		return "xschedule"
+	case Scan:
+		return "xscan"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+func (s Strategy) internal() core.Strategy {
+	switch s {
+	case Simple:
+		return core.StrategySimple
+	case Scan:
+		return core.StrategyScan
+	default:
+		return core.StrategySchedule
+	}
+}
+
+// Layout selects the physical cluster placement at load time.
+type Layout uint8
+
+// Cluster layouts (see the paper's introduction on why layout matters).
+const (
+	// Natural keeps document order but displaces a fraction of clusters,
+	// modelling a database aged by updates. The default.
+	Natural Layout = iota
+	// Contiguous places clusters in document order — a freshly imported,
+	// unfragmented database.
+	Contiguous
+	// Shuffled permutes all clusters randomly — heavy fragmentation.
+	Shuffled
+)
+
+func (l Layout) internal() storage.Layout {
+	switch l {
+	case Contiguous:
+		return storage.LayoutContiguous
+	case Shuffled:
+		return storage.LayoutShuffled
+	default:
+		return storage.LayoutNatural
+	}
+}
+
+// Options configures document loading.
+type Options struct {
+	// PageSize in bytes (default 8192).
+	PageSize int
+	// BufferPages is the buffer-pool capacity (default 1000, the paper's
+	// configuration).
+	BufferPages int
+	// Layout is the physical cluster placement (default Natural).
+	Layout Layout
+	// LayoutSeed makes fragmented layouts reproducible.
+	LayoutSeed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 8192
+	}
+	if o.BufferPages == 0 {
+		o.BufferPages = storage.DefaultBufferPages
+	}
+	return o
+}
+
+// DB is one loaded document plus its evaluation machinery.
+type DB struct {
+	dict    *xmltree.Dictionary
+	store   *storage.Store
+	chooser *plan.Chooser
+}
+
+// LoadXML parses an XML document and stores it.
+func LoadXML(data []byte, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	dict := xmltree.NewDictionary()
+	doc, err := xmlparse.Parse(dict, data)
+	if err != nil {
+		return nil, err
+	}
+	return loadTree(dict, doc, opts)
+}
+
+// LoadXMLString is LoadXML over a string.
+func LoadXMLString(src string, opts Options) (*DB, error) {
+	return LoadXML([]byte(src), opts)
+}
+
+// LoadXMLCollection parses several XML documents and stores them in one
+// volume. Absolute queries evaluate over the whole collection; a single
+// XScan plan then serves all members with one sequential pass (Sec. 5.4.3
+// of the paper covers collections explicitly).
+func LoadXMLCollection(docs [][]byte, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	dict := xmltree.NewDictionary()
+	trees := make([]*xmltree.Node, len(docs))
+	for i, data := range docs {
+		t, err := xmlparse.Parse(dict, data)
+		if err != nil {
+			return nil, fmt.Errorf("document %d: %w", i, err)
+		}
+		trees[i] = t
+	}
+	disk := vdisk.New(vdisk.DefaultCostModel(), stats.NewLedger(), opts.PageSize)
+	st, err := storage.ImportCollection(disk, dict, trees, storage.ImportOptions{
+		PageSize: opts.PageSize,
+		Layout:   opts.Layout.internal(),
+		Seed:     opts.LayoutSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.SetBufferCapacity(opts.BufferPages)
+	return &DB{dict: dict, store: st}, nil
+}
+
+// Documents returns the number of documents in the stored collection.
+func (db *DB) Documents() int { return len(db.store.Roots()) }
+
+// XMarkConfig configures the built-in XMark-shaped document generator.
+type XMarkConfig struct {
+	// ScaleFactor is the XMark scale factor (default 1).
+	ScaleFactor float64
+	// Seed makes the document reproducible.
+	Seed uint64
+	// EntityScale shrinks the standard XMark populations (default 0.1).
+	EntityScale float64
+}
+
+// GenerateXMark builds and stores an XMark-shaped benchmark document.
+func GenerateXMark(cfg XMarkConfig, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	dict := xmltree.NewDictionary()
+	doc := xmark.Generate(dict, xmark.Config{
+		ScaleFactor: cfg.ScaleFactor,
+		Seed:        cfg.Seed,
+		EntityScale: cfg.EntityScale,
+	})
+	return loadTree(dict, doc, opts)
+}
+
+func loadTree(dict *xmltree.Dictionary, doc *xmltree.Node, opts Options) (*DB, error) {
+	disk := vdisk.New(vdisk.DefaultCostModel(), stats.NewLedger(), opts.PageSize)
+	st, err := storage.Import(disk, dict, doc, storage.ImportOptions{
+		PageSize: opts.PageSize,
+		Layout:   opts.Layout.internal(),
+		Seed:     opts.LayoutSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.SetBufferCapacity(opts.withDefaults().BufferPages)
+	return &DB{dict: dict, store: st}, nil
+}
+
+// Pages returns the number of data pages the document occupies, including
+// clusters appended by updates.
+func (db *DB) Pages() int { return db.store.NumDataPages() }
+
+// ResetStats flushes the buffer pool and zeroes the cost ledger, so the
+// next query is measured from a cold start.
+func (db *DB) ResetStats() { db.store.ResetForRun() }
+
+// CostReport is a snapshot of the virtual cost ledger.
+type CostReport struct {
+	Total       stats.Ticks
+	CPU         stats.Ticks
+	IOWait      stats.Ticks
+	PageReads   int64
+	SeqReads    int64
+	BufferHits  int64
+	BufferMiss  int64
+	ClustersHit int64
+}
+
+// CostReport returns the work accounted since the last ResetStats.
+func (db *DB) CostReport() CostReport {
+	l := db.store.Ledger()
+	return CostReport{
+		Total:       l.Total(),
+		CPU:         l.CPU,
+		IOWait:      l.IOWait,
+		PageReads:   l.PageReads,
+		SeqReads:    l.SeqPageReads,
+		BufferHits:  l.BufferHits,
+		BufferMiss:  l.BufferMisses,
+		ClustersHit: l.ClustersVisited,
+	}
+}
+
+// String renders the report compactly.
+func (r CostReport) String() string {
+	cpuPct := 0.0
+	if r.Total > 0 {
+		cpuPct = 100 * float64(r.CPU) / float64(r.Total)
+	}
+	return fmt.Sprintf("total=%v cpu=%v (%.0f%%) reads=%d (seq=%d) hits=%d misses=%d",
+		r.Total, r.CPU, cpuPct, r.PageReads, r.SeqReads, r.BufferHits, r.BufferMiss)
+}
+
+// SetIOTrace enables or disables recording of every physical I/O event.
+func (db *DB) SetIOTrace(on bool) { db.store.Disk().SetTrace(on) }
+
+// IOTraceEvent is one physical device operation.
+type IOTraceEvent struct {
+	Op   string // "read", "read-seq", "read-async", "write"
+	Page uint32
+	At   stats.Ticks
+}
+
+// IOTrace returns the recorded events in completion order.
+func (db *DB) IOTrace() []IOTraceEvent {
+	var out []IOTraceEvent
+	for _, ev := range db.store.Disk().Trace() {
+		out = append(out, IOTraceEvent{Op: ev.Op, Page: uint32(ev.Page), At: ev.At})
+	}
+	return out
+}
+
+// ExportXML serializes the stored document back to XML by walking the
+// tree in document order (random cluster loads at border crossings).
+func (db *DB) ExportXML(w io.Writer) error {
+	return xmlwrite.Write(w, db.dict, db.store.Export(), xmlwrite.Options{Declaration: true})
+}
+
+// ExportXMLScan serializes the stored document with one sequential scan,
+// assembling per-cluster fragments in memory — the paper's outlook applied
+// to export (Sec. 7); much faster than ExportXML on fragmented volumes.
+func (db *DB) ExportXMLScan(w io.Writer) error {
+	return db.store.ExportScanXML(w)
+}
+
+// InsertXML parses an XML fragment (one element) and inserts it as a new
+// child of parent, appended after the last child. The returned Node is the
+// fragment's root. Updates never relabel or move existing nodes
+// (insert-friendly ORDPATH keys; overflow goes to fresh clusters), which is
+// the storage property the paper's Sec. 2 holds against scan-order formats.
+func (db *DB) InsertXML(parent Node, fragment string) (Node, error) {
+	return db.insertXML(parent, storage.InvalidNodeID, fragment)
+}
+
+// InsertXMLBefore inserts the fragment as a child of parent immediately
+// before the given sibling.
+func (db *DB) InsertXMLBefore(parent Node, before Node, fragment string) (Node, error) {
+	return db.insertXML(parent, before.id, fragment)
+}
+
+func (db *DB) insertXML(parent Node, before storage.NodeID, fragment string) (Node, error) {
+	frag, err := xmlparse.Parse(db.dict, []byte(fragment))
+	if err != nil {
+		return Node{}, err
+	}
+	if len(frag.Children) != 1 {
+		return Node{}, fmt.Errorf("pathdb: fragment must have exactly one root element")
+	}
+	id, err := db.store.InsertSubtree(parent.id, before, frag.Children[0])
+	if err != nil {
+		return Node{}, err
+	}
+	db.chooser = nil // document statistics are stale
+	return Node{db: db, id: id}, nil
+}
+
+// Delete removes the node and its whole subtree.
+func (db *DB) Delete(n Node) error {
+	if err := db.store.DeleteSubtree(n.id); err != nil {
+		return err
+	}
+	db.chooser = nil
+	return nil
+}
+
+// Query compiles a location path, or a union of location paths separated
+// by '|'. The returned Query can be tuned and then executed with Count,
+// Nodes or Each. Union queries share a single I/O-performing operator
+// under the Schedule strategy (the multi-query extension of the paper's
+// Sec. 7).
+func (db *DB) Query(path string) (*Query, error) {
+	branches, err := xpath.ParseUnion(db.dict, path)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range branches {
+		if !b.Absolute {
+			return nil, fmt.Errorf("pathdb: query %q must be absolute (use Node.Query for relative paths)", path)
+		}
+	}
+	return &Query{db: db, path: branches[0], branches: branches, contexts: db.store.Roots()}, nil
+}
+
+// Query is a compiled, tunable location-path query.
+type Query struct {
+	db       *DB
+	path     *xpath.Path   // first branch (all of it for non-unions)
+	branches []*xpath.Path // union branches; len == 1 for plain paths
+	contexts []storage.NodeID
+
+	strategy Strategy
+	sorted   bool
+	opts     core.PlanOptions
+	choice   *plan.Choice
+}
+
+// WithStrategy forces a physical strategy (default Auto).
+func (q *Query) WithStrategy(s Strategy) *Query {
+	q.strategy = s
+	return q
+}
+
+// Sorted requests results in document order (Sec. 5.5 of the paper).
+func (q *Query) Sorted() *Query {
+	q.sorted = true
+	return q
+}
+
+// WithMemoryLimit bounds the speculative structure S; exceeding it
+// degrades the plan to fallback mode.
+func (q *Query) WithMemoryLimit(instances int) *Query {
+	q.opts.MemLimit = instances
+	return q
+}
+
+// Plan returns the physical operator tree the query will execute, one
+// operator per line (EXPLAIN output).
+func (q *Query) Plan() string {
+	return q.build().Describe(q.db.dict)
+}
+
+// Explain returns the cost-model decision for this query (forcing a
+// strategy bypasses the model; Explain still reports its opinion).
+func (q *Query) Explain() string {
+	q.ensureChooser()
+	c := q.db.chooser.Choose(q.steps())
+	return c.String()
+}
+
+func (q *Query) ensureChooser() {
+	if q.db.chooser == nil {
+		q.db.chooser = plan.NewChooser(q.db.store)
+	}
+}
+
+func (q *Query) steps() []xpath.Step {
+	return q.path.Simplify().Steps
+}
+
+func (q *Query) build() *core.Plan {
+	steps := q.steps()
+	opts := q.opts
+	opts.SortResults = q.sorted
+	strat := q.strategy
+	if strat == Auto {
+		q.ensureChooser()
+		choice := q.db.chooser.Choose(steps)
+		q.choice = &choice
+		return core.BuildPlan(q.db.store, steps, q.contexts, choice.Strategy, opts)
+	}
+	return core.BuildPlan(q.db.store, steps, q.contexts, strat.internal(), opts)
+}
+
+// isUnion reports whether the query has several branches.
+func (q *Query) isUnion() bool { return len(q.branches) > 1 }
+
+// runUnion evaluates every branch — with one shared XSchedule when the
+// strategy allows — and merges the node sets.
+func (q *Query) runUnion() []core.Result {
+	var all []core.Result
+	strat := q.strategy
+	if strat == Auto || strat == Schedule {
+		var queries []core.MultiQuery
+		for _, b := range q.branches {
+			queries = append(queries, core.MultiQuery{
+				Path:     b.Simplify().Steps,
+				Contexts: q.contexts,
+			})
+		}
+		for _, rs := range core.BuildMultiPlan(q.db.store, queries, q.opts).Run() {
+			all = append(all, rs...)
+		}
+	} else {
+		for _, b := range q.branches {
+			plan := core.BuildPlan(q.db.store, b.Simplify().Steps, q.contexts, strat.internal(), q.opts)
+			all = append(all, plan.Run()...)
+		}
+	}
+	// Union semantics: a node set.
+	seen := make(map[storage.NodeID]bool, len(all))
+	out := all[:0]
+	for _, r := range all {
+		if seen[r.Node] {
+			continue
+		}
+		seen[r.Node] = true
+		out = append(out, r)
+	}
+	if q.sorted {
+		sort.Slice(out, func(i, j int) bool {
+			return ordpath.Compare(out[i].Ord, out[j].Ord) < 0
+		})
+	}
+	return out
+}
+
+// Count executes the query and returns its cardinality.
+func (q *Query) Count() int {
+	if q.isUnion() {
+		return len(q.runUnion())
+	}
+	return q.build().Count()
+}
+
+// Nodes executes the query and returns handles on the result nodes.
+func (q *Query) Nodes() []Node {
+	var rs []core.Result
+	if q.isUnion() {
+		rs = q.runUnion()
+	} else {
+		rs = q.build().Run()
+	}
+	out := make([]Node, len(rs))
+	for i, r := range rs {
+		out[i] = Node{db: q.db, id: r.Node}
+	}
+	return out
+}
+
+// Each executes the query, invoking f per result in production order.
+// Union queries are materialized first (their branches interleave on the
+// shared scheduler).
+func (q *Query) Each(f func(Node) bool) {
+	if q.isUnion() {
+		for _, r := range q.runUnion() {
+			if !f(Node{db: q.db, id: r.Node}) {
+				return
+			}
+		}
+		return
+	}
+	p := q.build()
+	root := p.Root()
+	root.Open()
+	defer root.Close()
+	for {
+		inst, ok := root.Next()
+		if !ok {
+			return
+		}
+		if !f(Node{db: q.db, id: inst.NR}) {
+			return
+		}
+	}
+}
+
+// VolumeStats summarises the physical storage of the loaded document.
+type VolumeStats struct {
+	Pages       int // data pages (clusters)
+	Records     int // physical records, including border nodes
+	CoreNodes   int // logical nodes
+	BorderNodes int // proxy records (paper Sec. 3.4)
+	UsedBytes   int // payload bytes across all pages
+}
+
+// VolumeStats inspects the volume (an offline pass; call ResetStats before
+// measuring queries afterwards).
+func (db *DB) VolumeStats() VolumeStats {
+	vs := db.store.Stats()
+	return VolumeStats{
+		Pages:       vs.DataPages,
+		Records:     vs.Records,
+		CoreNodes:   vs.CoreNodes,
+		BorderNodes: vs.BorderNodes,
+		UsedBytes:   vs.UsedBytes,
+	}
+}
+
+// Node is a handle on a stored document node.
+//
+// Handles stay valid across queries and most updates; an insert that
+// forces a page split may relocate records, after which handles to the
+// moved nodes resolve to a border node or dangle — re-resolve nodes via a
+// fresh query after heavy updates (the engine's NodeIDs are physical
+// record addresses, as in the paper's Example 2).
+type Node struct {
+	db *DB
+	id storage.NodeID
+}
+
+// ID returns the node's stable storage identifier.
+func (n Node) ID() uint64 { return uint64(n.id) }
+
+// Name returns the element or attribute name (empty for text nodes).
+func (n Node) Name() string {
+	c := n.db.store.Swizzle(n.id)
+	return n.db.dict.Name(c.Tag())
+}
+
+// Text returns the node's own text (attribute value, text content);
+// for elements it concatenates the subtree's text.
+func (n Node) Text() string {
+	c := n.db.store.Swizzle(n.id)
+	switch c.Kind() {
+	case xmltree.Element, xmltree.Document:
+		return n.db.store.ExportSubtree(n.id).TextContent()
+	default:
+		return c.Text()
+	}
+}
+
+// XML serializes the subtree rooted at this node.
+func (n Node) XML() string {
+	return xmlwrite.String(n.db.dict, n.db.store.ExportSubtree(n.id), xmlwrite.Options{})
+}
+
+// OrdPath returns the node's document-order key in dotted form.
+func (n Node) OrdPath() string {
+	return n.db.store.Swizzle(n.id).OrdKey().String()
+}
+
+// Query evaluates a relative location path with this node as context.
+func (n Node) Query(path string) (*Query, error) {
+	parsed, err := xpath.Parse(n.db.dict, path)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.Absolute {
+		return nil, fmt.Errorf("pathdb: relative path expected, got %q", path)
+	}
+	return &Query{db: n.db, path: parsed, contexts: []storage.NodeID{n.id}}, nil
+}
