@@ -1,0 +1,28 @@
+# CI entry points. `make` runs the full set.
+GO ?= go
+
+.PHONY: all build test race vet bench-json clean
+
+all: build vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent layers (engine, buffer, vdisk, stats) plus the
+# facade, which exercises the engine end to end.
+race:
+	$(GO) test -race ./internal/engine/... ./internal/buffer/... ./internal/vdisk/... ./internal/stats/... .
+
+vet:
+	$(GO) vet ./...
+
+# Machine-readable benchmark snapshot (BENCH_*.json) for tracking the
+# performance trajectory across commits. Slow: full evaluation.
+bench-json:
+	$(GO) run ./cmd/xbench -json bench-out
+
+clean:
+	rm -rf bench-out

@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -79,10 +80,73 @@ func TestCommandLineTools(t *testing.T) {
 		}
 	}
 
-	// xbench runs a tiny figure.
-	out = run(t, "./cmd/xbench", "-scale", "0.01", "-quick", "-fig", "11")
+	// xbench runs a tiny figure and emits machine-readable JSON.
+	jsonDir := filepath.Join(dir, "bench")
+	out = run(t, "./cmd/xbench", "-scale", "0.01", "-quick", "-fig", "11", "-json", jsonDir)
 	if !strings.Contains(out, "xschedule") || !strings.Contains(out, "0.25") {
 		t.Fatalf("xbench figure output:\n%s", out)
+	}
+	data, err = os.ReadFile(filepath.Join(jsonDir, "BENCH_fig11.json"))
+	if err != nil {
+		t.Fatalf("xbench -json wrote no file: %v", err)
+	}
+	var benchFile struct {
+		Name         string `json:"name"`
+		Measurements []struct {
+			Query    string  `json:"query"`
+			Strategy string  `json:"strategy"`
+			SF       float64 `json:"sf"`
+			TotalSec float64 `json:"total_s"`
+		} `json:"measurements"`
+	}
+	if err := json.Unmarshal(data, &benchFile); err != nil {
+		t.Fatalf("BENCH_fig11.json invalid: %v\n%s", err, data)
+	}
+	if benchFile.Name != "fig11" || len(benchFile.Measurements) != 9 {
+		t.Fatalf("BENCH_fig11.json content: name %q, %d measurements",
+			benchFile.Name, len(benchFile.Measurements))
+	}
+
+	// xbench -strategy restricts the sweep through ParseStrategy.
+	out = run(t, "./cmd/xbench", "-scale", "0.01", "-quick", "-fig", "11", "-strategy", "xscan")
+	if !strings.Contains(out, "xscan") {
+		t.Fatalf("xbench -strategy output:\n%s", out)
+	}
+}
+
+// TestLoadGenerator runs the closed-loop load generator and checks the
+// acceptance property of the concurrent engine: per-query result counts
+// are identical for 1 and 8 clients on the same volume.
+func TestLoadGenerator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	countLines := func(out string) []string {
+		var counts []string
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "count(") {
+				counts = append(counts, l)
+			}
+		}
+		return counts
+	}
+	base := []string{"./cmd/xload", "-xmark", "0.25", "-scale", "0.05", "-requests", "12", "-mix", "all"}
+	seq := run(t, append(base, "-clients", "1")...)
+	conc := run(t, append(base, "-clients", "8")...)
+
+	seqCounts, concCounts := countLines(seq), countLines(conc)
+	if len(seqCounts) != 5 {
+		t.Fatalf("xload -clients 1 reported %d paths, want 5:\n%s", len(seqCounts), seq)
+	}
+	if strings.Join(seqCounts, "\n") != strings.Join(concCounts, "\n") {
+		t.Fatalf("per-query results differ between 1 and 8 clients:\n%v\nvs\n%v", seqCounts, concCounts)
+	}
+	for _, out := range []string{seq, conc} {
+		for _, want := range []string{"throughput:", "latency virtual", "latency wall", "engine: gangs="} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("xload output missing %q:\n%s", want, out)
+			}
+		}
 	}
 }
 

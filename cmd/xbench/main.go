@@ -9,10 +9,13 @@
 //	xbench -ablation k         # one ablation (k, layout, speculative,
 //	                           # fallback, multiquery, policy, firststep)
 //	xbench -scale 0.02 -quick  # smaller populations / fewer scale factors
+//	xbench -strategy xscan     # restrict figures/tables to one strategy
+//	xbench -json out/          # also write machine-readable BENCH_*.json
 //
 // Times are virtual seconds from the calibrated disk/CPU model, which is
 // deterministic and machine independent; compare shapes against the
-// paper's figures, not absolute values.
+// paper's figures, not absolute values. The -json files track the
+// performance trajectory across commits.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"pathdb"
 	"pathdb/internal/bench"
 )
 
@@ -30,7 +34,26 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "entity scale (0.2 ≈ one tenth of official XMark by bytes)")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	quick := flag.Bool("quick", false, "use fewer scale factors (0.25, 0.5, 1)")
+	strategy := flag.String("strategy", "", "restrict figures/tables to one strategy (simple, xschedule, xscan)")
+	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_*.json output")
 	flag.Parse()
+
+	var stratName string
+	if *strategy != "" {
+		strat, err := pathdb.ParseStrategy(*strategy)
+		if err != nil {
+			fail("%v", err)
+		}
+		if strat == pathdb.Auto {
+			fail("-strategy auto: figures measure concrete strategies; pick simple, xschedule or xscan")
+		}
+		stratName = strat.String()
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	cfg := bench.Config{EntityScale: *scale, Seed: *seed}
 	w := bench.NewWorkload(cfg)
@@ -40,27 +63,34 @@ func main() {
 	}
 
 	figures := map[int]bench.Query{9: bench.Q6, 10: bench.Q7, 11: bench.Q15}
+	emitFigure := func(f int) {
+		ms := filterStrategy(w.Figure(figures[f], sfs), stratName)
+		bench.RenderFigure(os.Stdout, figName(f, figures[f]), ms)
+		writeJSON(*jsonDir, fmt.Sprintf("fig%d", f), figName(f, figures[f]), ms)
+	}
+	emitTable3 := func() {
+		ms := filterStrategy(w.Table3(1), stratName)
+		bench.RenderTable3(os.Stdout, ms)
+		writeJSON(*jsonDir, "table3", "Table 3 — CPU usage", ms)
+	}
 
 	ran := false
 	if *fig != 0 {
-		q, ok := figures[*fig]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "xbench: no figure %d (have 9, 10, 11)\n", *fig)
-			os.Exit(1)
+		if _, ok := figures[*fig]; !ok {
+			fail("no figure %d (have 9, 10, 11)", *fig)
 		}
-		bench.RenderFigure(os.Stdout, figName(*fig, q), w.Figure(q, sfs))
+		emitFigure(*fig)
 		ran = true
 	}
 	if *table != 0 {
 		if *table != 3 {
-			fmt.Fprintln(os.Stderr, "xbench: only table 3 exists")
-			os.Exit(1)
+			fail("only table 3 exists")
 		}
-		bench.RenderTable3(os.Stdout, w.Table3(1))
+		emitTable3()
 		ran = true
 	}
 	if *ablation != "" {
-		runAblation(w, cfg, *ablation)
+		runAblation(w, cfg, *ablation, *jsonDir)
 		ran = true
 	}
 	if ran {
@@ -69,14 +99,39 @@ func main() {
 
 	// Default: the full evaluation.
 	for _, f := range []int{9, 10, 11} {
-		bench.RenderFigure(os.Stdout, figName(f, figures[f]), w.Figure(figures[f], sfs))
+		emitFigure(f)
 		fmt.Println()
 	}
-	bench.RenderTable3(os.Stdout, w.Table3(1))
+	emitTable3()
 	fmt.Println()
 	for _, a := range []string{"k", "layout", "speculative", "fallback", "multiquery", "policy", "firststep", "updates", "buffer"} {
-		runAblation(w, cfg, a)
+		runAblation(w, cfg, a, *jsonDir)
 		fmt.Println()
+	}
+}
+
+// filterStrategy keeps only measurements of the named strategy ("" keeps
+// all). Strategy names round-trip through pathdb.ParseStrategy, so the
+// flag accepts exactly what the reports print.
+func filterStrategy(ms []bench.Measurement, name string) []bench.Measurement {
+	if name == "" {
+		return ms
+	}
+	var out []bench.Measurement
+	for _, m := range ms {
+		if m.Strategy.String() == name {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func writeJSON(dir, name, title string, ms []bench.Measurement) {
+	if dir == "" {
+		return
+	}
+	if err := bench.WriteMeasurementsJSON(dir, name, title, ms); err != nil {
+		fail("writing %s json: %v", name, err)
 	}
 }
 
@@ -84,37 +139,49 @@ func figName(f int, q bench.Query) string {
 	return fmt.Sprintf("Figure %d — %s: %v", f, q.Name, q.Paths)
 }
 
-func runAblation(w *bench.Workload, cfg bench.Config, name string) {
+func runAblation(w *bench.Workload, cfg bench.Config, name, jsonDir string) {
+	var title string
+	var rows []bench.AblationRow
 	switch name {
 	case "k":
-		bench.RenderAblation(os.Stdout, "XSchedule queue fill target k (Q6', sf 1)",
-			w.AblationK(1, []int{1, 10, 100, 1000}))
+		title = "XSchedule queue fill target k (Q6', sf 1)"
+		rows = w.AblationK(1, []int{1, 10, 100, 1000})
 	case "layout":
-		bench.RenderAblation(os.Stdout, "physical layout vs plan (Q6', sf 1)",
-			bench.AblationLayout(cfg, 1, bench.Q6))
+		title = "physical layout vs plan (Q6', sf 1)"
+		rows = bench.AblationLayout(cfg, 1, bench.Q6)
 	case "speculative":
-		bench.RenderAblation(os.Stdout, "speculative XSchedule on a revisit-prone path (sf 1)",
-			w.AblationSpeculative(1))
+		title = "speculative XSchedule on a revisit-prone path (sf 1)"
+		rows = w.AblationSpeculative(1)
 	case "fallback":
-		bench.RenderAblation(os.Stdout, "memory-limit fallback on an XScan plan (sf 1)",
-			w.AblationFallback(1, []int{0, 1000, 100, 10}))
+		title = "memory-limit fallback on an XScan plan (sf 1)"
+		rows = w.AblationFallback(1, []int{0, 1000, 100, 10})
 	case "multiquery":
-		bench.RenderAblation(os.Stdout, "Q7's three paths: concurrent plans vs one shared scheduler (sf 1)",
-			w.AblationMultiQuery(1))
+		title = "Q7's three paths: concurrent plans vs one shared scheduler (sf 1)"
+		rows = w.AblationMultiQuery(1)
 	case "policy":
-		bench.RenderAblation(os.Stdout, "device queue scheduling policy (Q6' XSchedule, sf 1)",
-			w.AblationDiskPolicy(1))
+		title = "device queue scheduling policy (Q6' XSchedule, sf 1)"
+		rows = w.AblationDiskPolicy(1)
 	case "firststep":
-		bench.RenderAblation(os.Stdout, "'//' first-step optimisation (XScan, //description, sf 1)",
-			w.AblationFirstStepAll(1))
+		title = "'//' first-step optimisation (XScan, //description, sf 1)"
+		rows = w.AblationFirstStepAll(1)
 	case "updates":
-		bench.RenderAblation(os.Stdout, "plan gap before/after 500 incremental inserts (Q6', sf 1)",
-			w.AblationUpdates(1, 500))
+		title = "plan gap before/after 500 incremental inserts (Q6', sf 1)"
+		rows = w.AblationUpdates(1, 500)
 	case "buffer":
-		bench.RenderAblation(os.Stdout, "buffer pool size across a 3-query session (Q7, sf 1)",
-			w.AblationBufferSize(1, []int{12, 45, 90, 360, 1440}))
+		title = "buffer pool size across a 3-query session (Q7, sf 1)"
+		rows = w.AblationBufferSize(1, []int{12, 45, 90, 360, 1440})
 	default:
-		fmt.Fprintf(os.Stderr, "xbench: unknown ablation %q\n", name)
-		os.Exit(1)
+		fail("unknown ablation %q", name)
 	}
+	bench.RenderAblation(os.Stdout, title, rows)
+	if jsonDir != "" {
+		if err := bench.WriteAblationJSON(jsonDir, name, title, rows); err != nil {
+			fail("writing ablation json: %v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xbench: "+format+"\n", args...)
+	os.Exit(1)
 }

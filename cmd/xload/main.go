@@ -1,0 +1,196 @@
+// Command xload is a closed-loop load generator for the concurrent query
+// engine: N client goroutines each submit queries back-to-back through one
+// pathdb.Engine and the tool reports throughput and latency percentiles in
+// both clocks — virtual (the calibrated disk/CPU model, machine
+// independent) and wall (what the simulation itself cost).
+//
+// Usage:
+//
+//	xload -xmark 0.5 -clients 8 -requests 64
+//	xload -xmark 0.5 -clients 1 -requests 64      # same work, sequential
+//	xload -xml doc.xml -mix q7 -strategy xschedule
+//
+// The request multiset is fixed by -requests and -mix and distributed
+// round-robin, so per-query result counts are independent of -clients —
+// the tool self-checks this and exits non-zero if any path's count varies
+// between requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pathdb"
+	"pathdb/internal/stats"
+)
+
+var mixes = map[string][]string{
+	"q6": {"/site/regions//item"},
+	"q7": {"/site//description", "/site//annotation", "/site//emailaddress"},
+	"q15": {
+		"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
+	},
+}
+
+func main() {
+	xmlFile := flag.String("xml", "", "XML document to load")
+	xmarkSF := flag.Float64("xmark", 0, "generate an XMark document with this scale factor instead")
+	scale := flag.Float64("scale", 0.1, "entity scale for -xmark")
+	seed := flag.Uint64("seed", 42, "seed for -xmark and fragmented layouts")
+	layoutName := flag.String("layout", "natural", "physical layout: natural, contiguous, shuffled")
+	buffer := flag.Int("buffer", 0, "buffer pool pages (default 1000)")
+
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	requests := flag.Int("requests", 64, "total queries across all clients")
+	mixName := flag.String("mix", "q6", "query mix: q6, q7, q15, all")
+	strategy := flag.String("strategy", "auto", "plan strategy: auto, simple, xschedule, xscan")
+	inflight := flag.Int("inflight", 0, "engine MaxInFlight (default 8)")
+	queue := flag.Int("queue", 0, "engine QueueDepth (default 64)")
+	sorted := flag.Bool("sorted", false, "request document-order results")
+	flag.Parse()
+
+	strat, err := pathdb.ParseStrategy(*strategy)
+	if err != nil {
+		fail("%v", err)
+	}
+	layout, ok := map[string]pathdb.Layout{
+		"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
+	}[*layoutName]
+	if !ok {
+		fail("unknown -layout %q", *layoutName)
+	}
+	paths, ok := mixes[*mixName]
+	if !ok && *mixName == "all" {
+		for _, name := range []string{"q6", "q7", "q15"} {
+			paths = append(paths, mixes[name]...)
+		}
+		ok = true
+	}
+	if !ok {
+		fail("unknown -mix %q (want q6, q7, q15 or all)", *mixName)
+	}
+	if *clients < 1 || *requests < 1 {
+		fail("-clients and -requests must be positive")
+	}
+
+	opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
+	var db *pathdb.DB
+	switch {
+	case *xmlFile != "":
+		data, rerr := os.ReadFile(*xmlFile)
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+		db, err = pathdb.LoadXML(data, opts)
+	case *xmarkSF > 0:
+		db, err = pathdb.GenerateXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts)
+	default:
+		fail("need -xml or -xmark")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("document: %d pages\n", db.Pages())
+
+	eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue})
+	defer eng.Close()
+	db.ResetStats() // cold start after the cost model's offline pass
+
+	// Request i evaluates paths[i%len(paths)]; client c takes the requests
+	// with i%clients == c. The multiset of executed queries is therefore
+	// the same for every -clients value.
+	type sample struct {
+		path  string
+		count int
+		virt  stats.Ticks
+		wall  time.Duration
+	}
+	samples := make([]sample, *requests)
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := eng.NewSession()
+			for i := c; i < *requests; i += *clients {
+				p := paths[i%len(paths)]
+				t0 := time.Now()
+				res, err := s.Do(context.Background(), p, pathdb.QueryOptions{Strategy: strat, Sorted: *sorted})
+				if err != nil {
+					fail("request %d (%s): %v", i, p, err)
+				}
+				samples[i] = sample{path: p, count: res.Count(), virt: res.VirtualLatency, wall: time.Since(t0)}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wallTotal := time.Since(wallStart)
+	virtTotal := db.CostReport().Total
+
+	// Per-path counts, self-checked for consistency across requests.
+	counts := map[string]int{}
+	countOK := true
+	for _, s := range samples {
+		if prev, seen := counts[s.path]; seen && prev != s.count {
+			fmt.Fprintf(os.Stderr, "xload: count(%s) varies between requests: %d vs %d\n", s.path, prev, s.count)
+			countOK = false
+		}
+		counts[s.path] = s.count
+	}
+	for _, p := range sortedKeys(counts) {
+		fmt.Printf("count(%s) = %d\n", p, counts[p])
+	}
+
+	virtLat := make([]float64, len(samples))
+	wallLat := make([]float64, len(samples))
+	for i, s := range samples {
+		virtLat[i] = s.virt.Seconds()
+		wallLat[i] = s.wall.Seconds()
+	}
+	fmt.Printf("clients=%d requests=%d strategy=%s mix=%s\n", *clients, *requests, strat, *mixName)
+	fmt.Printf("throughput: %.2f q/s virtual (%d in %.3fs), %.1f q/s wall (%.3fs)\n",
+		float64(*requests)/virtTotal.Seconds(), *requests, virtTotal.Seconds(),
+		float64(*requests)/wallTotal.Seconds(), wallTotal.Seconds())
+	fmt.Printf("latency virtual [s]: %s\n", percentiles(virtLat))
+	fmt.Printf("latency wall    [s]: %s\n", percentiles(wallLat))
+	m := eng.Metrics()
+	fmt.Printf("engine: gangs=%d batched=%d/%d overhead=%v\n", m.Gangs, m.Batched, m.Submitted, m.OverheadV)
+
+	if !countOK {
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// percentiles renders p50/p90/p99/max of xs.
+func percentiles(xs []float64) string {
+	sort.Float64s(xs)
+	pick := func(p float64) float64 {
+		i := int(p * float64(len(xs)-1))
+		return xs[i]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "p50=%.4f p90=%.4f p99=%.4f max=%.4f",
+		pick(0.50), pick(0.90), pick(0.99), xs[len(xs)-1])
+	return b.String()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -39,12 +39,9 @@ func main() {
 	if *query == "" {
 		fail("missing -q")
 	}
-	strat, ok := map[string]pathdb.Strategy{
-		"auto": pathdb.Auto, "simple": pathdb.Simple,
-		"xschedule": pathdb.Schedule, "xscan": pathdb.Scan,
-	}[*strategy]
-	if !ok {
-		fail("unknown -strategy %q", *strategy)
+	strat, err := pathdb.ParseStrategy(*strategy)
+	if err != nil {
+		fail("%v", err)
 	}
 	layout, ok := map[string]pathdb.Layout{
 		"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
@@ -55,7 +52,6 @@ func main() {
 
 	opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
 	var db *pathdb.DB
-	var err error
 	switch {
 	case *xmlFile != "":
 		data, rerr := os.ReadFile(*xmlFile)

@@ -99,12 +99,9 @@ func (sh *shell) exec(line string) bool {
   \insert <parent-path> <xml-fragment>
   \delete <path>     \stats           \quit`)
 	case "strategy":
-		s, ok := map[string]pathdb.Strategy{
-			"auto": pathdb.Auto, "simple": pathdb.Simple,
-			"xschedule": pathdb.Schedule, "xscan": pathdb.Scan,
-		}[rest]
-		if !ok {
-			fmt.Fprintf(sh.out, "unknown strategy %q\n", rest)
+		s, err := pathdb.ParseStrategy(rest)
+		if err != nil {
+			fmt.Fprintln(sh.out, err)
 			return false
 		}
 		sh.strategy = s

@@ -1,0 +1,249 @@
+package pathdb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"pathdb/internal/core"
+	"pathdb/internal/engine"
+	"pathdb/internal/ordpath"
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/xpath"
+)
+
+// EngineConfig tunes the concurrent engine's admission control.
+type EngineConfig struct {
+	// MaxInFlight caps how many admitted queries execute together as one
+	// gang, sharing the I/O scheduler where possible (default 8).
+	MaxInFlight int
+	// QueueDepth bounds the admission queue: TrySubmit beyond it is
+	// rejected, Do/Submit block (default 64).
+	QueueDepth int
+}
+
+// Engine executes queries from many goroutines concurrently against one
+// loaded document — the concurrent counterpart of DB.Query. Open sessions
+// with NewSession; Close shuts the dispatcher down.
+//
+// See internal/engine for the execution model: submissions are admitted
+// into a bounded queue and executed in gangs by a single dispatcher, with
+// compatible XSchedule plans batched onto one shared scheduler so the
+// asynchronous I/O layer reorders cluster loads across query boundaries.
+type Engine struct {
+	db *DB
+	e  *engine.Engine
+}
+
+// NewEngine starts a concurrent engine over the document. The cost model's
+// offline statistics pass runs here; call ResetStats afterwards when
+// measuring cold runs. Close the engine before using blocking single-query
+// DB methods again.
+func (db *DB) NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{
+		db: db,
+		e: engine.New(db.store, engine.Config{
+			MaxInFlight: cfg.MaxInFlight,
+			QueueDepth:  cfg.QueueDepth,
+		}),
+	}
+}
+
+// Close stops the engine; queries still queued fail with ErrClosed.
+func (e *Engine) Close() { e.e.Close() }
+
+// EngineMetrics is a snapshot of the engine's counters.
+type EngineMetrics struct {
+	Submitted int64       // admitted queries
+	Rejected  int64       // admission-queue rejections
+	Completed int64       // finished without error
+	Cancelled int64       // failed with a context error
+	Gangs     int64       // dispatcher batches executed
+	Batched   int64       // queries that ran on a gang-shared scheduler
+	OverheadV stats.Ticks // virtual time spent on dispatch bookkeeping
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() EngineMetrics {
+	m := e.e.Metrics()
+	return EngineMetrics{
+		Submitted: m.Submitted,
+		Rejected:  m.Rejected,
+		Completed: m.Completed,
+		Cancelled: m.Cancelled,
+		Gangs:     m.Gangs,
+		Batched:   m.Batched,
+		OverheadV: m.OverheadV,
+	}
+}
+
+// NewSession opens a submission handle. Sessions are cheap; give each
+// client goroutine its own.
+func (e *Engine) NewSession() *Session { return &Session{eng: e, s: e.e.NewSession()} }
+
+// Session submits queries to an Engine. Its methods are safe for
+// concurrent use.
+type Session struct {
+	eng *Engine
+	s   *engine.Session
+}
+
+// QueryOptions tunes one engine query.
+type QueryOptions struct {
+	// Strategy forces a physical strategy (default Auto: the cost model
+	// decides per query).
+	Strategy Strategy
+	// Sorted requests results in document order.
+	Sorted bool
+	// MemLimit bounds the speculative structure S (0 = unlimited).
+	MemLimit int
+}
+
+// ExecResult is the outcome of one engine query.
+type ExecResult struct {
+	Nodes    []Node
+	Strategy Strategy // resolved strategy (meaningful when Auto was used)
+	Shared   bool     // ran on a gang-shared scheduler (batched I/O)
+	Gang     int      // gang size this query executed in
+
+	// VirtualLatency is submit-to-done on the volume's virtual clock.
+	VirtualLatency stats.Ticks
+	// WallQueue and WallExec split the real (simulation) latency into
+	// time queued and time executing.
+	WallQueue time.Duration
+	WallExec  time.Duration
+}
+
+// Count returns the result cardinality.
+func (r *ExecResult) Count() int { return len(r.Nodes) }
+
+func fromCore(s core.Strategy) Strategy {
+	switch s {
+	case core.StrategySimple:
+		return Simple
+	case core.StrategyScan:
+		return Scan
+	default:
+		return Schedule
+	}
+}
+
+// Do evaluates an absolute location path (or a '|' union of paths) through
+// the engine, blocking until the result is ready or ctx is done.
+// Cancelling ctx abandons the query: if still queued it never runs, if
+// running it stops at the next operator poll point.
+func (s *Session) Do(ctx context.Context, path string, opts QueryOptions) (ExecResult, error) {
+	queries, err := s.compile(path, opts)
+	if err != nil {
+		return ExecResult{}, err
+	}
+
+	// Submit every branch before waiting so union branches can share a
+	// gang; the dispatcher drains the queue independently of this
+	// goroutine, so sequential Submit calls cannot deadlock.
+	pendings := make([]*engine.Pending, 0, len(queries))
+	for _, q := range queries {
+		p, perr := s.s.Submit(ctx, q)
+		if perr != nil {
+			return ExecResult{}, perr
+		}
+		pendings = append(pendings, p)
+	}
+
+	var branch []engine.Result
+	for _, p := range pendings {
+		res, werr := p.Wait(ctx)
+		if werr != nil {
+			return ExecResult{}, werr
+		}
+		branch = append(branch, res)
+	}
+	return s.merge(branch, len(queries) > 1, opts), nil
+}
+
+// compile parses the path and maps it onto engine queries, one per union
+// branch.
+func (s *Session) compile(path string, opts QueryOptions) ([]engine.Query, error) {
+	branches, err := xpathParseUnion(s.eng.db, path)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]engine.Query, len(branches))
+	for i, b := range branches {
+		queries[i] = engine.Query{
+			Label:    path,
+			Path:     b,
+			Auto:     opts.Strategy == Auto,
+			Strategy: opts.Strategy.internal(),
+			// Union branches are merged and re-sorted below; plain paths
+			// sort inside the engine.
+			Sorted:   opts.Sorted && len(branches) == 1,
+			MemLimit: opts.MemLimit,
+		}
+	}
+	return queries, nil
+}
+
+// merge combines branch results into one ExecResult (union semantics: a
+// node set).
+func (s *Session) merge(branch []engine.Result, isUnion bool, opts QueryOptions) ExecResult {
+	out := ExecResult{Strategy: fromCore(branch[0].Strategy), Gang: branch[0].Gang}
+
+	var all []core.Result
+	minSubmit, maxDone := branch[0].SubmitV, branch[0].DoneV
+	for _, r := range branch {
+		all = append(all, r.Results...)
+		out.Shared = out.Shared || r.Shared
+		out.WallQueue += r.WallQueue
+		out.WallExec += r.WallExec
+		if r.SubmitV < minSubmit {
+			minSubmit = r.SubmitV
+		}
+		if r.DoneV > maxDone {
+			maxDone = r.DoneV
+		}
+	}
+	out.VirtualLatency = maxDone - minSubmit
+
+	if isUnion {
+		seen := make(map[storage.NodeID]bool, len(all))
+		dedup := all[:0]
+		for _, r := range all {
+			if seen[r.Node] {
+				continue
+			}
+			seen[r.Node] = true
+			dedup = append(dedup, r)
+		}
+		all = dedup
+		if opts.Sorted {
+			sort.Slice(all, func(i, j int) bool {
+				return ordpath.Compare(all[i].Ord, all[j].Ord) < 0
+			})
+		}
+	}
+	out.Nodes = make([]Node, len(all))
+	for i, r := range all {
+		out.Nodes[i] = Node{db: s.eng.db, id: r.Node}
+	}
+	return out
+}
+
+// xpathParseUnion parses an absolute location path (or union) into
+// simplified step lists.
+func xpathParseUnion(db *DB, path string) ([][]xpath.Step, error) {
+	branches, err := xpath.ParseUnion(db.dict, path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]xpath.Step, len(branches))
+	for i, b := range branches {
+		if !b.Absolute {
+			return nil, fmt.Errorf("pathdb: engine query %q must be absolute", path)
+		}
+		out[i] = b.Simplify().Steps
+	}
+	return out, nil
+}

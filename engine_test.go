@@ -1,0 +1,121 @@
+package pathdb
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pathdb/internal/ordpath"
+)
+
+// engineFixture loads a small generated document for facade-level engine
+// tests.
+func engineFixture(t *testing.T) *DB {
+	t.Helper()
+	db, err := GenerateXMark(XMarkConfig{ScaleFactor: 0.1, Seed: 7, EntityScale: 0.05}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range []Strategy{Auto, Simple, Schedule, Scan} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	for name, want := range map[string]Strategy{
+		"XSchedule": Schedule, "schedule": Schedule, " scan ": Scan, "AUTO": Auto,
+	} {
+		if got, err := ParseStrategy(name); err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("fastest"); err == nil {
+		t.Error("ParseStrategy accepted an unknown name")
+	}
+}
+
+// TestEngineMatchesQuery: concurrent sessions through the facade engine
+// return the same counts as the blocking DB.Query API, including unions.
+func TestEngineMatchesQuery(t *testing.T) {
+	db := engineFixture(t)
+	paths := []string{
+		"/site/regions//item",
+		"/site//description",
+		"/site/people/person/name | /site/regions//item/name",
+	}
+	want := map[string]int{}
+	for _, p := range paths {
+		q, err := db.Query(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = q.Count()
+	}
+
+	eng := db.NewEngine(EngineConfig{MaxInFlight: 4})
+	defer eng.Close()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := eng.NewSession()
+			for _, p := range paths {
+				res, err := s.Do(context.Background(), p, QueryOptions{Sorted: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count() != want[p] {
+					t.Errorf("engine count(%s) = %d, want %d", p, res.Count(), want[p])
+				}
+				key := func(n Node) ordpath.Key {
+					return db.store.Swizzle(n.id).OrdKey()
+				}
+				for i := 1; i < len(res.Nodes); i++ {
+					if ordpath.Compare(key(res.Nodes[i-1]), key(res.Nodes[i])) > 0 {
+						t.Errorf("results of %s not in document order", p)
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	m := eng.Metrics()
+	if m.Completed == 0 || m.Cancelled != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestEngineCancelledContext(t *testing.T) {
+	db := engineFixture(t)
+	eng := db.NewEngine(EngineConfig{})
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.NewSession().Do(ctx, "/site//item", QueryOptions{}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+func TestEngineRelativePathRejected(t *testing.T) {
+	db := engineFixture(t)
+	eng := db.NewEngine(EngineConfig{})
+	defer eng.Close()
+	if _, err := eng.NewSession().Do(context.Background(), "regions//item", QueryOptions{}); err == nil {
+		t.Fatal("relative path accepted")
+	}
+}

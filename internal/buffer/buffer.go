@@ -11,14 +11,34 @@
 // expects (Sec. 3.7): Request enqueues a cluster load without blocking, and
 // WaitLoaded returns some cluster whose load has completed — already-cached
 // clusters complete immediately.
+//
+// Concurrency. The page table is split into latch shards (the classic
+// buffer-manager design the CPUHashLookup constant already models), pin
+// counts are atomic, and a single manager mutex serializes the cold paths:
+// LRU maintenance, misses, eviction and the async request queues. Lock
+// ordering is strict — the manager mutex may acquire shard latches, never
+// the reverse — and the hit path touches the LRU under the manager mutex
+// after pinning under the shard latch, which doubles as the barrier that
+// keeps a concurrently-loading frame's Data invisible until complete.
 package buffer
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pathdb/internal/stats"
 	"pathdb/internal/vdisk"
 )
+
+// nShards is the number of page-table latch shards. Plenty for the worker
+// counts the engine admits; must be a power of two.
+const nShards = 64
+
+type shard struct {
+	mu     sync.RWMutex
+	frames map[vdisk.PageID]*Frame
+}
 
 // Frame is a buffered page. Data aliases the manager's internal copy; it is
 // valid while the frame is pinned (and until eviction otherwise).
@@ -26,23 +46,26 @@ type Frame struct {
 	Page vdisk.PageID
 	Data []byte
 
-	pins       int
+	pins       atomic.Int32
 	prev, next *Frame // LRU list, most recent at head
 }
 
 // Pinned reports whether the frame is currently pinned.
-func (f *Frame) Pinned() bool { return f.pins > 0 }
+func (f *Frame) Pinned() bool { return f.pins.Load() > 0 }
 
-// Manager is the buffer pool. Not safe for concurrent use; the virtual
-// clock is single-threaded by design.
+// Manager is the buffer pool. Safe for concurrent use; see the package
+// comment for the latching discipline.
 type Manager struct {
 	disk     *vdisk.Disk
 	led      *stats.Ledger
 	capacity int
 
-	frames map[vdisk.PageID]*Frame
-	head   *Frame // MRU
-	tail   *Frame // LRU
+	shards [nShards]shard
+
+	mu      sync.Mutex // guards everything below; may take shard latches
+	nFrames int        // mapped frames across all shards
+	head    *Frame     // MRU
+	tail    *Frame     // LRU
 
 	pendingAsync map[vdisk.PageID]bool
 	ready        []vdisk.PageID // requests satisfied from cache
@@ -56,35 +79,54 @@ func New(disk *vdisk.Disk, capacity int) *Manager {
 	if capacity <= 0 {
 		panic("buffer: non-positive capacity")
 	}
-	return &Manager{
+	m := &Manager{
 		disk:         disk,
 		led:          disk.Ledger(),
 		capacity:     capacity,
-		frames:       make(map[vdisk.PageID]*Frame, capacity),
 		pendingAsync: make(map[vdisk.PageID]bool),
 	}
+	for i := range m.shards {
+		m.shards[i].frames = make(map[vdisk.PageID]*Frame)
+	}
+	return m
+}
+
+func (m *Manager) shardOf(p vdisk.PageID) *shard {
+	return &m.shards[uint32(p)&(nShards-1)]
 }
 
 // SetEvictHandler registers f to be called whenever a page leaves the pool
 // (eviction or FlushAll). The storage layer uses this to invalidate its
 // swizzled in-memory representations, the "swapping out" concern of
-// Sec. 5.3.2.3.
+// Sec. 5.3.2.3. The handler runs with manager locks held; it must not call
+// back into the pool.
 func (m *Manager) SetEvictHandler(f func(vdisk.PageID)) { m.onEvict = f }
 
 // Capacity returns the configured page capacity.
 func (m *Manager) Capacity() int { return m.capacity }
 
 // Len returns the number of buffered pages.
-func (m *Manager) Len() int { return len(m.frames) }
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nFrames
+}
 
 // Overflow returns how many times the pool had to exceed its capacity
 // because every frame was pinned.
-func (m *Manager) Overflow() int64 { return m.overflow }
+func (m *Manager) Overflow() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.overflow
+}
 
 // Contains reports whether page p is buffered, without charging costs or
 // touching the LRU order (for tests and the scheduler's bookkeeping).
 func (m *Manager) Contains(p vdisk.PageID) bool {
-	_, ok := m.frames[p]
+	s := m.shardOf(p)
+	s.mu.RLock()
+	_, ok := s.frames[p]
+	s.mu.RUnlock()
 	return ok
 }
 
@@ -92,38 +134,65 @@ func (m *Manager) Contains(p vdisk.PageID) bool {
 // model and page size).
 func (m *Manager) Disk() *vdisk.Disk { return m.disk }
 
+// probe looks p up in its shard and, on a hit, pins the frame under the
+// shard latch — the pin taken there is what makes it safe against a
+// concurrent eviction, which re-checks pins under the exclusive latch.
+func (m *Manager) probe(p vdisk.PageID) *Frame {
+	s := m.shardOf(p)
+	s.mu.RLock()
+	f := s.frames[p]
+	if f != nil {
+		f.pins.Add(1)
+	}
+	s.mu.RUnlock()
+	return f
+}
+
 // Fix returns a pinned frame for page p, reading it from disk on a miss.
 // The caller must Unfix it. Each call charges one hash probe.
 func (m *Manager) Fix(p vdisk.PageID) *Frame {
-	m.led.HashLookups++
+	stats.Inc(&m.led.HashLookups)
 	m.led.AdvanceCPU(m.disk.Model().CPUHashLookup)
-	if f, ok := m.frames[p]; ok {
-		m.led.BufferHits++
+	if f := m.probe(p); f != nil {
+		stats.Inc(&m.led.BufferHits)
+		// Passing through the manager mutex also guarantees the loader of
+		// a freshly-published frame has finished filling Data before we
+		// hand it out.
+		m.mu.Lock()
 		m.touch(f)
-		f.pins++
+		m.mu.Unlock()
 		return f
 	}
-	m.led.BufferMisses++
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-probe: another goroutine may have loaded p while we waited.
+	if f := m.probe(p); f != nil {
+		stats.Inc(&m.led.BufferHits)
+		m.touch(f)
+		return f
+	}
+	stats.Inc(&m.led.BufferMisses)
 	f := m.newFrame(p)
 	m.disk.ReadSync(p, f.Data)
-	f.pins++
+	f.pins.Add(1)
 	delete(m.pendingAsync, p) // a sync read supersedes a pending request
 	return f
 }
 
 // Unfix releases a pin taken by Fix.
 func (m *Manager) Unfix(f *Frame) {
-	if f.pins <= 0 {
+	if f.pins.Add(-1) < 0 {
 		panic(fmt.Sprintf("buffer: unfix of unpinned page %d", f.Page))
 	}
-	f.pins--
 }
 
 // Request schedules an asynchronous load of page p. If p is already
 // buffered or already requested, the request is recorded so that a later
 // WaitLoaded can still deliver it.
 func (m *Manager) Request(p vdisk.PageID) {
-	if _, ok := m.frames[p]; ok {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.Contains(p) {
 		m.ready = append(m.ready, p)
 		return
 	}
@@ -138,6 +207,8 @@ func (m *Manager) Request(p vdisk.PageID) {
 // ok is false when nothing is outstanding. Cache-satisfied requests are
 // delivered first (they are ready immediately).
 func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.ready) > 0 {
 		p = m.ready[0]
 		m.ready = m.ready[1:]
@@ -155,36 +226,63 @@ func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool) {
 		return vdisk.InvalidPage, false
 	}
 	delete(m.pendingAsync, page)
-	if old, exists := m.frames[page]; exists {
+	s := m.shardOf(page)
+	s.mu.Lock()
+	if old, exists := s.frames[page]; exists {
 		// Already (re)loaded synchronously in the meantime; keep the
 		// existing frame and discard the fresh buffer.
+		s.mu.Unlock()
 		m.unlink(f)
 		m.touch(old)
 		return page, true
 	}
 	f.Page = page
-	m.frames[page] = f
+	s.frames[page] = f
+	s.mu.Unlock()
+	m.nFrames++
 	return page, true
 }
 
 // OutstandingRequests returns the number of async requests not yet
 // delivered by WaitLoaded.
 func (m *Manager) OutstandingRequests() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return len(m.pendingAsync) + len(m.ready)
+}
+
+// CancelRequests abandons every outstanding async request — queued on the
+// device, completed-but-undelivered, and cache-ready alike. A cancelled
+// query calls this so its in-flight prefetches cannot surface as stale
+// deliveries inside the next query on the same volume.
+func (m *Manager) CancelRequests() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pendingAsync = make(map[vdisk.PageID]bool)
+	m.ready = nil
+	m.disk.CancelPending()
 }
 
 // Invalidate drops page p from the pool after an out-of-band write (the
 // update path rewrites pages directly). It panics if the frame is pinned.
 func (m *Manager) Invalidate(p vdisk.PageID) {
-	f, ok := m.frames[p]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.shardOf(p)
+	s.mu.Lock()
+	f, ok := s.frames[p]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
 	if f.Pinned() {
+		s.mu.Unlock()
 		panic(fmt.Sprintf("buffer: invalidate of pinned page %d", p))
 	}
+	delete(s.frames, p)
+	s.mu.Unlock()
 	m.unlink(f)
-	delete(m.frames, p)
+	m.nFrames--
 	if m.onEvict != nil {
 		m.onEvict(p)
 	}
@@ -193,17 +291,24 @@ func (m *Manager) Invalidate(p vdisk.PageID) {
 // FlushAll drops every unpinned frame (used between benchmark runs to
 // start cold). It panics if any frame is still pinned.
 func (m *Manager) FlushAll() {
-	for p, f := range m.frames {
-		if f.Pinned() {
-			panic(fmt.Sprintf("buffer: FlushAll with pinned page %d", p))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for p, f := range s.frames {
+			if f.Pinned() {
+				s.mu.Unlock()
+				panic(fmt.Sprintf("buffer: FlushAll with pinned page %d", p))
+			}
+			if m.onEvict != nil {
+				m.onEvict(p)
+			}
 		}
+		s.frames = make(map[vdisk.PageID]*Frame)
+		s.mu.Unlock()
 	}
-	if m.onEvict != nil {
-		for p := range m.frames {
-			m.onEvict(p)
-		}
-	}
-	m.frames = make(map[vdisk.PageID]*Frame, m.capacity)
+	m.nFrames = 0
 	m.head, m.tail = nil, nil
 	m.pendingAsync = make(map[vdisk.PageID]bool)
 	m.ready = nil
@@ -211,8 +316,9 @@ func (m *Manager) FlushAll() {
 
 // newFrame allocates (or steals via eviction) a frame, links it at MRU and
 // registers it under page p (unless p is InvalidPage, for placeholders).
+// Caller holds m.mu.
 func (m *Manager) newFrame(p vdisk.PageID) *Frame {
-	if len(m.frames) >= m.capacity {
+	if m.nFrames >= m.capacity {
 		if !m.evictOne() {
 			m.overflow++
 		}
@@ -220,24 +326,39 @@ func (m *Manager) newFrame(p vdisk.PageID) *Frame {
 	f := &Frame{Page: p, Data: make([]byte, m.disk.PageSize())}
 	m.linkFront(f)
 	if p != vdisk.InvalidPage {
-		m.frames[p] = f
+		s := m.shardOf(p)
+		s.mu.Lock()
+		s.frames[p] = f
+		s.mu.Unlock()
+		m.nFrames++
 	}
 	return f
 }
 
 // evictOne drops the least recently used unpinned frame. It returns false
-// if every frame is pinned.
+// if every frame is pinned. Caller holds m.mu; the victim's pin count is
+// re-checked under its shard's exclusive latch, which excludes the hit
+// path's pin-under-read-latch.
 func (m *Manager) evictOne() bool {
 	for f := m.tail; f != nil; f = f.prev {
-		if !f.Pinned() {
-			m.unlink(f)
-			delete(m.frames, f.Page)
-			m.led.Evictions++
-			if m.onEvict != nil {
-				m.onEvict(f.Page)
-			}
-			return true
+		if f.Pinned() || f.Page == vdisk.InvalidPage {
+			continue // pinned, or a placeholder still being filled
 		}
+		s := m.shardOf(f.Page)
+		s.mu.Lock()
+		if f.Pinned() {
+			s.mu.Unlock()
+			continue
+		}
+		delete(s.frames, f.Page)
+		s.mu.Unlock()
+		m.unlink(f)
+		m.nFrames--
+		stats.Inc(&m.led.Evictions)
+		if m.onEvict != nil {
+			m.onEvict(f.Page)
+		}
+		return true
 	}
 	return false
 }

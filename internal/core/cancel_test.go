@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"pathdb/internal/storage"
+	"pathdb/internal/xpath"
+)
+
+// cancelFixture builds a store plus a path with enough results to cancel
+// mid-stream.
+func cancelFixture(t *testing.T) (*storage.Store, []xpath.Step, []storage.NodeID) {
+	t.Helper()
+	dict, doc := buildTree(7, 600)
+	st := importTree(t, dict, doc, 512, storage.LayoutNatural)
+	path := xpath.MustParse(dict, "//b").Simplify().Steps
+	return st, path, st.Roots()
+}
+
+func TestPlanCancelledMidStream(t *testing.T) {
+	for _, strat := range []Strategy{StrategySimple, StrategySchedule, StrategyScan} {
+		t.Run(strat.String(), func(t *testing.T) {
+			st, path, roots := cancelFixture(t)
+			full := BuildPlan(st, path, roots, strat, PlanOptions{}).Run()
+			if len(full) < 10 {
+				t.Fatalf("fixture too small: %d results", len(full))
+			}
+
+			st.ResetForRun()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			p := BuildPlan(st, path, roots, strat, PlanOptions{Ctx: ctx})
+			root := p.Root()
+			root.Open()
+			got := 0
+			for {
+				_, ok := root.Next()
+				if !ok {
+					break
+				}
+				got++
+				if got == 5 {
+					cancel()
+				}
+			}
+			root.Close()
+			st.CancelRequests()
+			// Simple plans have no I/O-performing operator polling the
+			// context, so only the scheduler/scan strategies truncate; for
+			// them the stream must end well short of the full result.
+			if strat != StrategySimple && got >= len(full) {
+				t.Fatalf("cancellation ignored: got all %d results", got)
+			}
+			if ctx.Err() == nil {
+				t.Fatal("context not cancelled")
+			}
+
+			// The volume stays usable: a fresh run returns the full result.
+			st.ResetForRun()
+			again := BuildPlan(st, path, roots, strat, PlanOptions{}).Run()
+			if len(again) != len(full) {
+				t.Fatalf("post-cancel run: %d results, want %d", len(again), len(full))
+			}
+		})
+	}
+}
+
+func TestPreCancelledPlanEmitsNothing(t *testing.T) {
+	st, path, roots := cancelFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := BuildPlan(st, path, roots, StrategySchedule, PlanOptions{Ctx: ctx})
+	if got := p.Run(); len(got) != 0 {
+		t.Fatalf("pre-cancelled plan produced %d results", len(got))
+	}
+	st.CancelRequests()
+}
+
+// TestMultiPlanMemberCancellation: cancelling one member of a shared-
+// scheduler gang must not disturb the others' results.
+func TestMultiPlanMemberCancellation(t *testing.T) {
+	st, path, roots := cancelFixture(t)
+	pathC := xpath.MustParse(st.Dict(), "//c").Simplify().Steps
+
+	queries := []MultiQuery{
+		{Path: path, Contexts: roots},
+		{Path: pathC, Contexts: roots},
+	}
+	want := BuildMultiPlan(st, queries, PlanOptions{}).Counts()
+
+	st.ResetForRun()
+	ctx, cancel := context.WithCancel(context.Background())
+	queries[0].Ctx = ctx
+	mp := BuildMultiPlan(st, queries, PlanOptions{})
+	counts := make([]int, len(queries))
+	mp.RunEach(nil, func(i int, r Result) {
+		counts[i]++
+		if i == 0 && counts[0] == 3 {
+			cancel()
+		}
+	})
+	st.CancelRequests()
+	if counts[0] >= want[0] {
+		t.Fatalf("cancelled member produced full result (%d)", counts[0])
+	}
+	if counts[1] != want[1] {
+		t.Fatalf("surviving member: %d results, want %d", counts[1], want[1])
+	}
+}

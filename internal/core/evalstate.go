@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"pathdb/internal/stats"
 	"pathdb/internal/storage"
 	"pathdb/internal/xpath"
@@ -12,6 +14,12 @@ import (
 type EvalState struct {
 	Store *storage.Store
 	Path  []xpath.Step // Path[i-1] is location step πᵢ
+
+	// Ctx, when non-nil, carries the query's deadline and cancellation.
+	// The I/O-performing operators poll it between productions and end
+	// their streams early once it is done; the caller distinguishes a
+	// cancelled run from an exhausted one via Ctx.Err.
+	Ctx context.Context
 
 	// MemLimit bounds the number of speculative instances XAssembly may
 	// hold in S; 0 means unlimited. When exceeded, the plan degrades to
@@ -31,6 +39,13 @@ func NewEvalState(store *storage.Store, path []xpath.Step) *EvalState {
 // Len returns |π|.
 func (es *EvalState) Len() int { return len(es.Path) }
 
+// Cancelled reports whether the query's context has been cancelled or has
+// exceeded its deadline. It is cooperative-cancellation's poll point:
+// cheap enough for operator Next loops (one atomic load inside ctx).
+func (es *EvalState) Cancelled() bool {
+	return es.Ctx != nil && es.Ctx.Err() != nil
+}
+
 // Fallback reports whether the plan has degraded to fallback mode.
 func (es *EvalState) Fallback() bool { return es.fallback }
 
@@ -38,7 +53,7 @@ func (es *EvalState) Fallback() bool { return es.fallback }
 func (es *EvalState) EnterFallback() {
 	if !es.fallback {
 		es.fallback = true
-		es.Store.Ledger().FallbackEvents++
+		stats.Inc(&es.Store.Ledger().FallbackEvents)
 	}
 }
 
@@ -46,7 +61,7 @@ func (es *EvalState) ledger() *stats.Ledger { return es.Store.Ledger() }
 
 func (es *EvalState) chargeTuple() {
 	led := es.ledger()
-	led.TuplesMoved++
+	stats.Inc(&led.TuplesMoved)
 	led.AdvanceCPU(es.Store.Disk().Model().CPUTupleMove)
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"pathdb/internal/storage"
 	"pathdb/internal/xpath"
 )
@@ -23,10 +25,18 @@ type MultiPlan struct {
 	asms   []*XAssembly
 }
 
-// MultiQuery is one member query of a MultiPlan.
+// MultiQuery is one member query of a MultiPlan. Under the concurrent
+// engine the members come from different sessions, so each carries its own
+// cancellation context and memory limit.
 type MultiQuery struct {
 	Path     []xpath.Step
 	Contexts []storage.NodeID
+
+	// Ctx, when non-nil, cancels this member only; the shared scheduler
+	// keeps serving the others. Zero value inherits PlanOptions.Ctx.
+	Ctx context.Context
+	// MemLimit overrides PlanOptions.MemLimit for this member when > 0.
+	MemLimit int
 }
 
 // BuildMultiPlan compiles a shared-scheduler plan for the given queries.
@@ -55,6 +65,13 @@ func BuildMultiPlan(store *storage.Store, queries []MultiQuery, opts PlanOptions
 	for pi, q := range queries {
 		es := NewEvalState(store, q.Path)
 		es.MemLimit = opts.MemLimit
+		if q.MemLimit > 0 {
+			es.MemLimit = q.MemLimit
+		}
+		es.Ctx = opts.Ctx
+		if q.Ctx != nil {
+			es.Ctx = q.Ctx
+		}
 		mp.es = append(mp.es, es)
 		var op Operator = &demuxPort{d: d, path: pi}
 		for i := 1; i <= len(q.Path); i++ {
@@ -66,18 +83,39 @@ func BuildMultiPlan(store *storage.Store, queries []MultiQuery, opts PlanOptions
 }
 
 // Run evaluates all member queries and returns one result list per query.
-// Queries are drained in round-robin fashion so their cluster accesses
-// interleave in the shared queue.
 func (mp *MultiPlan) Run() [][]Result {
+	out := make([][]Result, len(mp.asms))
+	mp.RunEach(nil, func(i int, r Result) {
+		out[i] = append(out[i], r)
+	})
+	return out
+}
+
+// RunEach evaluates all member queries, streaming each result to emit as it
+// is assembled. Queries are drained in round-robin fashion so their cluster
+// accesses interleave in the shared queue — the engine's gang execution
+// uses this to serve several sessions from one scheduler.
+//
+// cancelled, when non-nil, is polled before each pull for member i; once it
+// reports true the member stops producing (its instances already in the
+// shared queue are pulled and buffered by the surviving ports — bounded by
+// the queue fill K — and its submitted cluster requests stay with the I/O
+// subsystem until the owner cancels them). Both callbacks run on the
+// calling goroutine.
+func (mp *MultiPlan) RunEach(cancelled func(i int) bool, emit func(i int, r Result)) {
 	for _, a := range mp.asms {
 		a.Open()
 	}
-	out := make([][]Result, len(mp.asms))
 	done := make([]bool, len(mp.asms))
 	remaining := len(mp.asms)
 	for remaining > 0 {
 		for i, a := range mp.asms {
 			if done[i] {
+				continue
+			}
+			if cancelled != nil && cancelled(i) {
+				done[i] = true
+				remaining--
 				continue
 			}
 			inst, ok := a.Next()
@@ -86,13 +124,12 @@ func (mp *MultiPlan) Run() [][]Result {
 				remaining--
 				continue
 			}
-			out[i] = append(out[i], Result{Node: inst.NR, Ord: inst.Ord})
+			emit(i, Result{Node: inst.NR, Ord: inst.Ord})
 		}
 	}
 	for _, a := range mp.asms {
 		a.Close()
 	}
-	return out
 }
 
 // Counts evaluates all member queries and returns their cardinalities.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pathdb/internal/ordpath"
@@ -50,6 +51,9 @@ type PlanOptions struct {
 	// NoFirstStepAllOpt disables the '//' optimisation of Sec. 5.4.5.4
 	// even when it applies (for ablations).
 	NoFirstStepAllOpt bool
+	// Ctx, when non-nil, threads a deadline/cancellation context through
+	// the plan's operators; a cancelled plan ends its result stream early.
+	Ctx context.Context
 }
 
 // Plan is an executable physical plan for one location path.
@@ -69,6 +73,7 @@ type Plan struct {
 func BuildPlan(store *storage.Store, path []xpath.Step, contexts []storage.NodeID, strat Strategy, opts PlanOptions) *Plan {
 	es := NewEvalState(store, path)
 	es.MemLimit = opts.MemLimit
+	es.Ctx = opts.Ctx
 
 	ctxIDs := append([]storage.NodeID(nil), contexts...)
 	p := &Plan{es: es, Strategy: strat}

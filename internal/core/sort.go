@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pathdb/internal/ordpath"
+	"pathdb/internal/stats"
 	"pathdb/internal/storage"
 )
 
@@ -42,12 +43,12 @@ func (d *Distinct) Next() (Instance, bool) {
 			return Instance{}, false
 		}
 		d.es.chargeSetOp(1)
-		d.es.ledger().SetLookups++
+		stats.Inc(&d.es.ledger().SetLookups)
 		if d.seen[in.NR] {
 			continue
 		}
 		d.es.chargeSetOp(1)
-		d.es.ledger().SetInserts++
+		stats.Inc(&d.es.ledger().SetInserts)
 		d.seen[in.NR] = true
 		return in, true
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"pathdb/internal/stats"
 	"pathdb/internal/storage"
 )
 
@@ -65,7 +66,7 @@ func (a *XAssembly) Close() {
 // reachable reports whether an end is known reachable.
 func (a *XAssembly) reachable(e End) bool {
 	a.es.chargeSetOp(1)
-	a.es.ledger().SetLookups++
+	stats.Inc(&a.es.ledger().SetLookups)
 	if a.FirstStepAll && e.Step == 1 {
 		return true
 	}
@@ -76,7 +77,7 @@ func (a *XAssembly) reachable(e End) bool {
 // waiting on it. It reports whether the end was new.
 func (a *XAssembly) addReachable(e End) bool {
 	a.es.chargeSetOp(1)
-	a.es.ledger().SetLookups++
+	stats.Inc(&a.es.ledger().SetLookups)
 	if a.FirstStepAll && e.Step == 1 {
 		// Implicitly present; wake waiters but do not store.
 		a.wake(e)
@@ -86,7 +87,7 @@ func (a *XAssembly) addReachable(e End) bool {
 		return false
 	}
 	a.es.chargeSetOp(1)
-	a.es.ledger().SetInserts++
+	stats.Inc(&a.es.ledger().SetInserts)
 	a.r[e] = true
 	a.wake(e)
 	return true
@@ -117,6 +118,9 @@ func (a *XAssembly) wake(e End) {
 // producer.
 func (a *XAssembly) Next() (Instance, bool) {
 	for {
+		if a.es.Cancelled() {
+			return Instance{}, false
+		}
 		// Case 1: a speculative instance whose left end is reachable.
 		if n := len(a.ready); n > 0 {
 			x := a.ready[n-1]
@@ -226,7 +230,7 @@ func (a *XAssembly) park(x Instance) {
 		return
 	}
 	a.es.chargeSetOp(1)
-	a.es.ledger().SetInserts++
+	stats.Inc(&a.es.ledger().SetInserts)
 	a.s[e] = append(a.s[e], x)
 	a.sLen++
 	if a.es.MemLimit > 0 && a.sLen > a.es.MemLimit {

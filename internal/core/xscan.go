@@ -1,6 +1,6 @@
 package core
 
-import ()
+import "pathdb/internal/stats"
 
 // XScan is the scan-based I/O-performing operator (Sec. 5.4.3): it reads
 // every cluster of the document exactly once, in physical order, with
@@ -65,6 +65,9 @@ func (x *XScan) enterFallback() {
 // Next returns the producer's instances and the speculative instances, one
 // cluster at a time, scanning sequentially.
 func (x *XScan) Next() (Instance, bool) {
+	if x.es.Cancelled() {
+		return Instance{}, false
+	}
 	if x.es.Fallback() && !x.fbStarted {
 		x.enterFallback()
 	}
@@ -95,7 +98,7 @@ func (x *XScan) Next() (Instance, bool) {
 		page := x.es.Store.DataPage(x.idx)
 		x.idx++
 		x.es.Store.LoadCluster(page) // sequential read
-		x.es.ledger().ClustersVisited++
+		stats.Inc(&x.es.ledger().ClustersVisited)
 
 		// Context instances located in this cluster come first.
 		for {
@@ -112,7 +115,7 @@ func (x *XScan) Next() (Instance, bool) {
 		for _, b := range x.es.Store.BordersOf(page) {
 			for i := 0; i < pathLen; i++ {
 				x.pending = append(x.pending, Instance{SL: i, NL: b, NLBorder: true, SR: i, NR: b, NRBorder: true})
-				x.es.ledger().SpecInstances++
+				stats.Inc(&x.es.ledger().SpecInstances)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"pathdb/internal/stats"
 	"pathdb/internal/vdisk"
 )
 
@@ -80,6 +81,12 @@ func (x *XSchedule) QLen() int { return x.qLen }
 // loaded.
 func (x *XSchedule) Next() (Instance, bool) {
 	for {
+		// Cooperative cancellation: end the stream early. Requests already
+		// submitted stay with the I/O subsystem; the plan's owner cancels
+		// them (Store.CancelRequests) so they cannot leak into a later run.
+		if x.es.Cancelled() {
+			return Instance{}, false
+		}
 		x.replenish()
 
 		// Return a queued path for the current cluster, shortest first.
@@ -157,7 +164,7 @@ func (x *XSchedule) replenish() {
 func (x *XSchedule) setCurrent(c vdisk.PageID) {
 	x.current = c
 	x.currentValid = true
-	x.es.ledger().ClustersVisited++
+	stats.Inc(&x.es.ledger().ClustersVisited)
 	x.spec = x.spec[:0]
 	if !x.Speculative || x.es.Fallback() || x.visited[c] {
 		x.visited[c] = true
@@ -168,7 +175,7 @@ func (x *XSchedule) setCurrent(c vdisk.PageID) {
 	for _, b := range x.es.Store.BordersOf(c) {
 		for i := 0; i < pathLen; i++ {
 			x.spec = append(x.spec, Instance{SL: i, NL: b, NLBorder: true, SR: i, NR: b, NRBorder: true})
-			x.es.ledger().SpecInstances++
+			stats.Inc(&x.es.ledger().SpecInstances)
 		}
 	}
 }

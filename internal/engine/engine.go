@@ -1,0 +1,433 @@
+// Package engine executes many queries concurrently against one volume.
+//
+// The seed repository evaluates one query at a time on one goroutine; this
+// package turns it into a servable system along the lines the paper's
+// outlook sketches (Sec. 7): several sessions submit queries, admission
+// control bounds the work in flight, and a batching layer coalesces the
+// cluster requests of concurrently admitted XSchedule plans into the single
+// asynchronous device queue (core.MultiPlan), so the I/O scheduler reorders
+// across query boundaries.
+//
+// Execution model — gang scheduling. The storage layer underneath a plan
+// (page images, cursors, the deterministic virtual clock) is inherently
+// serial, so the engine does not run operators on N goroutines. Instead,
+// concurrency lives at the edges: any number of goroutines submit into a
+// bounded admission queue, a single dispatcher drains the queue in gangs of
+// at most MaxInFlight queries, executes each gang — batching compatible
+// members onto one shared scheduler — and completes the waiting sessions.
+// Shared layers (stats, vdisk, buffer) are concurrency-safe so monitoring
+// and future multi-dispatcher designs need no further changes; the
+// dispatcher is where the virtual clock stays deterministic.
+//
+// Cancellation. Every query carries a context.Context. A query cancelled
+// while queued never executes; one cancelled mid-execution stops at the
+// next operator poll point, and its in-flight cluster prefetches are
+// cancelled so they cannot leak into subsequent queries.
+package engine
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathdb/internal/core"
+	"pathdb/internal/ordpath"
+	"pathdb/internal/plan"
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xpath"
+)
+
+// Engine errors.
+var (
+	// ErrClosed is returned for queries submitted to (or stranded in) a
+	// closed engine.
+	ErrClosed = errors.New("engine: closed")
+	// ErrQueueFull is the admission-control rejection: the queue is at
+	// QueueDepth and the caller chose not to wait (TrySubmit).
+	ErrQueueFull = errors.New("engine: admission queue full")
+)
+
+// Config tunes the engine's admission control.
+type Config struct {
+	// MaxInFlight caps the gang size: how many admitted queries execute
+	// together, sharing the I/O scheduler where possible. Default 8.
+	MaxInFlight int
+	// QueueDepth bounds the admission queue; TrySubmit beyond it returns
+	// ErrQueueFull, Submit blocks. Default 64.
+	QueueDepth int
+	// K overrides XSchedule's queue fill target (0 = core.DefaultK).
+	K int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Query is one unit of admitted work.
+type Query struct {
+	// Label identifies the query in results and load reports (typically
+	// the source path text).
+	Label string
+	// Path is the simplified physical step list.
+	Path []xpath.Step
+	// Contexts are the context nodes; nil means the volume roots.
+	Contexts []storage.NodeID
+	// Auto asks the cost model to choose the strategy; otherwise Strategy
+	// is used as given.
+	Auto     bool
+	Strategy core.Strategy
+	// Sorted requests document-order results.
+	Sorted bool
+	// MemLimit bounds the speculative structure S (0 = unlimited).
+	MemLimit int
+}
+
+// Result is the outcome of one executed query.
+type Result struct {
+	Results  []core.Result
+	Strategy core.Strategy
+	Choice   *plan.Choice // cost-model decision when Auto was set
+
+	Gang   int  // how many queries executed in this query's gang
+	Shared bool // ran on a gang-shared scheduler (batched I/O)
+
+	// Virtual stamps on the volume clock.
+	SubmitV stats.Ticks
+	StartV  stats.Ticks
+	DoneV   stats.Ticks
+
+	// Wall-clock components (the simulation's real cost).
+	WallQueue time.Duration
+	WallExec  time.Duration
+}
+
+// Count returns the result cardinality.
+func (r *Result) Count() int { return len(r.Results) }
+
+// VirtualLatency is the submit-to-done latency on the volume clock.
+func (r *Result) VirtualLatency() stats.Ticks { return r.DoneV - r.SubmitV }
+
+// Metrics is a snapshot of the engine's counters.
+type Metrics struct {
+	Submitted int64       // admitted queries
+	Rejected  int64       // ErrQueueFull rejections
+	Completed int64       // finished without error
+	Cancelled int64       // failed with a context error
+	Gangs     int64       // dispatcher batches executed
+	Batched   int64       // queries that ran on a shared scheduler
+	OverheadV stats.Ticks // virtual CPU spent on admission/dispatch bookkeeping
+}
+
+// Engine owns the dispatcher for one volume. Create with New, then open
+// sessions with NewSession; Close shuts the dispatcher down.
+type Engine struct {
+	store   *storage.Store
+	chooser *plan.Chooser
+	cfg     Config
+
+	queue chan *Pending
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	closed atomic.Bool
+
+	// The engine's own clock domain on the shared device: admission and
+	// dispatch bookkeeping is charged here, separate from the volume clock
+	// that queries pay. Future cross-volume I/O issues through dom.
+	dom *vdisk.Domain
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	cancelled atomic.Int64
+	gangs     atomic.Int64
+	batched   atomic.Int64
+}
+
+// New builds an engine over store and starts its dispatcher. The cost model
+// collects document statistics in an offline pass; callers measuring cold
+// runs should store.ResetForRun() afterwards.
+func New(store *storage.Store, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		store:   store,
+		chooser: plan.NewChooser(store),
+		cfg:     cfg,
+		queue:   make(chan *Pending, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		dom:     store.Disk().NewDomain(stats.NewLedger()),
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// Store returns the engine's volume.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Submitted: e.submitted.Load(),
+		Rejected:  e.rejected.Load(),
+		Completed: e.completed.Load(),
+		Cancelled: e.cancelled.Load(),
+		Gangs:     e.gangs.Load(),
+		Batched:   e.batched.Load(),
+		OverheadV: e.dom.Ledger().Total(),
+	}
+}
+
+// Close stops the dispatcher, failing queries still queued with ErrClosed.
+// Submissions racing Close fail with ErrClosed as well. Close waits for the
+// in-flight gang to finish.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// NewSession opens a session. Sessions are cheap handles; each submitting
+// goroutine should own one.
+func (e *Engine) NewSession() *Session { return &Session{e: e} }
+
+// run is the dispatcher: it drains the admission queue in gangs and
+// executes them. Everything that touches the store happens on this
+// goroutine — the virtual clock and the swizzled page images are serial by
+// design (see the package comment).
+func (e *Engine) run() {
+	defer e.wg.Done()
+	for {
+		select {
+		case p := <-e.queue:
+			e.execute(e.gather(p))
+		case <-e.stop:
+			for {
+				select {
+				case p := <-e.queue:
+					p.finish(Result{}, ErrClosed)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather greedily extends a gang up to MaxInFlight without waiting: the
+// queries that arrived while the previous gang executed batch together.
+func (e *Engine) gather(first *Pending) []*Pending {
+	gang := []*Pending{first}
+	for len(gang) < e.cfg.MaxInFlight {
+		select {
+		case p := <-e.queue:
+			gang = append(gang, p)
+		default:
+			return gang
+		}
+	}
+	return gang
+}
+
+// batchable reports whether a query can join a gang-shared scheduler: the
+// shared XStep chain has no predicate filters, and only Schedule plans pool
+// their cluster accesses.
+func batchable(strat core.Strategy, path []xpath.Step) bool {
+	if strat != core.StrategySchedule {
+		return false
+	}
+	for _, s := range path {
+		if len(s.Predicates) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// execUnit is one gang member with its resolved strategy.
+type execUnit struct {
+	p      *Pending
+	strat  core.Strategy
+	choice *plan.Choice
+}
+
+// execute runs one gang: batchable members share one MultiPlan, the rest
+// run solo, all on this goroutine.
+func (e *Engine) execute(gang []*Pending) {
+	e.gangs.Add(1)
+	model := e.store.Disk().Model()
+	// Dispatch bookkeeping is charged to the engine's own clock domain,
+	// one set-op per admitted member, keeping the volume clock pure.
+	e.dom.Ledger().AdvanceCPU(stats.Ticks(len(gang)) * model.CPUSetOp)
+
+	var shared, solo []execUnit
+	for _, p := range gang {
+		if err := p.ctx.Err(); err != nil {
+			e.cancelled.Add(1)
+			p.finish(Result{}, err)
+			continue
+		}
+		u := execUnit{p: p, strat: p.q.Strategy}
+		if p.q.Auto {
+			c := e.chooser.Choose(p.q.Path)
+			u.strat, u.choice = c.Strategy, &c
+		}
+		if batchable(u.strat, p.q.Path) {
+			shared = append(shared, u)
+		} else {
+			solo = append(solo, u)
+		}
+	}
+	// A shared group needs at least two members to be worth the demux.
+	if len(shared) == 1 {
+		solo = append(solo, shared[0])
+		shared = nil
+	}
+	gangSize := len(shared) + len(solo)
+	if len(shared) > 0 {
+		e.runShared(shared, gangSize)
+	}
+	for _, u := range solo {
+		e.runSolo(u, gangSize)
+	}
+}
+
+func (e *Engine) contextsOf(q Query) []storage.NodeID {
+	if q.Contexts != nil {
+		return q.Contexts
+	}
+	return e.store.Roots()
+}
+
+// runShared executes the batchable members of a gang on one shared
+// XSchedule: every member's cluster accesses pool in the single device
+// queue, so overlapping working sets load once and the scheduler reorders
+// across query boundaries.
+func (e *Engine) runShared(units []execUnit, gangSize int) {
+	e.batched.Add(int64(len(units)))
+	led := e.store.Ledger()
+	startV := led.Total()
+	startW := time.Now()
+
+	queries := make([]core.MultiQuery, len(units))
+	for i, u := range units {
+		queries[i] = core.MultiQuery{
+			Path:     u.p.q.Path,
+			Contexts: e.contextsOf(u.p.q),
+			Ctx:      u.p.ctx,
+			MemLimit: u.p.q.MemLimit,
+		}
+	}
+	mp := core.BuildMultiPlan(e.store, queries, core.PlanOptions{K: e.cfg.K})
+	buckets := make([][]core.Result, len(units))
+	mp.RunEach(
+		func(i int) bool { return units[i].p.ctx.Err() != nil },
+		func(i int, r core.Result) { buckets[i] = append(buckets[i], r) },
+	)
+
+	anyCancelled := false
+	doneV := led.Total()
+	wall := time.Since(startW)
+	for i, u := range units {
+		if err := u.p.ctx.Err(); err != nil {
+			anyCancelled = true
+			e.cancelled.Add(1)
+			u.p.finish(Result{}, err)
+			continue
+		}
+		res := Result{
+			Results:   buckets[i],
+			Strategy:  core.StrategySchedule,
+			Choice:    u.choice,
+			Gang:      gangSize,
+			Shared:    true,
+			SubmitV:   u.p.submitV,
+			StartV:    startV,
+			DoneV:     doneV,
+			WallQueue: startW.Sub(u.p.submitW),
+			WallExec:  wall,
+		}
+		e.deliver(u.p, res)
+	}
+	if anyCancelled {
+		// Abandon the cancelled members' in-flight prefetches so they
+		// cannot surface inside a later gang.
+		e.store.CancelRequests()
+	}
+}
+
+// runSolo executes one member on its own plan.
+func (e *Engine) runSolo(u execUnit, gangSize int) {
+	led := e.store.Ledger()
+	startV := led.Total()
+	startW := time.Now()
+
+	p := core.BuildPlan(e.store, u.p.q.Path, e.contextsOf(u.p.q), u.strat, core.PlanOptions{
+		K:        e.cfg.K,
+		MemLimit: u.p.q.MemLimit,
+		Ctx:      u.p.ctx,
+	})
+	root := p.Root()
+	root.Open()
+	var results []core.Result
+	for {
+		inst, ok := root.Next()
+		if !ok {
+			break
+		}
+		results = append(results, core.Result{Node: inst.NR, Ord: inst.Ord})
+	}
+	root.Close()
+
+	if err := u.p.ctx.Err(); err != nil {
+		e.cancelled.Add(1)
+		u.p.finish(Result{}, err)
+		e.store.CancelRequests()
+		return
+	}
+	res := Result{
+		Results:   results,
+		Strategy:  u.strat,
+		Choice:    u.choice,
+		Gang:      gangSize,
+		SubmitV:   u.p.submitV,
+		StartV:    startV,
+		DoneV:     led.Total(),
+		WallQueue: startW.Sub(u.p.submitW),
+		WallExec:  time.Since(startW),
+	}
+	e.deliver(u.p, res)
+}
+
+// deliver applies per-query post-processing (the document-order sort stays
+// off the shared path, per-query) and completes the waiter.
+func (e *Engine) deliver(p *Pending, res Result) {
+	if p.q.Sorted {
+		rs := res.Results
+		n := len(rs)
+		if n > 1 {
+			cmp := 0
+			sort.SliceStable(rs, func(i, j int) bool {
+				cmp++
+				return ordpath.Compare(rs[i].Ord, rs[j].Ord) < 0
+			})
+			led := e.store.Ledger()
+			led.AdvanceCPU(stats.Ticks(cmp) * e.store.Disk().Model().CPUSetOp)
+			res.DoneV = led.Total()
+		}
+	}
+	e.completed.Add(1)
+	p.finish(res, nil)
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMutation hammers one ledger from many goroutines — the
+// sharing pattern of the concurrent engine, where a gang of queries charges
+// work to a single volume ledger while monitors snapshot it. Run under
+// -race; the count assertions also catch lost updates.
+func TestConcurrentMutation(t *testing.T) {
+	l := NewLedger()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.AdvanceCPU(Microsecond)
+				Inc(&l.PageReads)
+				Add(&l.SeekDistance, 3)
+				l.BlockUntil(Ticks(i) * Millisecond)
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	var rg sync.WaitGroup
+	stop := make(chan struct{})
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := l.Snapshot()
+			if s.Now < s.CPU {
+				t.Error("snapshot: Now < CPU")
+				return
+			}
+			_ = l.Total()
+			_ = l.CPUFraction()
+			_ = l.String()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if got := l.PageReads; got != workers*iters {
+		t.Fatalf("PageReads = %d, want %d (lost updates)", got, workers*iters)
+	}
+	if got := l.SeekDistance; got != 3*workers*iters {
+		t.Fatalf("SeekDistance = %d, want %d", got, 3*workers*iters)
+	}
+	if l.CPU != Ticks(workers*iters)*Microsecond {
+		t.Fatalf("CPU = %v", l.CPU)
+	}
+	// Now = CPU + IOWait must hold exactly: every forward tick is either
+	// charged CPU or attributed to IOWait once by the BlockUntil CAS loop.
+	if l.Now != l.CPU+l.IOWait {
+		t.Fatalf("clock identity violated: now=%v cpu=%v iowait=%v", l.Now, l.CPU, l.IOWait)
+	}
+}
+
+func TestBlockUntilConcurrentIdentity(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				l.BlockUntil(Ticks((i*4 + w)) * Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Now != l.IOWait {
+		t.Fatalf("pure-wait ledger must have Now == IOWait: now=%v iowait=%v", l.Now, l.IOWait)
+	}
+}

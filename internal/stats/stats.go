@@ -9,9 +9,20 @@
 // completions advance it when the query has to block, and asynchronous I/O
 // that finishes while the CPU is busy costs no wall time at all — exactly
 // the overlap effect the XSchedule operator exploits (Sec. 3.7, 5.3.4).
+//
+// Concurrency: all mutations (AdvanceCPU, BlockUntil, Inc, Add) and the
+// aggregate readers (Total, Snapshot, Sub, String) use atomic operations,
+// so a ledger may be shared by the engine's dispatcher and any number of
+// monitoring goroutines without data races. Direct field reads remain valid
+// — and allocation-free — in single-threaded contexts (a quiesced ledger
+// after a run); concurrent readers must go through Snapshot or Total.
+// Reset is not atomic as a whole: callers must quiesce writers first.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Ticks is a duration or instant in virtual nanoseconds.
 type Ticks int64
@@ -41,7 +52,19 @@ func (t Ticks) String() string {
 	}
 }
 
-// Counters aggregates event counts from all layers.
+// Inc atomically increments a ledger counter. All layers mutate counters
+// through Inc/Add so that a ledger shared across goroutines stays race-free
+// while the single-threaded fast path stays allocation-free.
+func Inc(c *int64) { atomic.AddInt64(c, 1) }
+
+// Add atomically adds n to a ledger counter.
+func Add(c *int64, n int64) { atomic.AddInt64(c, n) }
+
+// Load atomically reads a ledger counter.
+func Load(c *int64) int64 { return atomic.LoadInt64(c) }
+
+// Counters aggregates event counts from all layers. Fields are mutated via
+// Inc/Add and may be read directly once the ledger is quiesced.
 type Counters struct {
 	PageReads    int64 // pages transferred from disk
 	SeqPageReads int64 // of which sequential (scan) reads
@@ -70,8 +93,9 @@ type Counters struct {
 	FallbackEvents  int64 // low-memory fallback activations
 }
 
-// Ledger is the virtual clock plus counters. It is not safe for concurrent
-// use; each query evaluation owns one.
+// Ledger is the virtual clock plus counters. One ledger may be shared by
+// several operators of one query — or, under the concurrent engine, by
+// every query of a gang — because all mutation paths are atomic.
 type Ledger struct {
 	Now    Ticks // current virtual time
 	CPU    Ticks // total CPU ticks charged
@@ -82,78 +106,96 @@ type Ledger struct {
 // NewLedger returns a zeroed ledger.
 func NewLedger() *Ledger { return &Ledger{} }
 
+// fields returns the addresses of every int64-backed field in declaration
+// order, so Snapshot/Sub/Reset need not enumerate them by name. Cold path
+// only (reporting); the hot mutation path never calls it.
+func (l *Ledger) fields() [23]*int64 {
+	return [23]*int64{
+		(*int64)(&l.Now), (*int64)(&l.CPU), (*int64)(&l.IOWait),
+		&l.PageReads, &l.SeqPageReads, &l.PageWrites, &l.Seeks, &l.SeekDistance,
+		&l.BufferHits, &l.BufferMisses, &l.HashLookups, &l.Evictions,
+		&l.Swizzles, &l.Unswizzles,
+		&l.NodesVisited, &l.TuplesMoved, &l.SetInserts, &l.SetLookups,
+		&l.AsyncSubmitted, &l.AsyncCompleted,
+		&l.ClustersVisited, &l.SpecInstances, &l.FallbackEvents,
+	}
+}
+
 // AdvanceCPU charges t ticks of CPU work, advancing the clock.
 func (l *Ledger) AdvanceCPU(t Ticks) {
 	if t < 0 {
 		panic("stats: negative CPU charge")
 	}
-	l.Now += t
-	l.CPU += t
+	atomic.AddInt64((*int64)(&l.Now), int64(t))
+	atomic.AddInt64((*int64)(&l.CPU), int64(t))
 }
 
 // BlockUntil advances the clock to at least t, accounting the gap as I/O
 // wait. A t in the past is a no-op (the I/O had already completed while the
-// CPU was busy).
+// CPU was busy). Under concurrent callers the CAS loop guarantees each tick
+// of forward motion is attributed to IOWait exactly once.
 func (l *Ledger) BlockUntil(t Ticks) {
-	if t <= l.Now {
-		return
+	for {
+		now := Ticks(atomic.LoadInt64((*int64)(&l.Now)))
+		if t <= now {
+			return
+		}
+		if atomic.CompareAndSwapInt64((*int64)(&l.Now), int64(now), int64(t)) {
+			atomic.AddInt64((*int64)(&l.IOWait), int64(t-now))
+			return
+		}
 	}
-	l.IOWait += t - l.Now
-	l.Now = t
 }
 
-// Total returns the total elapsed virtual time.
-func (l *Ledger) Total() Ticks { return l.Now }
+// Total returns the total elapsed virtual time (atomic; safe concurrently).
+func (l *Ledger) Total() Ticks { return Ticks(atomic.LoadInt64((*int64)(&l.Now))) }
 
 // CPUFraction returns CPU/Total, or 0 for an empty ledger.
 func (l *Ledger) CPUFraction() float64 {
-	if l.Now == 0 {
+	now := atomic.LoadInt64((*int64)(&l.Now))
+	if now == 0 {
 		return 0
 	}
-	return float64(l.CPU) / float64(l.Now)
+	return float64(atomic.LoadInt64((*int64)(&l.CPU))) / float64(now)
 }
 
-// Reset zeroes the ledger for reuse.
-func (l *Ledger) Reset() { *l = Ledger{} }
+// Reset zeroes the ledger for reuse. Writers must be quiesced: concurrent
+// mutations interleaved with Reset leave a mix of old and new values.
+func (l *Ledger) Reset() {
+	for _, f := range l.fields() {
+		atomic.StoreInt64(f, 0)
+	}
+}
 
-// Snapshot returns a copy of the ledger's current state.
-func (l *Ledger) Snapshot() Ledger { return *l }
+// Snapshot returns a consistent-enough copy of the ledger built from atomic
+// loads of every field. Individual fields are each exact; cross-field skew
+// is bounded by whatever mutations race with the loads.
+func (l *Ledger) Snapshot() Ledger {
+	var s Ledger
+	src, dst := l.fields(), s.fields()
+	for i := range src {
+		*dst[i] = atomic.LoadInt64(src[i])
+	}
+	return s
+}
 
 // Sub returns the difference l - base, for measuring a phase that started at
 // the base snapshot.
 func (l *Ledger) Sub(base Ledger) Ledger {
-	d := *l
-	d.Now -= base.Now
-	d.CPU -= base.CPU
-	d.IOWait -= base.IOWait
-	d.PageReads -= base.PageReads
-	d.SeqPageReads -= base.SeqPageReads
-	d.PageWrites -= base.PageWrites
-	d.Seeks -= base.Seeks
-	d.SeekDistance -= base.SeekDistance
-	d.BufferHits -= base.BufferHits
-	d.BufferMisses -= base.BufferMisses
-	d.HashLookups -= base.HashLookups
-	d.Evictions -= base.Evictions
-	d.Swizzles -= base.Swizzles
-	d.Unswizzles -= base.Unswizzles
-	d.NodesVisited -= base.NodesVisited
-	d.TuplesMoved -= base.TuplesMoved
-	d.SetInserts -= base.SetInserts
-	d.SetLookups -= base.SetLookups
-	d.AsyncSubmitted -= base.AsyncSubmitted
-	d.AsyncCompleted -= base.AsyncCompleted
-	d.ClustersVisited -= base.ClustersVisited
-	d.SpecInstances -= base.SpecInstances
-	d.FallbackEvents -= base.FallbackEvents
+	d := l.Snapshot()
+	df, bf := d.fields(), base.fields()
+	for i := range df {
+		*df[i] -= *bf[i]
+	}
 	return d
 }
 
 // String summarizes the ledger for logs and the cost report of cmd/xpathq.
 func (l *Ledger) String() string {
+	s := l.Snapshot()
 	return fmt.Sprintf(
 		"total=%v cpu=%v (%.0f%%) iowait=%v reads=%d (seq=%d) seeks=%d dist=%d hits=%d misses=%d spec=%d",
-		l.Now, l.CPU, 100*l.CPUFraction(), l.IOWait,
-		l.PageReads, l.SeqPageReads, l.Seeks, l.SeekDistance,
-		l.BufferHits, l.BufferMisses, l.SpecInstances)
+		s.Now, s.CPU, 100*s.CPUFraction(), s.IOWait,
+		s.PageReads, s.SeqPageReads, s.Seeks, s.SeekDistance,
+		s.BufferHits, s.BufferMisses, s.SpecInstances)
 }

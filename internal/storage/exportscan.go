@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 
+	"pathdb/internal/stats"
+
 	"pathdb/internal/xmlwrite"
 )
 
@@ -74,7 +76,7 @@ func (s *Store) buildPiece(img *pageImage, slot uint16) *piece {
 	var emit func(slot uint16)
 	emit = func(slot uint16) {
 		r := &img.recs[slot]
-		s.led.NodesVisited++
+		stats.Inc(&s.led.NodesVisited)
 		s.led.AdvanceCPU(s.model.CPUNodeVisit)
 		switch r.kind {
 		case RecDoc, RecProxyParent:

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 
+	"pathdb/internal/stats"
 	"pathdb/internal/xmltree"
 	"pathdb/internal/xpath"
 )
@@ -206,7 +207,7 @@ func (it *StepIter) Next() (Cursor, bool) {
 	visit := it.st.model.CPUNodeVisit
 	if it.selfAttr {
 		it.selfAttr = false
-		led.NodesVisited++
+		stats.Inc(&led.NodesVisited)
 		led.AdvanceCPU(visit)
 		r := &it.img.recs[it.slot]
 		if it.test.Matches(xmltree.Attribute, r.attrs[it.attrs].tag) {
@@ -264,7 +265,7 @@ func (it *StepIter) Next() (Cursor, bool) {
 			if it.attrs >= len(r.attrs) {
 				return Cursor{}, false
 			}
-			led.NodesVisited++
+			stats.Inc(&led.NodesVisited)
 			led.AdvanceCPU(visit)
 			a := it.attrs
 			it.attrs++
@@ -274,7 +275,7 @@ func (it *StepIter) Next() (Cursor, bool) {
 			return Cursor{st: it.st, img: it.img, page: it.img.page, slot: it.slot, attr: a}, true
 		}
 
-		led.NodesVisited++
+		stats.Inc(&led.NodesVisited)
 		led.AdvanceCPU(visit)
 		r := &it.img.recs[slot]
 		if r.kind.IsProxy() {

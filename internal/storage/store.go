@@ -159,6 +159,11 @@ func (s *Store) RequestCluster(p vdisk.PageID) { s.buf.Request(p) }
 // WaitCluster blocks until some requested cluster is loaded and returns it.
 func (s *Store) WaitCluster() (vdisk.PageID, bool) { return s.buf.WaitLoaded() }
 
+// CancelRequests abandons every outstanding cluster request. A cancelled
+// query's plan leaves its prefetches with the I/O subsystem; the engine
+// calls this so they cannot surface inside the next query on the volume.
+func (s *Store) CancelRequests() { s.buf.CancelRequests() }
+
 // Cursor is a swizzled node reference: direct pointers into the decoded
 // page image, so navigation between cursors on the same page costs no
 // buffer-manager interaction (Sec. 5.3.2.3).
@@ -174,7 +179,7 @@ type Cursor struct {
 // (buffer lookup, translation); the cluster is loaded synchronously if it
 // is not resident.
 func (s *Store) Swizzle(id NodeID) Cursor {
-	s.led.Swizzles++
+	stats.Inc(&s.led.Swizzles)
 	s.led.AdvanceCPU(s.model.CPUSwizzle)
 	img := s.image(id.Page())
 	attr := -1
@@ -189,7 +194,7 @@ func (s *Store) Swizzle(id NodeID) Cursor {
 
 // Unswizzle converts a Cursor back into a NodeID (cheap).
 func (c Cursor) Unswizzle() NodeID {
-	c.st.led.Unswizzles++
+	stats.Inc(&c.st.led.Unswizzles)
 	c.st.led.AdvanceCPU(c.st.model.CPUUnswizzle)
 	id := MakeNodeID(c.page, c.slot)
 	if c.attr >= 0 {

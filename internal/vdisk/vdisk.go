@@ -18,12 +18,22 @@
 // are free. Asynchronous requests are queued; whenever the disk is idle it
 // starts the pending request chosen by the scheduling policy. The drain is
 // computed lazily when the CPU looks at the disk, which makes the whole
-// simulation single-threaded and reproducible while still modelling
-// CPU/I-O overlap exactly.
+// simulation reproducible while still modelling CPU/I-O overlap exactly.
+//
+// Concurrency. A mutex serializes every operation that touches device
+// state, so multiple goroutines may share one Disk. Beyond plain mutual
+// exclusion, the device supports clock *domains* (NewDomain): each domain
+// pairs the shared head/queue with its own ledger, so several engines —
+// each running its own virtual clock — can share one physical device.
+// Requests and completions are tagged with their domain; WaitAny on a
+// domain only delivers that domain's completions. Submission timestamps
+// from different domains are compared on one merged timeline, which is the
+// usual simplification for multi-initiator device models.
 package vdisk
 
 import (
 	"fmt"
+	"sync"
 
 	"pathdb/internal/stats"
 )
@@ -121,22 +131,30 @@ func (m CostModel) SeekCost(dist int64) stats.Ticks {
 	return c
 }
 
+// request is a queued asynchronous read. dom is nil for the disk's root
+// clock domain.
 type request struct {
 	page      PageID
 	submitted stats.Ticks
+	dom       *Domain
 }
 
 type completion struct {
 	page PageID
 	at   stats.Ticks
+	dom  *Domain
 }
 
-// Disk is the simulated device. It is not safe for concurrent use.
+// Disk is the simulated device. All operations are serialized by an
+// internal mutex, so a Disk may be shared by concurrent goroutines and by
+// multiple clock domains.
 type Disk struct {
 	model    CostModel
 	led      *stats.Ledger
 	pageSize int
-	pages    [][]byte
+
+	mu    sync.Mutex
+	pages [][]byte
 
 	policy    Policy
 	head      PageID
@@ -162,12 +180,18 @@ type TraceEvent struct {
 // SetTrace enables or disables I/O tracing (disabled by default); enabling
 // clears any previous trace.
 func (d *Disk) SetTrace(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.tracing = on
 	d.trace = nil
 }
 
-// Trace returns the recorded I/O events in completion order.
-func (d *Disk) Trace() []TraceEvent { return d.trace }
+// Trace returns a copy of the recorded I/O events in completion order.
+func (d *Disk) Trace() []TraceEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]TraceEvent(nil), d.trace...)
+}
 
 func (d *Disk) traceEvent(op string, p PageID, at stats.Ticks) {
 	if d.tracing {
@@ -184,7 +208,11 @@ func New(model CostModel, led *stats.Ledger, pageSize int) *Disk {
 }
 
 // SetPolicy selects the asynchronous scheduling policy.
-func (d *Disk) SetPolicy(p Policy) { d.policy = p }
+func (d *Disk) SetPolicy(p Policy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.policy = p
+}
 
 // Model returns the disk's cost model (upper layers read the CPU constants).
 func (d *Disk) Model() CostModel { return d.model }
@@ -193,14 +221,20 @@ func (d *Disk) Model() CostModel { return d.model }
 func (d *Disk) PageSize() int { return d.pageSize }
 
 // NumPages returns the number of allocated pages.
-func (d *Disk) NumPages() int { return len(d.pages) }
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
 
-// Ledger returns the shared cost ledger.
+// Ledger returns the root cost ledger.
 func (d *Disk) Ledger() *stats.Ledger { return d.led }
 
 // Alloc appends a fresh zeroed page and returns its id. Allocation itself
 // is free; the subsequent Write pays the I/O.
 func (d *Disk) Alloc() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.pages = append(d.pages, make([]byte, d.pageSize))
 	return PageID(len(d.pages) - 1)
 }
@@ -210,6 +244,8 @@ func (d *Disk) Alloc() PageID {
 // out. Pass a negative n to disarm. Reads keep working (the surviving
 // medium), so recovery code can be exercised against the truncated state.
 func (d *Disk) SetWriteFault(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.faultArmed = n >= 0
 	d.writesLeft = n
 }
@@ -218,6 +254,8 @@ func (d *Disk) SetWriteFault(n int) {
 // random write. Import code typically resets the ledger afterwards, since
 // the paper measures query time only.
 func (d *Disk) Write(p PageID, data []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.checkPage(p)
 	if d.faultArmed {
 		if d.writesLeft <= 0 {
@@ -232,8 +270,8 @@ func (d *Disk) Write(p PageID, data []byte) {
 	for i := len(data); i < d.pageSize; i++ {
 		d.pages[p][i] = 0
 	}
-	d.led.PageWrites++
-	d.access(p)
+	stats.Inc(&d.led.PageWrites)
+	d.access(d.led, p)
 	d.traceEvent("write", p, d.busyUntil)
 }
 
@@ -241,10 +279,16 @@ func (d *Disk) Write(p PageID, data []byte) {
 // blocking the virtual clock until the transfer completes. Any pending
 // asynchronous requests the device would have finished first are drained.
 func (d *Disk) ReadSync(p PageID, buf []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readSync(d.led, p, buf)
+}
+
+func (d *Disk) readSync(led *stats.Ledger, p PageID, buf []byte) {
 	d.checkPage(p)
-	d.drainUntil(d.led.Now)
+	d.drainUntil(led.Total())
 	seq := d.head != InvalidPage && p == d.head+1
-	d.access(p)
+	d.access(led, p)
 	op := "read"
 	if seq {
 		op = "read-seq"
@@ -254,24 +298,26 @@ func (d *Disk) ReadSync(p PageID, buf []byte) {
 }
 
 // access performs the positioning + transfer for page p starting when both
-// the caller and the device are free, blocking the clock on the result.
-func (d *Disk) access(p PageID) {
-	start := d.led.Now
+// the caller and the device are free, blocking the caller's clock on the
+// result.
+func (d *Disk) access(led *stats.Ledger, p PageID) {
+	start := led.Total()
 	if d.busyUntil > start {
 		start = d.busyUntil
 	}
-	done := start + d.cost(p)
+	done := start + d.cost(led, p)
 	d.head = p
 	d.busyUntil = done
-	d.led.BlockUntil(done)
+	led.BlockUntil(done)
 }
 
 // cost computes the positioning+transfer cost of touching page p from the
-// current head position and updates the seek statistics.
-func (d *Disk) cost(p PageID) stats.Ticks {
-	d.led.PageReads++
+// current head position and charges the seek statistics to the ledger of
+// whoever asked for the page.
+func (d *Disk) cost(led *stats.Ledger, p PageID) stats.Ticks {
+	stats.Inc(&led.PageReads)
 	if d.head != InvalidPage && p == d.head+1 {
-		d.led.SeqPageReads++
+		stats.Inc(&led.SeqPageReads)
 		return d.model.Transfer
 	}
 	var dist int64
@@ -280,11 +326,11 @@ func (d *Disk) cost(p PageID) stats.Ticks {
 	} else {
 		dist = int64(p) - int64(d.head)
 	}
-	d.led.Seeks++
+	stats.Inc(&led.Seeks)
 	if dist < 0 {
-		d.led.SeekDistance -= dist
+		stats.Add(&led.SeekDistance, -dist)
 	} else {
-		d.led.SeekDistance += dist
+		stats.Add(&led.SeekDistance, dist)
 	}
 	return d.model.SeekCost(dist) + d.model.Transfer
 }
@@ -294,30 +340,103 @@ func (d *Disk) cost(p PageID) stats.Ticks {
 // whole burst before choosing what to service first, which is exactly the
 // "forward many requests at once to the lower layers" behaviour of Sec. 1.
 func (d *Disk) Submit(p PageID) {
-	d.checkPage(p)
-	d.led.AsyncSubmitted++
-	d.pending = append(d.pending, request{page: p, submitted: d.led.Now})
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.submit(d.led, nil, p)
 }
 
-// PendingAsync returns the number of submitted-but-uncompleted requests.
-func (d *Disk) PendingAsync() int { return len(d.pending) + len(d.completed) }
+func (d *Disk) submit(led *stats.Ledger, dom *Domain, p PageID) {
+	d.checkPage(p)
+	stats.Inc(&led.AsyncSubmitted)
+	d.pending = append(d.pending, request{page: p, submitted: led.Total(), dom: dom})
+}
 
-// WaitAny blocks until some asynchronous request has completed, copies its
-// page into buf and returns its id. ok is false if no request is pending.
+// PendingAsync returns the number of submitted-but-undelivered requests in
+// the root clock domain.
+func (d *Disk) PendingAsync() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pendingIn(nil)
+}
+
+func (d *Disk) pendingIn(dom *Domain) int {
+	n := 0
+	for _, r := range d.pending {
+		if r.dom == dom {
+			n++
+		}
+	}
+	for _, c := range d.completed {
+		if c.dom == dom {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitAny blocks until some asynchronous request of the root domain has
+// completed, copies its page into buf and returns its id. ok is false if no
+// such request is pending.
 func (d *Disk) WaitAny(buf []byte) (p PageID, ok bool) {
-	d.drainUntil(d.led.Now)
-	if len(d.completed) == 0 {
-		if len(d.pending) == 0 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.waitAny(d.led, nil, buf)
+}
+
+func (d *Disk) waitAny(led *stats.Ledger, dom *Domain, buf []byte) (PageID, bool) {
+	d.drainUntil(led.Total())
+	for {
+		for i, c := range d.completed {
+			if c.dom != dom {
+				continue
+			}
+			d.completed = append(d.completed[:i], d.completed[i+1:]...)
+			led.BlockUntil(c.at)
+			stats.Inc(&led.AsyncCompleted)
+			copy(buf, d.pages[c.page])
+			return c.page, true
+		}
+		outstanding := false
+		for _, r := range d.pending {
+			if r.dom == dom {
+				outstanding = true
+				break
+			}
+		}
+		if !outstanding {
 			return InvalidPage, false
 		}
+		// Keep the device working (any domain's requests) until one of
+		// ours completes.
 		d.processNext()
 	}
-	c := d.completed[0]
-	d.completed = d.completed[1:]
-	d.led.BlockUntil(c.at)
-	d.led.AsyncCompleted++
-	copy(buf, d.pages[c.page])
-	return c.page, true
+}
+
+// CancelPending discards the root domain's queued-but-undelivered requests
+// and completions. Page data already transferred is dropped; the device
+// time it consumed remains spent. Used when a query is cancelled so its
+// in-flight prefetches cannot leak into the next query.
+func (d *Disk) CancelPending() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cancelPending(nil)
+}
+
+func (d *Disk) cancelPending(dom *Domain) {
+	pending := d.pending[:0]
+	for _, r := range d.pending {
+		if r.dom != dom {
+			pending = append(pending, r)
+		}
+	}
+	d.pending = pending
+	completed := d.completed[:0]
+	for _, c := range d.completed {
+		if c.dom != dom {
+			completed = append(completed, c)
+		}
+	}
+	d.completed = completed
 }
 
 // drainUntil lets the device work through pending requests in the
@@ -346,7 +465,8 @@ func (d *Disk) earliestSubmit() stats.Ticks {
 	return e
 }
 
-// processNext services one pending request according to the policy.
+// processNext services one pending request according to the policy. The
+// physical read is charged to the ledger of the request's domain.
 func (d *Disk) processNext() {
 	idx := d.pickNext()
 	r := d.pending[idx]
@@ -355,10 +475,14 @@ func (d *Disk) processNext() {
 	if r.submitted > start {
 		start = r.submitted
 	}
-	done := start + d.cost(r.page)
+	led := d.led
+	if r.dom != nil {
+		led = r.dom.led
+	}
+	done := start + d.cost(led, r.page)
 	d.head = r.page
 	d.busyUntil = done
-	d.completed = append(d.completed, completion{page: r.page, at: done})
+	d.completed = append(d.completed, completion{page: r.page, at: done, dom: r.dom})
 	d.traceEvent("read-async", r.page, done)
 }
 
@@ -420,11 +544,74 @@ func (d *Disk) checkPage(p PageID) {
 }
 
 // ResetClockState clears the device's temporal state (head position, busy
-// time, queues) without touching page contents. Benchmarks call this
-// between plan runs so each run starts from a cold, parked device.
+// time, queues — across all clock domains) without touching page contents.
+// Benchmarks call this between plan runs so each run starts from a cold,
+// parked device.
 func (d *Disk) ResetClockState() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.head = InvalidPage
 	d.busyUntil = 0
 	d.pending = nil
 	d.completed = nil
+}
+
+// Domain pairs the shared device with a private virtual clock: requests
+// issued through a Domain block that domain's ledger, while head movement
+// and queue contention are shared with every other domain on the device.
+// This is what lets several engines, each with its own notion of "now",
+// drive one simulated disk. The zero Disk methods (ReadSync, Submit,
+// WaitAny) are the root domain over the disk's own ledger.
+type Domain struct {
+	d   *Disk
+	led *stats.Ledger
+}
+
+// NewDomain creates a clock domain over the disk billing to led.
+func (d *Disk) NewDomain(led *stats.Ledger) *Domain {
+	if led == nil {
+		panic("vdisk: nil domain ledger")
+	}
+	return &Domain{d: d, led: led}
+}
+
+// Ledger returns the domain's ledger.
+func (dom *Domain) Ledger() *stats.Ledger { return dom.led }
+
+// ReadSync reads page p synchronously on the domain's clock.
+func (dom *Domain) ReadSync(p PageID, buf []byte) {
+	dom.d.mu.Lock()
+	defer dom.d.mu.Unlock()
+	dom.d.readSync(dom.led, p, buf)
+}
+
+// Submit queues an asynchronous read tagged with this domain.
+func (dom *Domain) Submit(p PageID) {
+	dom.d.mu.Lock()
+	defer dom.d.mu.Unlock()
+	dom.d.submit(dom.led, dom, p)
+}
+
+// WaitAny delivers one of this domain's completed requests, advancing the
+// domain's clock; requests of other domains are serviced in passing but
+// never delivered here.
+func (dom *Domain) WaitAny(buf []byte) (PageID, bool) {
+	dom.d.mu.Lock()
+	defer dom.d.mu.Unlock()
+	return dom.d.waitAny(dom.led, dom, buf)
+}
+
+// Pending returns the number of submitted-but-undelivered requests in this
+// domain.
+func (dom *Domain) Pending() int {
+	dom.d.mu.Lock()
+	defer dom.d.mu.Unlock()
+	return dom.d.pendingIn(dom)
+}
+
+// CancelPending discards this domain's queued-but-undelivered requests.
+func (dom *Domain) CancelPending() {
+	dom.d.mu.Lock()
+	defer dom.d.mu.Unlock()
+	dom.d.cancelPending(dom)
 }

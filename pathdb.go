@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"pathdb/internal/core"
 	"pathdb/internal/ordpath"
@@ -65,6 +66,24 @@ func (s Strategy) String() string {
 	default:
 		return fmt.Sprintf("strategy(%d)", uint8(s))
 	}
+}
+
+// ParseStrategy parses a strategy name, round-tripping Strategy.String:
+// "auto", "simple", "xschedule" and "xscan" (case-insensitive; the
+// paper-agnostic aliases "schedule" and "scan" are also accepted). Every
+// command-line tool resolves its -strategy flag through this function.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto":
+		return Auto, nil
+	case "simple":
+		return Simple, nil
+	case "xschedule", "schedule":
+		return Schedule, nil
+	case "xscan", "scan":
+		return Scan, nil
+	}
+	return Auto, fmt.Errorf("pathdb: unknown strategy %q (want auto, simple, xschedule or xscan)", s)
 }
 
 func (s Strategy) internal() core.Strategy {
