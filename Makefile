@@ -1,7 +1,7 @@
 # CI entry points. `make` runs the full set.
 GO ?= go
 
-.PHONY: all build test race vet bench-json clean
+.PHONY: all build test race vet bench bench-json clean
 
 all: build vet test race
 
@@ -11,10 +11,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrent layers (engine, buffer, vdisk, stats) plus the
-# facade, which exercises the engine end to end.
+# Race-detect the concurrent layers (engine, storage, core, buffer, vdisk,
+# stats) plus the facade, which exercises the engine end to end.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/buffer/... ./internal/vdisk/... ./internal/stats/... .
+	$(GO) test -race ./internal/engine/... ./internal/storage/... ./internal/core/... ./internal/buffer/... ./internal/vdisk/... ./internal/stats/... .
+
+# Go micro-benchmarks with allocation counts (wall-clock; machine
+# dependent, unlike the virtual-clock numbers from xbench).
+bench:
+	$(GO) test -bench . -benchmem -count=3 ./...
 
 vet:
 	$(GO) vet ./...

@@ -9,6 +9,7 @@
 //	xload -xmark 0.5 -clients 8 -requests 64
 //	xload -xmark 0.5 -clients 1 -requests 64      # same work, sequential
 //	xload -xml doc.xml -mix q7 -strategy xschedule
+//	xload -xmark 0.5 -clients 8 -parallel 8 -cpuprofile cpu.pprof -json .
 //
 // The request multiset is fixed by -requests and -mix and distributed
 // round-robin, so per-query result counts are independent of -clients —
@@ -21,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"pathdb"
+	"pathdb/internal/bench"
 	"pathdb/internal/stats"
 )
 
@@ -52,7 +56,12 @@ func main() {
 	strategy := flag.String("strategy", "auto", "plan strategy: auto, simple, xschedule, xscan")
 	inflight := flag.Int("inflight", 0, "engine MaxInFlight (default 8)")
 	queue := flag.Int("queue", 0, "engine QueueDepth (default 64)")
+	parallel := flag.Int("parallel", 0, "engine worker-pool width per gang (default min(MaxInFlight, GOMAXPROCS))")
 	sorted := flag.Bool("sorted", false, "request document-order results")
+	jsonDir := flag.String("json", "", "write BENCH_xload.json into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	flag.Parse()
 
 	strat, err := pathdb.ParseStrategy(*strategy)
@@ -98,9 +107,35 @@ func main() {
 	}
 	fmt.Printf("document: %d pages\n", db.Pages())
 
-	eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue})
+	// Resolve the effective worker-pool width for reporting (the engine
+	// applies the same default).
+	effParallel := *parallel
+	if effParallel <= 0 {
+		effParallel = *inflight
+		if effParallel <= 0 {
+			effParallel = 8
+		}
+		if g := runtime.GOMAXPROCS(0); effParallel > g {
+			effParallel = g
+		}
+	}
+
+	eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel})
 	defer eng.Close()
 	db.ResetStats() // cold start after the cost model's offline pass
+
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *cpuprofile != "" {
+		f, cerr := os.Create(*cpuprofile)
+		if cerr != nil {
+			fail("%v", cerr)
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fail("cpu profile: %v", perr)
+		}
+	}
 
 	// Request i evaluates paths[i%len(paths)]; client c takes the requests
 	// with i%clients == c. The multiset of executed queries is therefore
@@ -112,6 +147,8 @@ func main() {
 		wall  time.Duration
 	}
 	samples := make([]sample, *requests)
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	wallStart := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -132,6 +169,12 @@ func main() {
 	}
 	wg.Wait()
 	wallTotal := time.Since(wallStart)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	allocsPerOp := int64(ms1.Mallocs-ms0.Mallocs) / int64(*requests)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
 	virtTotal := db.CostReport().Total
 
 	// Per-path counts, self-checked for consistency across requests.
@@ -160,8 +203,55 @@ func main() {
 		float64(*requests)/wallTotal.Seconds(), wallTotal.Seconds())
 	fmt.Printf("latency virtual [s]: %s\n", percentiles(virtLat))
 	fmt.Printf("latency wall    [s]: %s\n", percentiles(wallLat))
+	fmt.Printf("allocs/op: %d\n", allocsPerOp)
 	m := eng.Metrics()
 	fmt.Printf("engine: gangs=%d batched=%d/%d overhead=%v\n", m.Gangs, m.Batched, m.Submitted, m.OverheadV)
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fail("%v", merr)
+		}
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fail("heap profile: %v", perr)
+		}
+		f.Close()
+	}
+	if *mutexprofile != "" {
+		f, merr := os.Create(*mutexprofile)
+		if merr != nil {
+			fail("%v", merr)
+		}
+		if perr := pprof.Lookup("mutex").WriteTo(f, 0); perr != nil {
+			fail("mutex profile: %v", perr)
+		}
+		f.Close()
+	}
+	if *jsonDir != "" {
+		pick := func(xs []float64, p float64) float64 {
+			return xs[int(p*float64(len(xs)-1))]
+		}
+		jerr := bench.WriteLoadJSON(*jsonDir, "xload", bench.LoadJSON{
+			Clients:     *clients,
+			Requests:    *requests,
+			Mix:         *mixName,
+			Strategy:    strat.String(),
+			Parallel:    effParallel,
+			VirtualSec:  virtTotal.Seconds(),
+			WallSec:     wallTotal.Seconds(),
+			VirtualQPS:  float64(*requests) / virtTotal.Seconds(),
+			WallQPS:     float64(*requests) / wallTotal.Seconds(),
+			AllocsPerOp: allocsPerOp,
+			P50WallSec:  pick(wallLat, 0.50),
+			P99WallSec:  pick(wallLat, 0.99),
+			P50VirtSec:  pick(virtLat, 0.50),
+			P99VirtSec:  pick(virtLat, 0.99),
+		})
+		if jerr != nil {
+			fail("%v", jerr)
+		}
+	}
 
 	if !countOK {
 		os.Exit(1)

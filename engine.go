@@ -22,6 +22,10 @@ type EngineConfig struct {
 	// QueueDepth bounds the admission queue: TrySubmit beyond it is
 	// rejected, Do/Submit block (default 64).
 	QueueDepth int
+	// Parallel is the worker-pool width per gang: how many gang tasks
+	// (shared scheduler groups and solo queries) execute concurrently.
+	// Default min(MaxInFlight, GOMAXPROCS).
+	Parallel int
 }
 
 // Engine executes queries from many goroutines concurrently against one
@@ -29,9 +33,12 @@ type EngineConfig struct {
 // with NewSession; Close shuts the dispatcher down.
 //
 // See internal/engine for the execution model: submissions are admitted
-// into a bounded queue and executed in gangs by a single dispatcher, with
-// compatible XSchedule plans batched onto one shared scheduler so the
+// into a bounded queue, gathered into gangs by a single dispatcher, and
+// executed on a worker pool over concurrent read-only storage views, with
+// compatible XSchedule plans batched onto shared schedulers so the
 // asynchronous I/O layer reorders cluster loads across query boundaries.
+// Every query pays its costs on a private virtual clock that is folded
+// into the volume clock at completion.
 type Engine struct {
 	db *DB
 	e  *engine.Engine
@@ -47,6 +54,7 @@ func (db *DB) NewEngine(cfg EngineConfig) *Engine {
 		e: engine.New(db.store, engine.Config{
 			MaxInFlight: cfg.MaxInFlight,
 			QueueDepth:  cfg.QueueDepth,
+			Parallel:    cfg.Parallel,
 		}),
 	}
 }
@@ -110,6 +118,16 @@ type ExecResult struct {
 
 	// VirtualLatency is submit-to-done on the volume's virtual clock.
 	VirtualLatency stats.Ticks
+	// CostV is the query's own elapsed virtual time (CPUV + IOWaitV),
+	// measured on its private ledger — deterministic on a warm buffer
+	// regardless of how many workers the gang ran on. SharedV is the
+	// gang-shared scheduler's clock (pooled prefetch I/O, reported to
+	// every member of the group; zero for solo runs). Union queries sum
+	// their branches.
+	CostV   stats.Ticks
+	CPUV    stats.Ticks
+	IOWaitV stats.Ticks
+	SharedV stats.Ticks
 	// WallQueue and WallExec split the real (simulation) latency into
 	// time queued and time executing.
 	WallQueue time.Duration
@@ -196,6 +214,10 @@ func (s *Session) merge(branch []engine.Result, isUnion bool, opts QueryOptions)
 	for _, r := range branch {
 		all = append(all, r.Results...)
 		out.Shared = out.Shared || r.Shared
+		out.CostV += r.CostV
+		out.CPUV += r.CPUV
+		out.IOWaitV += r.IOWaitV
+		out.SharedV += r.SharedV
 		out.WallQueue += r.WallQueue
 		out.WallExec += r.WallExec
 		if r.SubmitV < minSubmit {

@@ -11,14 +11,19 @@ import (
 // repository can be tracked across commits by diffing or plotting these
 // files.
 
-// MeasurementJSON is the serialized form of one Measurement.
+// MeasurementJSON is the serialized form of one Measurement. Virtual costs
+// (total_s, cpu_s) are machine independent; wall_s and allocs_per_op track
+// the simulation's real cost so wall-clock and allocation regressions are
+// visible in the benchmark files.
 type MeasurementJSON struct {
-	Query    string  `json:"query"`
-	Strategy string  `json:"strategy"`
-	SF       float64 `json:"sf"`
-	Count    int     `json:"count"`
-	TotalSec float64 `json:"total_s"`
-	CPUSec   float64 `json:"cpu_s"`
+	Query       string  `json:"query"`
+	Strategy    string  `json:"strategy"`
+	SF          float64 `json:"sf"`
+	Count       int     `json:"count"`
+	TotalSec    float64 `json:"total_s"`
+	CPUSec      float64 `json:"cpu_s"`
+	WallSec     float64 `json:"wall_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 // AblationRowJSON is the serialized form of one AblationRow.
@@ -51,15 +56,45 @@ func WriteMeasurementsJSON(dir, name, title string, ms []Measurement) error {
 	f := benchFile{Name: name, Title: title}
 	for _, m := range ms {
 		f.Measurements = append(f.Measurements, MeasurementJSON{
-			Query:    m.Query,
-			Strategy: m.Strategy.String(),
-			SF:       m.SF,
-			Count:    m.Count,
-			TotalSec: m.Total.Seconds(),
-			CPUSec:   m.CPU.Seconds(),
+			Query:       m.Query,
+			Strategy:    m.Strategy.String(),
+			SF:          m.SF,
+			Count:       m.Count,
+			TotalSec:    m.Total.Seconds(),
+			CPUSec:      m.CPU.Seconds(),
+			WallSec:     m.Wall.Seconds(),
+			AllocsPerOp: m.Allocs,
 		})
 	}
 	return writeJSON(dir, name, f)
+}
+
+// LoadJSON is the machine-readable summary of one xload run: virtual and
+// wall-clock throughput side by side, plus per-request allocations.
+type LoadJSON struct {
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"`
+	Mix         string  `json:"mix"`
+	Strategy    string  `json:"strategy"`
+	Parallel    int     `json:"parallel"`
+	VirtualSec  float64 `json:"virtual_s"`
+	WallSec     float64 `json:"wall_s"`
+	VirtualQPS  float64 `json:"throughput_virtual_qps"`
+	WallQPS     float64 `json:"throughput_wall_qps"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	P50WallSec  float64 `json:"p50_wall_s"`
+	P99WallSec  float64 `json:"p99_wall_s"`
+	P50VirtSec  float64 `json:"p50_virtual_s"`
+	P99VirtSec  float64 `json:"p99_virtual_s"`
+}
+
+// WriteLoadJSON writes l to dir/BENCH_<name>.json.
+func WriteLoadJSON(dir, name string, l LoadJSON) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(data, '\n'), 0o644)
 }
 
 // WriteAblationJSON writes rows to dir/BENCH_ablation_<name>.json.

@@ -10,16 +10,21 @@
 // The manager also fronts the asynchronous interface the XSchedule operator
 // expects (Sec. 3.7): Request enqueues a cluster load without blocking, and
 // WaitLoaded returns some cluster whose load has completed — already-cached
-// clusters complete immediately.
+// clusters complete immediately. Under the parallel engine each query (or
+// shared gang group) owns a Waiter, which scopes Request/WaitLoaded to that
+// query: deliveries are fanned out per waiter, so two workers waiting on
+// different clusters never steal each other's wakeups, and a page wanted by
+// several waiters is submitted to the device once and delivered to each.
 //
 // Concurrency. The page table is split into latch shards (the classic
 // buffer-manager design the CPUHashLookup constant already models), pin
 // counts are atomic, and a single manager mutex serializes the cold paths:
-// LRU maintenance, misses, eviction and the async request queues. Lock
-// ordering is strict — the manager mutex may acquire shard latches, never
-// the reverse — and the hit path touches the LRU under the manager mutex
-// after pinning under the shard latch, which doubles as the barrier that
-// keeps a concurrently-loading frame's Data invisible until complete.
+// LRU maintenance, misses, eviction and the async waiter bookkeeping. Lock
+// ordering is strict — the manager mutex may acquire shard latches and the
+// device mutex, never the reverse — and the hit path touches the LRU under
+// the manager mutex after pinning under the shard latch, which doubles as
+// the barrier that keeps a concurrently-loading frame's Data invisible
+// until complete.
 package buffer
 
 import (
@@ -67,9 +72,16 @@ type Manager struct {
 	head    *Frame     // MRU
 	tail    *Frame     // LRU
 
-	pendingAsync map[vdisk.PageID]bool
-	ready        []vdisk.PageID // requests satisfied from cache
-	overflow     int64          // frames allocated beyond capacity (all pinned)
+	// Async request bookkeeping, shared across waiters. submitted[p] means
+	// an undelivered root-domain request or completion for p exists on the
+	// device (dedup: one physical submission no matter how many waiters
+	// want p). wanted[p] counts waiters with p in their pending set; when
+	// it hits zero any device entry for p is withdrawn.
+	submitted map[vdisk.PageID]bool
+	wanted    map[vdisk.PageID]int
+	root      *Waiter // backs the legacy Manager-level Request/WaitLoaded
+
+	overflow int64 // frames allocated beyond capacity (all pinned)
 
 	onEvict func(vdisk.PageID) // notifies upper layers (swizzle caches)
 }
@@ -80,11 +92,13 @@ func New(disk *vdisk.Disk, capacity int) *Manager {
 		panic("buffer: non-positive capacity")
 	}
 	m := &Manager{
-		disk:         disk,
-		led:          disk.Ledger(),
-		capacity:     capacity,
-		pendingAsync: make(map[vdisk.PageID]bool),
+		disk:      disk,
+		led:       disk.Ledger(),
+		capacity:  capacity,
+		submitted: make(map[vdisk.PageID]bool),
+		wanted:    make(map[vdisk.PageID]int),
 	}
+	m.root = m.NewWaiter(disk.Ledger())
 	for i := range m.shards {
 		m.shards[i].frames = make(map[vdisk.PageID]*Frame)
 	}
@@ -150,11 +164,17 @@ func (m *Manager) probe(p vdisk.PageID) *Frame {
 
 // Fix returns a pinned frame for page p, reading it from disk on a miss.
 // The caller must Unfix it. Each call charges one hash probe.
-func (m *Manager) Fix(p vdisk.PageID) *Frame {
-	stats.Inc(&m.led.HashLookups)
-	m.led.AdvanceCPU(m.disk.Model().CPUHashLookup)
+func (m *Manager) Fix(p vdisk.PageID) *Frame { return m.FixOn(m.led, p) }
+
+// FixOn is Fix with the probe, hit/miss statistics and any disk read billed
+// to led instead of the pool's root ledger — the per-query accounting entry
+// point of the parallel engine. The frame itself is shared pool state either
+// way.
+func (m *Manager) FixOn(led *stats.Ledger, p vdisk.PageID) *Frame {
+	stats.Inc(&led.HashLookups)
+	led.AdvanceCPU(m.disk.Model().CPUHashLookup)
 	if f := m.probe(p); f != nil {
-		stats.Inc(&m.led.BufferHits)
+		stats.Inc(&led.BufferHits)
 		// Passing through the manager mutex also guarantees the loader of
 		// a freshly-published frame has finished filling Data before we
 		// hand it out.
@@ -167,15 +187,14 @@ func (m *Manager) Fix(p vdisk.PageID) *Frame {
 	defer m.mu.Unlock()
 	// Re-probe: another goroutine may have loaded p while we waited.
 	if f := m.probe(p); f != nil {
-		stats.Inc(&m.led.BufferHits)
+		stats.Inc(&led.BufferHits)
 		m.touch(f)
 		return f
 	}
-	stats.Inc(&m.led.BufferMisses)
+	stats.Inc(&led.BufferMisses)
 	f := m.newFrame(p)
-	m.disk.ReadSync(p, f.Data)
+	m.disk.ReadSyncOn(led, p, f.Data)
 	f.pins.Add(1)
-	delete(m.pendingAsync, p) // a sync read supersedes a pending request
 	return f
 }
 
@@ -186,46 +205,74 @@ func (m *Manager) Unfix(f *Frame) {
 	}
 }
 
-// Request schedules an asynchronous load of page p. If p is already
-// buffered or already requested, the request is recorded so that a later
-// WaitLoaded can still deliver it.
-func (m *Manager) Request(p vdisk.PageID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.Contains(p) {
-		m.ready = append(m.ready, p)
-		return
-	}
-	if m.pendingAsync[p] {
-		return
-	}
-	m.pendingAsync[p] = true
-	m.disk.Submit(p)
+// Waiter scopes the asynchronous Request/WaitLoaded interface to one query
+// (or one shared gang group): each waiter tracks its own pending set and is
+// woken only by completions of pages it asked for. Wall-clock waits and
+// completion charges go to the waiter's ledger. Waiters sharing a manager
+// dedup physical submissions — a page wanted by several waiters is read
+// once and delivered to each of them. A Waiter is not itself safe for
+// concurrent use; one goroutine (its query's worker) drives it.
+type Waiter struct {
+	m       *Manager
+	led     *stats.Ledger
+	pending map[vdisk.PageID]bool
+	order   []vdisk.PageID // FIFO of pending pages: deterministic delivery
 }
 
-// WaitLoaded blocks until some requested page is available and returns it.
-// ok is false when nothing is outstanding. Cache-satisfied requests are
-// delivered first (they are ready immediately).
-func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool) {
+// NewWaiter returns a waiter billing to led (the pool's root ledger if nil).
+func (m *Manager) NewWaiter(led *stats.Ledger) *Waiter {
+	if led == nil {
+		led = m.led
+	}
+	return &Waiter{m: m, led: led, pending: make(map[vdisk.PageID]bool)}
+}
+
+// Request schedules an asynchronous load of page p for this waiter. If p is
+// already buffered (or another waiter already submitted it), no device
+// request is issued, but a later WaitLoaded still delivers it. Duplicate
+// requests for an undelivered page are folded into one delivery.
+func (w *Waiter) Request(p vdisk.PageID) {
+	m := w.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.ready) > 0 {
-		p = m.ready[0]
-		m.ready = m.ready[1:]
+	if w.pending[p] {
+		return
+	}
+	w.pending[p] = true
+	w.order = append(w.order, p)
+	m.wanted[p]++
+	if !m.Contains(p) && !m.submitted[p] {
+		m.submitted[p] = true
+		m.disk.SubmitOn(w.led, p)
+	}
+}
+
+// WaitLoaded blocks until some page this waiter requested is available and
+// returns it. ok is false when nothing deliverable is outstanding (callers
+// re-Request and retry; the buffer may have evicted a page between its load
+// and this wait). Already-buffered pages are delivered first, oldest
+// request first, without touching the device.
+func (w *Waiter) WaitLoaded() (p vdisk.PageID, ok bool) {
+	m := w.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := w.takeBuffered(); ok {
 		return p, true
 	}
-	if len(m.pendingAsync) == 0 {
+	if len(w.order) == 0 {
 		return vdisk.InvalidPage, false
 	}
 	f := m.newFrame(vdisk.InvalidPage) // placeholder; page set below
-	page, got := m.disk.WaitAny(f.Data)
+	page, got := m.disk.WaitMatchOn(w.led, func(p vdisk.PageID) bool { return w.pending[p] }, f.Data)
 	if !got {
-		// All pending requests were superseded by sync reads.
+		// None of our pages is on the device (submissions superseded by
+		// sync reads and since evicted, or withdrawn): drop the stale
+		// pending set so the caller's re-request issues fresh reads.
 		m.unlink(f)
-		m.pendingAsync = make(map[vdisk.PageID]bool)
+		w.clearLocked()
 		return vdisk.InvalidPage, false
 	}
-	delete(m.pendingAsync, page)
+	delete(m.submitted, page) // consumed the device entry
 	s := m.shardOf(page)
 	s.mu.Lock()
 	if old, exists := s.frames[page]; exists {
@@ -234,34 +281,103 @@ func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool) {
 		s.mu.Unlock()
 		m.unlink(f)
 		m.touch(old)
-		return page, true
+	} else {
+		f.Page = page
+		s.frames[page] = f
+		s.mu.Unlock()
+		m.nFrames++
 	}
-	f.Page = page
-	s.frames[page] = f
-	s.mu.Unlock()
-	m.nFrames++
+	w.deliverLocked(page)
 	return page, true
 }
 
-// OutstandingRequests returns the number of async requests not yet
-// delivered by WaitLoaded.
-func (m *Manager) OutstandingRequests() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.pendingAsync) + len(m.ready)
+// takeBuffered delivers the oldest pending page that is already buffered.
+// Caller holds m.mu.
+func (w *Waiter) takeBuffered() (vdisk.PageID, bool) {
+	for _, p := range w.order {
+		if w.m.Contains(p) {
+			w.deliverLocked(p)
+			return p, true
+		}
+	}
+	return vdisk.InvalidPage, false
 }
 
-// CancelRequests abandons every outstanding async request — queued on the
-// device, completed-but-undelivered, and cache-ready alike. A cancelled
-// query calls this so its in-flight prefetches cannot surface as stale
-// deliveries inside the next query on the same volume.
-func (m *Manager) CancelRequests() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.pendingAsync = make(map[vdisk.PageID]bool)
-	m.ready = nil
-	m.disk.CancelPending()
+// deliverLocked removes p from the pending set and releases the shared
+// wanted/submitted bookkeeping. Caller holds m.mu.
+func (w *Waiter) deliverLocked(page vdisk.PageID) {
+	for i, p := range w.order {
+		if p == page {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	delete(w.pending, page)
+	w.m.unwant([]vdisk.PageID{page})
 }
+
+// clearLocked abandons every pending request of this waiter, withdrawing
+// device entries no other waiter wants. Caller holds m.mu.
+func (w *Waiter) clearLocked() {
+	pages := w.order
+	w.order = nil
+	for _, p := range pages {
+		delete(w.pending, p)
+	}
+	w.m.unwant(pages)
+}
+
+// unwant decrements the wanted count of each page and withdraws from the
+// device those nobody wants anymore. Caller holds m.mu.
+func (m *Manager) unwant(pages []vdisk.PageID) {
+	var orphans map[vdisk.PageID]bool
+	for _, p := range pages {
+		if m.wanted[p]--; m.wanted[p] > 0 {
+			continue
+		}
+		delete(m.wanted, p)
+		if m.submitted[p] {
+			delete(m.submitted, p)
+			if orphans == nil {
+				orphans = make(map[vdisk.PageID]bool)
+			}
+			orphans[p] = true
+		}
+	}
+	if orphans != nil {
+		m.disk.CancelMatch(func(p vdisk.PageID) bool { return orphans[p] })
+	}
+}
+
+// Cancel abandons this waiter's outstanding requests. Device entries still
+// wanted by other waiters stay in flight; the rest are withdrawn, so a
+// cancelled query's prefetches cannot linger on the simulated device.
+func (w *Waiter) Cancel() {
+	w.m.mu.Lock()
+	defer w.m.mu.Unlock()
+	w.clearLocked()
+}
+
+// Outstanding returns the number of undelivered requests of this waiter.
+func (w *Waiter) Outstanding() int {
+	w.m.mu.Lock()
+	defer w.m.mu.Unlock()
+	return len(w.order)
+}
+
+// Request schedules an asynchronous load of page p on the manager's root
+// waiter (single-query callers that need no per-query accounting).
+func (m *Manager) Request(p vdisk.PageID) { m.root.Request(p) }
+
+// WaitLoaded delivers one of the root waiter's requested pages.
+func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool) { return m.root.WaitLoaded() }
+
+// OutstandingRequests returns the number of async requests not yet
+// delivered to the root waiter.
+func (m *Manager) OutstandingRequests() int { return m.root.Outstanding() }
+
+// CancelRequests abandons the root waiter's outstanding async requests.
+func (m *Manager) CancelRequests() { m.root.Cancel() }
 
 // Invalidate drops page p from the pool after an out-of-band write (the
 // update path rewrites pages directly). It panics if the frame is pinned.
@@ -289,7 +405,10 @@ func (m *Manager) Invalidate(p vdisk.PageID) {
 }
 
 // FlushAll drops every unpinned frame (used between benchmark runs to
-// start cold). It panics if any frame is still pinned.
+// start cold) and resets the async bookkeeping, including the root
+// waiter's pending set. It panics if any frame is still pinned. Per-query
+// waiters must be cancelled before FlushAll; surviving ones hold stale
+// pending sets.
 func (m *Manager) FlushAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -310,8 +429,10 @@ func (m *Manager) FlushAll() {
 	}
 	m.nFrames = 0
 	m.head, m.tail = nil, nil
-	m.pendingAsync = make(map[vdisk.PageID]bool)
-	m.ready = nil
+	m.submitted = make(map[vdisk.PageID]bool)
+	m.wanted = make(map[vdisk.PageID]int)
+	m.root.pending = make(map[vdisk.PageID]bool)
+	m.root.order = nil
 }
 
 // newFrame allocates (or steals via eviction) a frame, links it at MRU and

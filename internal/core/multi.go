@@ -37,6 +37,12 @@ type MultiQuery struct {
 	Ctx context.Context
 	// MemLimit overrides PlanOptions.MemLimit for this member when > 0.
 	MemLimit int
+	// Store, when non-nil, is the storage view this member's operators
+	// charge to (a per-query Reader over the group's base store). The
+	// shared scheduler still runs on the store passed to BuildMultiPlan —
+	// pooled I/O is group-accounted — while per-member CPU and tuple
+	// movement land on the member's own ledger.
+	Store *storage.Store
 }
 
 // BuildMultiPlan compiles a shared-scheduler plan for the given queries.
@@ -63,7 +69,11 @@ func BuildMultiPlan(store *storage.Store, queries []MultiQuery, opts PlanOptions
 
 	d := &demux{shared: shared, buffers: make([][]Instance, len(queries))}
 	for pi, q := range queries {
-		es := NewEvalState(store, q.Path)
+		st := store
+		if q.Store != nil {
+			st = q.Store
+		}
+		es := NewEvalState(st, q.Path)
 		es.MemLimit = opts.MemLimit
 		if q.MemLimit > 0 {
 			es.MemLimit = q.MemLimit

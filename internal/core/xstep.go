@@ -37,11 +37,22 @@ func NewXStep(es *EvalState, input Operator, i int) *XStep {
 // Open opens the producer.
 func (x *XStep) Open() {
 	x.input.Open()
-	x.iters = x.iters[:0]
+	x.releaseIters()
 }
 
-// Close closes the producer.
-func (x *XStep) Close() { x.input.Close() }
+// Close closes the producer, returning any live iterators to the pool
+// (early close: K-limit reached or the query cancelled mid-navigation).
+func (x *XStep) Close() {
+	x.releaseIters()
+	x.input.Close()
+}
+
+func (x *XStep) releaseIters() {
+	for _, it := range x.iters {
+		it.Release()
+	}
+	x.iters = x.iters[:0]
+}
 
 // Next implements the XStep next method (Sec. 5.3.2.2).
 func (x *XStep) Next() (Instance, bool) {
@@ -52,6 +63,7 @@ func (x *XStep) Next() (Instance, bool) {
 			it := x.iters[len(x.iters)-1]
 			res, ok := it.Next()
 			if !ok {
+				it.Release()
 				x.iters = x.iters[:len(x.iters)-1]
 				continue
 			}

@@ -8,25 +8,35 @@
 // asynchronous device queue (core.MultiPlan), so the I/O scheduler reorders
 // across query boundaries.
 //
-// Execution model — gang scheduling. The storage layer underneath a plan
-// (page images, cursors, the deterministic virtual clock) is inherently
-// serial, so the engine does not run operators on N goroutines. Instead,
-// concurrency lives at the edges: any number of goroutines submit into a
-// bounded admission queue, a single dispatcher drains the queue in gangs of
-// at most MaxInFlight queries, executes each gang — batching compatible
-// members onto one shared scheduler — and completes the waiting sessions.
-// Shared layers (stats, vdisk, buffer) are concurrency-safe so monitoring
-// and future multi-dispatcher designs need no further changes; the
-// dispatcher is where the virtual clock stays deterministic.
+// Execution model — parallel gang scheduling. Any number of goroutines
+// submit into a bounded admission queue; a single dispatcher drains the
+// queue in gangs of at most MaxInFlight queries and classifies each gang:
+// batchable members are partitioned into shared-scheduler groups, the rest
+// run solo. The resulting tasks execute on a pool of up to Parallel worker
+// goroutines — the storage read path (buffer pool, swizzle cache, simulated
+// device) is safe for concurrent readers, so independent plans make
+// wall-clock progress in parallel while still sharing every physical cache.
+//
+// Cost accounting. Each query runs against a read-only storage view
+// (storage.Store.Reader) with its own stats.Ledger: the query's CPU charges
+// and I/O waits advance a private virtual clock, so per-query costs are
+// independent of how workers interleave. A shared group additionally owns a
+// group ledger that pays for the pooled scheduler I/O. At completion every
+// ledger is folded into the volume ledger (stats.Ledger.Merge) — addition
+// commutes, so the volume totals are deterministic regardless of worker
+// scheduling, and with a warm buffer each query's cost is bit-identical to
+// a serial run.
 //
 // Cancellation. Every query carries a context.Context. A query cancelled
 // while queued never executes; one cancelled mid-execution stops at the
 // next operator poll point, and its in-flight cluster prefetches are
-// cancelled so they cannot leak into subsequent queries.
+// cancelled (per-view, so concurrent queries keep theirs) so they cannot
+// leak into subsequent queries.
 package engine
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +69,12 @@ type Config struct {
 	// QueueDepth bounds the admission queue; TrySubmit beyond it returns
 	// ErrQueueFull, Submit blocks. Default 64.
 	QueueDepth int
+	// Parallel is the worker-pool width per gang: how many gang tasks
+	// (shared groups and solo queries) execute concurrently. Default
+	// min(MaxInFlight, GOMAXPROCS); an explicit value may exceed
+	// GOMAXPROCS (oversubscription — useful for exercising the concurrent
+	// read path under -race on few cores).
+	Parallel int
 	// K overrides XSchedule's queue fill target (0 = core.DefaultK).
 	K int
 }
@@ -69,6 +85,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+		if c.Parallel > c.MaxInFlight {
+			c.Parallel = c.MaxInFlight
+		}
 	}
 	return c
 }
@@ -101,7 +123,19 @@ type Result struct {
 	Gang   int  // how many queries executed in this query's gang
 	Shared bool // ran on a gang-shared scheduler (batched I/O)
 
-	// Virtual stamps on the volume clock.
+	// Per-query virtual costs, measured on the query's private ledger.
+	// CostV = CPUV + IOWaitV is the query's own elapsed virtual time; with
+	// a warm buffer it is deterministic and equal to a serial run of the
+	// same query. SharedV is this query's group-scheduler clock (pooled
+	// prefetch I/O paid once per shared group; the same value is reported
+	// to every member, zero for solo runs).
+	CostV   stats.Ticks
+	CPUV    stats.Ticks
+	IOWaitV stats.Ticks
+	SharedV stats.Ticks
+
+	// Virtual stamps on the volume clock (which advances as per-query
+	// ledgers merge into it at completion).
 	SubmitV stats.Ticks
 	StartV  stats.Ticks
 	DoneV   stats.Ticks
@@ -203,10 +237,9 @@ func (e *Engine) Close() {
 // goroutine should own one.
 func (e *Engine) NewSession() *Session { return &Session{e: e} }
 
-// run is the dispatcher: it drains the admission queue in gangs and
-// executes them. Everything that touches the store happens on this
-// goroutine — the virtual clock and the swizzled page images are serial by
-// design (see the package comment).
+// run is the dispatcher: it drains the admission queue in gangs, classifies
+// each gang on this goroutine (the cost-model chooser is serial), and fans
+// the resulting tasks out to the gang's worker pool.
 func (e *Engine) run() {
 	defer e.wg.Done()
 	for {
@@ -263,8 +296,9 @@ type execUnit struct {
 	choice *plan.Choice
 }
 
-// execute runs one gang: batchable members share one MultiPlan, the rest
-// run solo, all on this goroutine.
+// execute runs one gang: batchable members are partitioned into shared
+// groups (each a MultiPlan), the rest run solo, and the resulting tasks
+// execute on a worker pool of up to cfg.Parallel goroutines.
 func (e *Engine) execute(gang []*Pending) {
 	e.gangs.Add(1)
 	model := e.store.Disk().Model()
@@ -296,12 +330,78 @@ func (e *Engine) execute(gang []*Pending) {
 		shared = nil
 	}
 	gangSize := len(shared) + len(solo)
-	if len(shared) > 0 {
-		e.runShared(shared, gangSize)
+
+	groups := splitShared(shared, e.cfg.Parallel)
+	tasks := make([]func(), 0, len(groups)+len(solo))
+	for _, g := range groups {
+		tasks = append(tasks, func() { e.runShared(g, gangSize) })
 	}
 	for _, u := range solo {
-		e.runSolo(u, gangSize)
+		tasks = append(tasks, func() { e.runSolo(u, gangSize) })
 	}
+	e.runTasks(tasks)
+}
+
+// splitShared partitions the batchable members into up to `workers`
+// contiguous shared groups of at least two members each. One group
+// maximises I/O pooling but runs serially (a MultiPlan drains on one
+// goroutine); several groups trade a little duplicated scheduler work for
+// wall-clock parallelism — they still share loaded pages through the
+// common buffer pool and deduplicated device queue.
+func splitShared(units []execUnit, workers int) [][]execUnit {
+	if len(units) == 0 {
+		return nil
+	}
+	n := len(units) / 2 // each group needs ≥2 members
+	if n > workers {
+		n = workers
+	}
+	if n < 1 {
+		n = 1
+	}
+	groups := make([][]execUnit, 0, n)
+	per, extra := len(units)/n, len(units)%n
+	for i, g := 0, 0; g < n; g++ {
+		sz := per
+		if g < extra {
+			sz++
+		}
+		groups = append(groups, units[i:i+sz])
+		i += sz
+	}
+	return groups
+}
+
+// runTasks executes the gang's tasks on up to cfg.Parallel workers. With a
+// single worker (or task) everything runs on the calling goroutine — the
+// dispatcher — preserving the fully serial execution order.
+func (e *Engine) runTasks(tasks []func()) {
+	n := e.cfg.Parallel
+	if n > len(tasks) {
+		n = len(tasks)
+	}
+	if n <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	next := make(chan func())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
 }
 
 func (e *Engine) contextsOf(q Query) []storage.NodeID {
@@ -311,39 +411,46 @@ func (e *Engine) contextsOf(q Query) []storage.NodeID {
 	return e.store.Roots()
 }
 
-// runShared executes the batchable members of a gang on one shared
-// XSchedule: every member's cluster accesses pool in the single device
-// queue, so overlapping working sets load once and the scheduler reorders
-// across query boundaries.
+// runShared executes one shared group of a gang on a gang-shared XSchedule:
+// every member's cluster accesses pool in the single device queue, so
+// overlapping working sets load once and the scheduler reorders across
+// query boundaries. The pooled prefetch I/O is paid by a group ledger;
+// every member charges its own CPU and synchronous I/O to a private view.
 func (e *Engine) runShared(units []execUnit, gangSize int) {
 	e.batched.Add(int64(len(units)))
-	led := e.store.Ledger()
-	startV := led.Total()
+	gled := stats.NewLedger()
+	gview := e.store.Reader(gled)
+	startV := e.store.Ledger().Total()
 	startW := time.Now()
 
 	queries := make([]core.MultiQuery, len(units))
+	qleds := make([]*stats.Ledger, len(units))
 	for i, u := range units {
+		qleds[i] = stats.NewLedger()
 		queries[i] = core.MultiQuery{
 			Path:     u.p.q.Path,
 			Contexts: e.contextsOf(u.p.q),
 			Ctx:      u.p.ctx,
 			MemLimit: u.p.q.MemLimit,
+			Store:    e.store.Reader(qleds[i]),
 		}
 	}
-	mp := core.BuildMultiPlan(e.store, queries, core.PlanOptions{K: e.cfg.K})
+	mp := core.BuildMultiPlan(gview, queries, core.PlanOptions{K: e.cfg.K})
 	buckets := make([][]core.Result, len(units))
 	mp.RunEach(
 		func(i int) bool { return units[i].p.ctx.Err() != nil },
 		func(i int, r core.Result) { buckets[i] = append(buckets[i], r) },
 	)
 
-	anyCancelled := false
-	doneV := led.Total()
+	sharedV := gled.Total()
+	e.store.Ledger().Merge(gled.Snapshot())
 	wall := time.Since(startW)
+	anyCancelled := false
 	for i, u := range units {
 		if err := u.p.ctx.Err(); err != nil {
 			anyCancelled = true
 			e.cancelled.Add(1)
+			e.store.Ledger().Merge(qleds[i].Snapshot())
 			u.p.finish(Result{}, err)
 			continue
 		}
@@ -353,28 +460,30 @@ func (e *Engine) runShared(units []execUnit, gangSize int) {
 			Choice:    u.choice,
 			Gang:      gangSize,
 			Shared:    true,
+			SharedV:   sharedV,
 			SubmitV:   u.p.submitV,
 			StartV:    startV,
-			DoneV:     doneV,
 			WallQueue: startW.Sub(u.p.submitW),
 			WallExec:  wall,
 		}
-		e.deliver(u.p, res)
+		e.deliver(u.p, res, qleds[i])
 	}
 	if anyCancelled {
 		// Abandon the cancelled members' in-flight prefetches so they
-		// cannot surface inside a later gang.
-		e.store.CancelRequests()
+		// cannot surface inside a later gang. Prefetches belong to the
+		// group's waiter, so this leaves concurrent groups untouched.
+		gview.CancelRequests()
 	}
 }
 
-// runSolo executes one member on its own plan.
+// runSolo executes one member on its own plan over a private storage view.
 func (e *Engine) runSolo(u execUnit, gangSize int) {
-	led := e.store.Ledger()
-	startV := led.Total()
+	qled := stats.NewLedger()
+	view := e.store.Reader(qled)
+	startV := e.store.Ledger().Total()
 	startW := time.Now()
 
-	p := core.BuildPlan(e.store, u.p.q.Path, e.contextsOf(u.p.q), u.strat, core.PlanOptions{
+	p := core.BuildPlan(view, u.p.q.Path, e.contextsOf(u.p.q), u.strat, core.PlanOptions{
 		K:        e.cfg.K,
 		MemLimit: u.p.q.MemLimit,
 		Ctx:      u.p.ctx,
@@ -393,8 +502,9 @@ func (e *Engine) runSolo(u execUnit, gangSize int) {
 
 	if err := u.p.ctx.Err(); err != nil {
 		e.cancelled.Add(1)
+		view.CancelRequests()
+		e.store.Ledger().Merge(qled.Snapshot())
 		u.p.finish(Result{}, err)
-		e.store.CancelRequests()
 		return
 	}
 	res := Result{
@@ -404,30 +514,32 @@ func (e *Engine) runSolo(u execUnit, gangSize int) {
 		Gang:      gangSize,
 		SubmitV:   u.p.submitV,
 		StartV:    startV,
-		DoneV:     led.Total(),
 		WallQueue: startW.Sub(u.p.submitW),
 		WallExec:  time.Since(startW),
 	}
-	e.deliver(u.p, res)
+	e.deliver(u.p, res, qled)
 }
 
 // deliver applies per-query post-processing (the document-order sort stays
-// off the shared path, per-query) and completes the waiter.
-func (e *Engine) deliver(p *Pending, res Result) {
+// off the shared path, charged to the query's own ledger), folds the query
+// ledger into the volume ledger, stamps the per-query costs and completes
+// the waiter.
+func (e *Engine) deliver(p *Pending, res Result, qled *stats.Ledger) {
 	if p.q.Sorted {
 		rs := res.Results
-		n := len(rs)
-		if n > 1 {
+		if len(rs) > 1 {
 			cmp := 0
 			sort.SliceStable(rs, func(i, j int) bool {
 				cmp++
 				return ordpath.Compare(rs[i].Ord, rs[j].Ord) < 0
 			})
-			led := e.store.Ledger()
-			led.AdvanceCPU(stats.Ticks(cmp) * e.store.Disk().Model().CPUSetOp)
-			res.DoneV = led.Total()
+			qled.AdvanceCPU(stats.Ticks(cmp) * e.store.Disk().Model().CPUSetOp)
 		}
 	}
+	snap := qled.Snapshot()
+	res.CostV, res.CPUV, res.IOWaitV = snap.Now, snap.CPU, snap.IOWait
+	e.store.Ledger().Merge(snap)
+	res.DoneV = e.store.Ledger().Total()
 	e.completed.Add(1)
 	p.finish(res, nil)
 }

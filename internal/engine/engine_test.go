@@ -230,7 +230,11 @@ func TestSharedBatchingBeatsSequential(t *testing.T) {
 
 	// The same eight queries as one gang on a stopped engine (deterministic
 	// gang composition: all eight are queued before the dispatcher runs).
-	e := newStoppedEngine(st, Config{MaxInFlight: clients, QueueDepth: clients})
+	// Parallel is pinned to 1 so the whole gang forms a single shared group:
+	// this experiment measures the virtual-cost batching win, which parallel
+	// group splitting deliberately trades away for wall-clock throughput
+	// (each extra group re-pays device queueing on its own clock).
+	e := newStoppedEngine(st, Config{MaxInFlight: clients, QueueDepth: clients, Parallel: 1})
 	s := e.NewSession()
 	var pendings []*Pending
 	for i := 0; i < clients; i++ {

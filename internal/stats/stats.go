@@ -167,6 +167,21 @@ func (l *Ledger) Reset() {
 	}
 }
 
+// Merge atomically adds every field of the snapshot s into l. The engine
+// uses it to fold a per-query ledger into the volume ledger at query
+// completion: addition commutes, so the volume totals are deterministic (the
+// sum of all queries' charges) no matter in which order parallel workers
+// finish. Merging a live ledger is safe but folds in whatever its writers
+// had charged at snapshot time; quiesce the source first for exact totals.
+func (l *Ledger) Merge(s Ledger) {
+	src, dst := s.fields(), l.fields()
+	for i := range src {
+		if v := *src[i]; v != 0 {
+			atomic.AddInt64(dst[i], v)
+		}
+	}
+}
+
 // Snapshot returns a consistent-enough copy of the ledger built from atomic
 // loads of every field. Individual fields are each exact; cross-field skew
 // is bounded by whatever mutations race with the loads.

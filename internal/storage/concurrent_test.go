@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"pathdb/internal/stats"
+	"pathdb/internal/vdisk"
+)
+
+// TestConcurrentReaders hammers the concurrent read path — Swizzle/image
+// decode through the sharded swizzle cache, synchronous LoadCluster fixes,
+// BordersOf on shared cached slices, and the per-view async request/wait
+// machinery — from several goroutines over a deliberately tiny buffer pool,
+// so pages are constantly evicted, re-read and re-decoded while in use by
+// other readers. Run under -race; correctness is checked against a serially
+// computed ground truth per page.
+func TestConcurrentReaders(t *testing.T) {
+	dict, doc := buildTree(67, 3000)
+	st := importDoc(t, doc, dict, 512, LayoutShuffled)
+	st.SetBufferCapacity(24) // tiny: force refaults and swizzle-cache drops
+
+	pages := make([]vdisk.PageID, st.NumDataPages())
+	for i := range pages {
+		pages[i] = st.DataPage(i)
+	}
+	if len(pages) < 48 {
+		t.Fatalf("document too small for eviction pressure: %d pages", len(pages))
+	}
+
+	// Serial ground truth: border count per page (BordersOf returns the
+	// decoded image's cached slice, identical for every reader).
+	wantBorders := make([]int, len(pages))
+	for i, p := range pages {
+		wantBorders[i] = len(st.BordersOf(p))
+	}
+	st.ResetForRun()
+
+	const workers = 8
+	const iters = 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			view := st.Reader(stats.NewLedger())
+			defer view.CancelRequests()
+			for i := 0; i < iters; i++ {
+				// Overlapping strides: all workers revisit the same hot
+				// pages while eviction churns beneath them.
+				pi := (i*(w+3) + w) % len(pages)
+				p := pages[pi]
+
+				view.LoadCluster(p)
+				ids := view.BordersOf(p)
+				if len(ids) != wantBorders[pi] {
+					t.Errorf("worker %d: page %v: %d borders, want %d", w, p, len(ids), wantBorders[pi])
+					return
+				}
+				for _, id := range ids {
+					c := view.Swizzle(id)
+					if got := c.Unswizzle(); got != id {
+						t.Errorf("worker %d: swizzle roundtrip %v -> %v", w, id, got)
+						return
+					}
+				}
+
+				// Async path every few rounds: request a small batch and
+				// drain it, re-requesting when a page was evicted between
+				// its load and our wait.
+				if i%5 == 0 {
+					want := map[vdisk.PageID]bool{}
+					for k := 0; k < 3; k++ {
+						q := pages[(pi+k*7)%len(pages)]
+						want[q] = true
+						view.RequestCluster(q)
+					}
+					for retries := 0; len(want) > 0; {
+						q, ok := view.WaitCluster()
+						if !ok {
+							retries++
+							if retries > 1000 {
+								t.Errorf("worker %d: async drain stuck with %d pages left", w, len(want))
+								return
+							}
+							for r := range want {
+								view.RequestCluster(r)
+							}
+							continue
+						}
+						if !want[q] {
+							t.Errorf("worker %d: delivered page %v was not requested", w, q)
+							return
+						}
+						delete(want, q)
+						view.LoadCluster(q)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The store stays consistent for serial use afterwards.
+	st.ResetForRun()
+	for i, p := range pages[:16] {
+		if got := len(st.BordersOf(p)); got != wantBorders[i] {
+			t.Fatalf("page %v corrupted after stress: %d borders, want %d", p, got, wantBorders[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"pathdb/internal/stats"
 	"pathdb/internal/xmltree"
@@ -21,6 +22,13 @@ import (
 // kind: a ProxyParent continues a downward crossing (child/descendant/
 // sibling arrival), a ProxyChild continues an upward crossing (parent/
 // ancestor/sibling departure).
+//
+// Iterators come from a pool: callers that finish with one should Release
+// it so the next Step on the same worker reuses the struct and its DFS
+// stack instead of allocating — Step is the hottest allocation site and
+// its cost multiplies under parallel gangs. Releasing is optional
+// (unreleased iterators are ordinary garbage) but using an iterator after
+// Release is a use-after-free.
 type StepIter struct {
 	st  *Store
 	img *pageImage
@@ -37,6 +45,9 @@ type StepIter struct {
 	slot     uint16   // context slot (attr modes)
 	selfAttr bool     // emit the context attribute itself first
 	done     bool
+
+	owned   bool     // slots is iterator-owned scratch, not a page alias
+	scratch []uint16 // retained backing array for owned slots
 }
 
 type iterMode uint8
@@ -50,9 +61,46 @@ const (
 	modeAttrs
 )
 
+// stepIterPool recycles released StepIters (with their slot scratch) so
+// steady-state navigation does not allocate per step.
+var stepIterPool = sync.Pool{New: func() any { return new(StepIter) }}
+
+// Release returns the iterator to the pool, keeping the larger of its
+// scratch and an iterator-owned slots array for reuse. The iterator must
+// not be used afterwards. Safe on a nil iterator.
+func (it *StepIter) Release() {
+	if it == nil {
+		return
+	}
+	scratch := it.scratch
+	if it.owned && cap(it.slots) > cap(scratch) {
+		scratch = it.slots
+	}
+	*it = StepIter{scratch: scratch[:0]}
+	stepIterPool.Put(it)
+}
+
+// own makes slots a single iterator-owned candidate.
+func (it *StepIter) own(v uint16) {
+	it.slots = append(it.scratch[:0], v)
+	it.owned = true
+}
+
+// ownReversed fills slots with s reversed, reusing the iterator's scratch.
+func (it *StepIter) ownReversed(s []uint16) {
+	buf := it.scratch[:0]
+	for i := len(s) - 1; i >= 0; i-- {
+		buf = append(buf, s[i])
+	}
+	it.slots = buf
+	it.owned = true
+}
+
 // Step starts the enumeration of one location step from ctx.
 func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter {
-	it := &StepIter{st: s, img: ctx.img, axis: axis, test: test, slot: ctx.slot}
+	it := stepIterPool.Get().(*StepIter)
+	scratch := it.scratch
+	*it = StepIter{st: s, img: ctx.img, axis: axis, test: test, slot: ctx.slot, scratch: scratch[:0]}
 	r := ctx.rec()
 
 	if ctx.attr >= 0 {
@@ -71,7 +119,7 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 			it.up = int(ctx.slot)
 		case xpath.Parent:
 			it.mode = modeSingle
-			it.slots = []uint16{ctx.slot}
+			it.own(ctx.slot)
 		case xpath.Ancestor:
 			it.mode = modeUp
 			it.up = int(ctx.slot)
@@ -92,7 +140,7 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 			it.rev = axis == xpath.PrecedingSibling
 		case xpath.Descendant, xpath.DescendantOrSelf:
 			it.mode = modeDFS
-			it.slots = reversedCopy(r.children)
+			it.ownReversed(r.children)
 		default:
 			it.mode = modeDone
 		}
@@ -104,7 +152,7 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 			if r.parent == noParent {
 				it.mode = modeDone
 			} else {
-				it.slots = []uint16{uint16(r.parent)}
+				it.own(uint16(r.parent))
 			}
 		case xpath.Ancestor, xpath.AncestorOrSelf:
 			it.mode = modeUp
@@ -118,22 +166,22 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 		switch axis {
 		case xpath.Self:
 			it.mode = modeSingle
-			it.slots = []uint16{ctx.slot}
+			it.own(ctx.slot)
 		case xpath.Child:
 			it.mode = modeList
 			it.slots = r.children
 		case xpath.Descendant:
 			it.mode = modeDFS
-			it.slots = reversedCopy(r.children)
+			it.ownReversed(r.children)
 		case xpath.DescendantOrSelf:
 			it.mode = modeDFS
-			it.slots = []uint16{ctx.slot}
+			it.own(ctx.slot)
 		case xpath.Parent:
 			it.mode = modeSingle
 			if r.parent == noParent {
 				it.mode = modeDone
 			} else {
-				it.slots = []uint16{uint16(r.parent)}
+				it.own(uint16(r.parent))
 			}
 		case xpath.Ancestor:
 			it.mode = modeUp
@@ -185,9 +233,10 @@ func (it *StepIter) initSiblings(r *rec) {
 	// A fragment root's remaining siblings live across the border: its
 	// physical parent is the ProxyParent anchor, which the list walk will
 	// not surface by itself — the anchor *is* the border to emit, so
-	// append it as a final candidate.
+	// append it as a final candidate (into iterator-owned scratch; the
+	// page's child list must stay untouched).
 	if it.img.recs[r.parent].kind == RecProxyParent {
-		appended := make([]uint16, 0, len(it.slots)+1)
+		appended := it.scratch[:0]
 		if it.rev {
 			// Reverse iteration visits it last if placed first.
 			appended = append(appended, uint16(r.parent))
@@ -197,6 +246,7 @@ func (it *StepIter) initSiblings(r *rec) {
 			appended = append(appended, uint16(r.parent))
 		}
 		it.slots = appended
+		it.owned = true
 	}
 }
 
@@ -289,12 +339,4 @@ func (it *StepIter) Next() (Cursor, bool) {
 
 func (it *StepIter) cursor(slot uint16) Cursor {
 	return Cursor{st: it.st, img: it.img, page: it.img.page, slot: slot, attr: -1}
-}
-
-func reversedCopy(s []uint16) []uint16 {
-	out := make([]uint16, len(s))
-	for i, v := range s {
-		out[len(s)-1-i] = v
-	}
-	return out
 }

@@ -103,10 +103,13 @@ const MaxPageSize = 32768
 
 // pageImage is the swizzled (decoded, directly navigable) representation of
 // one page — the object-buffer side of the dual-buffer scheme of Sec. 3.6.
+// Images are immutable once published by the swizzle cache (the update path
+// works on private copies), so they may be shared by concurrent readers.
 type pageImage struct {
-	page    vdisk.PageID
-	recs    []rec
-	borders []uint16 // slots of proxy records, for XScan's speculation
+	page      vdisk.PageID
+	recs      []rec
+	borders   []uint16 // slots of proxy records, for XScan's speculation
+	borderIDs []NodeID // the same borders as NodeIDs, for BordersOf
 }
 
 // --- binary encoding -------------------------------------------------------
@@ -314,6 +317,14 @@ func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error)
 			sort.SliceStable(kids, func(a, b int) bool {
 				return ordpath.Compare(img.recs[kids[a]].ord, img.recs[kids[b]].ord) < 0
 			})
+		}
+	}
+	if len(img.borders) > 0 {
+		// Materialized once here so BordersOf can hand out a shared slice
+		// instead of allocating per call.
+		img.borderIDs = make([]NodeID, len(img.borders))
+		for i, slot := range img.borders {
+			img.borderIDs[i] = MakeNodeID(page, slot)
 		}
 	}
 	return img, nil

@@ -15,6 +15,15 @@ import (
 // Store provides access to one stored document: swizzling NodeIDs into
 // directly navigable cursors, the intra-cluster navigation primitives, and
 // the cluster-granular load interface used by the I/O operators.
+//
+// The read path is safe for concurrent use: the swizzle cache is sharded
+// and decode-once, the buffer manager and disk below are concurrency-safe,
+// and page images are immutable once published. Cost accounting is scoped
+// by *views*: Reader returns a shallow Store sharing every cache with the
+// base but charging to its own ledger and routing async cluster requests
+// through its own buffer waiter — the unit the parallel engine hands each
+// query. Mutating entry points (updates, SetBufferCapacity, ResetForRun)
+// remain base-store, single-writer operations.
 type Store struct {
 	disk  *vdisk.Disk
 	buf   *buffer.Manager
@@ -28,7 +37,8 @@ type Store struct {
 	nData     uint32
 	extras    []vdisk.PageID // data pages appended by updates
 
-	images map[vdisk.PageID]*pageImage
+	cache *swizCache     // decoded page images, shared across views
+	w     *buffer.Waiter // async cluster requests of this view
 }
 
 // DefaultBufferPages is the pool size used when none is configured; the
@@ -47,18 +57,33 @@ func newStore(disk *vdisk.Disk, dict *xmltree.Dictionary, roots []NodeID, firstD
 		firstData: firstData,
 		nData:     nData,
 		extras:    extras,
-		images:    make(map[vdisk.PageID]*pageImage),
+		cache:     newSwizCache(),
 	}
-	s.buf.SetEvictHandler(func(p vdisk.PageID) { delete(s.images, p) })
+	s.buf.SetEvictHandler(s.cache.drop)
+	s.w = s.buf.NewWaiter(s.led)
 	return s
 }
 
 // SetBufferCapacity replaces the buffer pool with one of the given
-// capacity (must be called before navigation starts).
+// capacity (base store only; must be called before navigation starts).
 func (s *Store) SetBufferCapacity(pages int) {
 	s.buf = buffer.New(s.disk, pages)
-	s.buf.SetEvictHandler(func(p vdisk.PageID) { delete(s.images, p) })
-	s.images = make(map[vdisk.PageID]*pageImage)
+	s.buf.SetEvictHandler(s.cache.drop)
+	s.cache.reset()
+	s.w = s.buf.NewWaiter(s.led)
+}
+
+// Reader returns a read-only view of the store charging to led: same disk,
+// buffer pool, swizzle cache and dictionary, but a private ledger and a
+// private async-request waiter. The parallel engine gives every query such
+// a view, so gang members account CPU, I/O waits and counters separately
+// while still sharing every physical cache (and each other's loaded
+// pages). Views must not be used for updates or pool reconfiguration.
+func (s *Store) Reader(led *stats.Ledger) *Store {
+	v := *s
+	v.led = led
+	v.w = s.buf.NewWaiter(led)
+	return &v
 }
 
 // Buffer exposes the buffer manager (for stats and tests).
@@ -106,30 +131,35 @@ func ClusterOf(id NodeID) vdisk.PageID { return id.Page() }
 
 // ResetForRun flushes the buffer pool, clears swizzled images and zeroes
 // the ledger — each measured run starts cold, as in the paper's setup
-// (O_DIRECT, distinct documents per run).
+// (O_DIRECT, distinct documents per run). Base store only; any Reader
+// views and their queries must have finished.
 func (s *Store) ResetForRun() {
+	s.w.Cancel()
 	s.buf.FlushAll()
-	s.images = make(map[vdisk.PageID]*pageImage)
+	s.cache.reset()
 	s.led.Reset()
 	s.disk.ResetClockState()
 }
 
 // image returns the decoded (swizzled) representation of a page, loading
-// and decoding it if necessary. Decoding charges one node-visit per record:
-// the representation change from external to in-memory format.
+// and decoding it if necessary. Decoding charges one node-visit per record
+// — the representation change from external to in-memory format — to the
+// ledger of the view that won the decode race; concurrent losers block on
+// the entry latch and share the winner's image for free (they raced the
+// same work, not skipped it).
 func (s *Store) image(p vdisk.PageID) *pageImage {
-	if img, ok := s.images[p]; ok {
-		return img
-	}
-	f := s.buf.Fix(p)
-	img, err := decodePage(p, f.Data, s.disk.PageSize())
-	s.buf.Unfix(f)
-	if err != nil {
-		panic(err) // a decode failure is data corruption, not a user error
-	}
-	s.led.AdvanceCPU(stats.Ticks(len(img.recs)) * s.model.CPUNodeVisit)
-	s.images[p] = img
-	return img
+	e := s.cache.entry(p)
+	e.once.Do(func() {
+		f := s.buf.FixOn(s.led, p)
+		img, err := decodePage(p, f.Data, s.disk.PageSize())
+		s.buf.Unfix(f)
+		if err != nil {
+			panic(err) // a decode failure is data corruption, not a user error
+		}
+		s.led.AdvanceCPU(stats.Ticks(len(img.recs)) * s.model.CPUNodeVisit)
+		e.img = img
+	})
+	return e.img
 }
 
 // LoadCluster ensures a cluster is buffered and decoded, reading it
@@ -139,30 +169,31 @@ func (s *Store) LoadCluster(p vdisk.PageID) { s.image(p) }
 
 // BordersOf lists the NodeIDs of all border (proxy) records in a cluster,
 // the seeds of XScan's speculative instances (Sec. 5.4.3.2). The cluster
-// must already be loaded.
+// must already be loaded. The returned slice is the image's cached copy,
+// materialized once at decode time and shared by every caller — callers
+// must not mutate it.
 func (s *Store) BordersOf(p vdisk.PageID) []NodeID {
-	img := s.image(p)
-	out := make([]NodeID, len(img.borders))
-	for i, slot := range img.borders {
-		out[i] = MakeNodeID(p, slot)
-	}
-	return out
+	return s.image(p).borderIDs
 }
 
 // Loaded reports whether the page is present in the buffer pool.
 func (s *Store) Loaded(p vdisk.PageID) bool { return s.buf.Contains(p) }
 
 // RequestCluster schedules an asynchronous load of a cluster (XSchedule's
-// interface to the I/O subsystem).
-func (s *Store) RequestCluster(p vdisk.PageID) { s.buf.Request(p) }
+// interface to the I/O subsystem) on this view's waiter.
+func (s *Store) RequestCluster(p vdisk.PageID) { s.w.Request(p) }
 
-// WaitCluster blocks until some requested cluster is loaded and returns it.
-func (s *Store) WaitCluster() (vdisk.PageID, bool) { return s.buf.WaitLoaded() }
+// WaitCluster blocks until some cluster requested through this view is
+// loaded and returns it. Other views' requests neither wake this one nor
+// are consumed by it — the completion fanout that keeps parallel gang
+// members from stealing each other's wakeups.
+func (s *Store) WaitCluster() (vdisk.PageID, bool) { return s.w.WaitLoaded() }
 
-// CancelRequests abandons every outstanding cluster request. A cancelled
-// query's plan leaves its prefetches with the I/O subsystem; the engine
-// calls this so they cannot surface inside the next query on the volume.
-func (s *Store) CancelRequests() { s.buf.CancelRequests() }
+// CancelRequests abandons this view's outstanding cluster requests. A
+// cancelled query's plan leaves its prefetches with the I/O subsystem; the
+// engine calls this so they cannot surface later, while requests shared
+// with other views stay in flight for them.
+func (s *Store) CancelRequests() { s.w.Cancel() }
 
 // Cursor is a swizzled node reference: direct pointers into the decoded
 // page image, so navigation between cursors on the same page costs no

@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"sync"
+
+	"pathdb/internal/vdisk"
+)
+
+// swizShards is the number of latch shards of the swizzle cache; a power of
+// two, sized like the buffer manager's page-table shards.
+const swizShards = 64
+
+// swizEntry is one cached page image. The once latch serializes the decode:
+// losers of the publication race block until the winner has decoded, then
+// share its image — decode-once semantics under contention. img is written
+// inside once.Do and read only after it, which orders the accesses.
+type swizEntry struct {
+	once sync.Once
+	img  *pageImage
+}
+
+// swizCache is the sharded, double-checked cache of decoded (swizzled) page
+// images, shared by a base Store and all its Reader views. The shard latch
+// covers only the map probe and insert; the buffer Fix and the decode run
+// outside it (under the entry's once), so a slow decode never blocks
+// lookups of other pages in the same shard and the lock order stays
+// buffer-manager locks → swizzle shard (the eviction handler calls drop
+// while holding manager locks; the decode path never holds a shard latch
+// while calling into the pool).
+type swizCache struct {
+	shards [swizShards]struct {
+		mu      sync.RWMutex
+		entries map[vdisk.PageID]*swizEntry
+	}
+}
+
+func newSwizCache() *swizCache {
+	c := &swizCache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[vdisk.PageID]*swizEntry)
+	}
+	return c
+}
+
+// entry returns the cache entry for p, creating it if absent.
+func (c *swizCache) entry(p vdisk.PageID) *swizEntry {
+	sh := &c.shards[uint32(p)&(swizShards-1)]
+	sh.mu.RLock()
+	e := sh.entries[p]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	sh.mu.Lock()
+	if e = sh.entries[p]; e == nil {
+		e = &swizEntry{}
+		sh.entries[p] = e
+	}
+	sh.mu.Unlock()
+	return e
+}
+
+// drop discards the cached image of p (buffer eviction, update
+// invalidation). Readers already holding the image keep using it — images
+// are immutable and self-contained — while the next entry(p) re-decodes.
+func (c *swizCache) drop(p vdisk.PageID) {
+	sh := &c.shards[uint32(p)&(swizShards-1)]
+	sh.mu.Lock()
+	delete(sh.entries, p)
+	sh.mu.Unlock()
+}
+
+// reset empties every shard in place (keeping the cache's identity, which
+// Reader views share by pointer).
+func (c *swizCache) reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[vdisk.PageID]*swizEntry)
+		sh.mu.Unlock()
+	}
+}

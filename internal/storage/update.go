@@ -722,7 +722,7 @@ func (u *updater) commit() error {
 	}
 	u.st.extras = newExtras
 	for p := range images {
-		delete(u.st.images, p) // invalidate the swizzled view…
+		u.st.cache.drop(p)     // invalidate the swizzled view…
 		u.st.buf.Invalidate(p) // …and the stale buffered bytes
 	}
 	return nil

@@ -132,11 +132,14 @@ func (m CostModel) SeekCost(dist int64) stats.Ticks {
 }
 
 // request is a queued asynchronous read. dom is nil for the disk's root
-// clock domain.
+// clock domain; led is the ledger the physical read will be charged to
+// (the submitter's — under per-query accounting each gang member pays for
+// the pages it asked for, even when another member's drain services them).
 type request struct {
 	page      PageID
 	submitted stats.Ticks
 	dom       *Domain
+	led       *stats.Ledger
 }
 
 type completion struct {
@@ -284,6 +287,16 @@ func (d *Disk) ReadSync(p PageID, buf []byte) {
 	d.readSync(d.led, p, buf)
 }
 
+// ReadSyncOn is ReadSync billed to led instead of the root ledger. The
+// parallel engine gives every query its own ledger; the queries still share
+// the root clock domain (one queue, one head) because gang members overlap
+// on the same device, but each blocks and charges its own virtual clock.
+func (d *Disk) ReadSyncOn(led *stats.Ledger, p PageID, buf []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readSync(led, p, buf)
+}
+
 func (d *Disk) readSync(led *stats.Ledger, p PageID, buf []byte) {
 	d.checkPage(p)
 	d.drainUntil(led.Total())
@@ -345,10 +358,18 @@ func (d *Disk) Submit(p PageID) {
 	d.submit(d.led, nil, p)
 }
 
+// SubmitOn is Submit billed to led instead of the root ledger (same clock
+// domain, private accounting — see ReadSyncOn).
+func (d *Disk) SubmitOn(led *stats.Ledger, p PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.submit(led, nil, p)
+}
+
 func (d *Disk) submit(led *stats.Ledger, dom *Domain, p PageID) {
 	d.checkPage(p)
 	stats.Inc(&led.AsyncSubmitted)
-	d.pending = append(d.pending, request{page: p, submitted: led.Total(), dom: dom})
+	d.pending = append(d.pending, request{page: p, submitted: led.Total(), dom: dom, led: led})
 }
 
 // PendingAsync returns the number of submitted-but-undelivered requests in
@@ -380,14 +401,31 @@ func (d *Disk) pendingIn(dom *Domain) int {
 func (d *Disk) WaitAny(buf []byte) (p PageID, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.waitAny(d.led, nil, buf)
+	return d.waitMatch(d.led, nil, nil, buf)
 }
 
-func (d *Disk) waitAny(led *stats.Ledger, dom *Domain, buf []byte) (PageID, bool) {
+// WaitMatchOn blocks led until some root-domain request whose page satisfies
+// match has completed, copies its page into buf and returns its id. ok is
+// false if no matching request is pending. Completions that do not match are
+// left queued for their owners — this is the device half of the buffer
+// manager's completion fanout: two gang members waiting on different
+// clusters each see only their own wakeups, so neither can steal the
+// other's completion (or have its clock blocked by it).
+func (d *Disk) WaitMatchOn(led *stats.Ledger, match func(PageID) bool, buf []byte) (p PageID, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.waitMatch(led, nil, match, buf)
+}
+
+// waitMatch delivers one completion of dom whose page satisfies match (nil
+// matches everything), advancing led. While a matching request is pending
+// but not yet complete, the device keeps servicing requests of any domain —
+// overlap across gang members is preserved even though delivery is filtered.
+func (d *Disk) waitMatch(led *stats.Ledger, dom *Domain, match func(PageID) bool, buf []byte) (PageID, bool) {
 	d.drainUntil(led.Total())
 	for {
 		for i, c := range d.completed {
-			if c.dom != dom {
+			if c.dom != dom || (match != nil && !match(c.page)) {
 				continue
 			}
 			d.completed = append(d.completed[:i], d.completed[i+1:]...)
@@ -398,7 +436,7 @@ func (d *Disk) waitAny(led *stats.Ledger, dom *Domain, buf []byte) (PageID, bool
 		}
 		outstanding := false
 		for _, r := range d.pending {
-			if r.dom == dom {
+			if r.dom == dom && (match == nil || match(r.page)) {
 				outstanding = true
 				break
 			}
@@ -420,6 +458,29 @@ func (d *Disk) CancelPending() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.cancelPending(nil)
+}
+
+// CancelMatch discards root-domain queued-but-undelivered requests and
+// completions whose page satisfies match. A cancelled query's buffer waiter
+// uses this to withdraw only the prefetches it alone owns, leaving the rest
+// of its gang's in-flight requests untouched.
+func (d *Disk) CancelMatch(match func(PageID) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pending := d.pending[:0]
+	for _, r := range d.pending {
+		if r.dom != nil || !match(r.page) {
+			pending = append(pending, r)
+		}
+	}
+	d.pending = pending
+	completed := d.completed[:0]
+	for _, c := range d.completed {
+		if c.dom != nil || !match(c.page) {
+			completed = append(completed, c)
+		}
+	}
+	d.completed = completed
 }
 
 func (d *Disk) cancelPending(dom *Domain) {
@@ -475,9 +536,9 @@ func (d *Disk) processNext() {
 	if r.submitted > start {
 		start = r.submitted
 	}
-	led := d.led
-	if r.dom != nil {
-		led = r.dom.led
+	led := r.led
+	if led == nil {
+		led = d.led
 	}
 	done := start + d.cost(led, r.page)
 	d.head = r.page
@@ -598,7 +659,7 @@ func (dom *Domain) Submit(p PageID) {
 func (dom *Domain) WaitAny(buf []byte) (PageID, bool) {
 	dom.d.mu.Lock()
 	defer dom.d.mu.Unlock()
-	return dom.d.waitAny(dom.led, dom, buf)
+	return dom.d.waitMatch(dom.led, dom, nil, buf)
 }
 
 // Pending returns the number of submitted-but-undelivered requests in this
