@@ -1,7 +1,7 @@
 # CI entry points. `make` runs the full set.
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json clean
+.PHONY: all build test race vet bench bench-load bench-json clean
 
 all: build vet test race
 
@@ -11,15 +11,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrent layers (engine, storage, core, buffer, vdisk,
-# stats) plus the facade, which exercises the engine end to end.
+# Race-detect the concurrent layers (engine, server, storage, core,
+# buffer, vdisk, stats) plus the facade, which exercises the engine end
+# to end.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/storage/... ./internal/core/... ./internal/buffer/... ./internal/vdisk/... ./internal/stats/... .
+	$(GO) test -race ./internal/engine/... ./internal/server/... ./internal/storage/... ./internal/core/... ./internal/buffer/... ./internal/vdisk/... ./internal/stats/... .
 
 # Go micro-benchmarks with allocation counts (wall-clock; machine
-# dependent, unlike the virtual-clock numbers from xbench).
-bench:
+# dependent, unlike the virtual-clock numbers from xbench), plus the
+# closed-loop load snapshot.
+bench: bench-load
 	$(GO) test -bench . -benchmem -count=3 ./...
+
+# Closed-loop load-generator snapshot: writes BENCH_xload.json at the
+# repo root with wall+virtual throughput, tail latencies, and the
+# engine's admission/dispatch counters.
+bench-load:
+	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 64 -json .
 
 vet:
 	$(GO) vet ./...

@@ -4,12 +4,19 @@
 package cmd_test
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // run executes a tool via `go run` from the repository root.
@@ -147,6 +154,218 @@ func TestLoadGenerator(t *testing.T) {
 				t.Fatalf("xload output missing %q:\n%s", want, out)
 			}
 		}
+	}
+}
+
+// TestQueryServer drives xserved over real sockets: xload -url as a
+// client, then the protocol-level contracts one by one — an expired
+// timeout_ms answers 504 and withdraws the query's prefetches, a full
+// admission queue answers 503 with Retry-After, /metrics stays a valid
+// Prometheus text exposition throughout, and SIGTERM drains cleanly.
+func TestQueryServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "xserved")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/xserved")
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build xserved: %v\n%s", err, out)
+	}
+
+	// Small buffer so heavy queries always reach the simulated device
+	// (prefetches in flight to withdraw), tight engine limits so a burst
+	// overflows admission.
+	srv := exec.Command(bin, "-xmark", "0.5", "-buffer", "64",
+		"-inflight", "2", "-queue", "2", "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatalf("start xserved: %v", err)
+	}
+	defer srv.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("xserved never reported its address: %v", sc.Err())
+	}
+	var rest strings.Builder
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			rest.WriteString(sc.Text() + "\n")
+		}
+	}()
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /query: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+	metrics := func() map[string]float64 {
+		t.Helper()
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics status %d", resp.StatusCode)
+		}
+		vals := make(map[string]float64)
+		seenType := make(map[string]bool)
+		ms := bufio.NewScanner(resp.Body)
+		for ms.Scan() {
+			line := ms.Text()
+			if line == "" {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				seenType[strings.Fields(rest)[0]] = true
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("/metrics sample not `name value`: %q", line)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("/metrics value of %s: %v", fields[0], err)
+			}
+			if !seenType[fields[0]] {
+				t.Fatalf("/metrics sample %s has no preceding # TYPE", fields[0])
+			}
+			if _, dup := vals[fields[0]]; dup {
+				t.Fatalf("/metrics duplicate series %s", fields[0])
+			}
+			vals[fields[0]] = v
+		}
+		return vals
+	}
+
+	// xload -url drives the server end to end and records engine counters.
+	jsonDir := t.TempDir()
+	out := run(t, "./cmd/xload", "-url", base, "-clients", "4", "-requests", "8", "-json", jsonDir)
+	for _, want := range []string{"mode=url", "count(/site/regions//item) =", "engine: gangs="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("xload -url output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(jsonDir, "BENCH_xload.json"))
+	if err != nil {
+		t.Fatalf("xload -url -json wrote no file: %v", err)
+	}
+	var load struct {
+		Mode      string `json:"mode"`
+		Submitted int64  `json:"engine_submitted"`
+	}
+	if err := json.Unmarshal(data, &load); err != nil {
+		t.Fatalf("BENCH_xload.json invalid: %v\n%s", err, data)
+	}
+	if load.Mode != "url" || load.Submitted < 8 {
+		t.Fatalf("BENCH_xload.json: mode %q, submitted %d", load.Mode, load.Submitted)
+	}
+
+	// An expired timeout_ms is a 504 and the cancelled query's prefetches
+	// are withdrawn from the device queue — both visible in /metrics.
+	timedOut := false
+	for i := 0; i < 10 && !timedOut; i++ {
+		resp, data := post(`{"path": "/site//description", "timeout_ms": 1, "strategy": "xschedule"}`)
+		switch resp.StatusCode {
+		case http.StatusGatewayTimeout:
+			timedOut = true
+		case http.StatusOK, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("timeout probe: status %d: %s", resp.StatusCode, data)
+		}
+	}
+	if !timedOut {
+		t.Fatal("no 504 despite a 1ms budget on a heavy query")
+	}
+	m := metrics()
+	if m["pathdb_engine_cancelled_total"] == 0 {
+		t.Fatal("504 served but engine cancelled_total is 0")
+	}
+	if m["pathdb_ledger_async_withdrawn_total"] == 0 {
+		t.Fatal("cancelled query's prefetches were not withdrawn")
+	}
+	if m["pathdb_server_timeouts_total"] == 0 {
+		t.Fatal("server timeouts_total is 0 after a 504")
+	}
+
+	// A burst past MaxInFlight+QueueDepth sheds with 503 + Retry-After.
+	var mu sync.Mutex
+	codes := make(map[int]int)
+	retryAfter := ""
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/query", "application/json",
+				strings.NewReader(`{"path": "/site//description"}`))
+			if err != nil {
+				t.Errorf("burst POST: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			codes[resp.StatusCode]++
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				retryAfter = resp.Header.Get("Retry-After")
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if codes[http.StatusOK] == 0 || codes[http.StatusServiceUnavailable] == 0 {
+		t.Fatalf("burst of 16 on a depth-4 engine: status codes %v", codes)
+	}
+	if _, err := strconv.Atoi(retryAfter); err != nil {
+		t.Fatalf("503 Retry-After %q is not an integer", retryAfter)
+	}
+	m = metrics()
+	if m["pathdb_engine_rejected_total"] == 0 {
+		t.Fatal("503s served but engine rejected_total is 0")
+	}
+	if m["pathdb_server_shed_total"] == 0 {
+		t.Fatal("503s served but server shed_total is 0")
+	}
+
+	// SIGTERM drains: the process exits 0 and reports completion.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("xserved did not exit within 30s of SIGTERM")
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("xserved exit: %v\n%s", err, rest.String())
+	}
+	if !strings.Contains(rest.String(), "drained") {
+		t.Fatalf("xserved shutdown output:\n%s", rest.String())
 	}
 }
 

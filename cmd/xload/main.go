@@ -1,8 +1,15 @@
 // Command xload is a closed-loop load generator for the concurrent query
-// engine: N client goroutines each submit queries back-to-back through one
-// pathdb.Engine and the tool reports throughput and latency percentiles in
-// both clocks — virtual (the calibrated disk/CPU model, machine
-// independent) and wall (what the simulation itself cost).
+// engine: N client goroutines each submit queries back-to-back and the tool
+// reports throughput and latency percentiles in both clocks — virtual (the
+// calibrated disk/CPU model, machine independent) and wall (what the
+// simulation itself cost).
+//
+// It drives either an in-process pathdb.Engine (default) or, with -url, a
+// running xserved instance over real sockets — the same request multiset
+// through the same reporting, so in-process and networked throughput are
+// directly comparable. In -url mode 503 responses (load shedding) are
+// retried and counted, and -timeout sets a per-request budget whose expiry
+// (504) is counted as a timeout.
 //
 // Usage:
 //
@@ -10,23 +17,31 @@
 //	xload -xmark 0.5 -clients 1 -requests 64      # same work, sequential
 //	xload -xml doc.xml -mix q7 -strategy xschedule
 //	xload -xmark 0.5 -clients 8 -parallel 8 -cpuprofile cpu.pprof -json .
+//	xload -url http://localhost:8080 -clients 16 -requests 256 -timeout 250
 //
 // The request multiset is fixed by -requests and -mix and distributed
 // round-robin, so per-query result counts are independent of -clients —
 // the tool self-checks this and exits non-zero if any path's count varies
-// between requests.
+// between completed requests.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathdb"
@@ -42,6 +57,29 @@ var mixes = map[string][]string{
 	},
 }
 
+// sample is the outcome of one request. A timed-out request has timedOut
+// set and carries no count or virtual latency.
+type sample struct {
+	path     string
+	count    int
+	virt     stats.Ticks
+	wall     time.Duration
+	timedOut bool
+}
+
+// backend issues one query and reports cluster-wide engine state at the
+// end. Implemented over an in-process engine and over HTTP.
+type backend interface {
+	// do runs one request; shed is the number of 503-and-retry rounds it
+	// took to get admitted.
+	do(path string) (s sample, shed int64, err error)
+	// virtualTotal is the volume's virtual clock advance since start.
+	virtualTotal() stats.Ticks
+	// engineMetrics returns the engine's admission/dispatch counters.
+	engineMetrics() (pathdb.EngineMetrics, error)
+	close()
+}
+
 func main() {
 	xmlFile := flag.String("xml", "", "XML document to load")
 	xmarkSF := flag.Float64("xmark", 0, "generate an XMark document with this scale factor instead")
@@ -50,10 +88,12 @@ func main() {
 	layoutName := flag.String("layout", "natural", "physical layout: natural, contiguous, shuffled")
 	buffer := flag.Int("buffer", 0, "buffer pool pages (default 1000)")
 
+	url := flag.String("url", "", "drive a running xserved at this base URL instead of an in-process engine")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	requests := flag.Int("requests", 64, "total queries across all clients")
 	mixName := flag.String("mix", "q6", "query mix: q6, q7, q15, all")
 	strategy := flag.String("strategy", "auto", "plan strategy: auto, simple, xschedule, xscan")
+	timeoutMS := flag.Int64("timeout", 0, "per-request budget in milliseconds (0 = none)")
 	inflight := flag.Int("inflight", 0, "engine MaxInFlight (default 8)")
 	queue := flag.Int("queue", 0, "engine QueueDepth (default 64)")
 	parallel := flag.Int("parallel", 0, "engine worker-pool width per gang (default min(MaxInFlight, GOMAXPROCS))")
@@ -67,12 +107,6 @@ func main() {
 	strat, err := pathdb.ParseStrategy(*strategy)
 	if err != nil {
 		fail("%v", err)
-	}
-	layout, ok := map[string]pathdb.Layout{
-		"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
-	}[*layoutName]
-	if !ok {
-		fail("unknown -layout %q", *layoutName)
 	}
 	paths, ok := mixes[*mixName]
 	if !ok && *mixName == "all" {
@@ -88,27 +122,9 @@ func main() {
 		fail("-clients and -requests must be positive")
 	}
 
-	opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
-	var db *pathdb.DB
-	switch {
-	case *xmlFile != "":
-		data, rerr := os.ReadFile(*xmlFile)
-		if rerr != nil {
-			fail("%v", rerr)
-		}
-		db, err = pathdb.LoadXML(data, opts)
-	case *xmarkSF > 0:
-		db, err = pathdb.GenerateXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts)
-	default:
-		fail("need -xml or -xmark")
-	}
-	if err != nil {
-		fail("%v", err)
-	}
-	fmt.Printf("document: %d pages\n", db.Pages())
-
 	// Resolve the effective worker-pool width for reporting (the engine
-	// applies the same default).
+	// applies the same default; meaningless in -url mode, where the server
+	// owns the engine).
 	effParallel := *parallel
 	if effParallel <= 0 {
 		effParallel = *inflight
@@ -120,9 +136,41 @@ func main() {
 		}
 	}
 
-	eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel})
-	defer eng.Close()
-	db.ResetStats() // cold start after the cost model's offline pass
+	var be backend
+	mode := "engine"
+	if *url != "" {
+		mode = "url"
+		be = newHTTPBackend(strings.TrimRight(*url, "/"), strat, *timeoutMS, *sorted)
+	} else {
+		layout, ok := map[string]pathdb.Layout{
+			"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
+		}[*layoutName]
+		if !ok {
+			fail("unknown -layout %q", *layoutName)
+		}
+		opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
+		var db *pathdb.DB
+		switch {
+		case *xmlFile != "":
+			data, rerr := os.ReadFile(*xmlFile)
+			if rerr != nil {
+				fail("%v", rerr)
+			}
+			db, err = pathdb.LoadXML(data, opts)
+		case *xmarkSF > 0:
+			db, err = pathdb.GenerateXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts)
+		default:
+			fail("need -xml, -xmark or -url")
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("document: %d pages\n", db.Pages())
+		eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel})
+		db.ResetStats() // cold start after the cost model's offline pass
+		be = &engineBackend{db: db, eng: eng, strat: strat, timeoutMS: *timeoutMS, sorted: *sorted}
+	}
+	defer be.close()
 
 	if *mutexprofile != "" {
 		runtime.SetMutexProfileFraction(5)
@@ -140,13 +188,8 @@ func main() {
 	// Request i evaluates paths[i%len(paths)]; client c takes the requests
 	// with i%clients == c. The multiset of executed queries is therefore
 	// the same for every -clients value.
-	type sample struct {
-		path  string
-		count int
-		virt  stats.Ticks
-		wall  time.Duration
-	}
 	samples := make([]sample, *requests)
+	var shedTotal atomic.Int64
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	wallStart := time.Now()
@@ -155,15 +198,13 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			s := eng.NewSession()
 			for i := c; i < *requests; i += *clients {
-				p := paths[i%len(paths)]
-				t0 := time.Now()
-				res, err := s.Do(context.Background(), p, pathdb.QueryOptions{Strategy: strat, Sorted: *sorted})
+				s, shed, err := be.do(paths[i%len(paths)])
 				if err != nil {
-					fail("request %d (%s): %v", i, p, err)
+					fail("request %d (%s): %v", i, paths[i%len(paths)], err)
 				}
-				samples[i] = sample{path: p, count: res.Count(), virt: res.VirtualLatency, wall: time.Since(t0)}
+				shedTotal.Add(shed)
+				samples[i] = s
 			}
 		}(c)
 	}
@@ -175,12 +216,18 @@ func main() {
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
-	virtTotal := db.CostReport().Total
+	virtTotal := be.virtualTotal()
 
-	// Per-path counts, self-checked for consistency across requests.
+	// Per-path counts over completed requests, self-checked for
+	// consistency.
 	counts := map[string]int{}
 	countOK := true
+	var timeouts int64
 	for _, s := range samples {
+		if s.timedOut {
+			timeouts++
+			continue
+		}
 		if prev, seen := counts[s.path]; seen && prev != s.count {
 			fmt.Fprintf(os.Stderr, "xload: count(%s) varies between requests: %d vs %d\n", s.path, prev, s.count)
 			countOK = false
@@ -191,21 +238,34 @@ func main() {
 		fmt.Printf("count(%s) = %d\n", p, counts[p])
 	}
 
-	virtLat := make([]float64, len(samples))
-	wallLat := make([]float64, len(samples))
-	for i, s := range samples {
-		virtLat[i] = s.virt.Seconds()
-		wallLat[i] = s.wall.Seconds()
+	var virtLat, wallLat []float64
+	for _, s := range samples {
+		if s.timedOut {
+			continue
+		}
+		virtLat = append(virtLat, s.virt.Seconds())
+		wallLat = append(wallLat, s.wall.Seconds())
 	}
-	fmt.Printf("clients=%d requests=%d strategy=%s mix=%s\n", *clients, *requests, strat, *mixName)
+	completed := len(wallLat)
+	if completed == 0 {
+		fail("every request timed out")
+	}
+	fmt.Printf("mode=%s clients=%d requests=%d strategy=%s mix=%s\n", mode, *clients, *requests, strat, *mixName)
 	fmt.Printf("throughput: %.2f q/s virtual (%d in %.3fs), %.1f q/s wall (%.3fs)\n",
-		float64(*requests)/virtTotal.Seconds(), *requests, virtTotal.Seconds(),
-		float64(*requests)/wallTotal.Seconds(), wallTotal.Seconds())
+		float64(completed)/virtTotal.Seconds(), completed, virtTotal.Seconds(),
+		float64(completed)/wallTotal.Seconds(), wallTotal.Seconds())
 	fmt.Printf("latency virtual [s]: %s\n", percentiles(virtLat))
 	fmt.Printf("latency wall    [s]: %s\n", percentiles(wallLat))
 	fmt.Printf("allocs/op: %d\n", allocsPerOp)
-	m := eng.Metrics()
-	fmt.Printf("engine: gangs=%d batched=%d/%d overhead=%v\n", m.Gangs, m.Batched, m.Submitted, m.OverheadV)
+	if shedTotal.Load() > 0 || timeouts > 0 {
+		fmt.Printf("shed retries=%d timeouts=%d\n", shedTotal.Load(), timeouts)
+	}
+	m, merr := be.engineMetrics()
+	if merr != nil {
+		fail("engine metrics: %v", merr)
+	}
+	fmt.Printf("engine: gangs=%d batched=%d/%d rejected=%d overhead=%v\n",
+		m.Gangs, m.Batched, m.Submitted, m.Rejected, m.OverheadV)
 
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
@@ -229,10 +289,13 @@ func main() {
 		f.Close()
 	}
 	if *jsonDir != "" {
+		sort.Float64s(virtLat)
+		sort.Float64s(wallLat)
 		pick := func(xs []float64, p float64) float64 {
 			return xs[int(p*float64(len(xs)-1))]
 		}
 		jerr := bench.WriteLoadJSON(*jsonDir, "xload", bench.LoadJSON{
+			Mode:        mode,
 			Clients:     *clients,
 			Requests:    *requests,
 			Mix:         *mixName,
@@ -240,13 +303,19 @@ func main() {
 			Parallel:    effParallel,
 			VirtualSec:  virtTotal.Seconds(),
 			WallSec:     wallTotal.Seconds(),
-			VirtualQPS:  float64(*requests) / virtTotal.Seconds(),
-			WallQPS:     float64(*requests) / wallTotal.Seconds(),
+			VirtualQPS:  float64(completed) / virtTotal.Seconds(),
+			WallQPS:     float64(completed) / wallTotal.Seconds(),
 			AllocsPerOp: allocsPerOp,
 			P50WallSec:  pick(wallLat, 0.50),
 			P99WallSec:  pick(wallLat, 0.99),
 			P50VirtSec:  pick(virtLat, 0.50),
 			P99VirtSec:  pick(virtLat, 0.99),
+			Submitted:   m.Submitted,
+			Rejected:    m.Rejected,
+			Gangs:       m.Gangs,
+			Batched:     m.Batched,
+			ShedRetries: shedTotal.Load(),
+			Timeouts:    timeouts,
 		})
 		if jerr != nil {
 			fail("%v", jerr)
@@ -256,6 +325,189 @@ func main() {
 	if !countOK {
 		os.Exit(1)
 	}
+}
+
+// engineBackend drives an in-process pathdb.Engine (the original mode).
+type engineBackend struct {
+	db        *pathdb.DB
+	eng       *pathdb.Engine
+	strat     pathdb.Strategy
+	timeoutMS int64
+	sorted    bool
+
+	once sync.Once
+	ses  *pathdb.Session
+}
+
+func (b *engineBackend) do(path string) (sample, int64, error) {
+	b.once.Do(func() { b.ses = b.eng.NewSession() })
+	s := b.ses // sessions are safe for concurrent use
+	ctx := context.Background()
+	if b.timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(b.timeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	t0 := time.Now()
+	res, err := s.Do(ctx, path, pathdb.QueryOptions{Strategy: b.strat, Sorted: b.sorted})
+	if err != nil {
+		if pathdb.IsTimeout(err) {
+			return sample{path: path, wall: time.Since(t0), timedOut: true}, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	return sample{path: path, count: res.Count(), virt: res.VirtualLatency, wall: time.Since(t0)}, 0, nil
+}
+
+func (b *engineBackend) virtualTotal() stats.Ticks { return b.db.CostReport().Total }
+
+func (b *engineBackend) engineMetrics() (pathdb.EngineMetrics, error) { return b.eng.Metrics(), nil }
+
+func (b *engineBackend) close() { b.eng.Close() }
+
+// httpBackend drives a running xserved over real sockets.
+type httpBackend struct {
+	base      string
+	client    *http.Client
+	strat     pathdb.Strategy
+	timeoutMS int64
+	sorted    bool
+
+	virt0 stats.Ticks // virtual clock at start, from /metrics
+}
+
+func newHTTPBackend(base string, strat pathdb.Strategy, timeoutMS int64, sorted bool) *httpBackend {
+	b := &httpBackend{
+		base:      base,
+		client:    &http.Client{},
+		strat:     strat,
+		timeoutMS: timeoutMS,
+		sorted:    sorted,
+	}
+	m, err := b.scrape()
+	if err != nil {
+		fail("cannot reach %s: %v", base, err)
+	}
+	b.virt0 = ticksOf(m, "pathdb_ledger_now_virtual_seconds_total")
+	return b
+}
+
+// do POSTs one query. 503 (shedding or drain) is retried after the
+// server's Retry-After (capped at 50ms so the closed loop keeps offering
+// load); 504 marks the sample timed out.
+func (b *httpBackend) do(path string) (sample, int64, error) {
+	req := map[string]any{"path": path}
+	if b.strat != pathdb.Auto {
+		req["strategy"] = b.strat.String()
+	}
+	if b.timeoutMS > 0 {
+		req["timeout_ms"] = b.timeoutMS
+	}
+	if b.sorted {
+		req["sorted"] = true
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sample{}, 0, err
+	}
+
+	var shed int64
+	t0 := time.Now()
+	for {
+		resp, err := b.client.Post(b.base+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sample{}, shed, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return sample{}, shed, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var qr struct {
+				Count            int   `json:"count"`
+				VirtualLatencyNs int64 `json:"virtual_latency_ns"`
+			}
+			if err := json.Unmarshal(data, &qr); err != nil {
+				return sample{}, shed, fmt.Errorf("bad response: %v\n%s", err, data)
+			}
+			return sample{path: path, count: qr.Count, virt: stats.Ticks(qr.VirtualLatencyNs), wall: time.Since(t0)}, shed, nil
+		case http.StatusServiceUnavailable:
+			shed++
+			wait := 5 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				if d := time.Duration(ra) * time.Second; d < 50*time.Millisecond {
+					wait = d
+				} else {
+					wait = 50 * time.Millisecond
+				}
+			}
+			time.Sleep(wait)
+		case http.StatusGatewayTimeout:
+			return sample{path: path, wall: time.Since(t0), timedOut: true}, shed, nil
+		default:
+			return sample{}, shed, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+}
+
+func (b *httpBackend) virtualTotal() stats.Ticks {
+	m, err := b.scrape()
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	return ticksOf(m, "pathdb_ledger_now_virtual_seconds_total") - b.virt0
+}
+
+func (b *httpBackend) engineMetrics() (pathdb.EngineMetrics, error) {
+	m, err := b.scrape()
+	if err != nil {
+		return pathdb.EngineMetrics{}, err
+	}
+	return pathdb.EngineMetrics{
+		Submitted: int64(m["pathdb_engine_submitted_total"]),
+		Rejected:  int64(m["pathdb_engine_rejected_total"]),
+		Completed: int64(m["pathdb_engine_completed_total"]),
+		Cancelled: int64(m["pathdb_engine_cancelled_total"]),
+		Gangs:     int64(m["pathdb_engine_gangs_total"]),
+		Batched:   int64(m["pathdb_engine_batched_total"]),
+		OverheadV: stats.Ticks(m["pathdb_engine_overhead_virtual_seconds_total"] * 1e9),
+	}, nil
+}
+
+func (b *httpBackend) close() {}
+
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*) (\S+)$`)
+
+// scrape fetches and parses the server's Prometheus text exposition.
+func (b *httpBackend) scrape() (map[string]float64, error) {
+	resp, err := b.client.Get(b.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := promSample.FindStringSubmatch(line); m != nil {
+			if v, err := strconv.ParseFloat(m[2], 64); err == nil {
+				out[m[1]] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// ticksOf converts a seconds-valued series back to virtual ticks.
+func ticksOf(m map[string]float64, name string) stats.Ticks {
+	return stats.Ticks(m[name] * 1e9)
 }
 
 func sortedKeys(m map[string]int) []string {
@@ -269,14 +521,15 @@ func sortedKeys(m map[string]int) []string {
 
 // percentiles renders p50/p90/p99/max of xs.
 func percentiles(xs []float64) string {
-	sort.Float64s(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
 	pick := func(p float64) float64 {
-		i := int(p * float64(len(xs)-1))
-		return xs[i]
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "p50=%.4f p90=%.4f p99=%.4f max=%.4f",
-		pick(0.50), pick(0.90), pick(0.99), xs[len(xs)-1])
+		pick(0.50), pick(0.90), pick(0.99), sorted[len(sorted)-1])
 	return b.String()
 }
 

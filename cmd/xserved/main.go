@@ -1,0 +1,127 @@
+// Command xserved serves a loaded document over HTTP — the networked form
+// of the concurrent query engine (internal/server). It loads or generates
+// one volume, starts an engine over it, and answers:
+//
+//	POST /query    {"path": "/site/regions//item", "strategy": "auto",
+//	                "limit": 10, "timeout_ms": 250, "sorted": true}
+//	GET  /metrics  Prometheus text exposition (engine + cost ledger + server)
+//	GET  /healthz  200 while serving, 503 once draining
+//
+// Admission control is visible at the protocol level: a full queue is
+// answered 503 with Retry-After, an expired per-request budget 504, and a
+// disconnected client cancels its in-flight query (prefetches withdrawn).
+// SIGINT/SIGTERM drain gracefully: in-flight queries complete, new ones
+// are refused, then the engine shuts down.
+//
+// Usage:
+//
+//	xserved -xmark 0.5 -addr :8080
+//	xserved -xml doc.xml -inflight 8 -queue 64 -addr 127.0.0.1:0
+//	curl -s localhost:8080/query -d '{"path": "/site/regions//item"}'
+//	curl -s localhost:8080/metrics
+//
+// The actual listen address is printed on startup ("listening on ..."), so
+// -addr :0 works for scripts and tests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathdb"
+	"pathdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
+	xmlFile := flag.String("xml", "", "XML document to load")
+	xmarkSF := flag.Float64("xmark", 0, "generate an XMark document with this scale factor instead")
+	scale := flag.Float64("scale", 0.1, "entity scale for -xmark")
+	seed := flag.Uint64("seed", 42, "seed for -xmark and fragmented layouts")
+	layoutName := flag.String("layout", "natural", "physical layout: natural, contiguous, shuffled")
+	buffer := flag.Int("buffer", 0, "buffer pool pages (default 1000)")
+
+	inflight := flag.Int("inflight", 0, "engine MaxInFlight (default 8)")
+	queue := flag.Int("queue", 0, "engine QueueDepth (default 64)")
+	parallel := flag.Int("parallel", 0, "engine worker-pool width per gang (default min(MaxInFlight, GOMAXPROCS))")
+	maxNodes := flag.Int("max-nodes", 0, "cap on result nodes per response (default 1000)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on per-request execution budget (default 30s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	flag.Parse()
+
+	layout, ok := map[string]pathdb.Layout{
+		"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
+	}[*layoutName]
+	if !ok {
+		fail("unknown -layout %q", *layoutName)
+	}
+
+	opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
+	var db *pathdb.DB
+	var err error
+	switch {
+	case *xmlFile != "":
+		var data []byte
+		if data, err = os.ReadFile(*xmlFile); err != nil {
+			fail("%v", err)
+		}
+		db, err = pathdb.LoadXML(data, opts)
+	case *xmarkSF > 0:
+		db, err = pathdb.GenerateXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts)
+	default:
+		fail("need -xml or -xmark")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("document: %d pages\n", db.Pages())
+
+	eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel})
+	db.ResetStats() // cold start after the cost model's offline pass
+	srv := server.New(db, eng, server.Options{MaxNodes: *maxNodes, MaxTimeout: *maxTimeout})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	// Flushed immediately so wrappers (tests, scripts) can scrape the
+	// resolved port when -addr ends in :0.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errs := make(chan error, 1)
+	go func() { errs <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("received %v, draining\n", sig)
+	case err := <-errs:
+		fail("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain order: first the query service (in-flight queries finish, new
+	// ones get 503, the engine closes), then the HTTP listener itself.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "xserved: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "xserved: http shutdown: %v\n", err)
+	}
+	fmt.Println("drained")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xserved: "+format+"\n", args...)
+	os.Exit(1)
+}

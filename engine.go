@@ -2,6 +2,7 @@ package pathdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -13,6 +14,46 @@ import (
 	"pathdb/internal/storage"
 	"pathdb/internal/xpath"
 )
+
+// Typed engine errors. Callers (and the HTTP server's status-code mapping)
+// classify failures with errors.Is against these sentinels instead of
+// string-matching internal errors.
+var (
+	// ErrOverloaded is the admission-control rejection: the engine's queue
+	// is at QueueDepth and the submission chose not to wait (TryDo). It
+	// wraps the internal engine.ErrQueueFull, so errors.Is sees both.
+	ErrOverloaded = fmt.Errorf("pathdb: engine overloaded: %w", engine.ErrQueueFull)
+	// ErrClosed is returned for queries submitted to (or stranded in) an
+	// engine that has been closed or is draining.
+	ErrClosed = fmt.Errorf("pathdb: engine closed: %w", engine.ErrClosed)
+)
+
+// IsTimeout reports whether err is a deadline classification: a context
+// deadline (the usual way an engine query times out), an I/O deadline, or
+// anything implementing net.Error-style Timeout(). Callers use it to
+// distinguish "took too long" (retriable later, HTTP 504) from cancellation
+// and hard failures.
+func IsTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
+}
+
+// translateErr maps internal engine sentinels onto the facade's exported
+// ones; other errors pass through.
+func translateErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, engine.ErrQueueFull):
+		return ErrOverloaded
+	case errors.Is(err, engine.ErrClosed):
+		return ErrClosed
+	}
+	return err
+}
 
 // EngineConfig tunes the concurrent engine's admission control.
 type EngineConfig struct {
@@ -61,6 +102,25 @@ func (db *DB) NewEngine(cfg EngineConfig) *Engine {
 
 // Close stops the engine; queries still queued fail with ErrClosed.
 func (e *Engine) Close() { e.e.Close() }
+
+// Shutdown drains the engine gracefully: admission stops immediately (new
+// submissions fail with ErrClosed), every query already admitted — queued
+// or in flight — runs to completion, then the dispatcher exits. If ctx
+// expires first the engine hard-closes (remaining queued queries fail with
+// ErrClosed) and Shutdown returns the context's error.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	return translateErr(e.e.Drain(ctx))
+}
+
+// Draining reports whether the engine has stopped admitting queries
+// (Shutdown or Close has begun).
+func (e *Engine) Draining() bool { return e.e.Draining() }
+
+// CostLedger returns an atomic snapshot of the volume's cost ledger — the
+// clocks and physical counters accumulated by every query since the last
+// ResetStats. stats.Ledger.Named enumerates the fields under stable
+// exported names; the HTTP server's /metrics endpoint is built on it.
+func (e *Engine) CostLedger() stats.Ledger { return e.db.store.Ledger().Snapshot() }
 
 // EngineMetrics is a snapshot of the engine's counters.
 type EngineMetrics struct {
@@ -151,8 +211,23 @@ func fromCore(s core.Strategy) Strategy {
 // Do evaluates an absolute location path (or a '|' union of paths) through
 // the engine, blocking until the result is ready or ctx is done.
 // Cancelling ctx abandons the query: if still queued it never runs, if
-// running it stops at the next operator poll point.
+// running it stops at the next operator poll point. A full admission queue
+// makes Do wait (backpressure); use TryDo to shed instead.
 func (s *Session) Do(ctx context.Context, path string, opts QueryOptions) (ExecResult, error) {
+	return s.do(ctx, path, opts, false)
+}
+
+// TryDo is Do with non-blocking admission: when the engine's queue is at
+// QueueDepth it fails immediately with ErrOverloaded instead of waiting —
+// the load-shedding half of admission control, which a front end maps to
+// "try again later". For union queries the shedding decision is made on
+// the first branch; once that is admitted the remaining branches submit
+// blocking (the union is committed).
+func (s *Session) TryDo(ctx context.Context, path string, opts QueryOptions) (ExecResult, error) {
+	return s.do(ctx, path, opts, true)
+}
+
+func (s *Session) do(ctx context.Context, path string, opts QueryOptions, try bool) (ExecResult, error) {
 	queries, err := s.compile(path, opts)
 	if err != nil {
 		return ExecResult{}, err
@@ -162,10 +237,16 @@ func (s *Session) Do(ctx context.Context, path string, opts QueryOptions) (ExecR
 	// gang; the dispatcher drains the queue independently of this
 	// goroutine, so sequential Submit calls cannot deadlock.
 	pendings := make([]*engine.Pending, 0, len(queries))
-	for _, q := range queries {
-		p, perr := s.s.Submit(ctx, q)
+	for i, q := range queries {
+		var p *engine.Pending
+		var perr error
+		if try && i == 0 {
+			p, perr = s.s.TrySubmit(ctx, q)
+		} else {
+			p, perr = s.s.Submit(ctx, q)
+		}
 		if perr != nil {
-			return ExecResult{}, perr
+			return ExecResult{}, translateErr(perr)
 		}
 		pendings = append(pendings, p)
 	}
@@ -174,7 +255,7 @@ func (s *Session) Do(ctx context.Context, path string, opts QueryOptions) (ExecR
 	for _, p := range pendings {
 		res, werr := p.Wait(ctx)
 		if werr != nil {
-			return ExecResult{}, werr
+			return ExecResult{}, translateErr(werr)
 		}
 		branch = append(branch, res)
 	}

@@ -70,8 +70,11 @@ func WriteMeasurementsJSON(dir, name, title string, ms []Measurement) error {
 }
 
 // LoadJSON is the machine-readable summary of one xload run: virtual and
-// wall-clock throughput side by side, plus per-request allocations.
+// wall-clock throughput side by side, per-request allocations, and the
+// engine's admission/dispatch counters so shedding and batching behavior
+// are part of the tracked trajectory.
 type LoadJSON struct {
+	Mode        string  `json:"mode"` // "engine" (in-process) or "url" (networked)
 	Clients     int     `json:"clients"`
 	Requests    int     `json:"requests"`
 	Mix         string  `json:"mix"`
@@ -86,6 +89,16 @@ type LoadJSON struct {
 	P99WallSec  float64 `json:"p99_wall_s"`
 	P50VirtSec  float64 `json:"p50_virtual_s"`
 	P99VirtSec  float64 `json:"p99_virtual_s"`
+
+	// Engine counters (engine.Metrics, scraped from /metrics in url mode).
+	Submitted int64 `json:"engine_submitted"`
+	Rejected  int64 `json:"engine_rejected"`
+	Gangs     int64 `json:"engine_gangs"`
+	Batched   int64 `json:"engine_batched"`
+
+	// Client-observed flow control (url mode): 503-retry rounds and 504s.
+	ShedRetries int64 `json:"shed_retries,omitempty"`
+	Timeouts    int64 `json:"timeouts,omitempty"`
 }
 
 // WriteLoadJSON writes l to dir/BENCH_<name>.json.

@@ -346,6 +346,7 @@ func (m *Manager) unwant(pages []vdisk.PageID) {
 	}
 	if orphans != nil {
 		m.disk.CancelMatch(func(p vdisk.PageID) bool { return orphans[p] })
+		stats.Add(&m.led.AsyncWithdrawn, int64(len(orphans)))
 	}
 }
 

@@ -35,6 +35,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sort"
@@ -171,9 +172,17 @@ type Engine struct {
 
 	queue chan *Pending
 	stop  chan struct{}
+	drain chan struct{}
 	wg    sync.WaitGroup
 
-	closed atomic.Bool
+	// admit guards the submission fast path (read side) against shutdown
+	// (write side): Close/Drain flip closed under the write lock, so once
+	// either returns no goroutine can still be mid-send on queue and a
+	// final sweep of the queue cannot strand a Pending.
+	admit     sync.RWMutex
+	closed    atomic.Bool
+	drainOnce sync.Once
+	stopOnce  sync.Once
 
 	// The engine's own clock domain on the shared device: admission and
 	// dispatch bookkeeping is charged here, separate from the volume clock
@@ -199,6 +208,7 @@ func New(store *storage.Store, cfg Config) *Engine {
 		cfg:     cfg,
 		queue:   make(chan *Pending, cfg.QueueDepth),
 		stop:    make(chan struct{}),
+		drain:   make(chan struct{}),
 		dom:     store.Disk().NewDomain(stats.NewLedger()),
 	}
 	e.wg.Add(1)
@@ -226,11 +236,60 @@ func (e *Engine) Metrics() Metrics {
 // Submissions racing Close fail with ErrClosed as well. Close waits for the
 // in-flight gang to finish.
 func (e *Engine) Close() {
-	if !e.closed.CompareAndSwap(false, true) {
-		return
-	}
-	close(e.stop)
+	e.shutAdmission()
+	e.stopOnce.Do(func() { close(e.stop) })
 	e.wg.Wait()
+	e.failQueued()
+}
+
+// Drain stops admission — submissions from here on fail with ErrClosed —
+// then lets the dispatcher finish every query already admitted (queued or
+// in flight) before stopping it. This is the graceful half of shutdown:
+// Close abandons the queue, Drain serves it. If ctx expires first, Drain
+// falls back to Close (remaining queued queries fail with ErrClosed) and
+// returns the context's error. Draining reports the engine's state to
+// callers that shed before submitting.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.shutAdmission()
+	e.drainOnce.Do(func() { close(e.drain) })
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		e.failQueued() // a submission that raced shutAdmission
+		return nil
+	case <-ctx.Done():
+		e.Close()
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the engine has stopped admitting queries.
+func (e *Engine) Draining() bool { return e.closed.Load() }
+
+// shutAdmission flips the closed flag under the admission write lock: when
+// it returns, every future Submit/TrySubmit observes closed, and no
+// goroutine is still between its closed check and its queue send.
+func (e *Engine) shutAdmission() {
+	e.admit.Lock()
+	e.closed.Store(true)
+	e.admit.Unlock()
+}
+
+// failQueued fails every query still sitting in the admission queue after
+// the dispatcher has exited.
+func (e *Engine) failQueued() {
+	for {
+		select {
+		case p := <-e.queue:
+			p.finish(Result{}, ErrClosed)
+		default:
+			return
+		}
+	}
 }
 
 // NewSession opens a session. Sessions are cheap handles; each submitting
@@ -247,10 +306,19 @@ func (e *Engine) run() {
 		case p := <-e.queue:
 			e.execute(e.gather(p))
 		case <-e.stop:
+			e.failQueued()
+			return
+		case <-e.drain:
+			// Graceful drain: admission is already closed, so the queue
+			// can only shrink. Serve what is left, then exit. A hard stop
+			// racing the drain still wins between gangs.
 			for {
 				select {
+				case <-e.stop:
+					e.failQueued()
+					return
 				case p := <-e.queue:
-					p.finish(Result{}, ErrClosed)
+					e.execute(e.gather(p))
 				default:
 					return
 				}

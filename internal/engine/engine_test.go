@@ -57,6 +57,7 @@ func newStoppedEngine(st *storage.Store, cfg Config) *Engine {
 		cfg:     cfg,
 		queue:   make(chan *Pending, cfg.QueueDepth),
 		stop:    make(chan struct{}),
+		drain:   make(chan struct{}),
 		dom:     st.Disk().NewDomain(stats.NewLedger()),
 	}
 }
@@ -392,5 +393,55 @@ func TestClose(t *testing.T) {
 	}
 	if _, err := s.TrySubmit(context.Background(), q); err != ErrClosed {
 		t.Fatalf("TrySubmit after Close: err %v, want ErrClosed", err)
+	}
+}
+
+// TestDrain checks graceful shutdown at the engine level: every query
+// admitted before Drain completes (including ones still queued when the
+// drain starts), new submissions fail with ErrClosed, and Drain only
+// returns once the dispatcher goroutine has exited.
+func TestDrain(t *testing.T) {
+	st, dict := testStore(t)
+	st.ResetForRun()
+	// A stopped engine lets us stack queries in the admission queue before
+	// the dispatcher ever runs, so the drain provably serves the backlog.
+	e := newStoppedEngine(st, Config{MaxInFlight: 2, QueueDepth: 16})
+	s := e.NewSession()
+	q := Query{Label: srcQ6, Path: parsePath(t, dict, srcQ6), Strategy: core.StrategySchedule}
+
+	const n = 6
+	pendings := make([]*Pending, n)
+	for i := range pendings {
+		p, err := s.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		pendings[i] = p
+	}
+	startDispatcher(e)
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !e.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	for i, p := range pendings {
+		res, err := p.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("query %d failed during drain: %v", i, err)
+		}
+		if res.Count() == 0 {
+			t.Fatalf("query %d returned no results", i)
+		}
+	}
+	if _, err := s.Submit(context.Background(), q); err != ErrClosed {
+		t.Fatalf("Submit after Drain: err %v, want ErrClosed", err)
+	}
+	if m := e.Metrics(); m.Completed != n {
+		t.Fatalf("Completed = %d, want %d", m.Completed, n)
+	}
+	e.Close() // Close after Drain is a no-op
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
 	}
 }

@@ -69,6 +69,8 @@ func (s *Session) TrySubmit(ctx context.Context, q Query) (*Pending, error) {
 	if err := p.ctx.Err(); err != nil {
 		return nil, err
 	}
+	s.e.admit.RLock()
+	defer s.e.admit.RUnlock()
 	if s.e.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -90,6 +92,13 @@ func (s *Session) Submit(ctx context.Context, q Query) (*Pending, error) {
 	if err := p.ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The read lock pairs with Engine.shutAdmission: a submission holds it
+	// across the closed check and the queue send, so shutdown cannot slip
+	// between them and strand the Pending. The dispatcher stays live until
+	// shutAdmission returns, so a send blocked on a full queue still
+	// drains.
+	s.e.admit.RLock()
+	defer s.e.admit.RUnlock()
 	if s.e.closed.Load() {
 		return nil, ErrClosed
 	}

@@ -1,0 +1,370 @@
+// Package server is the networked front end of the query engine: an
+// HTTP/JSON service wrapping pathdb.Engine, giving the reproduction the
+// operational shape of the standalone XML servers the paper's Sec. 7
+// outlook points at — one I/O-performing operator serving many concurrent
+// location paths, now across real sockets.
+//
+// Endpoints:
+//
+//	POST /query    evaluate {path, strategy, limit, timeout_ms, sorted}
+//	GET  /metrics  Prometheus text exposition: engine counters + cost ledger
+//	GET  /healthz  200 while serving, 503 once draining
+//
+// The three operational properties the engine already provides in-process
+// are surfaced as HTTP semantics:
+//
+//   - Deadline propagation. Each request's context (the client connection)
+//     is the query's context, optionally bounded by timeout_ms. A client
+//     that disconnects or times out cancels the in-flight query at its
+//     next operator poll point, and its outstanding cluster prefetches are
+//     withdrawn from the simulated device (visible as async_withdrawn in
+//     /metrics). Deadline expiry maps to 504 Gateway Timeout.
+//
+//   - Load shedding. Queries are admitted with non-blocking admission
+//     (Session.TryDo): when the engine's queue is at QueueDepth the
+//     request fails fast with 503 Service Unavailable and a Retry-After
+//     header instead of stacking up — admission control made visible.
+//
+//   - Graceful drain. Shutdown flips the drain flag (healthz turns 503 so
+//     load balancers stop routing, new queries are refused with 503),
+//     waits for every in-flight request to complete, then drains and
+//     closes the engine.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathdb"
+)
+
+// Options tunes the HTTP front end.
+type Options struct {
+	// MaxNodes caps how many result nodes one response may carry,
+	// whatever the request's limit asks for (default 1000).
+	MaxNodes int
+	// MaxTimeout caps the per-request timeout_ms (default 30s). Requests
+	// without a timeout run under it too, so a stuck client cannot hold a
+	// query slot forever.
+	MaxTimeout time.Duration
+	// RetryAfter is the value of the Retry-After header on shed requests,
+	// in seconds (default 1).
+	RetryAfter int
+	// MaxBody bounds the request body in bytes (default 1 MiB).
+	MaxBody int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 1000
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 30 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 1
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 20
+	}
+	return o
+}
+
+// Server is the HTTP front end over one engine. Create with New, mount it
+// as an http.Handler, and call Shutdown to drain.
+type Server struct {
+	db   *pathdb.DB
+	eng  *pathdb.Engine
+	ses  *pathdb.Session
+	opts Options
+	mux  *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// Server-level counters for /metrics (the engine keeps its own).
+	inflightN atomic.Int64
+	requests  atomic.Int64 // /query requests accepted into a handler
+	served    atomic.Int64 // 200s
+	shed      atomic.Int64 // 503s from admission control or drain
+	timeouts  atomic.Int64 // 504s
+	badReqs   atomic.Int64 // 400s
+	gone      atomic.Int64 // client disconnected mid-query
+}
+
+// New builds a server over db's engine. The engine must outlive the
+// server; Shutdown closes it.
+func New(db *pathdb.DB, eng *pathdb.Engine, opts Options) *Server {
+	s := &Server{
+		db:   db,
+		eng:  eng,
+		ses:  eng.NewSession(),
+		opts: opts.withDefaults(),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// InFlight returns the number of /query requests currently executing.
+func (s *Server) InFlight() int64 { return s.inflightN.Load() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: new queries are refused with 503 (and
+// healthz flips to 503 so load balancers stop routing), every request
+// already in a handler runs to completion, then the engine itself is
+// drained and closed. If ctx expires first the engine hard-closes and
+// Shutdown returns the context's error. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.eng.Close()
+		return ctx.Err()
+	}
+	return s.eng.Shutdown(ctx)
+}
+
+// enter registers a request against the drain gate. It fails once
+// Shutdown has begun; on success the caller must leave().
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	s.inflightN.Add(1)
+	return true
+}
+
+func (s *Server) leave() {
+	s.inflightN.Add(-1)
+	s.inflight.Done()
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Path is an absolute location path, or a '|' union of them.
+	Path string `json:"path"`
+	// Strategy forces a physical strategy ("auto", "simple", "xschedule",
+	// "xscan"); empty means auto.
+	Strategy string `json:"strategy,omitempty"`
+	// Limit caps the nodes echoed back in the response; 0 returns the
+	// count only.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS bounds the query's execution; 0 means the server cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Sorted requests document-order results.
+	Sorted bool `json:"sorted,omitempty"`
+}
+
+// NodeJSON is one result node in a QueryResponse.
+type NodeJSON struct {
+	ID   uint64 `json:"id"`
+	Name string `json:"name,omitempty"`
+	Ord  string `json:"ord"`
+}
+
+// QueryResponse is the POST /query result body.
+type QueryResponse struct {
+	Path      string     `json:"path"`
+	Count     int        `json:"count"`
+	Strategy  string     `json:"strategy"`
+	Shared    bool       `json:"shared"`
+	Gang      int        `json:"gang"`
+	Nodes     []NodeJSON `json:"nodes,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+
+	// Virtual costs (calibrated cost model, machine independent) and the
+	// wall-clock split, all in nanoseconds.
+	CostVNs          int64 `json:"cost_v_ns"`
+	CPUVNs           int64 `json:"cpu_v_ns"`
+	IOWaitVNs        int64 `json:"iowait_v_ns"`
+	SharedVNs        int64 `json:"shared_v_ns,omitempty"`
+	VirtualLatencyNs int64 `json:"virtual_latency_ns"`
+	WallQueueNs      int64 `json:"wall_queue_ns"`
+	WallExecNs       int64 `json:"wall_exec_ns"`
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	if !s.enter() {
+		s.shed.Add(1)
+		s.unavailable(w, "draining")
+		return
+	}
+	defer s.leave()
+	s.requests.Add(1)
+
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.badRequest(w, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Path == "" {
+		s.badRequest(w, "missing \"path\"")
+		return
+	}
+	if req.Limit < 0 || req.TimeoutMS < 0 {
+		s.badRequest(w, "\"limit\" and \"timeout_ms\" must be non-negative")
+		return
+	}
+	opts := pathdb.QueryOptions{Sorted: req.Sorted}
+	if req.Strategy != "" {
+		strat, err := pathdb.ParseStrategy(req.Strategy)
+		if err != nil {
+			s.badRequest(w, err.Error())
+			return
+		}
+		opts.Strategy = strat
+	}
+	// Compile first so a malformed path is a 400, not a failed engine
+	// submission (the engine re-parses on submit; parsing is cheap).
+	if _, err := s.db.Query(req.Path); err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+
+	// Deadline propagation: the request context (cancelled when the client
+	// disconnects) bounded by the request's timeout, capped by the server.
+	timeout := s.opts.MaxTimeout
+	if t := time.Duration(req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := s.ses.TryDo(ctx, req.Path, opts)
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, s.response(req, &res))
+}
+
+// queryError maps an engine error onto an HTTP status: overload and drain
+// are 503 (with Retry-After), deadline expiry is 504, a vanished client is
+// logged but unanswerable.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, pathdb.ErrOverloaded):
+		s.shed.Add(1)
+		s.unavailable(w, "overloaded: admission queue full")
+	case errors.Is(err, pathdb.ErrClosed):
+		s.shed.Add(1)
+		s.unavailable(w, "draining")
+	case pathdb.IsTimeout(err) && r.Context().Err() == nil:
+		// The per-request timeout fired while the client is still there.
+		s.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "query timed out"})
+	case r.Context().Err() != nil:
+		// Client disconnected; the response is written into the void, but
+		// net/http wants the handler to return normally.
+		s.gone.Add(1)
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfter))
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: msg})
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.badReqs.Add(1)
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: msg})
+}
+
+// response shapes an ExecResult, echoing at most min(limit, MaxNodes)
+// nodes.
+func (s *Server) response(req QueryRequest, res *pathdb.ExecResult) QueryResponse {
+	out := QueryResponse{
+		Path:             req.Path,
+		Count:            res.Count(),
+		Strategy:         res.Strategy.String(),
+		Shared:           res.Shared,
+		Gang:             res.Gang,
+		CostVNs:          int64(res.CostV),
+		CPUVNs:           int64(res.CPUV),
+		IOWaitVNs:        int64(res.IOWaitV),
+		SharedVNs:        int64(res.SharedV),
+		VirtualLatencyNs: int64(res.VirtualLatency),
+		WallQueueNs:      res.WallQueue.Nanoseconds(),
+		WallExecNs:       res.WallExec.Nanoseconds(),
+	}
+	limit := req.Limit
+	if limit > s.opts.MaxNodes {
+		limit = s.opts.MaxNodes
+	}
+	if limit > len(res.Nodes) {
+		limit = len(res.Nodes)
+	}
+	if limit > 0 {
+		out.Nodes = make([]NodeJSON, limit)
+		for i := range out.Nodes {
+			n := res.Nodes[i]
+			out.Nodes[i] = NodeJSON{ID: n.ID(), Name: n.Name(), Ord: n.OrdPath()}
+		}
+		out.Truncated = limit < len(res.Nodes)
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client may be gone; nothing useful to do
+}

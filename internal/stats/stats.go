@@ -87,6 +87,7 @@ type Counters struct {
 
 	AsyncSubmitted int64
 	AsyncCompleted int64
+	AsyncWithdrawn int64 // prefetches cancelled before delivery
 
 	ClustersVisited int64 // distinct cluster activations by I/O operators
 	SpecInstances   int64 // speculative left-incomplete instances created
@@ -109,16 +110,51 @@ func NewLedger() *Ledger { return &Ledger{} }
 // fields returns the addresses of every int64-backed field in declaration
 // order, so Snapshot/Sub/Reset need not enumerate them by name. Cold path
 // only (reporting); the hot mutation path never calls it.
-func (l *Ledger) fields() [23]*int64 {
-	return [23]*int64{
+func (l *Ledger) fields() [numFields]*int64 {
+	return [numFields]*int64{
 		(*int64)(&l.Now), (*int64)(&l.CPU), (*int64)(&l.IOWait),
 		&l.PageReads, &l.SeqPageReads, &l.PageWrites, &l.Seeks, &l.SeekDistance,
 		&l.BufferHits, &l.BufferMisses, &l.HashLookups, &l.Evictions,
 		&l.Swizzles, &l.Unswizzles,
 		&l.NodesVisited, &l.TuplesMoved, &l.SetInserts, &l.SetLookups,
-		&l.AsyncSubmitted, &l.AsyncCompleted,
+		&l.AsyncSubmitted, &l.AsyncCompleted, &l.AsyncWithdrawn,
 		&l.ClustersVisited, &l.SpecInstances, &l.FallbackEvents,
 	}
+}
+
+// numFields is the number of int64-backed ledger fields.
+const numFields = 24
+
+// fieldNames are the exported snapshot names of every ledger field, in
+// fields() order. The first three are virtual clocks in nanoseconds; the
+// rest are event counters. Names are stable: the metrics surface
+// (internal/server's Prometheus exposition) derives its series from them.
+var fieldNames = [numFields]string{
+	"now_ns", "cpu_ns", "iowait_ns",
+	"page_reads", "seq_page_reads", "page_writes", "seeks", "seek_distance",
+	"buffer_hits", "buffer_misses", "hash_lookups", "evictions",
+	"swizzles", "unswizzles",
+	"nodes_visited", "tuples_moved", "set_inserts", "set_lookups",
+	"async_submitted", "async_completed", "async_withdrawn",
+	"clusters_visited", "spec_instances", "fallback_events",
+}
+
+// NamedValue is one ledger field under its exported snapshot name.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// Named returns every ledger field as a name/value pair, built from atomic
+// loads (same consistency as Snapshot). Names ending in "_ns" are virtual
+// clocks in nanoseconds; the rest are monotonic event counters.
+func (l *Ledger) Named() []NamedValue {
+	fs := l.fields()
+	out := make([]NamedValue, numFields)
+	for i, f := range fs {
+		out[i] = NamedValue{Name: fieldNames[i], Value: atomic.LoadInt64(f)}
+	}
+	return out
 }
 
 // AdvanceCPU charges t ticks of CPU work, advancing the clock.

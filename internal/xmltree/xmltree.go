@@ -10,6 +10,7 @@ package xmltree
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kind classifies logical nodes.
@@ -54,7 +55,12 @@ const NoTag TagID = -1
 
 // Dictionary interns tag names. It is the concrete representation of the tag
 // alphabet Σ; a given Document and all queries against it must share one.
+//
+// Safe for concurrent use: query parsing interns the tag names it meets, and
+// under the networked front end (internal/server) arbitrary paths — with
+// arbitrary fresh names — are parsed from many handler goroutines at once.
 type Dictionary struct {
+	mu     sync.RWMutex
 	byName map[string]TagID
 	names  []string
 }
@@ -66,10 +72,18 @@ func NewDictionary() *Dictionary {
 
 // Intern returns the TagID for name, assigning a fresh one if needed.
 func (d *Dictionary) Intern(name string) TagID {
+	d.mu.RLock()
+	id, ok := d.byName[name]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
-	id := TagID(len(d.names))
+	id = TagID(len(d.names))
 	d.names = append(d.names, name)
 	d.byName[name] = id
 	return id
@@ -79,6 +93,8 @@ func (d *Dictionary) Intern(name string) TagID {
 // interned. Useful for queries: a name test over an unknown tag matches
 // nothing.
 func (d *Dictionary) Lookup(name string) (TagID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.byName[name]
 	if !ok {
 		return NoTag, false
@@ -91,11 +107,17 @@ func (d *Dictionary) Name(id TagID) string {
 	if id == NoTag {
 		return ""
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.names[id]
 }
 
 // Len reports the number of interned tags.
-func (d *Dictionary) Len() int { return len(d.names) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
 
 // Node is a logical document node.
 //
