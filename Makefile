@@ -1,7 +1,7 @@
 # CI entry points. `make` runs the full set.
 GO ?= go
 
-.PHONY: all build test race vet bench bench-load bench-json clean
+.PHONY: all build test race vet bench bench-load bench-json test-faults fuzz-short clean
 
 all: build vet test race
 
@@ -31,6 +31,26 @@ bench-load:
 
 vet:
 	$(GO) vet ./...
+
+# Fault matrix: seeded fault-plane sweeps under -race. Covers the
+# device schedule itself (vdisk), retry/poison fanout (buffer),
+# checksum escalation (storage), per-query gang isolation at 1%/5%/20%
+# read-fault rates (engine), the typed facade (pathdb), the HTTP
+# mapping (server), and the randomized WAL crash-point recovery sweep.
+test-faults:
+	$(GO) test -race -run 'Fault|Corrupt|Retry|Poison|Crash' \
+		./internal/vdisk/ ./internal/buffer/ ./internal/storage/ \
+		./internal/engine/ ./internal/server/ .
+
+# Short fuzz pass over every parser that consumes untrusted or
+# pre-checksum bytes: the XML scanner, the XPath parser, and the WAL
+# header decoder on the recovery path. `go test -fuzz` takes one
+# target per invocation, hence the three runs.
+fuzz-short: FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/xmlparse/
+	$(GO) test -run '^$$' -fuzz FuzzParsePath -fuzztime $(FUZZTIME) ./internal/xpath/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeWalHeader -fuzztime $(FUZZTIME) ./internal/storage/
 
 # Machine-readable benchmark snapshot (BENCH_*.json) for tracking the
 # performance trajectory across commits. Slow: full evaluation.

@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -65,6 +66,7 @@ type sample struct {
 	virt     stats.Ticks
 	wall     time.Duration
 	timedOut bool
+	errKind  string // non-empty for a typed storage fault ("io", "corrupt")
 }
 
 // backend issues one query and reports cluster-wide engine state at the
@@ -87,6 +89,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for -xmark and fragmented layouts")
 	layoutName := flag.String("layout", "natural", "physical layout: natural, contiguous, shuffled")
 	buffer := flag.Int("buffer", 0, "buffer pool pages (default 1000)")
+	faultRead := flag.Float64("fault-read", 0, "probability a page read fails transiently (engine mode only)")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability a page read returns a torn image (engine mode only)")
+	faultLatency := flag.Float64("fault-latency", 0, "probability a page read takes a latency spike (engine mode only)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault plane")
 
 	url := flag.String("url", "", "drive a running xserved at this base URL instead of an in-process engine")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
@@ -136,9 +142,14 @@ func main() {
 		}
 	}
 
+	faultsOn := *faultRead > 0 || *faultCorrupt > 0 || *faultLatency > 0
+
 	var be backend
 	mode := "engine"
 	if *url != "" {
+		if faultsOn {
+			fail("-fault-* flags require engine mode (the server owns its disk)")
+		}
 		mode = "url"
 		be = newHTTPBackend(strings.TrimRight(*url, "/"), strat, *timeoutMS, *sorted)
 	} else {
@@ -168,6 +179,16 @@ func main() {
 		fmt.Printf("document: %d pages\n", db.Pages())
 		eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel})
 		db.ResetStats() // cold start after the cost model's offline pass
+		if faultsOn {
+			db.SetFaults(pathdb.FaultConfig{
+				Seed:      *faultSeed,
+				ReadError: *faultRead,
+				Corrupt:   *faultCorrupt,
+				Latency:   *faultLatency,
+			})
+			fmt.Printf("faults: read=%g corrupt=%g latency=%g seed=%d\n",
+				*faultRead, *faultCorrupt, *faultLatency, *faultSeed)
+		}
 		be = &engineBackend{db: db, eng: eng, strat: strat, timeoutMS: *timeoutMS, sorted: *sorted}
 	}
 	defer be.close()
@@ -223,9 +244,14 @@ func main() {
 	counts := map[string]int{}
 	countOK := true
 	var timeouts int64
+	faultKinds := map[string]int64{}
 	for _, s := range samples {
 		if s.timedOut {
 			timeouts++
+			continue
+		}
+		if s.errKind != "" {
+			faultKinds[s.errKind]++
 			continue
 		}
 		if prev, seen := counts[s.path]; seen && prev != s.count {
@@ -240,7 +266,7 @@ func main() {
 
 	var virtLat, wallLat []float64
 	for _, s := range samples {
-		if s.timedOut {
+		if s.timedOut || s.errKind != "" {
 			continue
 		}
 		virtLat = append(virtLat, s.virt.Seconds())
@@ -260,12 +286,15 @@ func main() {
 	if shedTotal.Load() > 0 || timeouts > 0 {
 		fmt.Printf("shed retries=%d timeouts=%d\n", shedTotal.Load(), timeouts)
 	}
+	if len(faultKinds) > 0 {
+		fmt.Printf("faulted: io=%d corrupt=%d\n", faultKinds["io"], faultKinds["corrupt"])
+	}
 	m, merr := be.engineMetrics()
 	if merr != nil {
 		fail("engine metrics: %v", merr)
 	}
-	fmt.Printf("engine: gangs=%d batched=%d/%d rejected=%d overhead=%v\n",
-		m.Gangs, m.Batched, m.Submitted, m.Rejected, m.OverheadV)
+	fmt.Printf("engine: gangs=%d batched=%d/%d rejected=%d faulted=%d overhead=%v\n",
+		m.Gangs, m.Batched, m.Submitted, m.Rejected, m.Faulted, m.OverheadV)
 
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
@@ -351,8 +380,13 @@ func (b *engineBackend) do(path string) (sample, int64, error) {
 	t0 := time.Now()
 	res, err := s.Do(ctx, path, pathdb.QueryOptions{Strategy: b.strat, Sorted: b.sorted})
 	if err != nil {
-		if pathdb.IsTimeout(err) {
+		if errors.Is(err, pathdb.ErrTimeout) {
 			return sample{path: path, wall: time.Since(t0), timedOut: true}, 0, nil
+		}
+		if k := pathdb.KindOf(err); k == pathdb.KindIO || k == pathdb.KindCorrupt {
+			// A typed storage fault fails this query alone; record its
+			// kind instead of aborting the run.
+			return sample{path: path, wall: time.Since(t0), errKind: k.String()}, 0, nil
 		}
 		return sample{}, 0, err
 	}

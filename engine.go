@@ -30,29 +30,16 @@ var (
 
 // IsTimeout reports whether err is a deadline classification: a context
 // deadline (the usual way an engine query times out), an I/O deadline, or
-// anything implementing net.Error-style Timeout(). Callers use it to
-// distinguish "took too long" (retriable later, HTTP 504) from cancellation
-// and hard failures.
+// anything implementing net.Error-style Timeout().
+//
+// Deprecated: use errors.Is(err, ErrTimeout). Every query path now returns
+// a typed *Error whose Is method matches the taxonomy sentinels.
 func IsTimeout(err error) bool {
-	if errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
 		return true
 	}
 	var t interface{ Timeout() bool }
 	return errors.As(err, &t) && t.Timeout()
-}
-
-// translateErr maps internal engine sentinels onto the facade's exported
-// ones; other errors pass through.
-func translateErr(err error) error {
-	switch {
-	case err == nil:
-		return nil
-	case errors.Is(err, engine.ErrQueueFull):
-		return ErrOverloaded
-	case errors.Is(err, engine.ErrClosed):
-		return ErrClosed
-	}
-	return err
 }
 
 // EngineConfig tunes the concurrent engine's admission control.
@@ -109,7 +96,7 @@ func (e *Engine) Close() { e.e.Close() }
 // expires first the engine hard-closes (remaining queued queries fail with
 // ErrClosed) and Shutdown returns the context's error.
 func (e *Engine) Shutdown(ctx context.Context) error {
-	return translateErr(e.e.Drain(ctx))
+	return wrapErr("shutdown", "", e.e.Drain(ctx))
 }
 
 // Draining reports whether the engine has stopped admitting queries
@@ -130,6 +117,7 @@ type EngineMetrics struct {
 	Cancelled int64       // failed with a context error
 	Gangs     int64       // dispatcher batches executed
 	Batched   int64       // queries that ran on a gang-shared scheduler
+	Faulted   int64       // queries failed by a page fault (I/O or corruption)
 	OverheadV stats.Ticks // virtual time spent on dispatch bookkeeping
 }
 
@@ -143,6 +131,7 @@ func (e *Engine) Metrics() EngineMetrics {
 		Cancelled: m.Cancelled,
 		Gangs:     m.Gangs,
 		Batched:   m.Batched,
+		Faulted:   m.Faulted,
 		OverheadV: m.OverheadV,
 	}
 }
@@ -246,7 +235,7 @@ func (s *Session) do(ctx context.Context, path string, opts QueryOptions, try bo
 			p, perr = s.s.Submit(ctx, q)
 		}
 		if perr != nil {
-			return ExecResult{}, translateErr(perr)
+			return ExecResult{}, wrapErr("submit", path, perr)
 		}
 		pendings = append(pendings, p)
 	}
@@ -255,7 +244,7 @@ func (s *Session) do(ctx context.Context, path string, opts QueryOptions, try bo
 	for _, p := range pendings {
 		res, werr := p.Wait(ctx)
 		if werr != nil {
-			return ExecResult{}, translateErr(werr)
+			return ExecResult{}, wrapErr("query", path, werr)
 		}
 		branch = append(branch, res)
 	}

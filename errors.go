@@ -1,0 +1,195 @@
+package pathdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pathdb/internal/engine"
+	"pathdb/internal/storage"
+)
+
+// ErrorKind classifies a query failure. Every error returned by the
+// engine, session and server paths is (or wraps) a *pathdb.Error carrying
+// one of these kinds, so callers can branch on failure class without
+// string matching — errors.Is against the exported sentinels below, or
+// errors.As(*pathdb.Error) to read the kind directly.
+type ErrorKind uint8
+
+const (
+	// KindUnknown is an unclassified failure (parse errors, internal
+	// invariant violations).
+	KindUnknown ErrorKind = iota
+	// KindTimeout is a deadline expiry: the query's context deadline
+	// passed before the result was ready. Retriable later (HTTP 504).
+	KindTimeout
+	// KindOverloaded is an admission-control rejection: the engine's
+	// queue was full and the submission chose not to wait (HTTP 503).
+	KindOverloaded
+	// KindClosed means the engine was closed or draining (HTTP 503).
+	KindClosed
+	// KindIO is a persistent read failure: the device kept erroring past
+	// the storage layer's retry budget (HTTP 500).
+	KindIO
+	// KindCorrupt is a verified-read failure: a page's checksum never
+	// matched across the retry budget, i.e. the stored bytes are damaged
+	// (HTTP 500).
+	KindCorrupt
+	// KindCanceled means the query's context was canceled by the caller.
+	KindCanceled
+)
+
+// String returns the kind's stable wire name, round-tripped by
+// ParseErrorKind and used in the HTTP server's structured error bodies.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindTimeout:
+		return "timeout"
+	case KindOverloaded:
+		return "overloaded"
+	case KindClosed:
+		return "closed"
+	case KindIO:
+		return "io"
+	case KindCorrupt:
+		return "corrupt"
+	case KindCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseErrorKind maps a wire name back to its kind; unrecognized names
+// parse as KindUnknown.
+func ParseErrorKind(s string) ErrorKind {
+	switch s {
+	case "timeout":
+		return KindTimeout
+	case "overloaded":
+		return KindOverloaded
+	case "closed":
+		return KindClosed
+	case "io":
+		return KindIO
+	case "corrupt":
+		return KindCorrupt
+	case "canceled":
+		return KindCanceled
+	default:
+		return KindUnknown
+	}
+}
+
+// Sentinel classification targets for errors.Is. These carry no context
+// themselves — the errors actually returned are *pathdb.Error values whose
+// Is method matches the sentinel of their kind:
+//
+//	res, err := sess.Do(ctx, "/site//item", pathdb.QueryOptions{})
+//	switch {
+//	case errors.Is(err, pathdb.ErrTimeout):    // retry with a longer deadline
+//	case errors.Is(err, pathdb.ErrOverloaded): // back off, engine is shedding
+//	case errors.Is(err, pathdb.ErrCorrupt):    // page failed checksum verification
+//	}
+//
+// ErrOverloaded and ErrClosed are declared in engine.go (they predate the
+// taxonomy and wrap the internal engine sentinels); *Error matches them
+// the same way.
+var (
+	ErrTimeout  = errors.New("pathdb: deadline exceeded")
+	ErrIO       = errors.New("pathdb: i/o error")
+	ErrCorrupt  = errors.New("pathdb: data corruption")
+	ErrCanceled = errors.New("pathdb: query canceled")
+)
+
+// Error is the typed failure returned by engine, session and server query
+// paths: a kind for programmatic classification, the operation and query
+// path for context, and the underlying cause on the Unwrap chain.
+type Error struct {
+	Kind ErrorKind
+	Op   string // the failing operation, e.g. "query", "submit", "shutdown"
+	Path string // the location path being evaluated, if any
+	Err  error  // underlying cause; never nil
+}
+
+// Error renders "pathdb: <op> <path>: <cause>".
+func (e *Error) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("pathdb: %s %q: %v", e.Op, e.Path, e.Err)
+	}
+	return fmt.Sprintf("pathdb: %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the cause, so errors.Is still sees the original context
+// error, *storage.PageError, or engine sentinel underneath.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Timeout implements the net.Error-style probe used by generic callers.
+func (e *Error) Timeout() bool { return e.Kind == KindTimeout }
+
+// Is matches the sentinel corresponding to the error's kind, making
+// errors.Is(err, pathdb.ErrTimeout) etc. work without the sentinel
+// appearing on the Unwrap chain.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrTimeout:
+		return e.Kind == KindTimeout
+	case ErrOverloaded:
+		return e.Kind == KindOverloaded
+	case ErrClosed:
+		return e.Kind == KindClosed
+	case ErrIO:
+		return e.Kind == KindIO
+	case ErrCorrupt:
+		return e.Kind == KindCorrupt
+	case ErrCanceled:
+		return e.Kind == KindCanceled
+	}
+	return false
+}
+
+// KindOf classifies err: the Kind of the innermost *pathdb.Error, or
+// KindUnknown when err is not from the taxonomy (or nil).
+func KindOf(err error) ErrorKind {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Kind
+	}
+	return KindUnknown
+}
+
+// wrapErr classifies an internal failure into the typed taxonomy. Errors
+// already carrying a *pathdb.Error pass through untouched.
+func wrapErr(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *Error
+	if errors.As(err, &pe) {
+		return err
+	}
+	kind := KindUnknown
+	var spe *storage.PageError
+	switch {
+	case errors.Is(err, engine.ErrQueueFull):
+		kind = KindOverloaded
+	case errors.Is(err, engine.ErrClosed):
+		kind = KindClosed
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = KindTimeout
+	case errors.Is(err, context.Canceled):
+		kind = KindCanceled
+	case errors.As(err, &spe):
+		if spe.Kind == storage.PageCorrupt {
+			kind = KindCorrupt
+		} else {
+			kind = KindIO
+		}
+	default:
+		var t interface{ Timeout() bool }
+		if errors.As(err, &t) && t.Timeout() {
+			kind = KindTimeout
+		}
+	}
+	return &Error{Kind: kind, Op: op, Path: path, Err: err}
+}

@@ -81,9 +81,35 @@ type Manager struct {
 	wanted    map[vdisk.PageID]int
 	root      *Waiter // backs the legacy Manager-level Request/WaitLoaded
 
+	// Read-failure bookkeeping. failed[p] holds the terminal error of a
+	// page whose load exhausted its retries; every waiter wanting p is
+	// handed that error (the frame is poisoned, not mapped). attempts[p]
+	// counts async re-reads already spent on p.
+	failed   map[vdisk.PageID]error
+	attempts map[vdisk.PageID]int
+
+	retry  RetryPolicy
+	verify func(vdisk.PageID, []byte) error // page-image verifier (storage checksums)
+
 	overflow int64 // frames allocated beyond capacity (all pinned)
 
 	onEvict func(vdisk.PageID) // notifies upper layers (swizzle caches)
+}
+
+// RetryPolicy bounds the verified-read retry loop: a page read that fails
+// (transient device error or checksum mismatch) is re-read up to Attempts
+// times in total, backing the reader's virtual clock off by Backoff before
+// the first retry and doubling it each further attempt.
+type RetryPolicy struct {
+	Attempts int         // total read attempts per page (>= 1)
+	Backoff  stats.Ticks // initial backoff, doubling per retry
+}
+
+// DefaultRetryPolicy is the pool's initial retry policy: four attempts with
+// a 200µs initial backoff (well under one device access, so retrying is
+// always cheaper than surfacing a transient fault).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, Backoff: 200 * stats.Microsecond}
 }
 
 // New returns a buffer pool over disk holding at most capacity pages.
@@ -97,6 +123,9 @@ func New(disk *vdisk.Disk, capacity int) *Manager {
 		capacity:  capacity,
 		submitted: make(map[vdisk.PageID]bool),
 		wanted:    make(map[vdisk.PageID]int),
+		failed:    make(map[vdisk.PageID]error),
+		attempts:  make(map[vdisk.PageID]int),
+		retry:     DefaultRetryPolicy(),
 	}
 	m.root = m.NewWaiter(disk.Ledger())
 	for i := range m.shards {
@@ -107,6 +136,29 @@ func New(disk *vdisk.Disk, capacity int) *Manager {
 
 func (m *Manager) shardOf(p vdisk.PageID) *shard {
 	return &m.shards[uint32(p)&(nShards-1)]
+}
+
+// SetVerifier registers a page-image verifier run against every page read
+// from the device before the frame is published (the storage layer installs
+// its checksum-trailer check). A verification failure counts as a failed
+// read: it is retried under the pool's RetryPolicy and escalates to the
+// caller when the retries are exhausted. The verifier runs with manager
+// locks held; it must not call back into the pool.
+func (m *Manager) SetVerifier(f func(vdisk.PageID, []byte) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.verify = f
+}
+
+// SetRetryPolicy replaces the pool's read-retry policy. Attempts below 1 is
+// clamped to 1 (a single try, no retries).
+func (m *Manager) SetRetryPolicy(p RetryPolicy) {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retry = p
 }
 
 // SetEvictHandler registers f to be called whenever a page leaves the pool
@@ -163,39 +215,96 @@ func (m *Manager) probe(p vdisk.PageID) *Frame {
 }
 
 // Fix returns a pinned frame for page p, reading it from disk on a miss.
-// The caller must Unfix it. Each call charges one hash probe.
-func (m *Manager) Fix(p vdisk.PageID) *Frame { return m.FixOn(m.led, p) }
+// The caller must Unfix it. Each call charges one hash probe. A non-nil
+// error means the page could not be read within the retry policy (the
+// device error or checksum failure that exhausted the attempts).
+func (m *Manager) Fix(p vdisk.PageID) (*Frame, error) { return m.FixOn(m.led, p) }
 
 // FixOn is Fix with the probe, hit/miss statistics and any disk read billed
 // to led instead of the pool's root ledger — the per-query accounting entry
 // point of the parallel engine. The frame itself is shared pool state either
 // way.
-func (m *Manager) FixOn(led *stats.Ledger, p vdisk.PageID) *Frame {
+func (m *Manager) FixOn(led *stats.Ledger, p vdisk.PageID) (*Frame, error) {
 	stats.Inc(&led.HashLookups)
 	led.AdvanceCPU(m.disk.Model().CPUHashLookup)
 	if f := m.probe(p); f != nil {
-		stats.Inc(&led.BufferHits)
-		// Passing through the manager mutex also guarantees the loader of
-		// a freshly-published frame has finished filling Data before we
-		// hand it out.
+		// Passing through the manager mutex guarantees the loader of a
+		// freshly-published frame has finished filling Data before we hand
+		// it out — and lets us confirm the load did not fail and unmap the
+		// frame after our pin-under-read-latch.
 		m.mu.Lock()
-		m.touch(f)
+		if m.mapped(p) == f {
+			stats.Inc(&led.BufferHits)
+			m.touch(f)
+			m.mu.Unlock()
+			return f, nil
+		}
 		m.mu.Unlock()
-		return f
+		m.Unfix(f) // loader failed and withdrew the frame; treat as a miss
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	// Re-probe: another goroutine may have loaded p while we waited.
+	// Unmapping requires m.mu, so a frame found here is live.
 	if f := m.probe(p); f != nil {
 		stats.Inc(&led.BufferHits)
 		m.touch(f)
-		return f
+		return f, nil
 	}
 	stats.Inc(&led.BufferMisses)
 	f := m.newFrame(p)
-	m.disk.ReadSyncOn(led, p, f.Data)
+	if err := m.loadFrame(led, p, f); err != nil {
+		s := m.shardOf(p)
+		s.mu.Lock()
+		delete(s.frames, p)
+		s.mu.Unlock()
+		m.unlink(f)
+		m.nFrames--
+		return nil, err
+	}
+	delete(m.failed, p) // a fresh successful read supersedes older failures
+	delete(m.attempts, p)
 	f.pins.Add(1)
+	return f, nil
+}
+
+// mapped returns the frame currently registered for p, or nil. Caller holds
+// m.mu (which is what excludes concurrent unmapping).
+func (m *Manager) mapped(p vdisk.PageID) *Frame {
+	s := m.shardOf(p)
+	s.mu.RLock()
+	f := s.frames[p]
+	s.mu.RUnlock()
 	return f
+}
+
+// loadFrame reads page p into f under the retry policy: transient device
+// errors and checksum failures are retried with doubling virtual-clock
+// backoff; the last error escalates once attempts are exhausted. Caller
+// holds m.mu.
+func (m *Manager) loadFrame(led *stats.Ledger, p vdisk.PageID, f *Frame) error {
+	backoff := m.retry.Backoff
+	var lastErr error
+	for attempt := 0; attempt < m.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			stats.Inc(&led.ReadRetries)
+			led.BlockUntil(led.Total() + backoff)
+			backoff *= 2
+		}
+		if err := m.disk.ReadSyncOn(led, p, f.Data); err != nil {
+			lastErr = err
+			continue
+		}
+		if m.verify != nil {
+			if err := m.verify(p, f.Data); err != nil {
+				stats.Inc(&led.ChecksumFails)
+				lastErr = err
+				continue
+			}
+		}
+		return nil
+	}
+	return lastErr
 }
 
 // Unfix releases a pin taken by Fix.
@@ -251,44 +360,80 @@ func (w *Waiter) Request(p vdisk.PageID) {
 // returns it. ok is false when nothing deliverable is outstanding (callers
 // re-Request and retry; the buffer may have evicted a page between its load
 // and this wait). Already-buffered pages are delivered first, oldest
-// request first, without touching the device.
-func (w *Waiter) WaitLoaded() (p vdisk.PageID, ok bool) {
+// request first, without touching the device. A non-nil error (with ok
+// true) reports a page whose load failed terminally — the read and its
+// retries were exhausted or the image kept failing verification; every
+// waiter wanting that page receives the same error exactly once.
+func (w *Waiter) WaitLoaded() (p vdisk.PageID, ok bool, err error) {
 	m := w.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if p, ok := w.takeBuffered(); ok {
-		return p, true
+	for {
+		if p, ok := w.takeBuffered(); ok {
+			return p, true, nil
+		}
+		// Poisoned pages: deliver the terminal error to this waiter. The
+		// entry survives until every waiter wanting the page has seen it
+		// (unwant clears it with the last reference).
+		for _, p := range w.order {
+			if ferr, bad := m.failed[p]; bad {
+				w.deliverLocked(p)
+				return p, true, ferr
+			}
+		}
+		if len(w.order) == 0 {
+			return vdisk.InvalidPage, false, nil
+		}
+		f := m.newFrame(vdisk.InvalidPage) // placeholder; page set below
+		page, got, derr := m.disk.WaitMatchOn(w.led, func(p vdisk.PageID) bool { return w.pending[p] }, f.Data)
+		if !got {
+			// None of our pages is on the device (submissions superseded by
+			// sync reads and since evicted, or withdrawn): drop the stale
+			// pending set so the caller's re-request issues fresh reads.
+			m.unlink(f)
+			w.clearLocked()
+			return vdisk.InvalidPage, false, nil
+		}
+		delete(m.submitted, page) // consumed the device entry
+		if derr == nil && m.verify != nil {
+			if verr := m.verify(page, f.Data); verr != nil {
+				stats.Inc(&w.led.ChecksumFails)
+				derr = verr
+			}
+		}
+		if derr != nil {
+			// Failed delivery: never publish the frame. Retry by
+			// resubmitting (the device draws a fresh fault) until the
+			// policy is exhausted, then poison the page for all waiters.
+			m.unlink(f)
+			if m.attempts[page]++; m.attempts[page] < m.retry.Attempts {
+				stats.Inc(&w.led.ReadRetries)
+				w.led.BlockUntil(w.led.Total() + m.retry.Backoff<<(m.attempts[page]-1))
+				m.submitted[page] = true
+				m.disk.SubmitOn(w.led, page)
+				continue
+			}
+			delete(m.attempts, page)
+			m.failed[page] = derr
+			continue // the poisoned-page scan above delivers it
+		}
+		s := m.shardOf(page)
+		s.mu.Lock()
+		if old, exists := s.frames[page]; exists {
+			// Already (re)loaded synchronously in the meantime; keep the
+			// existing frame and discard the fresh buffer.
+			s.mu.Unlock()
+			m.unlink(f)
+			m.touch(old)
+		} else {
+			f.Page = page
+			s.frames[page] = f
+			s.mu.Unlock()
+			m.nFrames++
+		}
+		w.deliverLocked(page)
+		return page, true, nil
 	}
-	if len(w.order) == 0 {
-		return vdisk.InvalidPage, false
-	}
-	f := m.newFrame(vdisk.InvalidPage) // placeholder; page set below
-	page, got := m.disk.WaitMatchOn(w.led, func(p vdisk.PageID) bool { return w.pending[p] }, f.Data)
-	if !got {
-		// None of our pages is on the device (submissions superseded by
-		// sync reads and since evicted, or withdrawn): drop the stale
-		// pending set so the caller's re-request issues fresh reads.
-		m.unlink(f)
-		w.clearLocked()
-		return vdisk.InvalidPage, false
-	}
-	delete(m.submitted, page) // consumed the device entry
-	s := m.shardOf(page)
-	s.mu.Lock()
-	if old, exists := s.frames[page]; exists {
-		// Already (re)loaded synchronously in the meantime; keep the
-		// existing frame and discard the fresh buffer.
-		s.mu.Unlock()
-		m.unlink(f)
-		m.touch(old)
-	} else {
-		f.Page = page
-		s.frames[page] = f
-		s.mu.Unlock()
-		m.nFrames++
-	}
-	w.deliverLocked(page)
-	return page, true
 }
 
 // takeBuffered delivers the oldest pending page that is already buffered.
@@ -336,6 +481,8 @@ func (m *Manager) unwant(pages []vdisk.PageID) {
 			continue
 		}
 		delete(m.wanted, p)
+		delete(m.failed, p) // last interested waiter has seen (or dropped) it
+		delete(m.attempts, p)
 		if m.submitted[p] {
 			delete(m.submitted, p)
 			if orphans == nil {
@@ -371,7 +518,7 @@ func (w *Waiter) Outstanding() int {
 func (m *Manager) Request(p vdisk.PageID) { m.root.Request(p) }
 
 // WaitLoaded delivers one of the root waiter's requested pages.
-func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool) { return m.root.WaitLoaded() }
+func (m *Manager) WaitLoaded() (p vdisk.PageID, ok bool, err error) { return m.root.WaitLoaded() }
 
 // OutstandingRequests returns the number of async requests not yet
 // delivered to the root waiter.
@@ -432,6 +579,8 @@ func (m *Manager) FlushAll() {
 	m.head, m.tail = nil, nil
 	m.submitted = make(map[vdisk.PageID]bool)
 	m.wanted = make(map[vdisk.PageID]int)
+	m.failed = make(map[vdisk.PageID]error)
+	m.attempts = make(map[vdisk.PageID]int)
 	m.root.pending = make(map[vdisk.PageID]bool)
 	m.root.order = nil
 }

@@ -24,7 +24,7 @@ func newPool(t testing.TB, npages, capacity int) (*Manager, *stats.Ledger) {
 func TestFixReadsCorrectPage(t *testing.T) {
 	m, _ := newPool(t, 10, 4)
 	for i := 9; i >= 0; i-- {
-		f := m.Fix(vdisk.PageID(i))
+		f := fix(m, vdisk.PageID(i))
 		if f.Data[0] != byte(i) {
 			t.Fatalf("page %d data = %d", i, f.Data[0])
 		}
@@ -34,10 +34,10 @@ func TestFixReadsCorrectPage(t *testing.T) {
 
 func TestHitAvoidsDisk(t *testing.T) {
 	m, led := newPool(t, 10, 4)
-	f := m.Fix(3)
+	f := fix(m, 3)
 	m.Unfix(f)
 	reads := led.PageReads
-	f = m.Fix(3)
+	f = fix(m, 3)
 	m.Unfix(f)
 	if led.PageReads != reads {
 		t.Fatal("hit caused a disk read")
@@ -50,7 +50,7 @@ func TestHitAvoidsDisk(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	m, led := newPool(t, 10, 2)
 	for i := 0; i < 3; i++ {
-		m.Unfix(m.Fix(vdisk.PageID(i)))
+		m.Unfix(fix(m, vdisk.PageID(i)))
 	}
 	// Page 0 is LRU and must be gone; 1 and 2 remain.
 	if m.Contains(0) {
@@ -66,10 +66,10 @@ func TestLRUEviction(t *testing.T) {
 
 func TestTouchRefreshesLRU(t *testing.T) {
 	m, _ := newPool(t, 10, 2)
-	m.Unfix(m.Fix(0))
-	m.Unfix(m.Fix(1))
-	m.Unfix(m.Fix(0)) // 0 becomes MRU
-	m.Unfix(m.Fix(2)) // evicts 1
+	m.Unfix(fix(m, 0))
+	m.Unfix(fix(m, 1))
+	m.Unfix(fix(m, 0)) // 0 becomes MRU
+	m.Unfix(fix(m, 2)) // evicts 1
 	if !m.Contains(0) || m.Contains(1) {
 		t.Fatal("LRU order not refreshed by hit")
 	}
@@ -77,9 +77,9 @@ func TestTouchRefreshesLRU(t *testing.T) {
 
 func TestPinnedPagesSurviveEviction(t *testing.T) {
 	m, _ := newPool(t, 10, 2)
-	f0 := m.Fix(0)
-	f1 := m.Fix(1)
-	m.Unfix(m.Fix(2)) // all frames pinned: must overflow, not evict
+	f0 := fix(m, 0)
+	f1 := fix(m, 1)
+	m.Unfix(fix(m, 2)) // all frames pinned: must overflow, not evict
 	if !m.Contains(0) || !m.Contains(1) {
 		t.Fatal("pinned page evicted")
 	}
@@ -92,7 +92,7 @@ func TestPinnedPagesSurviveEviction(t *testing.T) {
 
 func TestUnfixUnpinnedPanics(t *testing.T) {
 	m, _ := newPool(t, 2, 2)
-	f := m.Fix(0)
+	f := fix(m, 0)
 	m.Unfix(f)
 	defer func() {
 		if recover() == nil {
@@ -108,7 +108,7 @@ func TestRequestWaitLoaded(t *testing.T) {
 	m.Request(15)
 	got := map[vdisk.PageID]bool{}
 	for i := 0; i < 2; i++ {
-		p, ok := m.WaitLoaded()
+		p, ok, _ := m.WaitLoaded()
 		if !ok {
 			t.Fatal("WaitLoaded failed")
 		}
@@ -120,7 +120,7 @@ func TestRequestWaitLoaded(t *testing.T) {
 	if !got[5] || !got[15] {
 		t.Fatalf("got %v", got)
 	}
-	if _, ok := m.WaitLoaded(); ok {
+	if _, ok, _ := m.WaitLoaded(); ok {
 		t.Fatal("WaitLoaded returned a third page")
 	}
 	if led.AsyncSubmitted != 2 {
@@ -130,10 +130,10 @@ func TestRequestWaitLoaded(t *testing.T) {
 
 func TestRequestCachedIsImmediatelyReady(t *testing.T) {
 	m, led := newPool(t, 10, 4)
-	m.Unfix(m.Fix(7))
+	m.Unfix(fix(m, 7))
 	reads := led.PageReads
 	m.Request(7)
-	p, ok := m.WaitLoaded()
+	p, ok, _ := m.WaitLoaded()
 	if !ok || p != 7 {
 		t.Fatalf("WaitLoaded = %d, %v", p, ok)
 	}
@@ -149,10 +149,10 @@ func TestRequestDeduplicated(t *testing.T) {
 	if led.AsyncSubmitted != 1 {
 		t.Fatalf("duplicate request submitted: %d", led.AsyncSubmitted)
 	}
-	if p, ok := m.WaitLoaded(); !ok || p != 3 {
+	if p, ok, _ := m.WaitLoaded(); !ok || p != 3 {
 		t.Fatalf("WaitLoaded = %d %v", p, ok)
 	}
-	if _, ok := m.WaitLoaded(); ok {
+	if _, ok, _ := m.WaitLoaded(); ok {
 		t.Fatal("dedup delivered twice")
 	}
 }
@@ -160,10 +160,10 @@ func TestRequestDeduplicated(t *testing.T) {
 func TestSyncReadSupersedesPending(t *testing.T) {
 	m, _ := newPool(t, 10, 4)
 	m.Request(3)
-	m.Unfix(m.Fix(3)) // sync read wins the race
+	m.Unfix(fix(m, 3)) // sync read wins the race
 	// The async completion may still surface, but must terminate cleanly.
 	for {
-		_, ok := m.WaitLoaded()
+		_, ok, _ := m.WaitLoaded()
 		if !ok {
 			break
 		}
@@ -175,15 +175,15 @@ func TestSyncReadSupersedesPending(t *testing.T) {
 
 func TestWaitLoadedEmpty(t *testing.T) {
 	m, _ := newPool(t, 5, 2)
-	if _, ok := m.WaitLoaded(); ok {
+	if _, ok, _ := m.WaitLoaded(); ok {
 		t.Fatal("WaitLoaded on empty queue succeeded")
 	}
 }
 
 func TestFlushAll(t *testing.T) {
 	m, _ := newPool(t, 10, 4)
-	m.Unfix(m.Fix(1))
-	m.Unfix(m.Fix(2))
+	m.Unfix(fix(m, 1))
+	m.Unfix(fix(m, 2))
 	m.FlushAll()
 	if m.Len() != 0 || m.Contains(1) {
 		t.Fatal("FlushAll incomplete")
@@ -192,7 +192,7 @@ func TestFlushAll(t *testing.T) {
 
 func TestFlushAllPinnedPanics(t *testing.T) {
 	m, _ := newPool(t, 10, 4)
-	m.Fix(1)
+	fix(m, 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -206,7 +206,7 @@ func TestCapacityNeverExceededWhenUnpinned(t *testing.T) {
 		m, _ := newPool(t, 64, 8)
 		r := rng.New(seed)
 		for i := 0; i < 200; i++ {
-			fr := m.Fix(vdisk.PageID(r.Intn(64)))
+			fr := fix(m, vdisk.PageID(r.Intn(64)))
 			m.Unfix(fr)
 			if m.Len() > 8 {
 				return false
@@ -225,7 +225,7 @@ func TestDataIntegrityUnderChurn(t *testing.T) {
 		r := rng.New(seed)
 		for i := 0; i < 300; i++ {
 			p := vdisk.PageID(r.Intn(32))
-			fr := m.Fix(p)
+			fr := fix(m, p)
 			if fr.Data[0] != byte(p) || fr.Data[1] != byte(p>>8) {
 				return false
 			}
@@ -246,7 +246,7 @@ func TestAsyncRequestsOverlapWithCPU(t *testing.T) {
 	led.AdvanceCPU(stats.Ticks(10) * 100 * stats.Millisecond)
 	waitBefore := led.IOWait
 	for {
-		if _, ok := m.WaitLoaded(); !ok {
+		if _, ok, _ := m.WaitLoaded(); !ok {
 			break
 		}
 	}
@@ -257,10 +257,10 @@ func TestAsyncRequestsOverlapWithCPU(t *testing.T) {
 
 func BenchmarkFixHit(b *testing.B) {
 	m, _ := newPool(b, 4, 4)
-	m.Unfix(m.Fix(0))
+	m.Unfix(fix(m, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Unfix(m.Fix(0))
+		m.Unfix(fix(m, 0))
 	}
 }
 
@@ -269,7 +269,7 @@ func TestEvictHandlerFires(t *testing.T) {
 	var evicted []vdisk.PageID
 	m.SetEvictHandler(func(p vdisk.PageID) { evicted = append(evicted, p) })
 	for i := 0; i < 3; i++ {
-		m.Unfix(m.Fix(vdisk.PageID(i)))
+		m.Unfix(fix(m, vdisk.PageID(i)))
 	}
 	if len(evicted) != 1 || evicted[0] != 0 {
 		t.Fatalf("evicted = %v, want [0]", evicted)
@@ -282,14 +282,14 @@ func TestEvictHandlerFires(t *testing.T) {
 
 func TestInvalidateDropsFrame(t *testing.T) {
 	m, led := newPool(t, 10, 4)
-	m.Unfix(m.Fix(3))
+	m.Unfix(fix(m, 3))
 	m.Invalidate(3)
 	if m.Contains(3) {
 		t.Fatal("page survived invalidation")
 	}
 	m.Invalidate(3) // absent: no-op
 	reads := led.PageReads
-	m.Unfix(m.Fix(3))
+	m.Unfix(fix(m, 3))
 	if led.PageReads != reads+1 {
 		t.Fatal("invalidated page served from cache")
 	}
@@ -297,11 +297,20 @@ func TestInvalidateDropsFrame(t *testing.T) {
 
 func TestInvalidatePinnedPanics(t *testing.T) {
 	m, _ := newPool(t, 10, 4)
-	m.Fix(2)
+	fix(m, 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
 	m.Invalidate(2)
+}
+
+// fix is the test shorthand for a Fix that must succeed.
+func fix(m *Manager, p vdisk.PageID) *Frame {
+	f, err := m.Fix(p)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }

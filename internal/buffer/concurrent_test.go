@@ -35,7 +35,7 @@ func TestConcurrentFixUnfix(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				p := vdisk.PageID((w*13 + i*7) % pages)
-				f := m.Fix(p)
+				f := fix(m, p)
 				if f.Page != p {
 					t.Errorf("Fix(%d) returned frame for page %d", p, f.Page)
 					m.Unfix(f)
@@ -80,7 +80,7 @@ func TestConcurrentHitsShareOneLoad(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f := m.Fix(2)
+			f := fix(m, 2)
 			if f.Data[0] != 2 {
 				t.Errorf("incomplete frame observed: %d", f.Data[0])
 			}
@@ -101,7 +101,7 @@ func TestCancelRequests(t *testing.T) {
 	m := newConcurrentPool(t, 8, 8)
 	m.Request(1)
 	m.Request(3)
-	m.Unfix(m.Fix(5)) // cache page 5
+	m.Unfix(fix(m, 5)) // cache page 5
 	m.Request(5)      // ready immediately
 	if m.OutstandingRequests() != 3 {
 		t.Fatalf("outstanding = %d, want 3", m.OutstandingRequests())
@@ -110,12 +110,12 @@ func TestCancelRequests(t *testing.T) {
 	if m.OutstandingRequests() != 0 {
 		t.Fatal("CancelRequests left requests")
 	}
-	if p, ok := m.WaitLoaded(); ok {
+	if p, ok, _ := m.WaitLoaded(); ok {
 		t.Fatalf("cancelled request delivered page %d", p)
 	}
 	// The pool keeps working normally afterwards.
 	m.Request(3)
-	p, ok := m.WaitLoaded()
+	p, ok, _ := m.WaitLoaded()
 	if !ok || p != 3 {
 		t.Fatalf("post-cancel request: got %v,%v", p, ok)
 	}

@@ -1,0 +1,143 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pathdb/internal/stats"
+	"pathdb/internal/vdisk"
+)
+
+// newFaultPool builds a pool over pages whose first byte is the page
+// number, returning the disk for fault control.
+func newFaultPool(t *testing.T, pages, capacity int) (*Manager, *vdisk.Disk) {
+	t.Helper()
+	d := vdisk.New(vdisk.DefaultCostModel(), stats.NewLedger(), 32)
+	buf := make([]byte, 32)
+	for i := 0; i < pages; i++ {
+		p := d.Alloc()
+		buf[0] = byte(i)
+		d.Write(p, buf)
+	}
+	d.Ledger().Reset()
+	d.ResetClockState()
+	return New(d, capacity), d
+}
+
+func TestFixExhaustsRetriesOnPersistentError(t *testing.T) {
+	m, d := newFaultPool(t, 8, 8)
+	d.SetFaults(vdisk.Faults{Seed: 1, ReadError: 1})
+	_, err := m.Fix(3)
+	if err == nil {
+		t.Fatal("Fix succeeded under ReadError=1")
+	}
+	var re *vdisk.ReadError
+	if !errors.As(err, &re) || re.Page != 3 {
+		t.Fatalf("error %v does not carry the failing page", err)
+	}
+	led := d.Ledger()
+	if led.ReadFaults != int64(m.retry.Attempts) {
+		t.Fatalf("ReadFaults = %d, want %d (one per attempt)", led.ReadFaults, m.retry.Attempts)
+	}
+	if led.ReadRetries != int64(m.retry.Attempts-1) {
+		t.Fatalf("ReadRetries = %d, want %d", led.ReadRetries, m.retry.Attempts-1)
+	}
+
+	// The failure is not sticky: disarm and the same Fix succeeds.
+	d.SetFaults(vdisk.Faults{})
+	f, err := m.Fix(3)
+	if err != nil || f.Data[0] != 3 {
+		t.Fatalf("Fix after disarm: err=%v data=%v", err, f.Data[:1])
+	}
+	m.Unfix(f)
+}
+
+func TestFixRetryRecoversTransientFaults(t *testing.T) {
+	const pages = 64
+	m, d := newFaultPool(t, pages, pages)
+	d.SetFaults(vdisk.Faults{Seed: 9, ReadError: 0.3})
+	failed := 0
+	for i := 0; i < pages; i++ {
+		f, err := m.Fix(vdisk.PageID(i))
+		if err != nil {
+			failed++
+			continue
+		}
+		if f.Data[0] != byte(i) {
+			t.Fatalf("page %d holds data %d", i, f.Data[0])
+		}
+		m.Unfix(f)
+	}
+	// P(all 4 attempts fail) = 0.3^4 < 1%; nearly every Fix must recover.
+	if failed > pages/8 {
+		t.Fatalf("%d/%d fixes failed despite retry", failed, pages)
+	}
+	if d.Ledger().ReadRetries == 0 {
+		t.Fatal("no retries recorded at a 30% fault rate")
+	}
+}
+
+func TestFixVerifierEscalatesCorruption(t *testing.T) {
+	m, d := newFaultPool(t, 8, 8)
+	wantErr := fmt.Errorf("checksum mismatch")
+	m.SetVerifier(func(p vdisk.PageID, data []byte) error {
+		if data[0] != byte(p) {
+			return wantErr
+		}
+		for _, b := range data[1:] {
+			if b != 0 {
+				return wantErr
+			}
+		}
+		return nil
+	})
+	d.CorruptPage(5, 42) // persistent medium damage at offset < 16
+	if f, err := m.Fix(4); err != nil || f.Data[0] != 4 {
+		t.Fatalf("intact page failed verification: %v", err)
+	} else {
+		m.Unfix(f)
+	}
+	_, err := m.Fix(5)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Fix(5) = %v, want verifier error", err)
+	}
+	if got := d.Ledger().ChecksumFails; got != int64(m.retry.Attempts) {
+		t.Fatalf("ChecksumFails = %d, want %d", got, m.retry.Attempts)
+	}
+}
+
+func TestWaiterPoisonFanout(t *testing.T) {
+	m, d := newFaultPool(t, 8, 8)
+	d.SetFaults(vdisk.Faults{Seed: 2, ReadError: 1})
+
+	led1, led2 := stats.NewLedger(), stats.NewLedger()
+	w1, w2 := m.NewWaiter(led1), m.NewWaiter(led2)
+	w1.Request(6)
+	w2.Request(6)
+
+	p, ok, err := w1.WaitLoaded()
+	if !ok || err == nil || p != 6 {
+		t.Fatalf("w1.WaitLoaded = (%v, %v, %v), want page 6 with error", p, ok, err)
+	}
+	p, ok, err2 := w2.WaitLoaded()
+	if !ok || err2 == nil || p != 6 {
+		t.Fatalf("w2.WaitLoaded = (%v, %v, %v), want page 6 with the same poison", p, ok, err2)
+	}
+	// Both waiters consumed the poison entry; the failure must not be
+	// sticky for future requests.
+	d.SetFaults(vdisk.Faults{})
+	w1.Request(6)
+	p, ok, err = w1.WaitLoaded()
+	if !ok || err != nil || p != 6 {
+		t.Fatalf("post-disarm WaitLoaded = (%v, %v, %v), want clean delivery", p, ok, err)
+	}
+	f := fix(m, 6)
+	if f.Data[0] != 6 {
+		t.Fatalf("page 6 holds data %d", f.Data[0])
+	}
+	m.Unfix(f)
+	if led1.ReadRetries == 0 {
+		t.Fatal("driving waiter recorded no retries")
+	}
+}

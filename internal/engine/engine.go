@@ -160,6 +160,7 @@ type Metrics struct {
 	Cancelled int64       // failed with a context error
 	Gangs     int64       // dispatcher batches executed
 	Batched   int64       // queries that ran on a shared scheduler
+	Faulted   int64       // queries failed by a storage page fault (I/O or corruption)
 	OverheadV stats.Ticks // virtual CPU spent on admission/dispatch bookkeeping
 }
 
@@ -195,6 +196,7 @@ type Engine struct {
 	cancelled atomic.Int64
 	gangs     atomic.Int64
 	batched   atomic.Int64
+	faulted   atomic.Int64
 }
 
 // New builds an engine over store and starts its dispatcher. The cost model
@@ -228,6 +230,7 @@ func (e *Engine) Metrics() Metrics {
 		Cancelled: e.cancelled.Load(),
 		Gangs:     e.gangs.Load(),
 		Batched:   e.batched.Load(),
+		Faulted:   e.faulted.Load(),
 		OverheadV: e.dom.Ledger().Total(),
 	}
 }
@@ -503,12 +506,42 @@ func (e *Engine) runShared(units []execUnit, gangSize int) {
 			Store:    e.store.Reader(qleds[i]),
 		}
 	}
-	mp := core.BuildMultiPlan(gview, queries, core.PlanOptions{K: e.cfg.K})
 	buckets := make([][]core.Result, len(units))
-	mp.RunEach(
-		func(i int) bool { return units[i].p.ctx.Err() != nil },
-		func(i int, r core.Result) { buckets[i] = append(buckets[i], r) },
-	)
+	ferr := func() (ferr *storage.PageError) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pe, ok := storage.AsPageFault(r); ok {
+					ferr = pe
+					return
+				}
+				panic(r)
+			}
+		}()
+		mp := core.BuildMultiPlan(gview, queries, core.PlanOptions{K: e.cfg.K})
+		mp.RunEach(
+			func(i int) bool { return units[i].p.ctx.Err() != nil },
+			func(i int, r core.Result) { buckets[i] = append(buckets[i], r) },
+		)
+		return nil
+	}()
+	if ferr != nil {
+		// A page fault inside the shared scheduler poisons the whole
+		// group run: the partial buckets are unusable because RunEach
+		// interleaves members. Withdraw the group's in-flight
+		// prefetches, account the spent work, and re-run every member
+		// on its own solo plan — only queries that genuinely need the
+		// bad page fail with the typed error; the rest of the gang
+		// completes normally off the (still warm) buffer pool.
+		gview.CancelRequests()
+		e.store.Ledger().Merge(gled.Snapshot())
+		for i := range qleds {
+			e.store.Ledger().Merge(qleds[i].Snapshot())
+		}
+		for _, u := range units {
+			e.runSolo(u, gangSize)
+		}
+		return
+	}
 
 	sharedV := gled.Total()
 	e.store.Ledger().Merge(gled.Snapshot())
@@ -551,22 +584,44 @@ func (e *Engine) runSolo(u execUnit, gangSize int) {
 	startV := e.store.Ledger().Total()
 	startW := time.Now()
 
-	p := core.BuildPlan(view, u.p.q.Path, e.contextsOf(u.p.q), u.strat, core.PlanOptions{
-		K:        e.cfg.K,
-		MemLimit: u.p.q.MemLimit,
-		Ctx:      u.p.ctx,
-	})
-	root := p.Root()
-	root.Open()
 	var results []core.Result
-	for {
-		inst, ok := root.Next()
-		if !ok {
-			break
+	ferr := func() (ferr *storage.PageError) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pe, ok := storage.AsPageFault(r); ok {
+					ferr = pe
+					return
+				}
+				panic(r)
+			}
+		}()
+		p := core.BuildPlan(view, u.p.q.Path, e.contextsOf(u.p.q), u.strat, core.PlanOptions{
+			K:        e.cfg.K,
+			MemLimit: u.p.q.MemLimit,
+			Ctx:      u.p.ctx,
+		})
+		root := p.Root()
+		root.Open()
+		for {
+			inst, ok := root.Next()
+			if !ok {
+				break
+			}
+			results = append(results, core.Result{Node: inst.NR, Ord: inst.Ord})
 		}
-		results = append(results, core.Result{Node: inst.NR, Ord: inst.Ord})
+		root.Close()
+		return nil
+	}()
+	if ferr != nil {
+		// The fault already exhausted the storage retry budget; fail
+		// just this query, withdraw its outstanding prefetches so they
+		// cannot surface inside a later gang, and account its work.
+		e.faulted.Add(1)
+		view.CancelRequests()
+		e.store.Ledger().Merge(qled.Snapshot())
+		u.p.finish(Result{}, ferr)
+		return
 	}
-	root.Close()
 
 	if err := u.p.ctx.Err(); err != nil {
 		e.cancelled.Add(1)

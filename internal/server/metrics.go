@@ -27,6 +27,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(&b, "pathdb_engine_cancelled_total", "Queries failed with a context error (deadline or disconnect).", float64(m.Cancelled))
 	counter(&b, "pathdb_engine_gangs_total", "Dispatcher batches executed.", float64(m.Gangs))
 	counter(&b, "pathdb_engine_batched_total", "Queries that ran on a gang-shared I/O scheduler.", float64(m.Batched))
+	counter(&b, "pathdb_engine_faulted_total", "Queries failed by a storage page fault (I/O or corruption).", float64(m.Faulted))
 	counter(&b, "pathdb_engine_overhead_virtual_seconds_total", "Virtual time spent on dispatch bookkeeping.", m.OverheadV.Seconds())
 
 	// The whole cost ledger, one series per field. Virtual clocks (the
@@ -52,6 +53,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(&b, "pathdb_server_timeouts_total", "Query requests answered 504 (deadline expired).", float64(s.timeouts.Load()))
 	counter(&b, "pathdb_server_bad_requests_total", "Query requests answered 400.", float64(s.badReqs.Load()))
 	counter(&b, "pathdb_server_client_gone_total", "Queries whose client disconnected mid-flight.", float64(s.gone.Load()))
+	counter(&b, "pathdb_server_io_errors_total", "Query requests answered 500 for a storage fault (io or corrupt kind).", float64(s.ioErrors.Load()))
 	gauge(&b, "pathdb_volume_pages", "Data pages of the loaded volume.", float64(s.db.Pages()))
 
 	_, _ = w.Write([]byte(b.String()))

@@ -98,6 +98,7 @@ type Server struct {
 	timeouts  atomic.Int64 // 504s
 	badReqs   atomic.Int64 // 400s
 	gone      atomic.Int64 // client disconnected mid-query
+	ioErrors  atomic.Int64 // 500s from storage faults (KindIO/KindCorrupt)
 }
 
 // New builds a server over db's engine. The engine must outlive the
@@ -215,9 +216,22 @@ type QueryResponse struct {
 	WallExecNs       int64 `json:"wall_exec_ns"`
 }
 
-// ErrorResponse is the JSON body of every non-200 response.
+// ErrorResponse is the JSON body of every non-200 response. Kind
+// round-trips the pathdb error taxonomy (pathdb.ParseErrorKind), so
+// clients classify failures structurally instead of matching messages.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// errKind extracts the taxonomy kind of err for the response body; errors
+// from outside the taxonomy report no kind.
+func errKind(err error) string {
+	var pe *pathdb.Error
+	if errors.As(err, &pe) {
+		return pe.Kind.String()
+	}
+	return ""
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -228,7 +242,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.enter() {
 		s.shed.Add(1)
-		s.unavailable(w, "draining")
+		s.unavailable(w, "draining", pathdb.KindClosed.String())
 		return
 	}
 	defer s.leave()
@@ -283,33 +297,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.response(req, &res))
 }
 
-// queryError maps an engine error onto an HTTP status: overload and drain
-// are 503 (with Retry-After), deadline expiry is 504, a vanished client is
-// logged but unanswerable.
+// queryError maps the typed error taxonomy onto HTTP statuses: overload
+// and drain are 503 (with Retry-After), deadline expiry is 504, storage
+// faults (I/O exhaustion, checksum corruption) are 500 with the kind in
+// the structured body, a vanished client is logged but unanswerable.
 func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, pathdb.ErrOverloaded):
 		s.shed.Add(1)
-		s.unavailable(w, "overloaded: admission queue full")
+		s.unavailable(w, "overloaded: admission queue full", pathdb.KindOverloaded.String())
 	case errors.Is(err, pathdb.ErrClosed):
 		s.shed.Add(1)
-		s.unavailable(w, "draining")
-	case pathdb.IsTimeout(err) && r.Context().Err() == nil:
+		s.unavailable(w, "draining", pathdb.KindClosed.String())
+	case errors.Is(err, pathdb.ErrIO) || errors.Is(err, pathdb.ErrCorrupt):
+		// The fault plane exhausted the storage retry budget; the query
+		// failed alone (its gang completed). Surface the typed kind so
+		// clients can distinguish transient I/O from medium damage.
+		s.ioErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Kind: errKind(err)})
+	case errors.Is(err, pathdb.ErrTimeout) && r.Context().Err() == nil:
 		// The per-request timeout fired while the client is still there.
 		s.timeouts.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "query timed out"})
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "query timed out", Kind: errKind(err)})
 	case r.Context().Err() != nil:
 		// Client disconnected; the response is written into the void, but
 		// net/http wants the handler to return normally.
 		s.gone.Add(1)
 	default:
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Kind: errKind(err)})
 	}
 }
 
-func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+func (s *Server) unavailable(w http.ResponseWriter, msg, kind string) {
 	w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfter))
-	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: msg})
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: msg, Kind: kind})
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, msg string) {

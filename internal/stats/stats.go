@@ -92,6 +92,12 @@ type Counters struct {
 	ClustersVisited int64 // distinct cluster activations by I/O operators
 	SpecInstances   int64 // speculative left-incomplete instances created
 	FallbackEvents  int64 // low-memory fallback activations
+
+	// Fault plane (vdisk fault injection and the verified-read path).
+	ReadFaults    int64 // transient read errors injected by the device
+	ReadRetries   int64 // bounded re-reads after a fault or checksum failure
+	ChecksumFails int64 // page images that failed trailer verification
+	LatencySpikes int64 // injected latency spikes observed by reads
 }
 
 // Ledger is the virtual clock plus counters. One ledger may be shared by
@@ -119,11 +125,12 @@ func (l *Ledger) fields() [numFields]*int64 {
 		&l.NodesVisited, &l.TuplesMoved, &l.SetInserts, &l.SetLookups,
 		&l.AsyncSubmitted, &l.AsyncCompleted, &l.AsyncWithdrawn,
 		&l.ClustersVisited, &l.SpecInstances, &l.FallbackEvents,
+		&l.ReadFaults, &l.ReadRetries, &l.ChecksumFails, &l.LatencySpikes,
 	}
 }
 
 // numFields is the number of int64-backed ledger fields.
-const numFields = 24
+const numFields = 28
 
 // fieldNames are the exported snapshot names of every ledger field, in
 // fields() order. The first three are virtual clocks in nanoseconds; the
@@ -137,6 +144,7 @@ var fieldNames = [numFields]string{
 	"nodes_visited", "tuples_moved", "set_inserts", "set_lookups",
 	"async_submitted", "async_completed", "async_withdrawn",
 	"clusters_visited", "spec_instances", "fallback_events",
+	"read_faults", "read_retries", "checksum_fails", "latency_spikes",
 }
 
 // NamedValue is one ledger field under its exported snapshot name.

@@ -40,8 +40,18 @@ func (s *Store) ExportScanXML(w io.Writer) error {
 }
 
 // ExportScanDocumentXML serializes the i-th collection member using one
-// sequential scan of the whole volume.
-func (s *Store) ExportScanDocumentXML(w io.Writer, doc int) error {
+// sequential scan of the whole volume. Page faults raised by the scan's
+// loads surface as the typed *PageError instead of a panic.
+func (s *Store) ExportScanDocumentXML(w io.Writer, doc int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := AsPageFault(r); ok {
+				err = pe
+				return
+			}
+			panic(r)
+		}
+	}()
 	pieces := make(map[NodeID]*piece)
 	n := s.NumDataPages()
 	for i := 0; i < n; i++ {

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"pathdb/internal/vdisk"
+)
+
+// faultFixture imports a multi-page document and returns its fault-free
+// scan export as the reference output.
+func faultFixture(t testing.TB) (*Store, string) {
+	t.Helper()
+	dict, doc := buildTree(21, 400)
+	st := importDoc(t, doc, dict, 512, LayoutContiguous)
+	var ref strings.Builder
+	if err := st.ExportScanXML(&ref); err != nil {
+		t.Fatalf("fault-free export: %v", err)
+	}
+	st.ResetForRun()
+	return st, ref.String()
+}
+
+func TestPageTrailerStamped(t *testing.T) {
+	st, _ := faultFixture(t)
+	d := st.Disk()
+	buf := make([]byte, d.PageSize())
+	for i := 0; i < st.NumDataPages(); i++ {
+		p := st.DataPage(i)
+		if err := d.ReadSync(p, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := verifyPageTrailer(p, buf); err != nil {
+			t.Fatalf("page %d fails its own trailer: %v", p, err)
+		}
+	}
+	// Meta and dictionary pages carry trailers too.
+	if err := d.ReadSync(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyPageTrailer(0, buf); err != nil {
+		t.Fatalf("meta page fails its trailer: %v", err)
+	}
+}
+
+func TestCorruptPageEscalatesTyped(t *testing.T) {
+	st, _ := faultFixture(t)
+	bad := st.DataPage(3)
+	st.Disk().CorruptPage(bad, 5)
+	err := st.ExportScanXML(new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("scan over damaged medium succeeded")
+	}
+	var pe *PageError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PageError", err)
+	}
+	if pe.Kind != PageCorrupt || pe.Page != bad {
+		t.Fatalf("PageError = {%v, %v}, want {corrupt, %d}", pe.Kind, pe.Page, bad)
+	}
+	if st.Ledger().ChecksumFails == 0 {
+		t.Fatal("corruption detected but ChecksumFails = 0")
+	}
+}
+
+func TestTransientReadFaultsRetried(t *testing.T) {
+	st, ref := faultFixture(t)
+	st.Disk().SetFaults(vdisk.Faults{Seed: 13, ReadError: 0.2, Corrupt: 0.1})
+	var out strings.Builder
+	if err := st.ExportScanXML(&out); err != nil {
+		t.Fatalf("export did not survive 20%% transient faults: %v", err)
+	}
+	if out.String() != ref {
+		t.Fatal("retried export differs from fault-free output")
+	}
+	led := st.Ledger()
+	if led.ReadRetries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if led.ReadFaults == 0 {
+		t.Fatal("no faults drawn")
+	}
+}
+
+func TestPersistentReadErrorEscalatesIO(t *testing.T) {
+	st, _ := faultFixture(t)
+	st.Disk().SetFaults(vdisk.Faults{Seed: 1, ReadError: 1})
+	err := st.ExportScanXML(new(bytes.Buffer))
+	var pe *PageError
+	if !errors.As(err, &pe) || pe.Kind != PageIO {
+		t.Fatalf("err = %v, want *PageError with io kind", err)
+	}
+	var re *vdisk.ReadError
+	if !errors.As(err, &re) {
+		t.Fatal("device ReadError missing from the unwrap chain")
+	}
+}
+
+func TestOpenRejectsCorruptMeta(t *testing.T) {
+	st, _ := faultFixture(t)
+	st.Disk().CorruptPage(0, 9)
+	_, err := Open(st.Disk())
+	if err == nil {
+		t.Fatal("Open over a damaged meta page succeeded")
+	}
+	var pe *PageError
+	if !errors.As(err, &pe) || pe.Kind != PageCorrupt || pe.Page != 0 {
+		t.Fatalf("err = %v, want corrupt PageError for page 0", err)
+	}
+}
+
+func TestSwizzleRetriesAfterFault(t *testing.T) {
+	st, ref := faultFixture(t)
+	st.Disk().SetFaults(vdisk.Faults{Seed: 1, ReadError: 1})
+	if err := st.ExportScanXML(new(bytes.Buffer)); err == nil {
+		t.Fatal("expected a fault under ReadError=1")
+	}
+	// Failed loads must not be cached: disarm and the same scan succeeds.
+	st.Disk().SetFaults(vdisk.Faults{})
+	var out strings.Builder
+	if err := st.ExportScanXML(&out); err != nil {
+		t.Fatalf("scan after disarm: %v", err)
+	}
+	if out.String() != ref {
+		t.Fatal("post-fault export differs from reference")
+	}
+}

@@ -123,7 +123,7 @@ type importer struct {
 }
 
 func (im *importer) newCluster() *draftCluster {
-	c := &draftCluster{id: len(im.clusters), used: pageHeaderSize, cap: im.opts.PageSize}
+	c := &draftCluster{id: len(im.clusters), used: pageHeaderSize, cap: usable(im.opts.PageSize)}
 	im.clusters = append(im.clusters, c)
 	return c
 }
@@ -247,7 +247,7 @@ func ImportCollection(disk *vdisk.Disk, dict *xmltree.Dictionary, docs []*xmltre
 		for i := range c.recs {
 			pb.add(encodeRec(&c.recs[i]))
 		}
-		disk.Write(vdisk.PageID(firstData+pos), pb.finish())
+		writePage(disk, vdisk.PageID(firstData+pos), pb.finish())
 	}
 	dictStart, dictCount := writeDictionary(disk, dict)
 	roots := make([]NodeID, len(rootRefs))
@@ -375,7 +375,7 @@ func (im *importer) draftRecs(ch *xmltree.Node, parentOrd ordpath.Key, childIdx 
 		for _, a := range ch.Attrs {
 			r.attrs = append(r.attrs, attrRec{tag: a.Tag, val: a.Text})
 		}
-		if encodedSize(&r)+2+2*proxyReserve+pageHeaderSize+encodedSize(&rec{kind: RecProxyChild, parent: 0, ord: r.ord})+16 > im.opts.PageSize {
+		if encodedSize(&r)+2+2*proxyReserve+pageHeaderSize+encodedSize(&rec{kind: RecProxyChild, parent: 0, ord: r.ord})+16 > usable(im.opts.PageSize) {
 			return nil, fmt.Errorf("%w: element with %d attributes", ErrRecordTooLarge, len(ch.Attrs))
 		}
 		return []draftRec{{r: r, node: ch}}, nil

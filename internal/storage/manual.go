@@ -63,7 +63,7 @@ func ImportManual(disk *vdisk.Disk, dict *xmltree.Dictionary, doc *xmltree.Node,
 		for j := range c.recs {
 			pb.add(encodeRec(&c.recs[j]))
 		}
-		disk.Write(vdisk.PageID(firstData+i), pb.finish())
+		writePage(disk, vdisk.PageID(firstData+i), pb.finish())
 	}
 	dictStart, dictCount := writeDictionary(disk, dict)
 	rootID := MakeNodeID(vdisk.PageID(firstData+rootCluster.id), docSlot)

@@ -135,7 +135,9 @@ type pageBuilder struct {
 }
 
 func newPageBuilder(pageSize int) *pageBuilder {
-	b := &pageBuilder{cap: pageSize, data: make([]byte, pageHeaderSize, pageSize)}
+	// The builder fills the usable region; the checksum trailer is stamped
+	// by writePage when the finished payload goes to the device.
+	b := &pageBuilder{cap: usable(pageSize), data: make([]byte, pageHeaderSize, pageSize)}
 	return b
 }
 
@@ -269,23 +271,26 @@ func (e *corruptError) Error() string {
 	return fmt.Sprintf("storage: page %d corrupt: %s", e.page, e.msg)
 }
 
-// decodePage parses raw page bytes into a pageImage.
+// decodePage parses raw page bytes into a pageImage. The slot table sits at
+// the end of the usable region; the trailing checksum bytes (verified by the
+// buffer pool before raw reaches us) are not part of the record layout.
 func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error) {
+	cap := usable(pageSize)
 	if len(raw) < pageHeaderSize {
 		return nil, &corruptError{page, "short page"}
 	}
 	n := int(binary.LittleEndian.Uint16(raw[0:2]))
-	if pageSize-2*n < pageHeaderSize {
+	if cap-2*n < pageHeaderSize {
 		return nil, &corruptError{page, "slot table overlaps header"}
 	}
 	img := &pageImage{page: page, recs: make([]rec, n)}
 	for i := 0; i < n; i++ {
-		off := int(binary.LittleEndian.Uint16(raw[pageSize-2*(i+1):]))
+		off := int(binary.LittleEndian.Uint16(raw[cap-2*(i+1):]))
 		if off == deadSlotOff {
 			img.recs[i].dead = true
 			continue
 		}
-		if off < pageHeaderSize || off >= pageSize {
+		if off < pageHeaderSize || off >= cap {
 			return nil, &corruptError{page, fmt.Sprintf("slot %d offset %d out of range", i, off)}
 		}
 		if err := decodeRec(&img.recs[i], raw[off:]); err != nil {
@@ -330,7 +335,8 @@ func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error)
 	return img, nil
 }
 
-// encodePageImage serializes live records back to a page, preserving slot
+// encodePageImage serializes live records back to a page payload (the
+// usable region; writePage adds the checksum trailer), preserving slot
 // numbers (NodeIDs embed them) and tombstoning dead slots. Trailing dead
 // slots are truncated so their numbers become reusable.
 func encodePageImage(img *pageImage, pageSize int) ([]byte, error) {
@@ -338,16 +344,17 @@ func encodePageImage(img *pageImage, pageSize int) ([]byte, error) {
 	for n > 0 && img.recs[n-1].dead {
 		n--
 	}
-	out := make([]byte, pageSize)
+	cap := usable(pageSize)
+	out := make([]byte, cap)
 	dataOff := pageHeaderSize
 	for i := 0; i < n; i++ {
-		slotPos := pageSize - 2*(i+1)
+		slotPos := cap - 2*(i+1)
 		if img.recs[i].dead {
 			binary.LittleEndian.PutUint16(out[slotPos:], deadSlotOff)
 			continue
 		}
 		enc := encodeRec(&img.recs[i])
-		if dataOff+len(enc) > pageSize-2*n {
+		if dataOff+len(enc) > cap-2*n {
 			return nil, &corruptError{img.page, "page overflow during rewrite"}
 		}
 		copy(out[dataOff:], enc)

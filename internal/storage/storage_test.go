@@ -611,15 +611,17 @@ func TestDecodeCorruptPage(t *testing.T) {
 	if _, err := decodePage(0, []byte{1}, 8); err == nil {
 		t.Fatal("short page accepted")
 	}
-	// A slot offset pointing outside the page.
+	// A slot offset pointing outside the usable region (the slot table sits
+	// at the end of usable(pageSize), before the checksum trailer).
 	raw := make([]byte, 64)
-	raw[0] = 1    // one slot
-	raw[62] = 200 // offset 200 > page size 64
+	slotPos := usable(64) - 2
+	raw[0] = 1        // one slot
+	raw[slotPos] = 60 // offset 60 > usable size 56
 	if _, err := decodePage(0, raw, 64); err == nil {
 		t.Fatal("bad slot offset accepted")
 	}
 	// The dead-slot sentinel is legal and yields a tombstone.
-	raw[62], raw[63] = 0xFF, 0xFF
+	raw[slotPos], raw[slotPos+1] = 0xFF, 0xFF
 	img, err := decodePage(0, raw, 64)
 	if err != nil || !img.recs[0].dead {
 		t.Fatalf("dead slot not tolerated: %v", err)

@@ -60,6 +60,7 @@ func newStore(disk *vdisk.Disk, dict *xmltree.Dictionary, roots []NodeID, firstD
 		cache:     newSwizCache(),
 	}
 	s.buf.SetEvictHandler(s.cache.drop)
+	s.buf.SetVerifier(verifyPageTrailer)
 	s.w = s.buf.NewWaiter(s.led)
 	return s
 }
@@ -69,6 +70,7 @@ func newStore(disk *vdisk.Disk, dict *xmltree.Dictionary, roots []NodeID, firstD
 func (s *Store) SetBufferCapacity(pages int) {
 	s.buf = buffer.New(s.disk, pages)
 	s.buf.SetEvictHandler(s.cache.drop)
+	s.buf.SetVerifier(verifyPageTrailer)
 	s.cache.reset()
 	s.w = s.buf.NewWaiter(s.led)
 }
@@ -146,20 +148,32 @@ func (s *Store) ResetForRun() {
 // — the representation change from external to in-memory format — to the
 // ledger of the view that won the decode race; concurrent losers block on
 // the entry latch and share the winner's image for free (they raced the
-// same work, not skipped it).
+// same work, not skipped it). A failed load or decode escalates as a page
+// fault (typed panic recovered at query boundaries) and leaves the entry
+// empty, so a later access retries the load rather than inheriting the
+// failure.
 func (s *Store) image(p vdisk.PageID) *pageImage {
 	e := s.cache.entry(p)
-	e.once.Do(func() {
-		f := s.buf.FixOn(s.led, p)
-		img, err := decodePage(p, f.Data, s.disk.PageSize())
-		s.buf.Unfix(f)
-		if err != nil {
-			panic(err) // a decode failure is data corruption, not a user error
-		}
-		s.led.AdvanceCPU(stats.Ticks(len(img.recs)) * s.model.CPUNodeVisit)
-		e.img = img
-	})
-	return e.img
+	if img := e.img.Load(); img != nil {
+		return img
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if img := e.img.Load(); img != nil {
+		return img
+	}
+	f, err := s.buf.FixOn(s.led, p)
+	if err != nil {
+		throwPageError(p, err)
+	}
+	img, err := decodePage(p, f.Data, s.disk.PageSize())
+	s.buf.Unfix(f)
+	if err != nil {
+		throwPageError(p, err) // malformed records: corruption past the checksum
+	}
+	s.led.AdvanceCPU(stats.Ticks(len(img.recs)) * s.model.CPUNodeVisit)
+	e.img.Store(img)
+	return img
 }
 
 // LoadCluster ensures a cluster is buffered and decoded, reading it
@@ -186,8 +200,16 @@ func (s *Store) RequestCluster(p vdisk.PageID) { s.w.Request(p) }
 // WaitCluster blocks until some cluster requested through this view is
 // loaded and returns it. Other views' requests neither wake this one nor
 // are consumed by it — the completion fanout that keeps parallel gang
-// members from stealing each other's wakeups.
-func (s *Store) WaitCluster() (vdisk.PageID, bool) { return s.w.WaitLoaded() }
+// members from stealing each other's wakeups. A page whose load failed
+// terminally escalates as a page fault (typed panic recovered at query
+// boundaries).
+func (s *Store) WaitCluster() (vdisk.PageID, bool) {
+	p, ok, err := s.w.WaitLoaded()
+	if err != nil {
+		throwPageError(p, err)
+	}
+	return p, ok
+}
 
 // CancelRequests abandons this view's outstanding cluster requests. A
 // cancelled query's plan leaves its prefetches with the I/O subsystem; the
@@ -355,15 +377,17 @@ func writeMeta(disk *vdisk.Disk, page vdisk.PageID, m metaInfo) {
 		binary.LittleEndian.PutUint64(buf[off:], uint64(r))
 		off += 8
 	}
-	if len(buf) > disk.PageSize() {
+	if len(buf) > usable(disk.PageSize()) {
 		panic("storage: meta page overflow (too many extension pages or roots)")
 	}
-	disk.Write(page, buf)
+	writePage(disk, page, buf)
 }
 
 func readMeta(disk *vdisk.Disk) (metaInfo, error) {
 	buf := make([]byte, disk.PageSize())
-	disk.ReadSync(0, buf)
+	if err := readPageVerified(disk, 0, buf); err != nil {
+		return metaInfo{}, fmt.Errorf("storage: meta page unreadable: %w", err)
+	}
 	if string(buf[:8]) != metaMagic {
 		return metaInfo{}, errors.New("storage: bad magic, not a pathdb volume")
 	}
@@ -400,7 +424,7 @@ func writeDictionary(disk *vdisk.Disk, dict *xmltree.Dictionary) (start, count u
 	for i := 0; i < dict.Len(); i++ {
 		payload = appendString(payload, dict.Name(xmltree.TagID(i)))
 	}
-	ps := disk.PageSize()
+	ps := usable(disk.PageSize())
 	first := vdisk.PageID(disk.NumPages())
 	n := 0
 	for off := 0; off < len(payload) || n == 0; off += ps {
@@ -409,7 +433,7 @@ func writeDictionary(disk *vdisk.Disk, dict *xmltree.Dictionary) (start, count u
 		if end > len(payload) {
 			end = len(payload)
 		}
-		disk.Write(p, payload[off:end])
+		writePage(disk, p, payload[off:end])
 		n++
 	}
 	return uint32(first), uint32(n)
@@ -417,11 +441,13 @@ func writeDictionary(disk *vdisk.Disk, dict *xmltree.Dictionary) (start, count u
 
 func readDictionary(disk *vdisk.Disk, start, count uint32) (*xmltree.Dictionary, error) {
 	ps := disk.PageSize()
-	payload := make([]byte, 0, int(count)*ps)
+	payload := make([]byte, 0, int(count)*usable(ps))
 	buf := make([]byte, ps)
 	for i := uint32(0); i < count; i++ {
-		disk.ReadSync(vdisk.PageID(start+i), buf)
-		payload = append(payload, buf...)
+		if err := readPageVerified(disk, vdisk.PageID(start+i), buf); err != nil {
+			return nil, fmt.Errorf("storage: dictionary page %d unreadable: %w", start+i, err)
+		}
+		payload = append(payload, buf[:usable(ps)]...)
 	}
 	d := &decodeCursor{b: payload}
 	n, err := d.uvarint()

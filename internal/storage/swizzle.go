@@ -2,6 +2,7 @@ package storage
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pathdb/internal/vdisk"
 )
@@ -10,19 +11,20 @@ import (
 // two, sized like the buffer manager's page-table shards.
 const swizShards = 64
 
-// swizEntry is one cached page image. The once latch serializes the decode:
+// swizEntry is one cached page image. The mutex serializes the decode:
 // losers of the publication race block until the winner has decoded, then
-// share its image — decode-once semantics under contention. img is written
-// inside once.Do and read only after it, which orders the accesses.
+// share its image — decode-once semantics under contention. Unlike a
+// sync.Once, a failed load (the fault plane's terminal errors) publishes
+// nothing, so the next access retries instead of inheriting a nil image.
 type swizEntry struct {
-	once sync.Once
-	img  *pageImage
+	mu  sync.Mutex
+	img atomic.Pointer[pageImage]
 }
 
 // swizCache is the sharded, double-checked cache of decoded (swizzled) page
 // images, shared by a base Store and all its Reader views. The shard latch
 // covers only the map probe and insert; the buffer Fix and the decode run
-// outside it (under the entry's once), so a slow decode never blocks
+// outside it (under the entry's mutex), so a slow decode never blocks
 // lookups of other pages in the same shard and the lock order stays
 // buffer-manager locks → swizzle shard (the eviction handler calls drop
 // while holding manager locks; the decode path never holds a shard latch

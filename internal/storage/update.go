@@ -223,9 +223,9 @@ func (u *updater) freshPage() *livePage {
 }
 
 // fits reports whether a record of sz bytes (plus slot entry) fits beside
-// the claimed headroom.
+// the claimed headroom, within the page's usable (checksummed) region.
 func (lp *livePage) fits(sz int, pageSize int) bool {
-	return lp.used+lp.reserved+sz+2 <= pageSize
+	return lp.used+lp.reserved+sz+2 <= usable(pageSize)
 }
 
 // addRec stores r, reusing a dead slot when possible.
@@ -422,7 +422,7 @@ func (u *updater) placeRecSpilling(cur **livePage, curPS *uint16, r rec) (*liveP
 // in-flight insertion). Reports whether enough space was freed.
 func (u *updater) makeRoom(lp *livePage, need int, avoid uint16) bool {
 	ps := u.st.disk.PageSize()
-	maxMove := ps - pageHeaderSize - 64 // must fit one overflow page
+	maxMove := usable(ps) - pageHeaderSize - 64 // must fit one overflow page
 	for !lp.fits(need, ps) {
 		if u.moveBestSubtree(lp, avoid, maxMove) {
 			continue
@@ -712,7 +712,7 @@ func (u *updater) commit() error {
 		return err
 	}
 	newExtras := append(append([]vdisk.PageID(nil), u.st.extras...), u.fresh...)
-	if 32+4*len(newExtras)+4+8*len(m.roots)+8 > u.st.disk.PageSize() {
+	if 32+4*len(newExtras)+4+8*len(m.roots)+8 > usable(u.st.disk.PageSize()) {
 		return ErrMetaOverflow
 	}
 	m.extras = newExtras

@@ -44,9 +44,10 @@ type walEntry struct {
 	checksum uint64
 }
 
-// walHeaderCapacity returns how many entries fit one header page.
+// walHeaderCapacity returns how many entries fit one header page (the
+// usable region; the checksum trailer takes the rest).
 func walHeaderCapacity(pageSize int) int {
-	return (pageSize - 8 - 4) / 16
+	return (usable(pageSize) - 8 - 4) / 16
 }
 
 func encodeWalHeader(pageSize int, entries []walEntry) []byte {
@@ -108,22 +109,28 @@ func (s *Store) commitWAL(images map[vdisk.PageID][]byte, meta metaInfo) error {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 
-	// 1. After-images to fresh log pages.
+	// 1. After-images to fresh log pages. Images are finalized (padded,
+	// checksum trailer stamped) once; the log page, the WAL entry checksum
+	// and the later apply all use the identical full-page bytes, so a
+	// recovered page carries a valid trailer.
+	final := make(map[vdisk.PageID][]byte, len(targets))
 	entries := make([]walEntry, len(targets))
 	for i, t := range targets {
+		fin := finalizePage(images[t], ps)
+		final[t] = fin
 		lp := s.disk.Alloc()
-		s.disk.Write(lp, images[t])
-		entries[i] = walEntry{target: t, logPage: lp, checksum: pageChecksum(images[t])}
+		s.disk.Write(lp, fin)
+		entries[i] = walEntry{target: t, logPage: lp, checksum: pageChecksum(fin)}
 	}
 	// 2. The header.
 	hdr := s.disk.Alloc()
-	s.disk.Write(hdr, encodeWalHeader(ps, entries))
+	writePage(s.disk, hdr, encodeWalHeader(ps, entries))
 	// 3. Commit point: meta references the header.
 	meta.walPage = hdr
 	writeMeta(s.disk, 0, meta)
 	// 4. Apply.
 	for _, t := range targets {
-		s.disk.Write(t, images[t])
+		s.disk.Write(t, final[t])
 	}
 	// 5. Clear the log pointer.
 	meta.walPage = 0
@@ -138,14 +145,18 @@ func recoverWAL(disk *vdisk.Disk, m *metaInfo) error {
 		return nil
 	}
 	buf := make([]byte, disk.PageSize())
-	disk.ReadSync(m.walPage, buf)
+	if err := readPageVerified(disk, m.walPage, buf); err != nil {
+		return fmt.Errorf("storage: WAL header at page %d unreadable: %w", m.walPage, err)
+	}
 	entries, ok := decodeWalHeader(buf)
 	if !ok {
 		return fmt.Errorf("storage: corrupt WAL header at page %d", m.walPage)
 	}
 	img := make([]byte, disk.PageSize())
 	for _, e := range entries {
-		disk.ReadSync(e.logPage, img)
+		if err := readPageVerified(disk, e.logPage, img); err != nil {
+			return fmt.Errorf("storage: WAL image for page %d unreadable: %w", e.target, err)
+		}
 		if pageChecksum(img) != e.checksum {
 			return fmt.Errorf("storage: WAL image for page %d fails checksum", e.target)
 		}

@@ -36,7 +36,7 @@ func TestDomainsIndependentClocks(t *testing.T) {
 	buf := make([]byte, 64)
 	gotA := map[PageID]bool{}
 	for {
-		p, ok := a.WaitAny(buf)
+		p, ok, _ := a.WaitAny(buf)
 		if !ok {
 			break
 		}
@@ -54,7 +54,7 @@ func TestDomainsIndependentClocks(t *testing.T) {
 
 	gotB := map[PageID]bool{}
 	for {
-		p, ok := b.WaitAny(buf)
+		p, ok, _ := b.WaitAny(buf)
 		if !ok {
 			break
 		}
@@ -83,15 +83,15 @@ func TestDomainWaitDoesNotStealRoot(t *testing.T) {
 	buf := make([]byte, 64)
 
 	dom.Submit(3)
-	if _, ok := d.WaitAny(buf); ok {
+	if _, ok, _ := d.WaitAny(buf); ok {
 		t.Fatal("root WaitAny delivered a domain request")
 	}
 	d.Submit(5)
-	p, ok := dom.WaitAny(buf)
+	p, ok, _ := dom.WaitAny(buf)
 	if !ok || p != 3 {
 		t.Fatalf("domain WaitAny = %v,%v, want 3,true", p, ok)
 	}
-	p, ok = d.WaitAny(buf)
+	p, ok, _ = d.WaitAny(buf)
 	if !ok || p != 5 {
 		t.Fatalf("root WaitAny = %v,%v, want 5,true", p, ok)
 	}
@@ -112,11 +112,11 @@ func TestDomainCancelPending(t *testing.T) {
 	if dom.Pending() != 0 {
 		t.Fatal("CancelPending left requests behind")
 	}
-	if _, ok := dom.WaitAny(buf); ok {
+	if _, ok, _ := dom.WaitAny(buf); ok {
 		t.Fatal("cancelled request delivered")
 	}
 	// Root request survives the domain cancel.
-	p, ok := d.WaitAny(buf)
+	p, ok, _ := d.WaitAny(buf)
 	if !ok || p != 6 {
 		t.Fatalf("root request lost by domain cancel: %v,%v", p, ok)
 	}
@@ -139,7 +139,7 @@ func TestConcurrentDiskAccess(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				p := PageID((w*7 + i) % 64)
 				dom.Submit(p)
-				got, ok := dom.WaitAny(buf)
+				got, ok, _ := dom.WaitAny(buf)
 				if !ok {
 					t.Errorf("worker %d: lost request for page %d", w, p)
 					return

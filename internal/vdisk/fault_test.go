@@ -1,0 +1,221 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pathdb/internal/stats"
+)
+
+// faultTrace reads every page once and records which reads failed or
+// delivered damaged bytes (pages were written as repeated byte(i)).
+func faultTrace(t *testing.T, d *Disk, npages int) (errs, corrupt []int) {
+	t.Helper()
+	buf := make([]byte, d.PageSize())
+	want := make([]byte, d.PageSize())
+	for i := 0; i < npages; i++ {
+		for j := range want {
+			want[j] = 0
+		}
+		for j := 0; j < 8; j++ {
+			want[j] = byte(i)
+		}
+		if err := d.ReadSync(PageID(i), buf); err != nil {
+			var re *ReadError
+			if !errors.As(err, &re) {
+				t.Fatalf("page %d: unexpected error type %T", i, err)
+			}
+			if re.Page != PageID(i) {
+				t.Fatalf("ReadError page = %d, want %d", re.Page, i)
+			}
+			errs = append(errs, i)
+			continue
+		}
+		if !bytes.Equal(buf, want) {
+			corrupt = append(corrupt, i)
+		}
+	}
+	return errs, corrupt
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	const n = 400
+	run := func() (errs, corrupt []int) {
+		d, _ := newDisk(t, n)
+		d.SetFaults(Faults{Seed: 7, ReadError: 0.1, Corrupt: 0.1})
+		return faultTrace(t, d, n)
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	if len(e1) == 0 || len(c1) == 0 {
+		t.Fatalf("expected both fault kinds at 10%%: errs=%d corrupt=%d", len(e1), len(c1))
+	}
+	if !equalInts(e1, e2) || !equalInts(c1, c2) {
+		t.Fatalf("same seed produced different schedules:\n%v vs %v\n%v vs %v", e1, e2, c1, c2)
+	}
+
+	d3, _ := newDisk(t, n)
+	d3.SetFaults(Faults{Seed: 8, ReadError: 0.1, Corrupt: 0.1})
+	e3, c3 := faultTrace(t, d3, n)
+	if equalInts(e1, e3) && equalInts(c1, c3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultRatesApproximate(t *testing.T) {
+	const n = 2000
+	d, led := newDisk(t, n)
+	d.SetFaults(Faults{Seed: 3, ReadError: 0.05})
+	errs, corrupt := faultTrace(t, d, n)
+	if len(corrupt) != 0 {
+		t.Fatalf("corruption disabled but %d pages damaged", len(corrupt))
+	}
+	// 5% of 2000 = 100 expected; allow a generous band.
+	if len(errs) < 50 || len(errs) > 200 {
+		t.Fatalf("read-error count %d far from 5%% of %d", len(errs), n)
+	}
+	if led.ReadFaults != int64(len(errs)) {
+		t.Fatalf("ledger ReadFaults = %d, want %d", led.ReadFaults, len(errs))
+	}
+}
+
+func TestFaultZeroDisarms(t *testing.T) {
+	d, _ := newDisk(t, 100)
+	d.SetFaults(Faults{Seed: 1, ReadError: 1})
+	buf := make([]byte, d.PageSize())
+	if err := d.ReadSync(0, buf); err == nil {
+		t.Fatal("armed plane with ReadError=1 did not fail")
+	}
+	d.SetFaults(Faults{})
+	errs, corrupt := faultTrace(t, d, 100)
+	if len(errs) != 0 || len(corrupt) != 0 {
+		t.Fatalf("disarmed plane still faulting: errs=%v corrupt=%v", errs, corrupt)
+	}
+}
+
+func TestFaultLatencySpikeAccounting(t *testing.T) {
+	d, led := newDisk(t, 100)
+	buf := make([]byte, d.PageSize())
+	for i := 0; i < 100; i++ {
+		d.ReadSync(PageID(i), buf)
+	}
+	clean := led.Now
+
+	d2, led2 := newDisk(t, 100)
+	const spike = 7 * stats.Millisecond
+	d2.SetFaults(Faults{Seed: 5, Latency: 1, Spike: spike})
+	for i := 0; i < 100; i++ {
+		d2.ReadSync(PageID(i), buf)
+	}
+	if led2.LatencySpikes != 100 {
+		t.Fatalf("LatencySpikes = %d, want 100", led2.LatencySpikes)
+	}
+	if got, want := led2.Now-clean, 100*spike; got != want {
+		t.Fatalf("spike time = %v, want %v", got, want)
+	}
+}
+
+func TestFaultAsyncPath(t *testing.T) {
+	const n = 300
+	d, led := newDisk(t, n)
+	d.SetFaults(Faults{Seed: 11, ReadError: 0.2, Corrupt: 0.2})
+	for i := 0; i < n; i++ {
+		d.Submit(PageID(i))
+	}
+	buf := make([]byte, d.PageSize())
+	got := make(map[PageID]bool)
+	nerr, ncorrupt := 0, 0
+	for {
+		p, ok, err := d.WaitAny(buf)
+		if !ok {
+			break
+		}
+		if got[p] {
+			t.Fatalf("page %d delivered twice", p)
+		}
+		got[p] = true
+		if err != nil {
+			var re *ReadError
+			if !errors.As(err, &re) || re.Page != p {
+				t.Fatalf("page %d: bad error %v", p, err)
+			}
+			nerr++
+			continue
+		}
+		clean := buf[0] == byte(p) && buf[7] == byte(p)
+		for _, b := range buf[8:] {
+			if b != 0 {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			ncorrupt++
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d completions, want %d", len(got), n)
+	}
+	if nerr == 0 || ncorrupt == 0 {
+		t.Fatalf("async path saw no faults: errs=%d corrupt=%d", nerr, ncorrupt)
+	}
+	if led.ReadFaults != int64(nerr) {
+		t.Fatalf("ledger ReadFaults = %d, want %d", led.ReadFaults, nerr)
+	}
+}
+
+func TestCorruptPagePersists(t *testing.T) {
+	d, _ := newDisk(t, 10)
+	d.CorruptPage(3, 1)
+	buf := make([]byte, d.PageSize())
+	want := bytes.Repeat([]byte{3}, 8)
+	damaged := 0
+	for i := 0; i < 5; i++ {
+		if err := d.ReadSync(3, buf); err != nil {
+			t.Fatalf("CorruptPage must not make reads error: %v", err)
+		}
+		full := append(bytes.Clone(want), make([]byte, d.PageSize()-8)...)
+		if !bytes.Equal(buf, full) {
+			damaged++
+		}
+	}
+	if damaged != 5 {
+		t.Fatalf("persistent corruption visible on %d/5 reads", damaged)
+	}
+	// Rewriting heals the medium.
+	d.Write(3, want)
+	if err := d.ReadSync(3, buf); err != nil || !bytes.Equal(buf[:8], want) {
+		t.Fatalf("rewrite did not heal page: err=%v buf=% x", err, buf[:8])
+	}
+}
+
+func TestWriteCrashAfter(t *testing.T) {
+	d, _ := newDisk(t, 4)
+	d.SetFaults(Faults{Seed: 1, WriteCrash: true, WriteCrashAfter: 2})
+	for i := 0; i < 4; i++ {
+		d.Write(PageID(i), []byte{0xFF})
+	}
+	buf := make([]byte, d.PageSize())
+	for i := 0; i < 4; i++ {
+		if err := d.ReadSync(PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		wrote := buf[0] == 0xFF
+		if want := i < 2; wrote != want {
+			t.Fatalf("page %d: wrote=%v, want %v (crash after 2 writes)", i, wrote, want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pathdb/internal/rng"
 	"pathdb/internal/stats"
 )
 
@@ -131,6 +132,125 @@ func (m CostModel) SeekCost(dist int64) stats.Ticks {
 	return c
 }
 
+// ReadError reports a failed page read: the device performed the
+// repositioning and transfer but delivered no usable data (a transient
+// media or transfer error injected by the fault plane). Retrying the read
+// may succeed; the typed storage-layer errors wrap it.
+type ReadError struct {
+	Page PageID
+}
+
+func (e *ReadError) Error() string {
+	return fmt.Sprintf("vdisk: transient read error on page %d", e.Page)
+}
+
+// Faults configures the deterministic fault plane: a seeded per-operation
+// fault schedule over the device's reads and writes. Every read draws from
+// one splitmix64 stream (in device operation order), so a given seed
+// reproduces the same failure sequence exactly; under concurrent load the
+// operation order — and therefore fault placement — follows the
+// interleaving, but the schedule itself stays deterministic per sequence.
+// The zero Faults disables the plane.
+type Faults struct {
+	// Seed drives the fault schedule's random stream.
+	Seed uint64
+	// ReadError is the probability a read completes with a ReadError
+	// (transient: the medium is intact, a re-read may succeed).
+	ReadError float64
+	// Corrupt is the probability a read delivers a corrupted page image
+	// (torn transfer: the returned bytes are damaged, the medium is
+	// intact). Upper layers detect this via page checksums.
+	Corrupt float64
+	// Latency is the probability a read pays an extra latency spike of
+	// Spike ticks (default 5ms) on top of the modelled cost.
+	Latency float64
+	Spike   stats.Ticks
+	// WriteCrash arms crash-at-write-N: the first WriteCrashAfter writes
+	// succeed, every later write is silently dropped — the moment the
+	// power went out (the generalized form of SetWriteFault).
+	WriteCrash      bool
+	WriteCrashAfter int
+}
+
+// faultPlane is the armed fault schedule.
+type faultPlane struct {
+	cfg Faults
+	rng *rng.RNG
+}
+
+// readFault is the fault drawn for one read operation.
+type readFault struct {
+	err     bool
+	corrupt bool
+	off     int // corruption offset within the page
+	spike   stats.Ticks
+}
+
+// drawFault draws the fault outcome for one read, charging observation
+// counters to led. Caller holds d.mu.
+func (d *Disk) drawFault(led *stats.Ledger) readFault {
+	if d.faults == nil {
+		return readFault{}
+	}
+	var f readFault
+	r, c := d.faults.rng, d.faults.cfg
+	if c.Latency > 0 && r.Float64() < c.Latency {
+		f.spike = c.Spike
+		stats.Inc(&led.LatencySpikes)
+	}
+	if c.ReadError > 0 && r.Float64() < c.ReadError {
+		f.err = true
+		stats.Inc(&led.ReadFaults)
+		return f
+	}
+	if c.Corrupt > 0 && r.Float64() < c.Corrupt {
+		f.corrupt = true
+		f.off = r.Intn(d.pageSize)
+	}
+	return f
+}
+
+// corruptSpan is how many bytes a torn transfer damages.
+const corruptSpan = 16
+
+// corruptCopy damages buf in place starting at off (the injected torn
+// image; the stored page is untouched).
+func corruptCopy(buf []byte, off int) {
+	for i := 0; i < corruptSpan && off+i < len(buf); i++ {
+		buf[off+i] ^= 0xA5
+	}
+}
+
+// SetFaults arms (or, with the zero Faults, disarms) the fault plane.
+// Arming resets the schedule's random stream to the seed.
+func (d *Disk) SetFaults(f Faults) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f == (Faults{}) {
+		d.faults = nil
+		d.faultArmed = false
+		return
+	}
+	if f.Spike == 0 {
+		f.Spike = 5 * stats.Millisecond
+	}
+	d.faults = &faultPlane{cfg: f, rng: rng.New(f.Seed)}
+	d.faultArmed = f.WriteCrash
+	d.writesLeft = f.WriteCrashAfter
+}
+
+// CorruptPage deterministically damages the stored bytes of page p
+// (persistent medium corruption, unlike the transient torn images of
+// Faults.Corrupt): every subsequent read returns the damaged image until
+// the page is rewritten. The damage is reproducible from seed.
+func (d *Disk) CorruptPage(p PageID, seed uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkPage(p)
+	r := rng.New(seed)
+	corruptCopy(d.pages[p], r.Intn(d.pageSize))
+}
+
 // request is a queued asynchronous read. dom is nil for the disk's root
 // clock domain; led is the ledger the physical read will be charged to
 // (the submitter's — under per-query accounting each gang member pays for
@@ -143,9 +263,10 @@ type request struct {
 }
 
 type completion struct {
-	page PageID
-	at   stats.Ticks
-	dom  *Domain
+	page  PageID
+	at    stats.Ticks
+	dom   *Domain
+	fault readFault // drawn at service time, applied at delivery
 }
 
 // Disk is the simulated device. All operations are serialized by an
@@ -168,6 +289,7 @@ type Disk struct {
 
 	faultArmed bool // crash fault injection (SetWriteFault)
 	writesLeft int
+	faults     *faultPlane // seeded read-fault schedule (nil: disabled)
 
 	tracing bool
 	trace   []TraceEvent
@@ -274,51 +396,61 @@ func (d *Disk) Write(p PageID, data []byte) {
 		d.pages[p][i] = 0
 	}
 	stats.Inc(&d.led.PageWrites)
-	d.access(d.led, p)
+	d.access(d.led, p, 0)
 	d.traceEvent("write", p, d.busyUntil)
 }
 
 // ReadSync reads page p synchronously into buf (which must hold a page),
 // blocking the virtual clock until the transfer completes. Any pending
 // asynchronous requests the device would have finished first are drained.
-func (d *Disk) ReadSync(p PageID, buf []byte) {
+// A non-nil error is a *ReadError injected by the fault plane; the device
+// time is spent either way.
+func (d *Disk) ReadSync(p PageID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.readSync(d.led, p, buf)
+	return d.readSync(d.led, p, buf)
 }
 
 // ReadSyncOn is ReadSync billed to led instead of the root ledger. The
 // parallel engine gives every query its own ledger; the queries still share
 // the root clock domain (one queue, one head) because gang members overlap
 // on the same device, but each blocks and charges its own virtual clock.
-func (d *Disk) ReadSyncOn(led *stats.Ledger, p PageID, buf []byte) {
+func (d *Disk) ReadSyncOn(led *stats.Ledger, p PageID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.readSync(led, p, buf)
+	return d.readSync(led, p, buf)
 }
 
-func (d *Disk) readSync(led *stats.Ledger, p PageID, buf []byte) {
+func (d *Disk) readSync(led *stats.Ledger, p PageID, buf []byte) error {
 	d.checkPage(p)
 	d.drainUntil(led.Total())
 	seq := d.head != InvalidPage && p == d.head+1
-	d.access(led, p)
+	f := d.drawFault(led)
+	d.access(led, p, f.spike)
 	op := "read"
 	if seq {
 		op = "read-seq"
 	}
 	d.traceEvent(op, p, d.busyUntil)
+	if f.err {
+		return &ReadError{Page: p}
+	}
 	copy(buf, d.pages[p])
+	if f.corrupt {
+		corruptCopy(buf[:d.pageSize], f.off)
+	}
+	return nil
 }
 
 // access performs the positioning + transfer for page p starting when both
 // the caller and the device are free, blocking the caller's clock on the
-// result.
-func (d *Disk) access(led *stats.Ledger, p PageID) {
+// result. spike is extra injected latency on top of the modelled cost.
+func (d *Disk) access(led *stats.Ledger, p PageID, spike stats.Ticks) {
 	start := led.Total()
 	if d.busyUntil > start {
 		start = d.busyUntil
 	}
-	done := start + d.cost(led, p)
+	done := start + d.cost(led, p) + spike
 	d.head = p
 	d.busyUntil = done
 	led.BlockUntil(done)
@@ -397,8 +529,9 @@ func (d *Disk) pendingIn(dom *Domain) int {
 
 // WaitAny blocks until some asynchronous request of the root domain has
 // completed, copies its page into buf and returns its id. ok is false if no
-// such request is pending.
-func (d *Disk) WaitAny(buf []byte) (p PageID, ok bool) {
+// such request is pending. A non-nil error (with ok true) is a *ReadError
+// injected by the fault plane for the returned page.
+func (d *Disk) WaitAny(buf []byte) (p PageID, ok bool, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.waitMatch(d.led, nil, nil, buf)
@@ -411,7 +544,7 @@ func (d *Disk) WaitAny(buf []byte) (p PageID, ok bool) {
 // manager's completion fanout: two gang members waiting on different
 // clusters each see only their own wakeups, so neither can steal the
 // other's completion (or have its clock blocked by it).
-func (d *Disk) WaitMatchOn(led *stats.Ledger, match func(PageID) bool, buf []byte) (p PageID, ok bool) {
+func (d *Disk) WaitMatchOn(led *stats.Ledger, match func(PageID) bool, buf []byte) (p PageID, ok bool, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.waitMatch(led, nil, match, buf)
@@ -421,7 +554,7 @@ func (d *Disk) WaitMatchOn(led *stats.Ledger, match func(PageID) bool, buf []byt
 // matches everything), advancing led. While a matching request is pending
 // but not yet complete, the device keeps servicing requests of any domain —
 // overlap across gang members is preserved even though delivery is filtered.
-func (d *Disk) waitMatch(led *stats.Ledger, dom *Domain, match func(PageID) bool, buf []byte) (PageID, bool) {
+func (d *Disk) waitMatch(led *stats.Ledger, dom *Domain, match func(PageID) bool, buf []byte) (PageID, bool, error) {
 	d.drainUntil(led.Total())
 	for {
 		for i, c := range d.completed {
@@ -431,8 +564,14 @@ func (d *Disk) waitMatch(led *stats.Ledger, dom *Domain, match func(PageID) bool
 			d.completed = append(d.completed[:i], d.completed[i+1:]...)
 			led.BlockUntil(c.at)
 			stats.Inc(&led.AsyncCompleted)
+			if c.fault.err {
+				return c.page, true, &ReadError{Page: c.page}
+			}
 			copy(buf, d.pages[c.page])
-			return c.page, true
+			if c.fault.corrupt {
+				corruptCopy(buf[:d.pageSize], c.fault.off)
+			}
+			return c.page, true, nil
 		}
 		outstanding := false
 		for _, r := range d.pending {
@@ -442,7 +581,7 @@ func (d *Disk) waitMatch(led *stats.Ledger, dom *Domain, match func(PageID) bool
 			}
 		}
 		if !outstanding {
-			return InvalidPage, false
+			return InvalidPage, false, nil
 		}
 		// Keep the device working (any domain's requests) until one of
 		// ours completes.
@@ -540,10 +679,11 @@ func (d *Disk) processNext() {
 	if led == nil {
 		led = d.led
 	}
-	done := start + d.cost(led, r.page)
+	f := d.drawFault(led)
+	done := start + d.cost(led, r.page) + f.spike
 	d.head = r.page
 	d.busyUntil = done
-	d.completed = append(d.completed, completion{page: r.page, at: done, dom: r.dom})
+	d.completed = append(d.completed, completion{page: r.page, at: done, dom: r.dom, fault: f})
 	d.traceEvent("read-async", r.page, done)
 }
 
@@ -640,10 +780,10 @@ func (d *Disk) NewDomain(led *stats.Ledger) *Domain {
 func (dom *Domain) Ledger() *stats.Ledger { return dom.led }
 
 // ReadSync reads page p synchronously on the domain's clock.
-func (dom *Domain) ReadSync(p PageID, buf []byte) {
+func (dom *Domain) ReadSync(p PageID, buf []byte) error {
 	dom.d.mu.Lock()
 	defer dom.d.mu.Unlock()
-	dom.d.readSync(dom.led, p, buf)
+	return dom.d.readSync(dom.led, p, buf)
 }
 
 // Submit queues an asynchronous read tagged with this domain.
@@ -656,7 +796,7 @@ func (dom *Domain) Submit(p PageID) {
 // WaitAny delivers one of this domain's completed requests, advancing the
 // domain's clock; requests of other domains are serviced in passing but
 // never delivered here.
-func (dom *Domain) WaitAny(buf []byte) (PageID, bool) {
+func (dom *Domain) WaitAny(buf []byte) (PageID, bool, error) {
 	dom.d.mu.Lock()
 	defer dom.d.mu.Unlock()
 	return dom.d.waitMatch(dom.led, dom, nil, buf)

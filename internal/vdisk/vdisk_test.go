@@ -79,7 +79,7 @@ func TestAsyncOverlapsWithCPU(t *testing.T) {
 	d.Submit(50)
 	led.AdvanceCPU(100 * stats.Millisecond) // plenty of time for one read
 	before := led.IOWait
-	p, ok := d.WaitAny(buf)
+	p, ok, _ := d.WaitAny(buf)
 	if !ok || p != 50 {
 		t.Fatalf("WaitAny = %d, %v", p, ok)
 	}
@@ -92,7 +92,7 @@ func TestAsyncBlocksWhenCPUIsAhead(t *testing.T) {
 	d, led := newDisk(t, 100)
 	buf := make([]byte, d.PageSize())
 	d.Submit(50)
-	if _, ok := d.WaitAny(buf); !ok {
+	if _, ok, _ := d.WaitAny(buf); !ok {
 		t.Fatal("WaitAny failed")
 	}
 	if led.IOWait == 0 {
@@ -103,7 +103,7 @@ func TestAsyncBlocksWhenCPUIsAhead(t *testing.T) {
 func TestWaitAnyNoPending(t *testing.T) {
 	d, _ := newDisk(t, 10)
 	buf := make([]byte, d.PageSize())
-	if _, ok := d.WaitAny(buf); ok {
+	if _, ok, _ := d.WaitAny(buf); ok {
 		t.Fatal("WaitAny succeeded with empty queue")
 	}
 }
@@ -116,8 +116,8 @@ func TestSSTFReordersRequests(t *testing.T) {
 	d.ReadSync(0, buf)
 	d.Submit(900)
 	d.Submit(10)
-	first, _ := d.WaitAny(buf)
-	second, _ := d.WaitAny(buf)
+	first, _, _ := d.WaitAny(buf)
+	second, _, _ := d.WaitAny(buf)
 	if first != 10 || second != 900 {
 		t.Fatalf("SSTF order = %d, %d; want 10, 900", first, second)
 	}
@@ -130,7 +130,7 @@ func TestFIFOPreservesOrder(t *testing.T) {
 	d.ReadSync(0, buf)
 	d.Submit(900)
 	d.Submit(10)
-	first, _ := d.WaitAny(buf)
+	first, _, _ := d.WaitAny(buf)
 	if first != 900 {
 		t.Fatalf("FIFO first = %d, want 900", first)
 	}
@@ -146,7 +146,7 @@ func TestElevatorSweeps(t *testing.T) {
 	d.Submit(550)
 	order := []PageID{}
 	for i := 0; i < 3; i++ {
-		p, ok := d.WaitAny(buf)
+		p, ok, _ := d.WaitAny(buf)
 		if !ok {
 			t.Fatal("WaitAny failed")
 		}
@@ -170,7 +170,7 @@ func TestSSTFFasterThanFIFOOnScatteredLoad(t *testing.T) {
 			d.Submit(PageID(r.Intn(4000)))
 		}
 		for {
-			if _, ok := d.WaitAny(buf); !ok {
+			if _, ok, _ := d.WaitAny(buf); !ok {
 				break
 			}
 		}
@@ -200,7 +200,7 @@ func TestDrainIsLazyButComplete(t *testing.T) {
 		buf := make([]byte, d.PageSize())
 		got := map[PageID]int{}
 		for {
-			p, ok := d.WaitAny(buf)
+			p, ok, _ := d.WaitAny(buf)
 			if !ok {
 				break
 			}
@@ -256,7 +256,7 @@ func TestCompletionTimesNonDecreasing(t *testing.T) {
 	}
 	prev := stats.Ticks(-1)
 	for {
-		_, ok := d.WaitAny(buf)
+		_, ok, _ := d.WaitAny(buf)
 		if !ok {
 			break
 		}
