@@ -1,9 +1,9 @@
 # CI entry points. `make` runs the full set.
 GO ?= go
 
-.PHONY: all build test race vet bench bench-load bench-json test-faults fuzz-short clean
+.PHONY: all build test race vet fmt bench bench-load bench-json test-faults test-txn fuzz-short clean
 
-all: build vet test race
+all: build fmt vet test race
 
 build:
 	$(GO) build ./...
@@ -24,13 +24,28 @@ bench: bench-load
 	$(GO) test -bench . -benchmem -count=3 ./...
 
 # Closed-loop load-generator snapshot: writes BENCH_xload.json at the
-# repo root with wall+virtual throughput, tail latencies, and the
-# engine's admission/dispatch counters.
+# repo root with wall+virtual throughput, tail latencies, the engine's
+# admission/dispatch counters, and — with the mixed workload below —
+# commit latency and WAL flushes per commit (group-commit batching).
 bench-load:
-	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 64 -json .
+	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 96 \
+		-mix q6,q7,q15 -write-frac 0.25 -json .
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Transaction subsystem: WAL/group-commit/recovery unit tests and the
+# seeded crash matrix (internal/txn), the facade's mixed read/write
+# gauntlet (snapshot isolation + goroutine-leak check), and the HTTP
+# update path, all under -race.
+test-txn:
+	$(GO) test -race ./internal/txn/
+	$(GO) test -race -run 'TestUpdate|TestQueryChoice' ./internal/server/ .
 
 # Fault matrix: seeded fault-plane sweeps under -race. Covers the
 # device schedule itself (vdisk), retry/poison fanout (buffer),

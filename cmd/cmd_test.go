@@ -262,10 +262,14 @@ func TestQueryServer(t *testing.T) {
 		return vals
 	}
 
-	// xload -url drives the server end to end and records engine counters.
+	// xload -url drives the server end to end — reads through POST /query,
+	// write transactions through POST /update — and records engine counters.
+	// The pads written under /site are invisible to the query mixes, so the
+	// read counts stay stable.
 	jsonDir := t.TempDir()
-	out := run(t, "./cmd/xload", "-url", base, "-clients", "4", "-requests", "8", "-json", jsonDir)
-	for _, want := range []string{"mode=url", "count(/site/regions//item) =", "engine: gangs="} {
+	out := run(t, "./cmd/xload", "-url", base, "-clients", "4", "-requests", "16",
+		"-write-frac", "0.25", "-json", jsonDir)
+	for _, want := range []string{"mode=url", "count(/site/regions//item) =", "engine: gangs=", "txn: commits="} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("xload -url output missing %q:\n%s", want, out)
 		}
@@ -277,12 +281,17 @@ func TestQueryServer(t *testing.T) {
 	var load struct {
 		Mode      string `json:"mode"`
 		Submitted int64  `json:"engine_submitted"`
+		Writes    int64  `json:"writes"`
+		Commits   uint64 `json:"txn_commits"`
 	}
 	if err := json.Unmarshal(data, &load); err != nil {
 		t.Fatalf("BENCH_xload.json invalid: %v\n%s", err, data)
 	}
 	if load.Mode != "url" || load.Submitted < 8 {
 		t.Fatalf("BENCH_xload.json: mode %q, submitted %d", load.Mode, load.Submitted)
+	}
+	if load.Writes < 1 || load.Commits < uint64(load.Writes) {
+		t.Fatalf("BENCH_xload.json: writes %d, txn_commits %d", load.Writes, load.Commits)
 	}
 
 	// An expired timeout_ms is a 504 and the cancelled query's prefetches
@@ -301,7 +310,14 @@ func TestQueryServer(t *testing.T) {
 	if !timedOut {
 		t.Fatal("no 504 despite a 1ms budget on a heavy query")
 	}
+	// The 504 is written when the client's deadline fires; the engine
+	// registers the cancellation at the query's next operator poll point,
+	// which can land just after the response. Poll briefly.
 	m := metrics()
+	for i := 0; i < 50 && m["pathdb_engine_cancelled_total"] == 0; i++ {
+		time.Sleep(20 * time.Millisecond)
+		m = metrics()
+	}
 	if m["pathdb_engine_cancelled_total"] == 0 {
 		t.Fatal("504 served but engine cancelled_total is 0")
 	}

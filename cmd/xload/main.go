@@ -16,8 +16,22 @@
 //	xload -xmark 0.5 -clients 8 -requests 64
 //	xload -xmark 0.5 -clients 1 -requests 64      # same work, sequential
 //	xload -xml doc.xml -mix q7 -strategy xschedule
+//	xload -xmark 0.5 -mix q6,q7,q15 -clients 8    # heavy-tailed multi-query mix
+//	xload -xmark 0.5 -write-frac 0.25 -clients 8  # mixed read/write workload
 //	xload -xmark 0.5 -clients 8 -parallel 8 -cpuprofile cpu.pprof -json .
 //	xload -url http://localhost:8080 -clients 16 -requests 256 -timeout 250
+//
+// -mix takes one name (q6, q7, q15, all) or a comma-separated list, which
+// is weighted heavy-tailed: the first name gets half the requests, the
+// second a quarter, and so on (powers of two, last two equal) — a skewed
+// multi-query workload over one volume.
+//
+// -write-frac turns that fraction of requests into write transactions:
+// each inserts an empty <xloadpad/> element under /site (invisible to the
+// query mixes, so read counts stay stable) and reports commit latency.
+// Writes go through DB.Update in engine mode and POST /update in url mode;
+// concurrent writers exercise the group-commit WAL, whose batching shows
+// up as flushes_per_commit < 1 in the report.
 //
 // The request multiset is fixed by -requests and -mix and distributed
 // round-robin, so per-query result counts are independent of -clients —
@@ -65,6 +79,7 @@ type sample struct {
 	count    int
 	virt     stats.Ticks
 	wall     time.Duration
+	isWrite  bool // a commit; wall is the transaction's commit latency
 	timedOut bool
 	errKind  string // non-empty for a typed storage fault ("io", "corrupt")
 }
@@ -75,11 +90,77 @@ type backend interface {
 	// do runs one request; shed is the number of 503-and-retry rounds it
 	// took to get admitted.
 	do(path string) (s sample, shed int64, err error)
+	// update commits one write transaction (an <xloadpad/> insert under
+	// /site); the sample's wall is the commit latency.
+	update() (s sample, shed int64, err error)
 	// virtualTotal is the volume's virtual clock advance since start.
 	virtualTotal() stats.Ticks
 	// engineMetrics returns the engine's admission/dispatch counters.
 	engineMetrics() (pathdb.EngineMetrics, error)
+	// txnMetrics returns the transaction subsystem's counters.
+	txnMetrics() (pathdb.TxnMetrics, error)
 	close()
+}
+
+// resolveMix expands -mix into the request pattern. A single name maps to
+// its path set; a comma-separated list is weighted heavy-tailed (the i-th
+// of n names gets weight 2^(n-1-i)), with every member's paths cycled
+// round-robin inside its weight share so the full path set is exercised.
+func resolveMix(mixName string) ([]string, error) {
+	expand := func(name string) ([]string, error) {
+		if ps, ok := mixes[name]; ok {
+			return ps, nil
+		}
+		if name == "all" {
+			var ps []string
+			for _, n := range []string{"q6", "q7", "q15"} {
+				ps = append(ps, mixes[n]...)
+			}
+			return ps, nil
+		}
+		return nil, fmt.Errorf("unknown mix %q (want q6, q7, q15 or all)", name)
+	}
+	names := strings.Split(mixName, ",")
+	if len(names) == 1 {
+		return expand(names[0])
+	}
+	groups := make([][]string, len(names))
+	cycles := 1
+	for i, name := range names {
+		ps, err := expand(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = ps
+		cycles = lcm(cycles, len(ps))
+	}
+	// One cycle interleaves every group at its weight; `cycles` cycles
+	// bring every group's round-robin counter back to zero.
+	var pattern []string
+	ctr := make([]int, len(groups))
+	for c := 0; c < cycles; c++ {
+		for i, ps := range groups {
+			// Weights halve down the list, last two equal: 4,2,2 for three
+			// names — the first gets half the requests, exactly.
+			w := 1 << (len(groups) - 1 - i)
+			if i == len(groups)-1 {
+				w = 2
+			}
+			for k := 0; k < w; k++ {
+				pattern = append(pattern, ps[ctr[i]%len(ps)])
+				ctr[i]++
+			}
+		}
+	}
+	return pattern, nil
+}
+
+func lcm(a, b int) int {
+	x, y := a, b
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return a / x * b
 }
 
 func main() {
@@ -97,7 +178,8 @@ func main() {
 	url := flag.String("url", "", "drive a running xserved at this base URL instead of an in-process engine")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	requests := flag.Int("requests", 64, "total queries across all clients")
-	mixName := flag.String("mix", "q6", "query mix: q6, q7, q15, all")
+	mixName := flag.String("mix", "q6", "query mix: q6, q7, q15, all, or a comma-separated heavy-tailed list (q6,q7,q15)")
+	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are write transactions (0..0.9)")
 	strategy := flag.String("strategy", "auto", "plan strategy: auto, simple, xschedule, xscan")
 	timeoutMS := flag.Int64("timeout", 0, "per-request budget in milliseconds (0 = none)")
 	inflight := flag.Int("inflight", 0, "engine MaxInFlight (default 8)")
@@ -114,18 +196,35 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	paths, ok := mixes[*mixName]
-	if !ok && *mixName == "all" {
-		for _, name := range []string{"q6", "q7", "q15"} {
-			paths = append(paths, mixes[name]...)
-		}
-		ok = true
-	}
-	if !ok {
-		fail("unknown -mix %q (want q6, q7, q15 or all)", *mixName)
+	paths, err := resolveMix(*mixName)
+	if err != nil {
+		fail("%v", err)
 	}
 	if *clients < 1 || *requests < 1 {
 		fail("-clients and -requests must be positive")
+	}
+	if *writeFrac < 0 || *writeFrac > 0.9 {
+		fail("-write-frac must be in [0, 0.9]")
+	}
+	// Request i is a write when a fixed hash of i lands on the write
+	// stride. The hash keeps the choice deterministic in i — the read
+	// multiset (and the per-path count self-check) stays independent of
+	// -clients — while scattering writes across client residues; a plain
+	// i%N stride would pin every write to one client and writers would
+	// never meet in the group-commit window.
+	writeEvery := 0
+	if *writeFrac > 0 {
+		writeEvery = int(1 / *writeFrac)
+		if writeEvery < 2 {
+			writeEvery = 2
+		}
+	}
+	isWriteReq := func(i int) bool {
+		if writeEvery == 0 {
+			return false
+		}
+		h := uint64(i) * 0x9E3779B97F4A7C15 // Fibonacci hashing
+		return int(h>>33)%writeEvery == 0
 	}
 
 	// Resolve the effective worker-pool width for reporting (the engine
@@ -220,9 +319,18 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			for i := c; i < *requests; i += *clients {
-				s, shed, err := be.do(paths[i%len(paths)])
+				var (
+					s    sample
+					shed int64
+					err  error
+				)
+				if isWriteReq(i) {
+					s, shed, err = be.update()
+				} else {
+					s, shed, err = be.do(paths[i%len(paths)])
+				}
 				if err != nil {
-					fail("request %d (%s): %v", i, paths[i%len(paths)], err)
+					fail("request %d: %v", i, err)
 				}
 				shedTotal.Add(shed)
 				samples[i] = s
@@ -254,6 +362,9 @@ func main() {
 			faultKinds[s.errKind]++
 			continue
 		}
+		if s.isWrite { // commits don't return result counts
+			continue
+		}
 		if prev, seen := counts[s.path]; seen && prev != s.count {
 			fmt.Fprintf(os.Stderr, "xload: count(%s) varies between requests: %d vs %d\n", s.path, prev, s.count)
 			countOK = false
@@ -264,9 +375,15 @@ func main() {
 		fmt.Printf("count(%s) = %d\n", p, counts[p])
 	}
 
-	var virtLat, wallLat []float64
+	var virtLat, wallLat, commitLat []float64
+	var writes int64
 	for _, s := range samples {
 		if s.timedOut || s.errKind != "" {
+			continue
+		}
+		if s.isWrite {
+			writes++
+			commitLat = append(commitLat, s.wall.Seconds())
 			continue
 		}
 		virtLat = append(virtLat, s.virt.Seconds())
@@ -276,7 +393,11 @@ func main() {
 	if completed == 0 {
 		fail("every request timed out")
 	}
-	fmt.Printf("mode=%s clients=%d requests=%d strategy=%s mix=%s\n", mode, *clients, *requests, strat, *mixName)
+	fmt.Printf("mode=%s clients=%d requests=%d strategy=%s mix=%s", mode, *clients, *requests, strat, *mixName)
+	if writes > 0 {
+		fmt.Printf(" writes=%d (write-frac %.2f)", writes, *writeFrac)
+	}
+	fmt.Println()
 	fmt.Printf("throughput: %.2f q/s virtual (%d in %.3fs), %.1f q/s wall (%.3fs)\n",
 		float64(completed)/virtTotal.Seconds(), completed, virtTotal.Seconds(),
 		float64(completed)/wallTotal.Seconds(), wallTotal.Seconds())
@@ -295,6 +416,17 @@ func main() {
 	}
 	fmt.Printf("engine: gangs=%d batched=%d/%d rejected=%d faulted=%d overhead=%v\n",
 		m.Gangs, m.Batched, m.Submitted, m.Rejected, m.Faulted, m.OverheadV)
+	var tm pathdb.TxnMetrics
+	if writes > 0 {
+		var terr error
+		tm, terr = be.txnMetrics()
+		if terr != nil {
+			fail("txn metrics: %v", terr)
+		}
+		fmt.Printf("txn: commits=%d aborts=%d groups=%d max_group=%d flushes/commit=%.3f\n",
+			tm.Commits, tm.Aborts, tm.Groups, tm.MaxGroup, tm.FlushesPerCommit)
+		fmt.Printf("commit latency wall [s]: %s\n", percentiles(commitLat))
+	}
 
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
@@ -320,31 +452,43 @@ func main() {
 	if *jsonDir != "" {
 		sort.Float64s(virtLat)
 		sort.Float64s(wallLat)
+		sort.Float64s(commitLat)
 		pick := func(xs []float64, p float64) float64 {
+			if len(xs) == 0 {
+				return 0
+			}
 			return xs[int(p*float64(len(xs)-1))]
 		}
 		jerr := bench.WriteLoadJSON(*jsonDir, "xload", bench.LoadJSON{
-			Mode:        mode,
-			Clients:     *clients,
-			Requests:    *requests,
-			Mix:         *mixName,
-			Strategy:    strat.String(),
-			Parallel:    effParallel,
-			VirtualSec:  virtTotal.Seconds(),
-			WallSec:     wallTotal.Seconds(),
-			VirtualQPS:  float64(completed) / virtTotal.Seconds(),
-			WallQPS:     float64(completed) / wallTotal.Seconds(),
-			AllocsPerOp: allocsPerOp,
-			P50WallSec:  pick(wallLat, 0.50),
-			P99WallSec:  pick(wallLat, 0.99),
-			P50VirtSec:  pick(virtLat, 0.50),
-			P99VirtSec:  pick(virtLat, 0.99),
-			Submitted:   m.Submitted,
-			Rejected:    m.Rejected,
-			Gangs:       m.Gangs,
-			Batched:     m.Batched,
-			ShedRetries: shedTotal.Load(),
-			Timeouts:    timeouts,
+			Mode:             mode,
+			Clients:          *clients,
+			Requests:         *requests,
+			Mix:              *mixName,
+			Strategy:         strat.String(),
+			Parallel:         effParallel,
+			VirtualSec:       virtTotal.Seconds(),
+			WallSec:          wallTotal.Seconds(),
+			VirtualQPS:       float64(completed) / virtTotal.Seconds(),
+			WallQPS:          float64(completed) / wallTotal.Seconds(),
+			AllocsPerOp:      allocsPerOp,
+			P50WallSec:       pick(wallLat, 0.50),
+			P99WallSec:       pick(wallLat, 0.99),
+			P50VirtSec:       pick(virtLat, 0.50),
+			P99VirtSec:       pick(virtLat, 0.99),
+			Submitted:        m.Submitted,
+			Rejected:         m.Rejected,
+			Gangs:            m.Gangs,
+			Batched:          m.Batched,
+			ShedRetries:      shedTotal.Load(),
+			Timeouts:         timeouts,
+			WriteFrac:        *writeFrac,
+			Writes:           writes,
+			Commits:          tm.Commits,
+			Aborts:           tm.Aborts,
+			Groups:           tm.Groups,
+			FlushesPerCommit: tm.FlushesPerCommit,
+			P50CommitSec:     pick(commitLat, 0.50),
+			P99CommitSec:     pick(commitLat, 0.99),
 		})
 		if jerr != nil {
 			fail("%v", jerr)
@@ -366,6 +510,10 @@ type engineBackend struct {
 
 	once sync.Once
 	ses  *pathdb.Session
+
+	rootOnce sync.Once
+	root     pathdb.Node
+	rootErr  error
 }
 
 func (b *engineBackend) do(path string) (sample, int64, error) {
@@ -393,9 +541,45 @@ func (b *engineBackend) do(path string) (sample, int64, error) {
 	return sample{path: path, count: res.Count(), virt: res.VirtualLatency, wall: time.Since(t0)}, 0, nil
 }
 
+// update commits one <xloadpad/> insert under the document root through
+// the engine's write admission; wall is the full commit latency including
+// the group-commit window.
+func (b *engineBackend) update() (sample, int64, error) {
+	b.rootOnce.Do(func() {
+		res, err := b.db.Query("/site")
+		if err != nil {
+			b.rootErr = err
+			return
+		}
+		nodes := res.Nodes()
+		if len(nodes) != 1 {
+			b.rootErr = fmt.Errorf("expected one /site root, found %d", len(nodes))
+			return
+		}
+		b.root = nodes[0]
+	})
+	if b.rootErr != nil {
+		return sample{}, 0, b.rootErr
+	}
+	t0 := time.Now()
+	err := b.eng.Update(func(tx *pathdb.Tx) error {
+		_, ierr := tx.InsertXML(b.root, "<xloadpad/>")
+		return ierr
+	})
+	if err != nil {
+		if k := pathdb.KindOf(err); k == pathdb.KindIO || k == pathdb.KindCorrupt {
+			return sample{isWrite: true, wall: time.Since(t0), errKind: k.String()}, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	return sample{isWrite: true, wall: time.Since(t0)}, 0, nil
+}
+
 func (b *engineBackend) virtualTotal() stats.Ticks { return b.db.CostReport().Total }
 
 func (b *engineBackend) engineMetrics() (pathdb.EngineMetrics, error) { return b.eng.Metrics(), nil }
+
+func (b *engineBackend) txnMetrics() (pathdb.TxnMetrics, error) { return b.db.TxnMetrics(), nil }
 
 func (b *engineBackend) close() { b.eng.Close() }
 
@@ -484,6 +668,68 @@ func (b *httpBackend) do(path string) (sample, int64, error) {
 			return sample{}, shed, fmt.Errorf("status %d: %s", resp.StatusCode, data)
 		}
 	}
+}
+
+// update POSTs one <xloadpad/> insert to /update, with the same 503-retry
+// and 504-timeout handling as do.
+func (b *httpBackend) update() (sample, int64, error) {
+	req := map[string]any{"op": "insert", "parent": "/site", "xml": "<xloadpad/>"}
+	if b.timeoutMS > 0 {
+		req["timeout_ms"] = b.timeoutMS
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sample{}, 0, err
+	}
+
+	var shed int64
+	t0 := time.Now()
+	for {
+		resp, err := b.client.Post(b.base+"/update", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sample{}, shed, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return sample{}, shed, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return sample{isWrite: true, wall: time.Since(t0)}, shed, nil
+		case http.StatusServiceUnavailable:
+			shed++
+			wait := 5 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				if d := time.Duration(ra) * time.Second; d < 50*time.Millisecond {
+					wait = d
+				} else {
+					wait = 50 * time.Millisecond
+				}
+			}
+			time.Sleep(wait)
+		case http.StatusGatewayTimeout:
+			return sample{isWrite: true, wall: time.Since(t0), timedOut: true}, shed, nil
+		default:
+			return sample{}, shed, fmt.Errorf("update status %d: %s", resp.StatusCode, data)
+		}
+	}
+}
+
+func (b *httpBackend) txnMetrics() (pathdb.TxnMetrics, error) {
+	m, err := b.scrape()
+	if err != nil {
+		return pathdb.TxnMetrics{}, err
+	}
+	return pathdb.TxnMetrics{
+		Commits:          uint64(m["pathdb_txn_commits_total"]),
+		Aborts:           uint64(m["pathdb_txn_aborts_total"]),
+		Groups:           uint64(m["pathdb_txn_groups_total"]),
+		Flushes:          uint64(m["pathdb_txn_wal_flushes_total"]),
+		MaxGroup:         uint64(m["pathdb_txn_max_group_size"]),
+		Epoch:            uint64(m["pathdb_txn_epoch"]),
+		FlushesPerCommit: m["pathdb_txn_flushes_per_commit"],
+	}, nil
 }
 
 func (b *httpBackend) virtualTotal() stats.Ticks {

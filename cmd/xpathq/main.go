@@ -74,7 +74,13 @@ func main() {
 		fail("%v", err)
 	}
 	if *explain {
+		c := q.Choice()
 		fmt.Println("cost model:", q.Explain())
+		fmt.Printf("  chosen:   %s\n", c.Strategy)
+		fmt.Printf("  coverage: %.1f%% (~%d of %d pages touched)\n",
+			100*c.Coverage, c.PagesTouched, db.Pages())
+		fmt.Printf("  estimate: xschedule=%v xscan=%v simple=%v\n",
+			c.ScheduleCost, c.ScanCost, c.SimpleCost)
 	}
 	q.WithStrategy(strat)
 	if *sorted {

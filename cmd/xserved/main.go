@@ -4,8 +4,15 @@
 //
 //	POST /query    {"path": "/site/regions//item", "strategy": "auto",
 //	                "limit": 10, "timeout_ms": 250, "sorted": true}
-//	GET  /metrics  Prometheus text exposition (engine + cost ledger + server)
+//	POST /update   {"op": "insert", "parent": "/site", "xml": "<note/>"}
+//	               {"op": "delete", "path": "/site/note"}
+//	GET  /metrics  Prometheus text exposition (engine + txn + cost ledger + server)
 //	GET  /healthz  200 while serving, 503 once draining
+//
+// Updates run as MVCC transactions: each commit publishes a new volume
+// version, concurrent commits batch onto shared WAL flushes (group commit),
+// and in-flight queries keep reading the version they started on. A racing
+// delete of an update's target is answered 409.
 //
 // Admission control is visible at the protocol level: a full queue is
 // answered 503 with Retry-After, an expired per-request budget 504, and a
@@ -18,6 +25,7 @@
 //	xserved -xmark 0.5 -addr :8080
 //	xserved -xml doc.xml -inflight 8 -queue 64 -addr 127.0.0.1:0
 //	curl -s localhost:8080/query -d '{"path": "/site/regions//item"}'
+//	curl -s localhost:8080/update -d '{"op": "insert", "parent": "/site", "xml": "<note/>"}'
 //	curl -s localhost:8080/metrics
 //
 // The actual listen address is printed on startup ("listening on ..."), so

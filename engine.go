@@ -33,7 +33,9 @@ var (
 // anything implementing net.Error-style Timeout().
 //
 // Deprecated: use errors.Is(err, ErrTimeout). Every query path now returns
-// a typed *Error whose Is method matches the taxonomy sentinels.
+// a typed *Error whose Is method matches the taxonomy sentinels; nothing in
+// this module calls IsTimeout anymore and it will be deleted in a future
+// release.
 func IsTimeout(err error) bool {
 	if errors.Is(err, ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
 		return true
@@ -83,9 +85,34 @@ func (db *DB) NewEngine(cfg EngineConfig) *Engine {
 			MaxInFlight: cfg.MaxInFlight,
 			QueueDepth:  cfg.QueueDepth,
 			Parallel:    cfg.Parallel,
+			// Each gang pins one MVCC snapshot for all its members, so
+			// concurrent Updates never tear a gang's reads (see txn.go).
+			Snapshots: dbSnapshots{db: db},
 		}),
 	}
 }
+
+// Update runs fn in a write transaction while the engine keeps serving
+// reads: queries in flight finish on the snapshot their gang pinned at
+// admission, and gangs dispatched after Update returns see the committed
+// state. Concurrent Updates group-commit — they batch onto shared WAL
+// flushes (see DB.Update for the transaction semantics).
+//
+// The write is admitted against the engine's lifecycle: once Close or
+// Shutdown has begun, Update fails with ErrClosed, and the engine waits
+// for admitted writers before its storage goes away.
+func (e *Engine) Update(fn func(*Tx) error) error {
+	release, err := e.e.AdmitWrite()
+	if err != nil {
+		return wrapErr("update", "", err)
+	}
+	defer release()
+	return wrapErr("update", "", e.db.Update(fn))
+}
+
+// TxnMetrics returns a snapshot of the underlying volume's transaction
+// counters (all zeros before the first write).
+func (e *Engine) TxnMetrics() TxnMetrics { return e.db.TxnMetrics() }
 
 // Close stops the engine; queries still queued fail with ErrClosed.
 func (e *Engine) Close() { e.e.Close() }
@@ -118,6 +145,7 @@ type EngineMetrics struct {
 	Gangs     int64       // dispatcher batches executed
 	Batched   int64       // queries that ran on a gang-shared scheduler
 	Faulted   int64       // queries failed by a page fault (I/O or corruption)
+	Updates   int64       // write transactions admitted
 	OverheadV stats.Ticks // virtual time spent on dispatch bookkeeping
 }
 
@@ -132,6 +160,7 @@ func (e *Engine) Metrics() EngineMetrics {
 		Gangs:     m.Gangs,
 		Batched:   m.Batched,
 		Faulted:   m.Faulted,
+		Updates:   m.Updates,
 		OverheadV: m.OverheadV,
 	}
 }
@@ -164,6 +193,11 @@ type ExecResult struct {
 	Strategy Strategy // resolved strategy (meaningful when Auto was used)
 	Shared   bool     // ran on a gang-shared scheduler (batched I/O)
 	Gang     int      // gang size this query executed in
+
+	// Choice is the cost model's full decision — strategy, coverage and
+	// per-candidate cost estimates. Nil when a strategy was forced (the
+	// model never ran). Union queries report the first branch's choice.
+	Choice *PlanChoice
 
 	// VirtualLatency is submit-to-done on the volume's virtual clock.
 	VirtualLatency stats.Ticks
@@ -278,6 +312,10 @@ func (s *Session) compile(path string, opts QueryOptions) ([]engine.Query, error
 // node set).
 func (s *Session) merge(branch []engine.Result, isUnion bool, opts QueryOptions) ExecResult {
 	out := ExecResult{Strategy: fromCore(branch[0].Strategy), Gang: branch[0].Gang}
+	if c := branch[0].Choice; c != nil {
+		pc := fromPlanChoice(*c)
+		out.Choice = &pc
+	}
 
 	var all []core.Result
 	minSubmit, maxDone := branch[0].SubmitV, branch[0].DoneV

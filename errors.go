@@ -7,6 +7,7 @@ import (
 
 	"pathdb/internal/engine"
 	"pathdb/internal/storage"
+	"pathdb/internal/txn"
 )
 
 // ErrorKind classifies a query failure. Every error returned by the
@@ -173,7 +174,7 @@ func wrapErr(op, path string, err error) error {
 	switch {
 	case errors.Is(err, engine.ErrQueueFull):
 		kind = KindOverloaded
-	case errors.Is(err, engine.ErrClosed):
+	case errors.Is(err, engine.ErrClosed), errors.Is(err, txn.ErrClosed):
 		kind = KindClosed
 	case errors.Is(err, context.DeadlineExceeded):
 		kind = KindTimeout

@@ -99,6 +99,18 @@ type LoadJSON struct {
 	// Client-observed flow control (url mode): 503-retry rounds and 504s.
 	ShedRetries int64 `json:"shed_retries,omitempty"`
 	Timeouts    int64 `json:"timeouts,omitempty"`
+
+	// Mixed read/write workloads (-write-frac > 0): transaction outcomes
+	// and commit latency. flushes_per_commit below 1 means group commit
+	// batched concurrent writers onto shared WAL flushes.
+	WriteFrac        float64 `json:"write_frac,omitempty"`
+	Writes           int64   `json:"writes,omitempty"`
+	Commits          uint64  `json:"txn_commits,omitempty"`
+	Aborts           uint64  `json:"txn_aborts,omitempty"`
+	Groups           uint64  `json:"txn_groups,omitempty"`
+	FlushesPerCommit float64 `json:"flushes_per_commit,omitempty"`
+	P50CommitSec     float64 `json:"p50_commit_s,omitempty"`
+	P99CommitSec     float64 `json:"p99_commit_s,omitempty"`
 }
 
 // WriteLoadJSON writes l to dir/BENCH_<name>.json.

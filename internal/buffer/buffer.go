@@ -552,6 +552,36 @@ func (m *Manager) Invalidate(p vdisk.PageID) {
 	}
 }
 
+// Discard is Invalidate for version reclamation: it drops page p from the
+// pool if present, but — unlike Invalidate, which treats a pinned frame as
+// a protocol violation — it reports false and leaves the frame alone when
+// the page is still pinned. Superseded page versions are unreachable from
+// any live snapshot, so a pin is at worst a transient read finishing up;
+// the reclaimer retries on the next pass.
+func (m *Manager) Discard(p vdisk.PageID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.shardOf(p)
+	s.mu.Lock()
+	f, ok := s.frames[p]
+	if !ok {
+		s.mu.Unlock()
+		return true
+	}
+	if f.Pinned() {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.frames, p)
+	s.mu.Unlock()
+	m.unlink(f)
+	m.nFrames--
+	if m.onEvict != nil {
+		m.onEvict(p)
+	}
+	return true
+}
+
 // FlushAll drops every unpinned frame (used between benchmark runs to
 // start cold) and resets the async bookkeeping, including the root
 // waiter's pending set. It panics if any frame is still pinned. Per-query

@@ -102,7 +102,7 @@ func TestCancelRequests(t *testing.T) {
 	m.Request(1)
 	m.Request(3)
 	m.Unfix(fix(m, 5)) // cache page 5
-	m.Request(5)      // ready immediately
+	m.Request(5)       // ready immediately
 	if m.OutstandingRequests() != 3 {
 		t.Fatalf("outstanding = %d, want 3", m.OutstandingRequests())
 	}

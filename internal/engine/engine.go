@@ -62,6 +62,26 @@ var (
 	ErrQueueFull = errors.New("engine: admission queue full")
 )
 
+// A Snapshot pins one version of the volume for the duration of a gang:
+// every view opened from it resolves pages through the same immutable
+// version map, so concurrent commits never tear an executing query.
+type Snapshot interface {
+	// View opens a read view of the pinned version, charging to led.
+	View(led *stats.Ledger) *storage.Store
+	// Epoch identifies the pinned version.
+	Epoch() uint64
+	// Release unpins the version (idempotent), allowing superseded pages
+	// to be reclaimed.
+	Release()
+}
+
+// A SnapshotSource admits readers onto a pinned version; the txn manager
+// is the canonical implementation (wired through Config.Snapshots by the
+// pathdb facade).
+type SnapshotSource interface {
+	Snapshot() Snapshot
+}
+
 // Config tunes the engine's admission control.
 type Config struct {
 	// MaxInFlight caps the gang size: how many admitted queries execute
@@ -78,6 +98,11 @@ type Config struct {
 	Parallel int
 	// K overrides XSchedule's queue fill target (0 = core.DefaultK).
 	K int
+	// Snapshots, when set, pins one version per gang: every member view
+	// resolves pages through it, isolating queries from concurrent
+	// commits. Nil falls back to a view pinned at gang start (equivalent
+	// on volumes without a txn manager, where the version never moves).
+	Snapshots SnapshotSource
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +186,7 @@ type Metrics struct {
 	Gangs     int64       // dispatcher batches executed
 	Batched   int64       // queries that ran on a shared scheduler
 	Faulted   int64       // queries failed by a storage page fault (I/O or corruption)
+	Updates   int64       // write transactions admitted via AdmitWrite
 	OverheadV stats.Ticks // virtual CPU spent on admission/dispatch bookkeeping
 }
 
@@ -190,6 +216,10 @@ type Engine struct {
 	// that queries pay. Future cross-volume I/O issues through dom.
 	dom *vdisk.Domain
 
+	// writers tracks admitted write transactions so shutdown waits for
+	// them the way it waits for the in-flight gang.
+	writers sync.WaitGroup
+
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
@@ -197,6 +227,7 @@ type Engine struct {
 	gangs     atomic.Int64
 	batched   atomic.Int64
 	faulted   atomic.Int64
+	updates   atomic.Int64
 }
 
 // New builds an engine over store and starts its dispatcher. The cost model
@@ -231,8 +262,26 @@ func (e *Engine) Metrics() Metrics {
 		Gangs:     e.gangs.Load(),
 		Batched:   e.batched.Load(),
 		Faulted:   e.faulted.Load(),
+		Updates:   e.updates.Load(),
 		OverheadV: e.dom.Ledger().Total(),
 	}
+}
+
+// AdmitWrite admits one write transaction: it fails with ErrClosed once
+// the engine is draining, and otherwise registers the writer so Drain and
+// Close wait for it like they wait for the in-flight gang. The returned
+// release must be called exactly once, when the write has committed or
+// aborted.
+func (e *Engine) AdmitWrite() (release func(), err error) {
+	e.admit.RLock()
+	defer e.admit.RUnlock()
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	e.writers.Add(1)
+	e.updates.Add(1)
+	var once sync.Once
+	return func() { once.Do(e.writers.Done) }, nil
 }
 
 // Close stops the dispatcher, failing queries still queued with ErrClosed.
@@ -242,6 +291,7 @@ func (e *Engine) Close() {
 	e.shutAdmission()
 	e.stopOnce.Do(func() { close(e.stop) })
 	e.wg.Wait()
+	e.writers.Wait()
 	e.failQueued()
 }
 
@@ -262,7 +312,8 @@ func (e *Engine) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		e.failQueued() // a submission that raced shutAdmission
+		e.writers.Wait() // admitted writes finish like admitted queries
+		e.failQueued()   // a submission that raced shutAdmission
 		return nil
 	case <-ctx.Done():
 		e.Close()
@@ -367,11 +418,28 @@ type execUnit struct {
 	choice *plan.Choice
 }
 
+// view opens a read view for one gang member: through the gang's pinned
+// snapshot when one exists, else pinned to the version current at call
+// time (immovable on volumes without a txn manager).
+func (e *Engine) view(snap Snapshot, led *stats.Ledger) *storage.Store {
+	if snap != nil {
+		return snap.View(led)
+	}
+	return e.store.SnapshotView(led)
+}
+
 // execute runs one gang: batchable members are partitioned into shared
 // groups (each a MultiPlan), the rest run solo, and the resulting tasks
-// execute on a worker pool of up to cfg.Parallel goroutines.
+// execute on a worker pool of up to cfg.Parallel goroutines. The whole
+// gang reads one pinned snapshot, acquired here and released when every
+// member has finished.
 func (e *Engine) execute(gang []*Pending) {
 	e.gangs.Add(1)
+	var snap Snapshot
+	if e.cfg.Snapshots != nil {
+		snap = e.cfg.Snapshots.Snapshot()
+		defer snap.Release()
+	}
 	model := e.store.Disk().Model()
 	// Dispatch bookkeeping is charged to the engine's own clock domain,
 	// one set-op per admitted member, keeping the volume clock pure.
@@ -405,10 +473,10 @@ func (e *Engine) execute(gang []*Pending) {
 	groups := splitShared(shared, e.cfg.Parallel)
 	tasks := make([]func(), 0, len(groups)+len(solo))
 	for _, g := range groups {
-		tasks = append(tasks, func() { e.runShared(g, gangSize) })
+		tasks = append(tasks, func() { e.runShared(snap, g, gangSize) })
 	}
 	for _, u := range solo {
-		tasks = append(tasks, func() { e.runSolo(u, gangSize) })
+		tasks = append(tasks, func() { e.runSolo(snap, u, gangSize) })
 	}
 	e.runTasks(tasks)
 }
@@ -487,10 +555,17 @@ func (e *Engine) contextsOf(q Query) []storage.NodeID {
 // overlapping working sets load once and the scheduler reorders across
 // query boundaries. The pooled prefetch I/O is paid by a group ledger;
 // every member charges its own CPU and synchronous I/O to a private view.
-func (e *Engine) runShared(units []execUnit, gangSize int) {
+func (e *Engine) runShared(snap Snapshot, units []execUnit, gangSize int) {
 	e.batched.Add(int64(len(units)))
+	// Every ledger of this run is seeded with the device's current instant:
+	// the gang arrives now, and is billed for time past its arrival — not
+	// for device history that earlier gangs and committed writers already
+	// paid for. The seed is subtracted back out before folding into the
+	// volume ledger, whose clock is a sum of work.
+	baseV := e.store.Disk().Clock()
 	gled := stats.NewLedger()
-	gview := e.store.Reader(gled)
+	gled.SeedAt(baseV)
+	gview := e.view(snap, gled)
 	startV := e.store.Ledger().Total()
 	startW := time.Now()
 
@@ -498,12 +573,13 @@ func (e *Engine) runShared(units []execUnit, gangSize int) {
 	qleds := make([]*stats.Ledger, len(units))
 	for i, u := range units {
 		qleds[i] = stats.NewLedger()
+		qleds[i].SeedAt(baseV)
 		queries[i] = core.MultiQuery{
 			Path:     u.p.q.Path,
 			Contexts: e.contextsOf(u.p.q),
 			Ctx:      u.p.ctx,
 			MemLimit: u.p.q.MemLimit,
-			Store:    e.store.Reader(qleds[i]),
+			Store:    e.view(snap, qleds[i]),
 		}
 	}
 	buckets := make([][]core.Result, len(units))
@@ -533,25 +609,25 @@ func (e *Engine) runShared(units []execUnit, gangSize int) {
 		// bad page fail with the typed error; the rest of the gang
 		// completes normally off the (still warm) buffer pool.
 		gview.CancelRequests()
-		e.store.Ledger().Merge(gled.Snapshot())
+		e.store.Ledger().Merge(gled.Sub(clockBase(baseV)))
 		for i := range qleds {
-			e.store.Ledger().Merge(qleds[i].Snapshot())
+			e.store.Ledger().Merge(qleds[i].Sub(clockBase(baseV)))
 		}
 		for _, u := range units {
-			e.runSolo(u, gangSize)
+			e.runSolo(snap, u, gangSize)
 		}
 		return
 	}
 
-	sharedV := gled.Total()
-	e.store.Ledger().Merge(gled.Snapshot())
+	sharedV := gled.Total() - baseV
+	e.store.Ledger().Merge(gled.Sub(clockBase(baseV)))
 	wall := time.Since(startW)
 	anyCancelled := false
 	for i, u := range units {
 		if err := u.p.ctx.Err(); err != nil {
 			anyCancelled = true
 			e.cancelled.Add(1)
-			e.store.Ledger().Merge(qleds[i].Snapshot())
+			e.store.Ledger().Merge(qleds[i].Sub(clockBase(baseV)))
 			u.p.finish(Result{}, err)
 			continue
 		}
@@ -567,7 +643,7 @@ func (e *Engine) runShared(units []execUnit, gangSize int) {
 			WallQueue: startW.Sub(u.p.submitW),
 			WallExec:  wall,
 		}
-		e.deliver(u.p, res, qleds[i])
+		e.deliver(u.p, res, qleds[i], baseV)
 	}
 	if anyCancelled {
 		// Abandon the cancelled members' in-flight prefetches so they
@@ -578,9 +654,11 @@ func (e *Engine) runShared(units []execUnit, gangSize int) {
 }
 
 // runSolo executes one member on its own plan over a private storage view.
-func (e *Engine) runSolo(u execUnit, gangSize int) {
+func (e *Engine) runSolo(snap Snapshot, u execUnit, gangSize int) {
+	baseV := e.store.Disk().Clock()
 	qled := stats.NewLedger()
-	view := e.store.Reader(qled)
+	qled.SeedAt(baseV)
+	view := e.view(snap, qled)
 	startV := e.store.Ledger().Total()
 	startW := time.Now()
 
@@ -618,7 +696,7 @@ func (e *Engine) runSolo(u execUnit, gangSize int) {
 		// cannot surface inside a later gang, and account its work.
 		e.faulted.Add(1)
 		view.CancelRequests()
-		e.store.Ledger().Merge(qled.Snapshot())
+		e.store.Ledger().Merge(qled.Sub(clockBase(baseV)))
 		u.p.finish(Result{}, ferr)
 		return
 	}
@@ -626,7 +704,7 @@ func (e *Engine) runSolo(u execUnit, gangSize int) {
 	if err := u.p.ctx.Err(); err != nil {
 		e.cancelled.Add(1)
 		view.CancelRequests()
-		e.store.Ledger().Merge(qled.Snapshot())
+		e.store.Ledger().Merge(qled.Sub(clockBase(baseV)))
 		u.p.finish(Result{}, err)
 		return
 	}
@@ -640,14 +718,20 @@ func (e *Engine) runSolo(u execUnit, gangSize int) {
 		WallQueue: startW.Sub(u.p.submitW),
 		WallExec:  time.Since(startW),
 	}
-	e.deliver(u.p, res, qled)
+	e.deliver(u.p, res, qled, baseV)
 }
+
+// clockBase is a ledger snapshot representing a seeded arrival instant, for
+// subtracting the seed back out of a per-query ledger before merging it
+// into the volume ledger.
+func clockBase(t stats.Ticks) stats.Ledger { return stats.Ledger{Now: t} }
 
 // deliver applies per-query post-processing (the document-order sort stays
 // off the shared path, charged to the query's own ledger), folds the query
 // ledger into the volume ledger, stamps the per-query costs and completes
-// the waiter.
-func (e *Engine) deliver(p *Pending, res Result, qled *stats.Ledger) {
+// the waiter. baseV is the device instant the ledger was seeded at; only
+// the time past it is the query's own.
+func (e *Engine) deliver(p *Pending, res Result, qled *stats.Ledger, baseV stats.Ticks) {
 	if p.q.Sorted {
 		rs := res.Results
 		if len(rs) > 1 {
@@ -659,7 +743,7 @@ func (e *Engine) deliver(p *Pending, res Result, qled *stats.Ledger) {
 			qled.AdvanceCPU(stats.Ticks(cmp) * e.store.Disk().Model().CPUSetOp)
 		}
 	}
-	snap := qled.Snapshot()
+	snap := qled.Sub(clockBase(baseV))
 	res.CostV, res.CPUV, res.IOWaitV = snap.Now, snap.CPU, snap.IOWait
 	e.store.Ledger().Merge(snap)
 	res.DoneV = e.store.Ledger().Total()

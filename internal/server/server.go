@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	POST /query    evaluate {path, strategy, limit, timeout_ms, sorted}
+//	POST /update   mutate {op, parent, xml, path, timeout_ms}
 //	GET  /metrics  Prometheus text exposition: engine counters + cost ledger
 //	GET  /healthz  200 while serving, 503 once draining
 //
@@ -99,6 +100,12 @@ type Server struct {
 	badReqs   atomic.Int64 // 400s
 	gone      atomic.Int64 // client disconnected mid-query
 	ioErrors  atomic.Int64 // 500s from storage faults (KindIO/KindCorrupt)
+
+	// Update counters (the transaction subsystem keeps the commit-side
+	// ones; these count HTTP outcomes).
+	updates    atomic.Int64 // /update requests accepted into a handler
+	updated    atomic.Int64 // update requests answered 200
+	updateErrs atomic.Int64 // update requests answered 4xx/5xx
 }
 
 // New builds a server over db's engine. The engine must outlive the
@@ -112,6 +119,7 @@ func New(db *pathdb.DB, eng *pathdb.Engine, opts Options) *Server {
 		mux:  http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -205,6 +213,12 @@ type QueryResponse struct {
 	Nodes     []NodeJSON `json:"nodes,omitempty"`
 	Truncated bool       `json:"truncated,omitempty"`
 
+	// Choice surfaces the cost model's decision when the query ran under
+	// the auto strategy: the strategy it picked, the estimated cluster
+	// coverage that drove the pick, and the virtual cost estimated for
+	// each candidate operator. Absent when a strategy was forced.
+	Choice *ChoiceJSON `json:"choice,omitempty"`
+
 	// Virtual costs (calibrated cost model, machine independent) and the
 	// wall-clock split, all in nanoseconds.
 	CostVNs          int64 `json:"cost_v_ns"`
@@ -214,6 +228,16 @@ type QueryResponse struct {
 	VirtualLatencyNs int64 `json:"virtual_latency_ns"`
 	WallQueueNs      int64 `json:"wall_queue_ns"`
 	WallExecNs       int64 `json:"wall_exec_ns"`
+}
+
+// ChoiceJSON is the cost-model decision echoed in a QueryResponse.
+type ChoiceJSON struct {
+	ChosenStrategy string  `json:"chosen_strategy"`
+	Coverage       float64 `json:"coverage"`
+	PagesTouched   int     `json:"pages_touched"`
+	ScheduleCostNs int64   `json:"schedule_cost_ns"`
+	ScanCostNs     int64   `json:"scan_cost_ns"`
+	SimpleCostNs   int64   `json:"simple_cost_ns"`
 }
 
 // ErrorResponse is the JSON body of every non-200 response. Kind
@@ -297,6 +321,192 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.response(req, &res))
 }
 
+// UpdateRequest is the POST /update body.
+type UpdateRequest struct {
+	// Op is the mutation: "insert" puts XML under the node Parent
+	// matches; "delete" removes every node Path matches.
+	Op string `json:"op"`
+	// Parent is the location path selecting the insert target. It must
+	// match exactly one node (anything else is a 400: an ambiguous
+	// insert target is a client error, not a fan-out).
+	Parent string `json:"parent,omitempty"`
+	// XML is the fragment to insert — exactly one root element.
+	XML string `json:"xml,omitempty"`
+	// Path selects the nodes to delete; all matches are removed in one
+	// transaction.
+	Path string `json:"path,omitempty"`
+	// TimeoutMS bounds the target lookup; 0 means the server cap. The
+	// commit itself is not abandoned mid-flight (it is atomic).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// UpdateResponse is the POST /update result body.
+type UpdateResponse struct {
+	Op       string    `json:"op"`
+	Inserted *NodeJSON `json:"inserted,omitempty"` // the fragment root (insert)
+	Deleted  int       `json:"deleted"`            // nodes removed (delete)
+	// Epoch is the volume version current after the commit.
+	Epoch uint64 `json:"epoch"`
+	// CommitWallNs is the wall-clock time of the whole transaction —
+	// staging plus the group-commit acknowledgement (under concurrent
+	// writers, dominated by the shared WAL flush window).
+	CommitWallNs int64 `json:"commit_wall_ns"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	if !s.enter() {
+		s.shed.Add(1)
+		s.unavailable(w, "draining", pathdb.KindClosed.String())
+		return
+	}
+	defer s.leave()
+	s.updates.Add(1)
+
+	var req UpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.updateBadRequest(w, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.TimeoutMS < 0 {
+		s.updateBadRequest(w, "\"timeout_ms\" must be non-negative")
+		return
+	}
+	timeout := s.opts.MaxTimeout
+	if t := time.Duration(req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	switch req.Op {
+	case "insert":
+		s.handleInsert(ctx, w, r, req)
+	case "delete":
+		s.handleDelete(ctx, w, r, req)
+	default:
+		s.updateBadRequest(w, fmt.Sprintf("unknown op %q (want \"insert\" or \"delete\")", req.Op))
+	}
+}
+
+// handleInsert resolves the parent path (it must match exactly one node)
+// and commits the fragment under it.
+func (s *Server) handleInsert(ctx context.Context, w http.ResponseWriter, r *http.Request, req UpdateRequest) {
+	if req.Parent == "" || req.XML == "" {
+		s.updateBadRequest(w, "insert needs \"parent\" and \"xml\"")
+		return
+	}
+	if err := s.db.CheckFragment(req.XML); err != nil {
+		s.updateBadRequest(w, err.Error())
+		return
+	}
+	res, err := s.ses.Do(ctx, req.Parent, pathdb.QueryOptions{})
+	if err != nil {
+		s.updateError(w, r, err)
+		return
+	}
+	if res.Count() != 1 {
+		s.updateBadRequest(w, fmt.Sprintf("parent path %q matches %d nodes; need exactly 1", req.Parent, res.Count()))
+		return
+	}
+
+	start := time.Now()
+	var node pathdb.Node
+	err = s.eng.Update(func(tx *pathdb.Tx) error {
+		n, err := tx.InsertXML(res.Nodes[0], req.XML)
+		node = n
+		return err
+	})
+	if err != nil {
+		s.updateError(w, r, err)
+		return
+	}
+	s.updated.Add(1)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Op:           "insert",
+		Inserted:     &NodeJSON{ID: node.ID(), Name: node.Name(), Ord: node.OrdPath()},
+		Epoch:        s.db.TxnMetrics().Epoch,
+		CommitWallNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+// handleDelete resolves the path and removes every match in one
+// transaction (zero matches commit nothing and answer deleted: 0).
+func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *http.Request, req UpdateRequest) {
+	if req.Path == "" {
+		s.updateBadRequest(w, "delete needs \"path\"")
+		return
+	}
+	res, err := s.ses.Do(ctx, req.Path, pathdb.QueryOptions{})
+	if err != nil {
+		s.updateError(w, r, err)
+		return
+	}
+
+	start := time.Now()
+	if res.Count() > 0 {
+		err = s.eng.Update(func(tx *pathdb.Tx) error {
+			for _, n := range res.Nodes {
+				if derr := tx.Delete(n); derr != nil {
+					return derr
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			s.updateError(w, r, err)
+			return
+		}
+	}
+	s.updated.Add(1)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Op:           "delete",
+		Deleted:      res.Count(),
+		Epoch:        s.db.TxnMetrics().Epoch,
+		CommitWallNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+// updateBadRequest answers 400 and counts it against both the bad-request
+// and update-error series.
+func (s *Server) updateBadRequest(w http.ResponseWriter, msg string) {
+	s.updateErrs.Add(1)
+	s.badRequest(w, msg)
+}
+
+// updateError maps update failures onto HTTP statuses: drain/overload are
+// 503, a vanished target (already deleted by a racing transaction) is 409,
+// storage faults are 500, lookup deadline expiry is 504.
+func (s *Server) updateError(w http.ResponseWriter, r *http.Request, err error) {
+	s.updateErrs.Add(1)
+	switch {
+	case errors.Is(err, pathdb.ErrOverloaded):
+		s.shed.Add(1)
+		s.unavailable(w, "overloaded: admission queue full", pathdb.KindOverloaded.String())
+	case errors.Is(err, pathdb.ErrClosed):
+		s.shed.Add(1)
+		s.unavailable(w, "draining", pathdb.KindClosed.String())
+	case errors.Is(err, pathdb.ErrGone):
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error(), Kind: errKind(err)})
+	case errors.Is(err, pathdb.ErrIO) || errors.Is(err, pathdb.ErrCorrupt):
+		s.ioErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Kind: errKind(err)})
+	case errors.Is(err, pathdb.ErrTimeout) && r.Context().Err() == nil:
+		s.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "update timed out", Kind: errKind(err)})
+	case r.Context().Err() != nil:
+		s.gone.Add(1)
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Kind: errKind(err)})
+	}
+}
+
 // queryError maps the typed error taxonomy onto HTTP statuses: overload
 // and drain are 503 (with Retry-After), deadline expiry is 504, storage
 // faults (I/O exhaustion, checksum corruption) are 500 with the kind in
@@ -354,6 +564,16 @@ func (s *Server) response(req QueryRequest, res *pathdb.ExecResult) QueryRespons
 		VirtualLatencyNs: int64(res.VirtualLatency),
 		WallQueueNs:      res.WallQueue.Nanoseconds(),
 		WallExecNs:       res.WallExec.Nanoseconds(),
+	}
+	if c := res.Choice; c != nil {
+		out.Choice = &ChoiceJSON{
+			ChosenStrategy: c.Strategy.String(),
+			Coverage:       c.Coverage,
+			PagesTouched:   c.PagesTouched,
+			ScheduleCostNs: int64(c.ScheduleCost),
+			ScanCostNs:     int64(c.ScanCost),
+			SimpleCostNs:   int64(c.SimpleCost),
+		}
 	}
 	limit := req.Limit
 	if limit > s.opts.MaxNodes {

@@ -191,6 +191,34 @@ func (l *Ledger) BlockUntil(t Ticks) {
 	}
 }
 
+// SeedAt advances the clock to at least t without charging anything: the
+// ledger's owner "arrives" at device instant t. The concurrent engine seeds
+// every per-query ledger with the device clock at execution start, so a
+// query is billed only for time past its arrival — not for the device
+// history that writers and earlier gangs already paid for.
+func (l *Ledger) SeedAt(t Ticks) {
+	for {
+		now := Ticks(atomic.LoadInt64((*int64)(&l.Now)))
+		if t <= now {
+			return
+		}
+		if atomic.CompareAndSwapInt64((*int64)(&l.Now), int64(now), int64(t)) {
+			return
+		}
+	}
+}
+
+// Advance charges t ticks of device work, advancing the clock without
+// attributing CPU or I/O wait. The virtual disk uses it for synchronous
+// writes billed to the volume ledger, whose clock is a sum of work rather
+// than an instant.
+func (l *Ledger) Advance(t Ticks) {
+	if t < 0 {
+		panic("stats: negative advance")
+	}
+	atomic.AddInt64((*int64)(&l.Now), int64(t))
+}
+
 // Total returns the total elapsed virtual time (atomic; safe concurrently).
 func (l *Ledger) Total() Ticks { return Ticks(atomic.LoadInt64((*int64)(&l.Now))) }
 

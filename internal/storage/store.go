@@ -39,6 +39,20 @@ type Store struct {
 
 	cache *swizCache     // decoded page images, shared across views
 	w     *buffer.Waiter // async cluster requests of this view
+
+	// Multi-version state. vh shares the latest published version across
+	// all views; pinned fixes a snapshot view to one version (it takes
+	// precedence); overlay exposes a write transaction's staged images to
+	// its own reads. The swizzle cache and buffer pool are keyed by
+	// *physical* page, so frames of different versions of the same logical
+	// page coexist until the reclaimer discards the superseded ones.
+	vh      *versionHandle
+	pinned  *VersionMap
+	overlay map[vdisk.PageID]*pageImage
+	req     map[vdisk.PageID]vdisk.PageID // physical→logical for in-flight async requests
+
+	ckptPages []vdisk.PageID // chain of the current checkpoint (base store)
+	txnState  *TxnState      // recovered at Open; adopted by the txn manager
 }
 
 // DefaultBufferPages is the pool size used when none is configured; the
@@ -58,6 +72,7 @@ func newStore(disk *vdisk.Disk, dict *xmltree.Dictionary, roots []NodeID, firstD
 		nData:     nData,
 		extras:    extras,
 		cache:     newSwizCache(),
+		vh:        &versionHandle{},
 	}
 	s.buf.SetEvictHandler(s.cache.drop)
 	s.buf.SetVerifier(verifyPageTrailer)
@@ -85,7 +100,92 @@ func (s *Store) Reader(led *stats.Ledger) *Store {
 	v := *s
 	v.led = led
 	v.w = s.buf.NewWaiter(led)
+	v.req = nil
 	return &v
+}
+
+// version returns the VersionMap this view resolves through: its pinned
+// snapshot if it has one, else the latest published version, else nil
+// (identity — fresh and legacy volumes).
+func (s *Store) version() *VersionMap {
+	if s.pinned != nil {
+		return s.pinned
+	}
+	if s.vh != nil {
+		return s.vh.Load()
+	}
+	return nil
+}
+
+// resolve maps a logical page id to the physical page holding its bytes in
+// this view's version.
+func (s *Store) resolve(p vdisk.PageID) vdisk.PageID {
+	if vm := s.version(); vm != nil {
+		return vm.Resolve(p)
+	}
+	return p
+}
+
+// extrasList returns the extension-page directory of this view's version.
+func (s *Store) extrasList() []vdisk.PageID {
+	if vm := s.version(); vm != nil {
+		return vm.Extras()
+	}
+	return s.extras
+}
+
+// WithSnapshot returns a read view pinned to version vm: every logical
+// page resolves through vm for the view's whole lifetime, regardless of
+// later commits. The txn manager hands these out to queries.
+func (s *Store) WithSnapshot(vm *VersionMap, led *stats.Ledger) *Store {
+	v := s.Reader(led)
+	v.pinned = vm
+	return v
+}
+
+// SnapshotView is Reader pinned to the latest published version — a
+// consistent point-in-time view even while writers publish new versions.
+// On a volume without transaction state it degrades to a plain Reader.
+func (s *Store) SnapshotView(led *stats.Ledger) *Store {
+	return s.WithSnapshot(s.version(), led)
+}
+
+// PublishVersion atomically installs vm as the volume's latest version;
+// all non-pinned views resolve through it from now on.
+func (s *Store) PublishVersion(vm *VersionMap) { s.vh.Store(vm) }
+
+// CurrentVersion returns the latest published version (nil if the volume
+// has no transaction state).
+func (s *Store) CurrentVersion() *VersionMap { return s.vh.Load() }
+
+// TxnState returns the durable transaction state recovered at Open (nil
+// for volumes that were never written transactionally). The txn manager
+// adopts it; the slices are owned by the caller afterwards.
+func (s *Store) TxnState() *TxnState { return s.txnState }
+
+// WriteData finalizes payload (padding + checksum trailer) and writes it
+// at physical page p — the copy-on-write staging write of the txn commit
+// path. The page must be unreferenced by every live version.
+func (s *Store) WriteData(p vdisk.PageID, payload []byte) {
+	writePage(s.disk, p, payload)
+}
+
+// ZeroPage overwrites p with raw zeros (no checksum trailer, so the page
+// reads back as invalid). Recycled pages must be zeroed before they are
+// linked as preallocated log heads; see PageAlloc.
+func (s *Store) ZeroPage(p vdisk.PageID) {
+	s.disk.Write(p, make([]byte, s.disk.PageSize()))
+}
+
+// DropVersion evicts the superseded physical page p from the buffer pool
+// and the swizzle cache before its slot is recycled. False when a frame is
+// still pinned (transient; the reclaimer retries).
+func (s *Store) DropVersion(p vdisk.PageID) bool {
+	if !s.buf.Discard(p) {
+		return false
+	}
+	s.cache.drop(p)
+	return true
 }
 
 // Buffer exposes the buffer manager (for stats and tests).
@@ -115,16 +215,17 @@ func (s *Store) DataPages() (first vdisk.PageID, n int) {
 }
 
 // NumDataPages returns the number of document pages including pages
-// appended by updates.
-func (s *Store) NumDataPages() int { return int(s.nData) + len(s.extras) }
+// appended by updates, as of this view's version.
+func (s *Store) NumDataPages() int { return int(s.nData) + len(s.extrasList()) }
 
 // DataPage returns the i-th document page in scan order: the bulk-loaded
-// range first, then update extensions in allocation order.
+// range first, then update extensions in allocation order. The returned id
+// is logical; the read path resolves it to the version's physical page.
 func (s *Store) DataPage(i int) vdisk.PageID {
 	if i < int(s.nData) {
 		return vdisk.PageID(s.firstData) + vdisk.PageID(i)
 	}
-	return s.extras[i-int(s.nData)]
+	return s.extrasList()[i-int(s.nData)]
 }
 
 // ClusterOf returns the cluster (page) a node belongs to, a pure NodeID
@@ -153,7 +254,17 @@ func (s *Store) ResetForRun() {
 // empty, so a later access retries the load rather than inheriting the
 // failure.
 func (s *Store) image(p vdisk.PageID) *pageImage {
-	e := s.cache.entry(p)
+	if s.overlay != nil {
+		if img, ok := s.overlay[p]; ok {
+			return img
+		}
+	}
+	// The cache and pool are keyed by the resolved *physical* page (the
+	// version-unique home of these bytes); the decode below keeps the
+	// *logical* id, which is what NodeIDs embed. The version map is
+	// injective, so one physical page never serves two logical ones.
+	phys := s.resolve(p)
+	e := s.cache.entry(phys)
 	if img := e.img.Load(); img != nil {
 		return img
 	}
@@ -162,7 +273,7 @@ func (s *Store) image(p vdisk.PageID) *pageImage {
 	if img := e.img.Load(); img != nil {
 		return img
 	}
-	f, err := s.buf.FixOn(s.led, p)
+	f, err := s.buf.FixOn(s.led, phys)
 	if err != nil {
 		throwPageError(p, err)
 	}
@@ -191,11 +302,22 @@ func (s *Store) BordersOf(p vdisk.PageID) []NodeID {
 }
 
 // Loaded reports whether the page is present in the buffer pool.
-func (s *Store) Loaded(p vdisk.PageID) bool { return s.buf.Contains(p) }
+func (s *Store) Loaded(p vdisk.PageID) bool { return s.buf.Contains(s.resolve(p)) }
 
 // RequestCluster schedules an asynchronous load of a cluster (XSchedule's
-// interface to the I/O subsystem) on this view's waiter.
-func (s *Store) RequestCluster(p vdisk.PageID) { s.w.Request(p) }
+// interface to the I/O subsystem) on this view's waiter. The request is
+// issued for the version-resolved physical page; WaitCluster translates
+// completions back so operators keep reasoning in logical cluster ids.
+func (s *Store) RequestCluster(p vdisk.PageID) {
+	phys := s.resolve(p)
+	if phys != p {
+		if s.req == nil {
+			s.req = map[vdisk.PageID]vdisk.PageID{}
+		}
+		s.req[phys] = p
+	}
+	s.w.Request(phys)
+}
 
 // WaitCluster blocks until some cluster requested through this view is
 // loaded and returns it. Other views' requests neither wake this one nor
@@ -207,6 +329,11 @@ func (s *Store) WaitCluster() (vdisk.PageID, bool) {
 	p, ok, err := s.w.WaitLoaded()
 	if err != nil {
 		throwPageError(p, err)
+	}
+	if ok && s.req != nil {
+		if logical, hit := s.req[p]; hit {
+			p = logical
+		}
 	}
 	return p, ok
 }
@@ -355,10 +482,11 @@ type metaInfo struct {
 	dictCount uint32
 	walPage   vdisk.PageID   // committed-but-unapplied WAL header (0 = none)
 	extras    []vdisk.PageID // update-extension pages, in scan order
+	ckptPage  vdisk.PageID   // transaction checkpoint chain head (0 = none)
 }
 
 func writeMeta(disk *vdisk.Disk, page vdisk.PageID, m metaInfo) {
-	buf := make([]byte, 8+4*5+4+4*len(m.extras)+4+8*len(m.roots))
+	buf := make([]byte, 8+4*5+4+4*len(m.extras)+4+8*len(m.roots)+4)
 	copy(buf, metaMagic)
 	binary.LittleEndian.PutUint32(buf[8:], m.firstData)
 	binary.LittleEndian.PutUint32(buf[12:], m.nData)
@@ -377,6 +505,9 @@ func writeMeta(disk *vdisk.Disk, page vdisk.PageID, m metaInfo) {
 		binary.LittleEndian.PutUint64(buf[off:], uint64(r))
 		off += 8
 	}
+	// Trailing fields (added after v0 volumes; zero-padding makes their
+	// absence read back as zero): the checkpoint chain head.
+	binary.LittleEndian.PutUint32(buf[off:], uint32(m.ckptPage))
 	if len(buf) > usable(disk.PageSize()) {
 		panic("storage: meta page overflow (too many extension pages or roots)")
 	}
@@ -409,6 +540,9 @@ func readMeta(disk *vdisk.Disk) (metaInfo, error) {
 	for i := uint32(0); i < nRoots; i++ {
 		m.roots = append(m.roots, NodeID(binary.LittleEndian.Uint64(buf[off:])))
 		off += 8
+	}
+	if off+4 <= len(buf) {
+		m.ckptPage = vdisk.PageID(binary.LittleEndian.Uint32(buf[off:]))
 	}
 	if len(m.roots) == 0 {
 		return metaInfo{}, errors.New("storage: volume has no document roots")
@@ -467,7 +601,10 @@ func readDictionary(disk *vdisk.Disk, start, count uint32) (*xmltree.Dictionary,
 
 // Open attaches to a previously imported volume, reconstructing the
 // dictionary from disk and replaying any committed-but-unapplied update
-// transaction (crash recovery). The ledger is reset afterwards.
+// transaction (crash recovery): first the legacy single-writer WAL, then
+// the transactional redo log (checkpoint + commit-group chains), whose
+// folded state is persisted as a fresh checkpoint and published as the
+// volume's current version. The ledger is reset afterwards.
 func Open(disk *vdisk.Disk) (*Store, error) {
 	m, err := readMeta(disk)
 	if err != nil {
@@ -476,11 +613,27 @@ func Open(disk *vdisk.Disk) (*Store, error) {
 	if err := recoverWAL(disk, &m); err != nil {
 		return nil, err
 	}
+	st, err := recoverTxn(disk, &m)
+	if err != nil {
+		return nil, err
+	}
 	dict, err := readDictionary(disk, m.dictStart, m.dictCount)
 	if err != nil {
 		return nil, err
 	}
+	s := newStore(disk, dict, m.roots, m.firstData, m.nData, m.extras)
+	if st != nil {
+		// Fold the replayed groups into a fresh checkpoint so the next
+		// crash recovers from here, and publish the recovered version.
+		_, next, cerr := s.WriteCheckpoint(*st, s.disk.Alloc)
+		if cerr != nil {
+			return nil, cerr
+		}
+		st.LogHead = next
+		s.txnState = st
+		s.PublishVersion(st.Version())
+	}
 	disk.Ledger().Reset()
 	disk.ResetClockState()
-	return newStore(disk, dict, m.roots, m.firstData, m.nData, m.extras), nil
+	return s, nil
 }

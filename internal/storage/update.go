@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pathdb/internal/ordpath"
+	"pathdb/internal/stats"
 	"pathdb/internal/vdisk"
 	"pathdb/internal/xmltree"
 )
@@ -27,7 +28,12 @@ var (
 	ErrNotElement   = errors.New("storage: target is not an element or document node")
 	ErrNotChild     = errors.New("storage: 'before' node is not a child of the parent")
 	ErrIsRoot       = errors.New("storage: cannot delete the document node or root element anchor")
+	ErrGone         = errors.New("storage: target node was deleted")
 	ErrMetaOverflow = errors.New("storage: too many update-extension pages for the meta page")
+	// ErrLegacyUpdate rejects the single-writer in-place update path on a
+	// volume that has transactional state; such volumes must be written
+	// through internal/txn, whose snapshots the in-place path would tear.
+	ErrLegacyUpdate = errors.New("storage: volume has transaction state; update it through the txn manager")
 )
 
 // InsertSubtree stores the logical fragment (an element, text, comment or
@@ -35,11 +41,53 @@ var (
 // InvalidNodeID the fragment is appended after the last child; otherwise
 // it is inserted immediately before that child. It returns the NodeID of
 // the new node.
+//
+// This is the legacy single-writer entry point: staging and the in-place
+// WAL commit in one call. Transactional writers stage the same mutation
+// through a WriteTxn (see writetxn.go) and commit via internal/txn.
 func (s *Store) InsertSubtree(parent NodeID, before NodeID, frag *xmltree.Node) (NodeID, error) {
+	u := newUpdater(s)
+	newID, err := s.insertSubtreeWith(u, parent, before, frag)
+	if err != nil {
+		return InvalidNodeID, err
+	}
+	if err := u.commit(); err != nil {
+		return InvalidNodeID, err
+	}
+	return newID, nil
+}
+
+// swizzleTarget resolves a caller-supplied handle for an update: a slot
+// that an earlier delete compacted away means the handle is merely stale,
+// so it reports ErrGone instead of the page-corruption panic Swizzle
+// reserves for genuinely impossible ids.
+func (s *Store) swizzleTarget(id NodeID) (Cursor, error) {
+	stats.Inc(&s.led.Swizzles)
+	s.led.AdvanceCPU(s.model.CPUSwizzle)
+	img := s.image(id.Page())
+	if int(id.Slot()) >= len(img.recs) {
+		return Cursor{}, ErrGone
+	}
+	attr := -1
+	if i, ok := id.AttrIndex(); ok {
+		attr = i
+	}
+	return Cursor{st: s, img: img, page: id.Page(), slot: id.Slot(), attr: attr}, nil
+}
+
+// insertSubtreeWith stages the insert into u without committing; reads go
+// through s, which may be a snapshot view with a staging overlay.
+func (s *Store) insertSubtreeWith(u *updater, parent NodeID, before NodeID, frag *xmltree.Node) (NodeID, error) {
 	if _, isAttr := parent.AttrIndex(); isAttr {
 		return InvalidNodeID, ErrNotElement
 	}
-	pc := s.Swizzle(parent)
+	pc, err := s.swizzleTarget(parent)
+	if err != nil {
+		return InvalidNodeID, err
+	}
+	if pc.rec().dead {
+		return InvalidNodeID, ErrGone
+	}
 	if k := pc.rec().kind; k != RecElem && k != RecDoc {
 		return InvalidNodeID, ErrNotElement
 	}
@@ -53,39 +101,48 @@ func (s *Store) InsertSubtree(parent NodeID, before NodeID, frag *xmltree.Node) 
 	// record itself. The ord key alone determines logical position.
 	placePage, placeSlot := pc.page, pc.slot
 	if before != InvalidNodeID {
-		bc := s.Swizzle(before)
+		bc, err := s.swizzleTarget(before)
+		if err != nil {
+			return InvalidNodeID, err
+		}
 		placePage, placeSlot = bc.page, uint16(bc.rec().parent)
 	}
-
-	u := newUpdater(s)
-	newID, err := u.placeSubtree(s.Swizzle(MakeNodeID(placePage, placeSlot)), frag, ord)
-	if err != nil {
-		return InvalidNodeID, err
-	}
-	if err := u.commit(); err != nil {
-		return InvalidNodeID, err
-	}
-	return newID, nil
+	return u.placeSubtree(s.Swizzle(MakeNodeID(placePage, placeSlot)), frag, ord)
 }
 
 // DeleteSubtree removes the node and its entire subtree, across clusters.
-// Deleting the document node or the root element is rejected.
+// Deleting the document node or the root element is rejected. Legacy
+// single-writer entry point (see InsertSubtree).
 func (s *Store) DeleteSubtree(id NodeID) error {
-	c := s.Swizzle(id)
+	u := newUpdater(s)
+	if err := s.deleteSubtreeWith(u, id); err != nil {
+		return err
+	}
+	return u.commit()
+}
+
+// deleteSubtreeWith stages the delete into u without committing.
+func (s *Store) deleteSubtreeWith(u *updater, id NodeID) error {
+	c, err := s.swizzleTarget(id)
+	if err != nil {
+		return err
+	}
 	r := c.rec()
+	if r.dead {
+		return ErrGone
+	}
 	if r.kind == RecDoc || r.kind.IsProxy() {
 		return ErrIsRoot
 	}
 	if r.parent == noParent {
 		return ErrIsRoot
 	}
-	u := newUpdater(s)
 	lp := u.live(c.page)
 	u.deleteRec(lp, c.slot)
 	// If the physical parent was a ProxyParent that just lost its only
 	// fragment, collapse the whole proxy pair.
 	u.collapseAnchors(lp, uint16(r.parent))
-	return u.commit()
+	return nil
 }
 
 // insertionOrd computes the document-order key for the new node: strictly
@@ -590,8 +647,8 @@ func (u *updater) overflowPage(need int) *livePage {
 			return lp
 		}
 	}
-	if n := len(u.st.extras); n > 0 {
-		lp := u.live(u.st.extras[n-1])
+	if extras := u.st.extrasList(); len(extras) > 0 {
+		lp := u.live(extras[len(extras)-1])
 		if lp.fits(need, ps) {
 			return lp
 		}
@@ -688,10 +745,10 @@ func (u *updater) collapseAnchors(lp *livePage, slot uint16) {
 	}
 }
 
-// commit applies every dirty page through the write-ahead log (see
-// wal.go), so a crash between page writes never leaves dangling proxy
-// pairs, and registers fresh pages in the volume directory (meta page).
-func (u *updater) commit() error {
+// stage encodes every dirty page of the update: the write set a
+// transactional commit relocates to copy-on-write targets. Keys are
+// logical page ids; payloads are unfinalized (no checksum trailer yet).
+func (u *updater) stage() (map[vdisk.PageID][]byte, error) {
 	images := map[vdisk.PageID][]byte{}
 	for _, lp := range u.pages {
 		if !lp.dirty {
@@ -699,9 +756,25 @@ func (u *updater) commit() error {
 		}
 		raw, err := encodePageImage(lp.img, u.st.disk.PageSize())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		images[lp.page] = raw
+	}
+	return images, nil
+}
+
+// commit applies every dirty page through the write-ahead log (see
+// wal.go), so a crash between page writes never leaves dangling proxy
+// pairs, and registers fresh pages in the volume directory (meta page).
+// It writes in place, which only the single-writer legacy path may do;
+// volumes with a published version map must commit through internal/txn.
+func (u *updater) commit() error {
+	if u.st.version() != nil {
+		return ErrLegacyUpdate
+	}
+	images, err := u.stage()
+	if err != nil {
+		return err
 	}
 	if len(images) == 0 {
 		return nil

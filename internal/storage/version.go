@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"pathdb/internal/vdisk"
+)
+
+// Multi-version storage. NodeIDs embed *logical* page ids, so a node's
+// identity survives relocation: a VersionMap is the sparse indirection from
+// logical page to the physical page holding its current bytes. Pages that
+// were never rewritten stay identity-mapped and carry no entry, which keeps
+// the map proportional to the volume's update churn, not its size.
+//
+// A VersionMap is immutable once published. Writers build the successor
+// with Apply (copy-on-write of the map itself), publish it atomically, and
+// readers pin whichever version was current when their query was admitted —
+// the snapshot-read half of the transaction design (see internal/txn). The
+// map is injective by construction: fresh logical pages come from the
+// device allocator (never reused), and physical copy targets come from the
+// allocator or from the reclaimed-page free list, whose members no version
+// references.
+
+// VersionMap is one immutable volume version: an epoch number, the sparse
+// logical→physical relocation table, and the full update-extension page
+// directory as of that epoch.
+type VersionMap struct {
+	epoch  uint64
+	m      map[vdisk.PageID]vdisk.PageID
+	extras []vdisk.PageID
+}
+
+// NewVersionMap builds a version from recovered or initial state. The map
+// and extras slices are adopted, not copied; callers hand over ownership.
+func NewVersionMap(epoch uint64, m map[vdisk.PageID]vdisk.PageID, extras []vdisk.PageID) *VersionMap {
+	if m == nil {
+		m = map[vdisk.PageID]vdisk.PageID{}
+	}
+	return &VersionMap{epoch: epoch, m: m, extras: extras}
+}
+
+// Epoch returns the version's commit epoch (0 for the initial version).
+func (vm *VersionMap) Epoch() uint64 { return vm.epoch }
+
+// Resolve maps a logical page to the physical page holding its bytes in
+// this version. Identity for pages that were never rewritten.
+func (vm *VersionMap) Resolve(p vdisk.PageID) vdisk.PageID {
+	if phys, ok := vm.m[p]; ok {
+		return phys
+	}
+	return p
+}
+
+// Extras returns the update-extension pages of this version, in scan
+// order. Callers must not mutate the slice.
+func (vm *VersionMap) Extras() []vdisk.PageID { return vm.extras }
+
+// Relocated returns the number of non-identity entries (for stats).
+func (vm *VersionMap) Relocated() int { return len(vm.m) }
+
+// Entries copies the non-identity relocation table (for checkpointing).
+func (vm *VersionMap) Entries() map[vdisk.PageID]vdisk.PageID {
+	out := make(map[vdisk.PageID]vdisk.PageID, len(vm.m))
+	for l, p := range vm.m {
+		out[l] = p
+	}
+	return out
+}
+
+// Apply builds the successor version: deltas relocate logical pages to new
+// physical homes, fresh appends identity-mapped extension pages to the
+// directory. The receiver is not modified.
+func (vm *VersionMap) Apply(epoch uint64, deltas map[vdisk.PageID]vdisk.PageID, fresh []vdisk.PageID) *VersionMap {
+	nm := make(map[vdisk.PageID]vdisk.PageID, len(vm.m)+len(deltas))
+	for l, p := range vm.m {
+		nm[l] = p
+	}
+	for l, p := range deltas {
+		nm[l] = p
+	}
+	extras := vm.extras
+	if len(fresh) > 0 {
+		extras = append(append([]vdisk.PageID(nil), vm.extras...), fresh...)
+	}
+	return &VersionMap{epoch: epoch, m: nm, extras: extras}
+}
+
+// versionHandle shares the latest published version between a base store
+// and every view derived from it. Load returns nil until the volume is
+// adopted into transactional mode (fresh or legacy volumes run identity).
+type versionHandle struct {
+	vm atomic.Pointer[VersionMap]
+}
+
+func (h *versionHandle) Load() *VersionMap    { return h.vm.Load() }
+func (h *versionHandle) Store(vm *VersionMap) { h.vm.Store(vm) }

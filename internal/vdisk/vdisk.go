@@ -289,6 +289,7 @@ type Disk struct {
 
 	faultArmed bool // crash fault injection (SetWriteFault)
 	writesLeft int
+	dropped    int64       // writes silently dropped by the crash fault
 	faults     *faultPlane // seeded read-fault schedule (nil: disabled)
 
 	tracing bool
@@ -375,15 +376,39 @@ func (d *Disk) SetWriteFault(n int) {
 	d.writesLeft = n
 }
 
+// DroppedWrites returns how many writes the armed crash fault has silently
+// dropped so far. Commit pipelines use it to classify acknowledgements:
+// an ack handed out while the count is still zero is durable by
+// construction (the fault plane drops a strict suffix of the write
+// sequence), so recovery tests can demand exactly those commits back.
+func (d *Disk) DroppedWrites() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// Clock returns the device's current virtual instant (the time its last
+// scheduled operation completes). The concurrent engine seeds per-query
+// ledgers with it so queries are billed from their arrival, not from the
+// beginning of device history.
+func (d *Disk) Clock() stats.Ticks {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busyUntil
+}
+
 // Write stores data (at most one page) at page p, charging a synchronous
-// random write. Import code typically resets the ledger afterwards, since
-// the paper measures query time only.
+// random write. The positioning cost occupies the device (delaying readers
+// that arrive behind it) and is added to the ledger's clock as work — not
+// BlockUntil'd — because the volume ledger's clock is a running sum across
+// many owners, not a single caller's instant.
 func (d *Disk) Write(p PageID, data []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.checkPage(p)
 	if d.faultArmed {
 		if d.writesLeft <= 0 {
+			d.dropped++
 			return // dropped on the floor: the crash already happened
 		}
 		d.writesLeft--
@@ -396,7 +421,10 @@ func (d *Disk) Write(p PageID, data []byte) {
 		d.pages[p][i] = 0
 	}
 	stats.Inc(&d.led.PageWrites)
-	d.access(d.led, p, 0)
+	cost := d.cost(d.led, p)
+	d.head = p
+	d.busyUntil += cost
+	d.led.Advance(cost)
 	d.traceEvent("write", p, d.busyUntil)
 }
 

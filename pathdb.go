@@ -27,12 +27,15 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pathdb/internal/core"
 	"pathdb/internal/ordpath"
 	"pathdb/internal/plan"
 	"pathdb/internal/stats"
 	"pathdb/internal/storage"
+	"pathdb/internal/txn"
 	"pathdb/internal/vdisk"
 	"pathdb/internal/xmark"
 	"pathdb/internal/xmlparse"
@@ -148,9 +151,38 @@ func (o Options) withDefaults() Options {
 
 // DB is one loaded document plus its evaluation machinery.
 type DB struct {
-	dict    *xmltree.Dictionary
-	store   *storage.Store
+	dict  *xmltree.Dictionary
+	store *storage.Store
+
+	mu      sync.Mutex // guards chooser and manager creation
 	chooser *plan.Chooser
+
+	// The MVCC transaction manager, created lazily by the first write
+	// (see txn.go). Reads load it lock-free.
+	mgr     atomic.Pointer[txn.Manager]
+	txnOpts txn.Options
+}
+
+// getChooser returns the document's cost-model chooser, building it when
+// missing or invalidated by an update. The build walks the whole document,
+// so it runs over a snapshot view with a throwaway ledger: statistics
+// collection is offline bookkeeping, not query work, and must not inflate
+// the volume's cost report or any query's measured latency.
+func (db *DB) getChooser() *plan.Chooser {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.chooser == nil {
+		db.chooser = plan.NewChooser(db.store.SnapshotView(new(stats.Ledger)))
+	}
+	return db.chooser
+}
+
+// invalidateChooser drops the chooser after a commit: its document
+// statistics are stale.
+func (db *DB) invalidateChooser() {
+	db.mu.Lock()
+	db.chooser = nil
+	db.mu.Unlock()
 }
 
 // LoadXML parses an XML document and stores it.
@@ -318,39 +350,36 @@ func (db *DB) ExportXMLScan(w io.Writer) error {
 // fragment's root. Updates never relabel or move existing nodes
 // (insert-friendly ORDPATH keys; overflow goes to fresh clusters), which is
 // the storage property the paper's Sec. 2 holds against scan-order formats.
+//
+// InsertXML is a one-statement transaction: it runs through DB.Update, so
+// the insert commits atomically and durably. Batch several mutations into
+// one commit with DB.Update directly.
 func (db *DB) InsertXML(parent Node, fragment string) (Node, error) {
-	return db.insertXML(parent, storage.InvalidNodeID, fragment)
+	var out Node
+	err := db.Update(func(tx *Tx) error {
+		n, err := tx.InsertXML(parent, fragment)
+		out = n
+		return err
+	})
+	return out, err
 }
 
 // InsertXMLBefore inserts the fragment as a child of parent immediately
-// before the given sibling.
+// before the given sibling, as a one-statement transaction.
 func (db *DB) InsertXMLBefore(parent Node, before Node, fragment string) (Node, error) {
-	return db.insertXML(parent, before.id, fragment)
-}
-
-func (db *DB) insertXML(parent Node, before storage.NodeID, fragment string) (Node, error) {
-	frag, err := xmlparse.Parse(db.dict, []byte(fragment))
-	if err != nil {
-		return Node{}, err
-	}
-	if len(frag.Children) != 1 {
-		return Node{}, fmt.Errorf("pathdb: fragment must have exactly one root element")
-	}
-	id, err := db.store.InsertSubtree(parent.id, before, frag.Children[0])
-	if err != nil {
-		return Node{}, err
-	}
-	db.chooser = nil // document statistics are stale
-	return Node{db: db, id: id}, nil
-}
-
-// Delete removes the node and its whole subtree.
-func (db *DB) Delete(n Node) error {
-	if err := db.store.DeleteSubtree(n.id); err != nil {
+	var out Node
+	err := db.Update(func(tx *Tx) error {
+		n, err := tx.InsertXMLBefore(parent, before, fragment)
+		out = n
 		return err
-	}
-	db.chooser = nil
-	return nil
+	})
+	return out, err
+}
+
+// Delete removes the node and its whole subtree, as a one-statement
+// transaction.
+func (db *DB) Delete(n Node) error {
+	return db.Update(func(tx *Tx) error { return tx.Delete(n) })
 }
 
 // Query compiles a location path, or a union of location paths separated
@@ -412,15 +441,36 @@ func (q *Query) Plan() string {
 // Explain returns the cost-model decision for this query (forcing a
 // strategy bypasses the model; Explain still reports its opinion).
 func (q *Query) Explain() string {
-	q.ensureChooser()
-	c := q.db.chooser.Choose(q.steps())
-	return c.String()
+	return q.db.getChooser().Choose(q.steps()).String()
 }
 
-func (q *Query) ensureChooser() {
-	if q.db.chooser == nil {
-		q.db.chooser = plan.NewChooser(q.db.store)
+// PlanChoice is the cost model's full decision for a query: the chosen
+// strategy, the estimated cluster coverage that drove it, and the virtual
+// cost estimated for each candidate (see plan.Chooser).
+type PlanChoice struct {
+	Strategy     Strategy
+	Coverage     float64     // estimated fraction of clusters the path touches
+	PagesTouched int         // estimated clusters the path visits
+	ScheduleCost stats.Ticks // estimated virtual cost of XSchedule
+	ScanCost     stats.Ticks // estimated virtual cost of XScan
+	SimpleCost   stats.Ticks // estimated virtual cost of the Simple baseline
+}
+
+func fromPlanChoice(c plan.Choice) PlanChoice {
+	return PlanChoice{
+		Strategy:     fromCore(c.Strategy),
+		Coverage:     c.Coverage,
+		PagesTouched: c.Schedule.PagesTouched,
+		ScheduleCost: c.Schedule.Cost,
+		ScanCost:     c.Scan.Cost,
+		SimpleCost:   c.Simple.Cost,
 	}
+}
+
+// Choice returns the cost model's structured decision for this query —
+// Explain's machine-readable counterpart.
+func (q *Query) Choice() PlanChoice {
+	return fromPlanChoice(q.db.getChooser().Choose(q.steps()))
 }
 
 func (q *Query) steps() []xpath.Step {
@@ -433,8 +483,7 @@ func (q *Query) build() *core.Plan {
 	opts.SortResults = q.sorted
 	strat := q.strategy
 	if strat == Auto {
-		q.ensureChooser()
-		choice := q.db.chooser.Choose(steps)
+		choice := q.db.getChooser().Choose(steps)
 		q.choice = &choice
 		return core.BuildPlan(q.db.store, steps, q.contexts, choice.Strategy, opts)
 	}

@@ -6,7 +6,6 @@ import (
 
 	"pathdb/internal/core"
 	"pathdb/internal/ordpath"
-	"pathdb/internal/plan"
 	"pathdb/internal/stats"
 	"pathdb/internal/storage"
 	"pathdb/internal/vdisk"
@@ -46,10 +45,11 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 	var all []core.Result
 	if len(branches) == 1 {
 		if strat == Auto {
-			db.ensureChooserLocked()
-			c := db.chooser.Choose(branches[0])
+			c := db.getChooser().Choose(branches[0])
 			strat = fromCore(c.Strategy)
 			out.Strategy = strat
+			pc := fromPlanChoice(c)
+			out.Choice = &pc
 		}
 		popts.SortResults = opts.Sorted
 		all = core.BuildPlan(db.store, branches[0], db.store.Roots(), strat.internal(), popts).Run()
@@ -108,14 +108,6 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 		out.Nodes[i] = Node{db: db, id: r.Node}
 	}
 	return out, nil
-}
-
-// ensureChooserLocked builds the cost-model chooser if document statistics
-// are stale (mirrors Query.ensureChooser for the QueryCtx path).
-func (db *DB) ensureChooserLocked() {
-	if db.chooser == nil {
-		db.chooser = plan.NewChooser(db.store)
-	}
 }
 
 // FaultConfig arms the DB's deterministic fault plane — the facade over

@@ -1,0 +1,211 @@
+package pathdb
+
+import (
+	"fmt"
+	"time"
+
+	"pathdb/internal/engine"
+	"pathdb/internal/stats"
+	"pathdb/internal/storage"
+	"pathdb/internal/txn"
+	"pathdb/internal/xmlparse"
+	"pathdb/internal/xmltree"
+)
+
+// ErrGone is returned by Tx mutations whose target node no longer exists —
+// an earlier transaction (or statement of the same transaction) deleted it.
+// The HTTP front end maps it to 409 Conflict.
+var ErrGone = storage.ErrGone
+
+// CheckFragment reports whether fragment parses as exactly one root
+// element — the shape Tx.InsertXML accepts. The HTTP front end uses it to
+// reject malformed update bodies with a 400 before admitting the write.
+func (db *DB) CheckFragment(fragment string) error {
+	_, err := parseFragment(db.dict, fragment)
+	return err
+}
+
+// TxnOptions tunes the MVCC transaction subsystem that backs DB.Update.
+// Zero values select the defaults documented on each field.
+type TxnOptions struct {
+	// GroupWindow is the group-commit window: how long a commit leader
+	// waits for more commits to join its WAL flush. Every commit pays at
+	// most one window of acknowledgement latency; in exchange commits
+	// arriving within a window share one flush. Default 500µs; negative
+	// disables batching (one flush per commit).
+	GroupWindow time.Duration
+	// CheckpointEvery folds the version map into a fresh checkpoint after
+	// this many flushed groups, truncating the log (default 64).
+	CheckpointEvery int
+}
+
+// SetTxnOptions configures the transaction manager that the first write
+// creates. It fails once the manager exists (the first DB.Update, InsertXML
+// or Delete froze the options).
+func (db *DB) SetTxnOptions(o TxnOptions) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.mgr.Load() != nil {
+		return fmt.Errorf("pathdb: transaction manager already running; set options before the first write")
+	}
+	db.txnOpts = txn.Options{GroupWindow: o.GroupWindow, CheckpointEvery: o.CheckpointEvery}
+	return nil
+}
+
+// manager returns the transaction manager if one has been created, without
+// creating it.
+func (db *DB) manager() *txn.Manager { return db.mgr.Load() }
+
+// txnMgr returns the volume's transaction manager, adopting the store into
+// transactional mode on first use (which persists an initial checkpoint).
+func (db *DB) txnMgr() (*txn.Manager, error) {
+	if m := db.mgr.Load(); m != nil {
+		return m, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if m := db.mgr.Load(); m != nil {
+		return m, nil
+	}
+	m, err := txn.NewManager(db.store, db.txnOpts)
+	if err != nil {
+		return nil, err
+	}
+	db.mgr.Store(m)
+	return m, nil
+}
+
+// Tx is one open write transaction, valid only inside the DB.Update
+// callback that created it. Mutations stage against a private copy-on-write
+// overlay; nothing is visible to readers until Update returns nil and the
+// commit publishes a new volume version.
+type Tx struct {
+	db *DB
+	tx *txn.Tx
+}
+
+// InsertXML parses an XML fragment (one element) and stages it as a new
+// child of parent, appended after the last child. The returned Node handle
+// is valid after the transaction commits.
+func (t *Tx) InsertXML(parent Node, fragment string) (Node, error) {
+	return t.insertXML(parent, storage.InvalidNodeID, fragment)
+}
+
+// InsertXMLBefore stages the fragment as a child of parent immediately
+// before the given sibling.
+func (t *Tx) InsertXMLBefore(parent, before Node, fragment string) (Node, error) {
+	return t.insertXML(parent, before.id, fragment)
+}
+
+func (t *Tx) insertXML(parent Node, before storage.NodeID, fragment string) (Node, error) {
+	frag, err := parseFragment(t.db.dict, fragment)
+	if err != nil {
+		return Node{}, err
+	}
+	id, err := t.tx.InsertSubtree(parent.id, before, frag)
+	if err != nil {
+		return Node{}, err
+	}
+	return Node{db: t.db, id: id}, nil
+}
+
+// Delete stages removal of the node and its whole subtree.
+func (t *Tx) Delete(n Node) error {
+	return t.tx.DeleteSubtree(n.id)
+}
+
+// parseFragment parses an XML fragment and checks it has exactly one root
+// element.
+func parseFragment(dict *xmltree.Dictionary, fragment string) (*xmltree.Node, error) {
+	frag, err := xmlparse.Parse(dict, []byte(fragment))
+	if err != nil {
+		return nil, err
+	}
+	if len(frag.Children) != 1 {
+		return nil, fmt.Errorf("pathdb: fragment must have exactly one root element")
+	}
+	return frag.Children[0], nil
+}
+
+// Update runs fn inside a write transaction with snapshot isolation: fn
+// stages mutations through the Tx, and when it returns nil the whole batch
+// commits atomically — copy-on-write page images are published as one new
+// volume version, and the call returns once the commit's group has been
+// logged durably (group commit: concurrent Updates share one WAL flush).
+// Any error from fn aborts the transaction with the volume untouched.
+//
+// Readers — blocking Query calls and engine sessions alike — never see a
+// partial transaction: queries in flight keep reading the version they
+// started on, and queries submitted after Update returns see everything it
+// staged.
+func (db *DB) Update(fn func(*Tx) error) error {
+	m, err := db.txnMgr()
+	if err != nil {
+		return err
+	}
+	if err := m.Update(func(t *txn.Tx) error {
+		return fn(&Tx{db: db, tx: t})
+	}); err != nil {
+		return err
+	}
+	db.invalidateChooser() // document statistics are stale
+	return nil
+}
+
+// TxnMetrics is a snapshot of the transaction subsystem's counters. All
+// zeros before the first write (the manager is created lazily).
+type TxnMetrics struct {
+	Commits  uint64 // transactions committed
+	Aborts   uint64 // transactions rolled back
+	Groups   uint64 // commit groups flushed to the WAL
+	Flushes  uint64 // WAL page writes across all groups
+	MaxGroup uint64 // largest commit group observed
+	Epoch    uint64 // current published version epoch
+	Pinned   int    // snapshots currently pinned by readers
+	FreePage int    // reclaimed pages awaiting reuse
+
+	// FlushesPerCommit is Flushes/Commits — group commit drives it below
+	// 1.0 once concurrent writers batch.
+	FlushesPerCommit float64
+}
+
+// TxnMetrics returns a snapshot of the transaction subsystem's counters.
+func (db *DB) TxnMetrics() TxnMetrics {
+	m := db.manager()
+	if m == nil {
+		return TxnMetrics{}
+	}
+	tm := m.Metrics()
+	return TxnMetrics{
+		Commits:          tm.Commits,
+		Aborts:           tm.Aborts,
+		Groups:           tm.Groups,
+		Flushes:          tm.Flushes,
+		MaxGroup:         tm.MaxGroup,
+		Epoch:            tm.Epoch,
+		Pinned:           tm.Pinned,
+		FreePage:         tm.FreePage,
+		FlushesPerCommit: tm.FlushesPerCommit(),
+	}
+}
+
+// dbSnapshots adapts the DB's transaction manager to the engine's snapshot
+// source: every gang pins one version for all its members. Before the first
+// write there is no manager and no version history, so it degrades to a
+// plain view pinned at gang start — the engine's nil-source behaviour.
+type dbSnapshots struct{ db *DB }
+
+func (s dbSnapshots) Snapshot() engine.Snapshot {
+	if m := s.db.manager(); m != nil {
+		return m.Snapshot()
+	}
+	return plainSnap{st: s.db.store}
+}
+
+// plainSnap is the no-manager fallback: an unpinned view of the only
+// version there is.
+type plainSnap struct{ st *storage.Store }
+
+func (p plainSnap) View(led *stats.Ledger) *storage.Store { return p.st.SnapshotView(led) }
+func (p plainSnap) Epoch() uint64                         { return 0 }
+func (p plainSnap) Release()                              {}

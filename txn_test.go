@@ -1,0 +1,245 @@
+package pathdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUpdateBasic drives the facade transaction API: staged mutations are
+// invisible until commit, visible after, and an aborted transaction leaves
+// the volume untouched.
+func TestUpdateBasic(t *testing.T) {
+	db := engineFixture(t)
+	root := mustOne(t, db, "/site")
+
+	if n := countPath(t, db, "/site/probe"); n != 0 {
+		t.Fatalf("fresh volume has %d probes", n)
+	}
+	var inserted Node
+	err := db.Update(func(tx *Tx) error {
+		n, err := tx.InsertXML(root, `<probe kind='a'><sub/></probe>`)
+		if err != nil {
+			return err
+		}
+		inserted = n
+		// Not yet visible to queries: the version publishes at commit.
+		if c := countPath(t, db, "/site/probe"); c != 0 {
+			return fmt.Errorf("uncommitted insert visible: %d", c)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countPath(t, db, "/site/probe"); n != 1 {
+		t.Fatalf("after commit: %d probes, want 1", n)
+	}
+	if name := inserted.Name(); name != "probe" {
+		t.Fatalf("inserted handle resolves to %q", name)
+	}
+
+	boom := errors.New("boom")
+	err = db.Update(func(tx *Tx) error {
+		if _, err := tx.InsertXML(root, "<probe/>"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("abort error: %v", err)
+	}
+	if n := countPath(t, db, "/site/probe"); n != 1 {
+		t.Fatalf("aborted insert leaked: %d probes", n)
+	}
+
+	if err := db.Update(func(tx *Tx) error { return tx.Delete(inserted) }); err != nil {
+		t.Fatal(err)
+	}
+	if n := countPath(t, db, "/site/probe"); n != 0 {
+		t.Fatalf("after delete: %d probes, want 0", n)
+	}
+
+	// Deleting the same node again hits ErrGone.
+	err = db.Update(func(tx *Tx) error { return tx.Delete(inserted) })
+	if !errors.Is(err, ErrGone) {
+		t.Fatalf("double delete: %v, want ErrGone", err)
+	}
+}
+
+// TestUpdateMixedWorkloadUnderFaults is the subsystem's integration gauntlet:
+// 8 readers and 2 writers race through the engine while the fault plane
+// injects read errors and latency spikes. Every transaction inserts TWO
+// probe elements, so any reader observing an odd count has seen a torn
+// snapshot. Afterwards the engine must shut down without leaking goroutines.
+func TestUpdateMixedWorkloadUnderFaults(t *testing.T) {
+	g0 := runtime.NumGoroutine()
+	db := engineFixture(t)
+	eng := db.NewEngine(EngineConfig{MaxInFlight: 8})
+	root := mustOne(t, db, "/site")
+
+	db.SetFaults(FaultConfig{Seed: 11, ReadError: 0.02, Latency: 0.05})
+
+	const writers, perWriter, readers, perReader = 2, 8, 8, 12
+	var commits int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				err := eng.Update(func(tx *Tx) error {
+					if _, err := tx.InsertXML(root, fmt.Sprintf("<probe w='%d' i='%d'/>", w, i)); err != nil {
+						return err
+					}
+					_, err := tx.InsertXML(root, fmt.Sprintf("<probe w='%d' i='%d' twin='1'/>", w, i))
+					return err
+				})
+				if err != nil {
+					// A typed storage fault aborts this transaction only;
+					// atomicity means no half-inserted pair either way.
+					if k := KindOf(err); k == KindIO || k == KindCorrupt {
+						continue
+					}
+					errs <- fmt.Errorf("writer %d commit %d: %w", w, i, err)
+					return
+				}
+				mu.Lock()
+				commits++
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ses := eng.NewSession()
+			last := -1
+			for i := 0; i < perReader; i++ {
+				res, err := ses.Do(context.Background(), "/site/probe", QueryOptions{})
+				if err != nil {
+					if k := KindOf(err); k == KindIO || k == KindCorrupt {
+						continue
+					}
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				n := res.Count()
+				if n%2 != 0 {
+					errs <- fmt.Errorf("reader %d saw a torn snapshot: %d probes (odd)", r, n)
+					return
+				}
+				if n < last {
+					errs <- fmt.Errorf("reader %d went back in time: %d after %d", r, n, last)
+					return
+				}
+				last = n
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	db.SetFaults(FaultConfig{})
+
+	if n := countPath(t, db, "/site/probe"); int64(n) != 2*commits {
+		t.Errorf("final probe count %d, want %d (2 per commit)", n, 2*commits)
+	}
+	tm := db.TxnMetrics()
+	if int64(tm.Commits) != commits {
+		t.Errorf("TxnMetrics.Commits = %d, want %d", tm.Commits, commits)
+	}
+	if tm.Commits > 1 && tm.Flushes > tm.Commits {
+		t.Errorf("group commit regressed: %d flushes for %d commits", tm.Flushes, tm.Commits)
+	}
+
+	eng.Close()
+	// The engine's dispatcher and workers must be gone; give the runtime a
+	// moment to retire them before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > g0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > g0 {
+		t.Errorf("goroutine leak: %d before, %d after shutdown", g0, g)
+	}
+	if tm := db.TxnMetrics(); tm.Pinned != 0 {
+		t.Errorf("%d snapshots still pinned after drain", tm.Pinned)
+	}
+}
+
+// TestUpdateSerializesChooser: commits invalidate the plan chooser; auto
+// queries racing rebuilds must stay consistent.
+func TestUpdateSerializesChooser(t *testing.T) {
+	db := engineFixture(t)
+	root := mustOne(t, db, "/site")
+	want := countPath(t, db, "/site/regions//item")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if err := db.Update(func(tx *Tx) error {
+					_, err := tx.InsertXML(root, "<pad/>")
+					return err
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if got := countPath(t, db, "/site/regions//item"); got != want {
+					errs <- fmt.Errorf("count drifted under updates: %d, want %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// mustOne resolves a path expected to match exactly one node.
+func mustOne(t *testing.T, db *DB, path string) Node {
+	t.Helper()
+	q, err := db.Query(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := q.Nodes()
+	if len(nodes) != 1 {
+		t.Fatalf("%s matched %d nodes, want 1", path, len(nodes))
+	}
+	return nodes[0]
+}
+
+func countPath(t *testing.T, db *DB, path string) int {
+	t.Helper()
+	q, err := db.Query(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Count()
+}
