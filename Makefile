@@ -1,7 +1,7 @@
 # CI entry points. `make` runs the full set.
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-load bench-json test-faults test-txn fuzz-short clean
+.PHONY: all build test race vet fmt bench bench-load bench-compare bench-json profile test-faults test-txn fuzz-short clean
 
 all: build fmt vet test race
 
@@ -28,8 +28,31 @@ bench: bench-load
 # admission/dispatch counters, and — with the mixed workload below —
 # commit latency and WAL flushes per commit (group-commit batching).
 bench-load:
-	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 96 \
-		-mix q6,q7,q15 -write-frac 0.25 -json .
+	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 384 \
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -json .
+
+# Allocation regression gate (run by CI): regenerates the load snapshot
+# into a scratch directory and fails if allocs/op exceeds the committed
+# BENCH_xload.json baseline by more than 10% (plus a small absolute
+# slack for pool warm-up jitter). Allocs/op is workload-determined, not
+# machine-speed-determined, so this gates code changes without flaking
+# on hardware; wall-clock throughput is printed for context only.
+bench-compare:
+	@rm -rf bench-cmp && mkdir -p bench-cmp
+	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 384 \
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -json bench-cmp
+	$(GO) run ./cmd/benchgate -old BENCH_xload.json \
+		-new bench-cmp/BENCH_xload.json -max-alloc-regress 0.10
+	@rm -rf bench-cmp
+
+# CPU + heap profiles of the load workload, for digging into hot-path
+# regressions bench-compare flags: `go tool pprof profiles/cpu.pprof`.
+profile: PROFILES ?= profiles
+profile:
+	@mkdir -p $(PROFILES)
+	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 384 \
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 \
+		-cpuprofile $(PROFILES)/cpu.pprof -memprofile $(PROFILES)/heap.pprof
 
 vet:
 	$(GO) vet ./...
@@ -73,4 +96,4 @@ bench-json:
 	$(GO) run ./cmd/xbench -json bench-out
 
 clean:
-	rm -rf bench-out
+	rm -rf bench-out bench-cmp profiles

@@ -1,0 +1,85 @@
+// Command benchgate compares a fresh BENCH_xload.json against a committed
+// baseline and fails (exit 1) when an allocation or throughput figure has
+// regressed beyond the allowed ratio. It is the CI gate behind `make
+// bench-compare`: allocs/op is deterministic for a fixed workload, so a
+// regression there is a code change, not machine noise; wall-clock
+// throughput is machine dependent and only reported, never gated, unless
+// -min-qps-ratio is set explicitly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	WallQPS       float64 `json:"throughput_wall_qps"`
+	VirtualQPS    float64 `json:"throughput_virtual_qps"`
+	Mix           string  `json:"mix"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	WriteFraction float64 `json:"write_frac"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	return s, json.Unmarshal(b, &s)
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_xload.json", "committed baseline snapshot")
+	newPath := flag.String("new", "", "freshly generated snapshot (required)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.10,
+		"fail when new allocs/op exceeds baseline by more than this fraction")
+	allocSlack := flag.Int64("alloc-slack", 16,
+		"absolute allocs/op headroom on top of the fractional limit (pool warm-up jitter)")
+	minQPSRatio := flag.Float64("min-qps-ratio", 0,
+		"if >0, fail when new wall qps falls below baseline*ratio (off by default: machine dependent)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+
+	old, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: new snapshot: %v\n", err)
+		os.Exit(2)
+	}
+	if old.Mix != cur.Mix || old.WriteFraction != cur.WriteFraction || old.Requests != cur.Requests {
+		fmt.Fprintf(os.Stderr, "benchgate: workloads differ (baseline %q write-frac %g requests %d, new %q write-frac %g requests %d); not comparable\n",
+			old.Mix, old.WriteFraction, old.Requests, cur.Mix, cur.WriteFraction, cur.Requests)
+		os.Exit(2)
+	}
+
+	limit := int64(float64(old.AllocsPerOp)*(1+*maxAllocRegress)) + *allocSlack
+	fmt.Printf("allocs/op: baseline %d, new %d (limit %d)\n", old.AllocsPerOp, cur.AllocsPerOp, limit)
+	fmt.Printf("wall qps:  baseline %.1f, new %.1f\n", old.WallQPS, cur.WallQPS)
+	fail := false
+	if cur.AllocsPerOp > limit {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL allocs/op regressed %d -> %d (>%d%%)\n",
+			old.AllocsPerOp, cur.AllocsPerOp, int(*maxAllocRegress*100))
+		fail = true
+	}
+	if *minQPSRatio > 0 && cur.WallQPS < old.WallQPS**minQPSRatio {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL wall qps regressed %.1f -> %.1f (below %.0f%% of baseline)\n",
+			old.WallQPS, cur.WallQPS, *minQPSRatio*100)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

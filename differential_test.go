@@ -1,0 +1,213 @@
+package pathdb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pathdb/internal/storage"
+)
+
+// diffPaths exercises every supported axis and node-test kind: the
+// benchmark queries (Q6', the Q7 family, Q15) plus steps that force the
+// reverse axes, sibling axes, wildcard, attribute, and kind tests through
+// both the bitmap-batched and the per-node navigation paths.
+var diffPaths = []string{
+	"/site/regions//item", // Q6'
+	"/site//description",  // Q7
+	"/site//annotation",   // Q7
+	"/site//emailaddress", // Q7
+	"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword", // Q15
+	"/site/regions/*",                                   // wildcard child
+	"/site/regions/europe/item/@id",                     // attribute axis
+	"/site//keyword/ancestor::listitem",                 // ancestor
+	"/site//parlist/ancestor-or-self::*",                // ancestor-or-self + wildcard
+	"/site//parlist/parent::description",                // parent
+	"/site/regions/europe/item/following-sibling::item", // following-sibling
+	"/site/regions/europe/item/preceding-sibling::*",    // preceding-sibling
+	"/site//description/self::description",              // self
+	"/site//emph/text()",                                // text() kind test
+	"/site/people/person/node()",                        // node() kind test
+	"/site/regions/europe/item/descendant::keyword",     // verbose descendant
+	"/site/open_auctions/open_auction//node()",          // descendant-or-self + node()
+}
+
+// fingerprint runs path with the given strategy and returns a byte-exact
+// rendition of the sorted result set (node identity, document order
+// position, and name per line).
+func fingerprint(t *testing.T, db *DB, path string, strat Strategy) string {
+	t.Helper()
+	res, err := db.QueryCtx(context.Background(), path, QueryOptions{Sorted: true, Strategy: strat})
+	if err != nil {
+		t.Fatalf("%s [%v]: %v", path, strat, err)
+	}
+	var b strings.Builder
+	for _, n := range res.Nodes {
+		fmt.Fprintf(&b, "%d|%s|%s\n", n.ID(), n.OrdPath(), n.Name())
+	}
+	return b.String()
+}
+
+// snapshotAll fingerprints every differential path under both physical
+// strategies with bitmap navigation forced to the given setting.
+func snapshotAll(t *testing.T, db *DB, bitmaps bool) map[string]string {
+	t.Helper()
+	storage.EnableBitmapNav(bitmaps)
+	defer storage.EnableBitmapNav(true)
+	out := make(map[string]string, 2*len(diffPaths))
+	for _, p := range diffPaths {
+		out[p+"#simple"] = fingerprint(t, db, p, Simple)
+		out[p+"#schedule"] = fingerprint(t, db, p, Schedule)
+	}
+	return out
+}
+
+// TestBitmapNavDifferential pins the tentpole's correctness contract: the
+// cluster-resident name-test bitmaps (batched navigation plus cluster
+// skipping) must be a pure optimization. For every axis and node-test
+// kind, under both physical strategies, the result set with bitmaps
+// enabled is byte-identical to the per-node reference path — on the
+// freshly loaded volume, and again after a batch of mixed writes has
+// rewritten clusters and invalidated synopses.
+func TestBitmapNavDifferential(t *testing.T) {
+	db := engineFixture(t)
+
+	compare := func(label string) {
+		t.Helper()
+		ref := snapshotAll(t, db, false)
+		got := snapshotAll(t, db, true)
+		nonEmpty := 0
+		for key, want := range ref {
+			if got[key] != want {
+				t.Errorf("%s: %s diverges with bitmaps on:\nref %d bytes, got %d bytes",
+					label, key, len(want), len(got[key]))
+			}
+			if want != "" {
+				nonEmpty++
+			}
+		}
+		if nonEmpty < len(ref)/2 {
+			t.Fatalf("%s: only %d/%d differential queries matched nodes; fixture too small to be meaningful", label, nonEmpty, len(ref))
+		}
+	}
+
+	compare("fresh volume")
+
+	// Mixed writes: grow some clusters (insert), shrink others (delete),
+	// across several commits so page epochs advance and synopses rebuild.
+	regions := mustOne(t, db, "/site/regions")
+	var probes []Node
+	for i := 0; i < 3; i++ {
+		err := db.Update(func(tx *Tx) error {
+			n, err := tx.InsertXML(regions, fmt.Sprintf(
+				`<probe round='%d'><description><keyword>delta</keyword></description></probe>`, i))
+			if err != nil {
+				return err
+			}
+			probes = append(probes, n)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Update(func(tx *Tx) error { return tx.Delete(probes[0]) }); err != nil {
+		t.Fatal(err)
+	}
+
+	compare("after mixed writes")
+}
+
+// TestEpochCacheInvalidationDifferential pins the epoch-keyed decoded-
+// cluster cache's invalidation contract: a query that warmed the cache
+// must observe every later commit — the pre-commit and post-commit result
+// sets differ by exactly the committed mutation, across several commits
+// so the page epoch advances repeatedly. A stale cached decode would
+// surface here as a missing (or resurrected) probe node.
+func TestEpochCacheInvalidationDifferential(t *testing.T) {
+	db := engineFixture(t)
+	regions := mustOne(t, db, "/site/regions")
+
+	const probePath = "/site/regions/epochprobe"
+	const kwPath = "/site//keyword"
+	baseKw := countPath(t, db, kwPath) // warms the decoded-cluster cache
+
+	var probes []Node
+	for round := 1; round <= 4; round++ {
+		err := db.Update(func(tx *Tx) error {
+			n, err := tx.InsertXML(regions, `<epochprobe><keyword>epoch</keyword></epochprobe>`)
+			if err != nil {
+				return err
+			}
+			probes = append(probes, n)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countPath(t, db, probePath); got != round {
+			t.Fatalf("after commit %d: %d probes visible, want %d (stale cached decode?)", round, got, round)
+		}
+		if got := countPath(t, db, kwPath); got != baseKw+round {
+			t.Fatalf("after commit %d: keyword count %d, want %d", round, got, baseKw+round)
+		}
+	}
+
+	// Deletes must invalidate just as precisely: each removal drops exactly
+	// one probe from the visible set.
+	for i, p := range probes {
+		if err := db.Update(func(tx *Tx) error { return tx.Delete(p) }); err != nil {
+			t.Fatal(err)
+		}
+		want := len(probes) - i - 1
+		if got := countPath(t, db, probePath); got != want {
+			t.Fatalf("after delete %d: %d probes visible, want %d", i+1, got, want)
+		}
+	}
+	if got := countPath(t, db, kwPath); got != baseKw {
+		t.Fatalf("after all deletes: keyword count %d, want %d", got, baseKw)
+	}
+}
+
+// TestBitmapNavDifferentialUnderFaults re-runs the differential with the
+// seeded fault plane armed: transient read errors and latency spikes must
+// never make the bitmap path disagree with the per-node path. Terminal
+// typed faults are retried (the schedule is seeded, so a retry draws new
+// outcomes); a silent divergence fails the test.
+func TestBitmapNavDifferentialUnderFaults(t *testing.T) {
+	db := engineFixture(t)
+	db.SetFaults(FaultConfig{Seed: 99, ReadError: 0.03, Latency: 0.05})
+	defer db.SetFaults(FaultConfig{})
+
+	faulty := func(path string, strat Strategy, bitmaps bool) string {
+		t.Helper()
+		storage.EnableBitmapNav(bitmaps)
+		defer storage.EnableBitmapNav(true)
+		for attempt := 0; ; attempt++ {
+			res, err := db.QueryCtx(context.Background(), path, QueryOptions{Sorted: true, Strategy: strat})
+			if err != nil {
+				if attempt > 50 {
+					t.Fatalf("%s: still faulting after %d attempts: %v", path, attempt, err)
+				}
+				continue
+			}
+			var b strings.Builder
+			for _, n := range res.Nodes {
+				fmt.Fprintf(&b, "%d|%s|%s\n", n.ID(), n.OrdPath(), n.Name())
+			}
+			return b.String()
+		}
+	}
+
+	for _, p := range diffPaths {
+		for _, strat := range []Strategy{Simple, Schedule} {
+			ref := faulty(p, strat, false)
+			got := faulty(p, strat, true)
+			if got != ref {
+				t.Errorf("%s [%v]: bitmap path diverges under faults (%d vs %d bytes)",
+					p, strat, len(ref), len(got))
+			}
+		}
+	}
+}

@@ -88,6 +88,9 @@ func (db *DB) NewEngine(cfg EngineConfig) *Engine {
 			// Each gang pins one MVCC snapshot for all its members, so
 			// concurrent Updates never tear a gang's reads (see txn.go).
 			Snapshots: dbSnapshots{db: db},
+			// Share the facade's chooser (concurrency-safe) so the volume
+			// collects document statistics exactly once.
+			Chooser: db.getChooser(),
 		}),
 	}
 }

@@ -28,6 +28,11 @@ type EvalState struct {
 	// its producer.
 	MemLimit int
 
+	// Arena, when non-nil, supplies pooled scratch structures to the
+	// plan's operators (borrowed at Open, returned at Close). Exactly one
+	// running plan may use an arena at a time.
+	Arena *Arena
+
 	fallback bool
 }
 

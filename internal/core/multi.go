@@ -23,6 +23,22 @@ type MultiPlan struct {
 	es     []*EvalState
 	shared *XSchedule
 	asms   []*XAssembly
+	closed bool
+}
+
+// Close shuts every member's operator chain down, releasing pooled
+// iterators and arena structures. Idempotent; RunEach arranges for it to
+// run even when a member's operator panics (the storage fault plane
+// escalates terminal page faults as typed panics), so an unwinding query
+// cannot leak navigation iterators.
+func (mp *MultiPlan) Close() {
+	if mp.closed {
+		return
+	}
+	mp.closed = true
+	for _, a := range mp.asms {
+		a.Close()
+	}
 }
 
 // MultiQuery is one member query of a MultiPlan. Under the concurrent
@@ -61,9 +77,14 @@ func BuildMultiPlan(store *storage.Store, queries []MultiQuery, opts PlanOptions
 		}
 	}
 	es0 := NewEvalState(store, nil)
+	es0.Arena = opts.Arena
 	shared := NewXSchedule(es0, &sliceOp{es: es0, items: seeds})
 	if opts.K > 0 {
 		shared.K = opts.K
+	}
+	shared.Paths = make([][]xpath.Step, len(queries))
+	for pi, q := range queries {
+		shared.Paths[pi] = q.Path
 	}
 	mp.shared = shared
 
@@ -82,6 +103,10 @@ func BuildMultiPlan(store *storage.Store, queries []MultiQuery, opts PlanOptions
 		if q.Ctx != nil {
 			es.Ctx = q.Ctx
 		}
+		// Assemblies of one multi-plan run interleaved on one goroutine, so
+		// they may share the arena: the first borrower gets the pooled
+		// structures, later ones fall back to fresh ones.
+		es.Arena = opts.Arena
 		mp.es = append(mp.es, es)
 		var op Operator = &demuxPort{d: d, path: pi}
 		for i := 1; i <= len(q.Path); i++ {
@@ -113,6 +138,7 @@ func (mp *MultiPlan) Run() [][]Result {
 // subsystem until the owner cancels them). Both callbacks run on the
 // calling goroutine.
 func (mp *MultiPlan) RunEach(cancelled func(i int) bool, emit func(i int, r Result)) {
+	defer mp.Close()
 	for _, a := range mp.asms {
 		a.Open()
 	}
@@ -136,9 +162,6 @@ func (mp *MultiPlan) RunEach(cancelled func(i int) bool, emit func(i int, r Resu
 			}
 			emit(i, Result{Node: inst.NR, Ord: inst.Ord})
 		}
-	}
-	for _, a := range mp.asms {
-		a.Close()
 	}
 }
 

@@ -54,6 +54,9 @@ type PlanOptions struct {
 	// Ctx, when non-nil, threads a deadline/cancellation context through
 	// the plan's operators; a cancelled plan ends its result stream early.
 	Ctx context.Context
+	// Arena supplies pooled per-query scratch to the plan's operators.
+	// Optional; one arena may serve only one running plan at a time.
+	Arena *Arena
 }
 
 // Plan is an executable physical plan for one location path.
@@ -74,6 +77,7 @@ func BuildPlan(store *storage.Store, path []xpath.Step, contexts []storage.NodeI
 	es := NewEvalState(store, path)
 	es.MemLimit = opts.MemLimit
 	es.Ctx = opts.Ctx
+	es.Arena = opts.Arena
 
 	ctxIDs := append([]storage.NodeID(nil), contexts...)
 	p := &Plan{es: es, Strategy: strat}
@@ -103,6 +107,7 @@ func BuildPlan(store *storage.Store, path []xpath.Step, contexts []storage.NodeI
 			sched.K = opts.K
 		}
 		sched.Speculative = opts.Speculative
+		sched.Paths = [][]xpath.Step{path}
 		asm := NewXAssembly(es, chain(sched, false), sched)
 		p.Assembly, p.Schedule = asm, sched
 		top = asm

@@ -48,18 +48,24 @@ func NewXAssembly(es *EvalState, input Operator, sched Scheduler) *XAssembly {
 	return &XAssembly{es: es, input: input, sched: sched, pathLen: es.Len()}
 }
 
-// Open opens the producer and resets R and S.
+// Open opens the producer and resets R and S (borrowed from the arena
+// when the plan has one).
 func (a *XAssembly) Open() {
 	a.input.Open()
-	a.r = make(map[End]bool)
-	a.s = make(map[End][]Instance)
+	ar := a.es.Arena
+	a.r = ar.takeEndSet()
+	a.s = ar.takeEndInsts()
 	a.sLen = 0
-	a.ready = a.ready[:0]
+	a.ready = ar.takeReady()
 }
 
-// Close releases the memory structures.
+// Close releases the memory structures (back to the arena, if any).
 func (a *XAssembly) Close() {
 	a.input.Close()
+	ar := a.es.Arena
+	ar.putEndSet(a.r)
+	ar.putEndInsts(a.s)
+	ar.putReady(a.ready)
 	a.r, a.s, a.ready = nil, nil, nil
 }
 
@@ -108,6 +114,7 @@ func (a *XAssembly) wake(e End) {
 	if waiting, ok := a.s[e]; ok {
 		a.ready = append(a.ready, waiting...)
 		delete(a.s, e)
+		a.es.Arena.putInsts(waiting)
 		a.sLen -= len(waiting)
 		a.es.chargeSetOp(len(waiting))
 	}
@@ -231,11 +238,16 @@ func (a *XAssembly) park(x Instance) {
 	}
 	a.es.chargeSetOp(1)
 	stats.Inc(&a.es.ledger().SetInserts)
-	a.s[e] = append(a.s[e], x)
+	lst, ok := a.s[e]
+	if !ok {
+		lst = a.es.Arena.takeInsts()
+	}
+	a.s[e] = append(lst, x)
 	a.sLen++
 	if a.es.MemLimit > 0 && a.sLen > a.es.MemLimit {
 		// Memory exhausted: discard S and degrade the whole plan.
-		a.s = make(map[End][]Instance)
+		a.es.Arena.putEndInsts(a.s)
+		a.s = a.es.Arena.takeEndInsts()
 		a.sLen = 0
 		a.ready = a.ready[:0]
 		a.es.EnterFallback()

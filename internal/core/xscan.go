@@ -20,9 +20,11 @@ type XScan struct {
 	n   int
 	idx int
 
-	pending []Instance
-	peeked  *Instance
-	prodEOF bool
+	pending  []Instance
+	pendHead int // dequeue position within pending
+	peeked   Instance
+	hasPeek  bool
+	prodEOF  bool
 
 	fbStarted bool
 }
@@ -37,14 +39,19 @@ func NewXScan(es *EvalState, producer Operator) *XScan {
 func (x *XScan) Open() {
 	x.producer.Open()
 	x.idx = 0
-	x.pending = x.pending[:0]
-	x.peeked = nil
+	x.pending = x.es.Arena.takePending()
+	x.pendHead = 0
+	x.hasPeek = false
 	x.prodEOF = false
 	x.fbStarted = false
 }
 
-// Close closes the producer.
-func (x *XScan) Close() { x.producer.Close() }
+// Close closes the producer and returns the pending buffer to the arena.
+func (x *XScan) Close() {
+	x.producer.Close()
+	x.es.Arena.putPending(x.pending)
+	x.pending = nil
+}
 
 // enterFallback implements the fallbackAware reaction (Sec. 5.4.6):
 // restart the producer and stop scanning; Next becomes the identity on the
@@ -54,8 +61,10 @@ func (x *XScan) enterFallback() {
 		return
 	}
 	x.fbStarted = true
+	x.es.Arena.putPending(x.pending)
 	x.pending = nil
-	x.peeked = nil
+	x.pendHead = 0
+	x.hasPeek = false
 	if r, ok := x.producer.(interface{ Rewind() }); ok {
 		r.Rewind()
 		x.prodEOF = false
@@ -79,12 +88,16 @@ func (x *XScan) Next() (Instance, bool) {
 		return in, ok
 	}
 	for {
-		if n := len(x.pending); n > 0 {
-			out := x.pending[0]
-			x.pending = x.pending[1:]
+		if x.pendHead < len(x.pending) {
+			out := x.pending[x.pendHead]
+			x.pendHead++
 			x.es.chargeTuple()
 			return out, true
 		}
+		// Drained: rewind the buffer so the next cluster's batch reuses
+		// the full backing array instead of the shrinking tail.
+		x.pending = x.pending[:0]
+		x.pendHead = 0
 		if x.idx >= x.n {
 			// All clusters scanned. Any remaining producer instances would
 			// violate the sorted-input contract; drain them defensively so
@@ -123,8 +136,8 @@ func (x *XScan) Next() (Instance, bool) {
 
 // peek returns the producer's next instance without consuming it.
 func (x *XScan) peek() (Instance, bool) {
-	if x.peeked != nil {
-		return *x.peeked, true
+	if x.hasPeek {
+		return x.peeked, true
 	}
 	if x.prodEOF {
 		return Instance{}, false
@@ -134,18 +147,18 @@ func (x *XScan) peek() (Instance, bool) {
 		x.prodEOF = true
 		return Instance{}, false
 	}
-	x.peeked = &in
+	x.peeked = in
+	x.hasPeek = true
 	return in, true
 }
 
-func (x *XScan) take() { x.peeked = nil }
+func (x *XScan) take() { x.hasPeek = false }
 
 // next consumes the producer directly (drain path).
 func (x *XScan) next() (Instance, bool) {
-	if x.peeked != nil {
-		in := *x.peeked
-		x.peeked = nil
-		return in, true
+	if x.hasPeek {
+		x.hasPeek = false
+		return x.peeked, true
 	}
 	if x.prodEOF {
 		return Instance{}, false

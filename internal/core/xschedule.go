@@ -5,6 +5,7 @@ import (
 
 	"pathdb/internal/stats"
 	"pathdb/internal/vdisk"
+	"pathdb/internal/xpath"
 )
 
 // XSchedule is the I/O-performing operator based on asynchronous I/O
@@ -29,6 +30,12 @@ type XSchedule struct {
 	// Speculative enables left-incomplete instance generation per visited
 	// cluster (general XSchedule; off reproduces XScheduleR).
 	Speculative bool
+	// Paths lists the location paths whose instances flow through this
+	// scheduler, indexed by Instance.Path (single-path plans have one
+	// entry). Enqueue uses it to resolve an instance's pending step and
+	// consult the target cluster's synopsis: a cluster that provably
+	// cannot contribute to the step is dropped before it is pooled.
+	Paths [][]xpath.Step
 
 	q            map[vdisk.PageID][]Instance
 	qLen         int
@@ -48,29 +55,65 @@ func NewXSchedule(es *EvalState, producer Operator) *XSchedule {
 	return &XSchedule{es: es, producer: producer, K: DefaultK}
 }
 
-// Open opens the producer and resets all queues.
+// Open opens the producer and resets all queues (borrowed from the arena
+// when the plan has one).
 func (x *XSchedule) Open() {
 	x.producer.Open()
-	x.q = make(map[vdisk.PageID][]Instance)
+	ar := x.es.Arena
+	x.q = ar.takeClusterQueue()
 	x.qLen = 0
 	x.producerDone = false
 	x.currentValid = false
-	x.visited = make(map[vdisk.PageID]bool)
-	x.spec = x.spec[:0]
+	x.visited = ar.takeClusterSet()
+	x.spec = ar.takeSpec()
 }
 
-// Close closes the producer.
-func (x *XSchedule) Close() { x.producer.Close() }
+// Close closes the producer and returns the queues to the arena.
+func (x *XSchedule) Close() {
+	x.producer.Close()
+	ar := x.es.Arena
+	ar.putClusterQueue(x.q)
+	ar.putClusterSet(x.visited)
+	ar.putSpec(x.spec)
+	x.q, x.visited, x.spec = nil, nil, nil
+}
 
 // Enqueue adds a continuation instance whose target cluster must be
 // visited (called by XAssembly, Sec. 5.3.3.2). The access is scheduled
-// immediately with the asynchronous I/O subsystem.
+// immediately with the asynchronous I/O subsystem — unless the cluster's
+// synopsis proves the instance's pending downward step matches nothing
+// there and no border could carry the enumeration further, in which case
+// the instance is dropped without any I/O.
 func (x *XSchedule) Enqueue(p Instance) {
 	cluster := p.NR.Page()
-	x.q[cluster] = append(x.q[cluster], p.dropCur())
+	if step, ok := x.pendingStep(p); ok &&
+		x.es.Store.SkippableCluster(cluster, step.Axis, step.Test) {
+		stats.Inc(&x.es.ledger().ClustersSkipped)
+		x.es.chargeSetOp(1)
+		return
+	}
+	lst, ok := x.q[cluster]
+	if !ok {
+		lst = x.es.Arena.takeInsts()
+	}
+	x.q[cluster] = append(lst, p.dropCur())
 	x.qLen++
 	x.es.chargeSetOp(1)
 	x.es.Store.RequestCluster(cluster)
+}
+
+// pendingStep resolves the location step an enqueued instance evaluates
+// next: seeds (S_L = S_R = 0) and continuations interrupted during step
+// S_R+1 both resume at Paths[p.Path][p.SR].
+func (x *XSchedule) pendingStep(p Instance) (xpath.Step, bool) {
+	if p.Path < 0 || p.Path >= len(x.Paths) {
+		return xpath.Step{}, false
+	}
+	steps := x.Paths[p.Path]
+	if p.SR < 0 || p.SR >= len(steps) {
+		return xpath.Step{}, false
+	}
+	return steps[p.SR], true
 }
 
 // QLen reports the number of queued instances (tests, ablations).
@@ -100,9 +143,12 @@ func (x *XSchedule) Next() (Instance, bool) {
 				}
 				out := insts[best]
 				insts[best] = insts[len(insts)-1]
-				x.q[x.current] = insts[:len(insts)-1]
-				if len(x.q[x.current]) == 0 {
+				rest := insts[:len(insts)-1]
+				if len(rest) == 0 {
 					delete(x.q, x.current)
+					x.es.Arena.putInsts(rest)
+				} else {
+					x.q[x.current] = rest
 				}
 				x.qLen--
 				x.es.chargeTuple()

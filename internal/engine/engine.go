@@ -103,6 +103,11 @@ type Config struct {
 	// commits. Nil falls back to a view pinned at gang start (equivalent
 	// on volumes without a txn manager, where the version never moves).
 	Snapshots SnapshotSource
+	// Chooser, when set, is an existing cost chooser to share (it is
+	// concurrency-safe) instead of collecting a second set of document
+	// statistics at construction. The facade passes its own so a DB pays
+	// for exactly one statistics walk.
+	Chooser *plan.Chooser
 }
 
 func (c Config) withDefaults() Config {
@@ -235,9 +240,13 @@ type Engine struct {
 // runs should store.ResetForRun() afterwards.
 func New(store *storage.Store, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	chooser := cfg.Chooser
+	if chooser == nil {
+		chooser = plan.NewChooser(store)
+	}
 	e := &Engine{
 		store:   store,
-		chooser: plan.NewChooser(store),
+		chooser: chooser,
 		cfg:     cfg,
 		queue:   make(chan *Pending, cfg.QueueDepth),
 		stop:    make(chan struct{}),
@@ -445,6 +454,14 @@ func (e *Engine) execute(gang []*Pending) {
 	// one set-op per admitted member, keeping the volume clock pure.
 	e.dom.Ledger().AdvanceCPU(stats.Ticks(len(gang)) * model.CPUSetOp)
 
+	// Commits since the last gang are folded into the chooser's statistics
+	// from the rewritten clusters' synopses (the dispatcher is the only
+	// Choose caller, so the refresh needs no lock). Offline bookkeeping: a
+	// throwaway ledger, not the volume clock.
+	if e.chooser.Epoch() != e.store.VersionEpoch() {
+		e.chooser.Refresh(e.store.SnapshotView(stats.NewLedger()))
+	}
+
 	var shared, solo []execUnit
 	for _, p := range gang {
 		if err := p.ctx.Err(); err != nil {
@@ -583,9 +600,19 @@ func (e *Engine) runShared(snap Snapshot, units []execUnit, gangSize int) {
 		}
 	}
 	buckets := make([][]core.Result, len(units))
+	arena := core.GetArena()
+	defer core.PutArena(arena)
 	ferr := func() (ferr *storage.PageError) {
+		var mp *core.MultiPlan
 		defer func() {
 			if r := recover(); r != nil {
+				// Close on the unwind path too: pooled navigation
+				// iterators and arena structures must not leak with the
+				// aborted run (RunEach defers its own Close; this covers
+				// a fault between build and run — Close is idempotent).
+				if mp != nil {
+					mp.Close()
+				}
 				if pe, ok := storage.AsPageFault(r); ok {
 					ferr = pe
 					return
@@ -593,7 +620,7 @@ func (e *Engine) runShared(snap Snapshot, units []execUnit, gangSize int) {
 				panic(r)
 			}
 		}()
-		mp := core.BuildMultiPlan(gview, queries, core.PlanOptions{K: e.cfg.K})
+		mp = core.BuildMultiPlan(gview, queries, core.PlanOptions{K: e.cfg.K, Arena: arena})
 		mp.RunEach(
 			func(i int) bool { return units[i].p.ctx.Err() != nil },
 			func(i int, r core.Result) { buckets[i] = append(buckets[i], r) },
@@ -663,9 +690,19 @@ func (e *Engine) runSolo(snap Snapshot, u execUnit, gangSize int) {
 	startW := time.Now()
 
 	var results []core.Result
+	arena := core.GetArena()
+	defer core.PutArena(arena)
 	ferr := func() (ferr *storage.PageError) {
+		var root core.Operator
+		opened := false
 		defer func() {
 			if r := recover(); r != nil {
+				// Close on the unwind path too: pooled navigation
+				// iterators and arena structures must not leak with the
+				// aborted query.
+				if opened {
+					root.Close()
+				}
 				if pe, ok := storage.AsPageFault(r); ok {
 					ferr = pe
 					return
@@ -677,9 +714,11 @@ func (e *Engine) runSolo(snap Snapshot, u execUnit, gangSize int) {
 			K:        e.cfg.K,
 			MemLimit: u.p.q.MemLimit,
 			Ctx:      u.p.ctx,
+			Arena:    arena,
 		})
-		root := p.Root()
+		root = p.Root()
 		root.Open()
+		opened = true
 		for {
 			inst, ok := root.Next()
 			if !ok {
@@ -687,6 +726,7 @@ func (e *Engine) runSolo(snap Snapshot, u execUnit, gangSize int) {
 			}
 			results = append(results, core.Result{Node: inst.NR, Ord: inst.Ord})
 		}
+		opened = false
 		root.Close()
 		return nil
 	}()

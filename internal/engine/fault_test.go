@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -117,6 +118,71 @@ func TestFaultSweep(t *testing.T) {
 			}
 			if g := runtime.NumGoroutine(); g > goroutines {
 				t.Errorf("goroutine leak: %d before, %d after drain", goroutines, g)
+			}
+		})
+	}
+}
+
+// TestStepIterLeakUnderFaults audits StepIter.Release on the typed-panic
+// unwind path: every navigation iterator checked out of the pool must be
+// returned even when a page fault aborts the operator chain mid-step.
+// Runs each strategy against a disk injecting a high fault rate and
+// asserts the live-iterator counter returns to its starting level once
+// all queries — successful and faulted — have finished.
+func TestStepIterLeakUnderFaults(t *testing.T) {
+	st, dict := testStore(t)
+	paths := []string{srcQ6, srcQ7a, srcQ7b, srcQ7c, srcQ15}
+
+	for _, strat := range []core.Strategy{core.StrategySimple, core.StrategySchedule, core.StrategyScan} {
+		t.Run(strat.String(), func(t *testing.T) {
+			st.ResetForRun()
+			st.Disk().SetFaults(vdisk.Faults{
+				Seed:      42,
+				ReadError: 0.15,
+				Corrupt:   0.10,
+			})
+			defer func() {
+				st.Disk().SetFaults(vdisk.Faults{})
+				st.ResetForRun()
+			}()
+
+			base := storage.LiveStepIters()
+			e := New(st, Config{MaxInFlight: 4, QueueDepth: 32})
+
+			const workers = 4
+			var wg sync.WaitGroup
+			var faulted atomic.Int64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					s := e.NewSession()
+					for i := 0; i < 3*len(paths); i++ {
+						src := paths[(i+w)%len(paths)]
+						_, err := s.Do(context.Background(), Query{
+							Label:    src,
+							Path:     parsePath(t, dict, src),
+							Strategy: strat,
+						})
+						if err != nil {
+							faulted.Add(1)
+							var pe *storage.PageError
+							if !errors.As(err, &pe) {
+								t.Errorf("query %q: untyped error %T: %v", src, err, err)
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			e.Close()
+
+			if live := storage.LiveStepIters(); live != base {
+				t.Errorf("StepIter leak: %d live before, %d after (%d queries faulted)",
+					base, live, faulted.Load())
+			}
+			if faulted.Load() == 0 {
+				t.Logf("warning: no queries faulted at this rate; unwind path not exercised")
 			}
 		})
 	}

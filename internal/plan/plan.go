@@ -20,10 +20,13 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 
 	"pathdb/internal/core"
 	"pathdb/internal/stats"
 	"pathdb/internal/storage"
+	"pathdb/internal/vdisk"
+	"pathdb/internal/xmltree"
 	"pathdb/internal/xpath"
 )
 
@@ -50,23 +53,114 @@ func (c Choice) String() string {
 }
 
 // Chooser estimates plan costs over one store. Construct with NewChooser
-// (which collects document statistics in an offline pass) and reuse across
-// queries.
+// (which collects document statistics in one offline pass) and reuse across
+// queries; after commits, call Refresh with a current view to fold in only
+// the rewritten clusters instead of re-walking the document. Safe for
+// concurrent use: one chooser may be shared between the facade's blocking
+// queries and the engine's dispatcher, so a volume pays for exactly one
+// statistics walk.
 type Chooser struct {
+	mu    sync.Mutex
 	store *storage.Store
 	ds    *storage.DocStats
+
+	// Incremental-refresh state: the synopsis each page last contributed
+	// to ds, the store epoch those contributions describe, and the running
+	// live-record total that calibrates the per-page CPU estimate.
+	perPage map[vdisk.PageID]*storage.PageSynopsis
+	epoch   uint64
+	live    int64
 }
 
 // NewChooser gathers the statistics the cost model needs. Call before
 // resetting the ledger for measurements: the collection pass is offline
 // bookkeeping, not query work.
 func NewChooser(store *storage.Store) *Chooser {
-	return &Chooser{store: store, ds: store.CollectDocStats()}
+	c := &Chooser{
+		store:   store,
+		ds:      store.CollectDocStats(),
+		perPage: make(map[vdisk.PageID]*storage.PageSynopsis),
+		epoch:   store.VersionEpoch(),
+	}
+	// The statistics walk decoded every cluster, publishing its synopsis as
+	// a side effect; record each page's contribution for later diffing.
+	n := store.NumDataPages()
+	for i := 0; i < n; i++ {
+		p := store.DataPage(i)
+		sy := store.EnsureSynopsis(p)
+		c.perPage[p] = sy
+		c.live += int64(sy.Live)
+	}
+	return c
+}
+
+// Refresh folds the clusters rewritten since the chooser's epoch into its
+// statistics, using the per-cluster synopses the commit path registers: the
+// old contribution of each changed page is retracted and the new one added.
+// Tag record counts and own-page footprints stay exact; SubtreePages is
+// approximated by the presence delta (the exact value is a whole-document
+// structural property). view must be a current-version read view; decode
+// charges for never-seen pages land on its ledger.
+func (c *Chooser) Refresh(view *storage.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := view.VersionEpoch()
+	if cur == c.epoch {
+		return
+	}
+	view.WrittenSince(c.epoch, func(p vdisk.PageID, _ uint64) {
+		sy := view.EnsureSynopsis(p)
+		c.contribute(c.perPage[p], -1)
+		c.contribute(sy, +1)
+		c.perPage[p] = sy
+	})
+	c.ds.Pages = view.NumDataPages()
+	c.store = view
+	c.epoch = cur
+}
+
+// contribute adds (sign=+1) or retracts (sign=-1) one cluster synopsis'
+// contribution to the document statistics.
+func (c *Chooser) contribute(sy *storage.PageSynopsis, sign int) {
+	if sy == nil {
+		return
+	}
+	c.ds.Borders += sign * int(sy.Borders)
+	c.live += int64(sign) * int64(sy.Live)
+	for i, t := range sy.Tags {
+		if t == xmltree.NoTag {
+			continue // the non-element bucket carries no name
+		}
+		ts := c.ds.Tags[t]
+		ts.Count += int64(sign) * int64(sy.TagCounts[i])
+		ts.Pages += sign
+		ts.SubtreePages += sign
+		if ts.Count <= 0 && ts.Pages <= 0 {
+			delete(c.ds.Tags, t)
+			continue
+		}
+		// A leaf tag's subtree spans no clusters at all, so the only floor
+		// is zero — clamping to the own-page footprint would inflate the
+		// coverage estimate of every leaf test after a refresh.
+		if ts.SubtreePages < 0 {
+			ts.SubtreePages = 0
+		}
+		c.ds.Tags[t] = ts
+	}
+}
+
+// Epoch returns the store epoch the chooser's statistics describe.
+func (c *Chooser) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Choose picks the cheaper I/O-performing operator for the path and
 // returns the full cost breakdown.
 func (c *Chooser) Choose(path []xpath.Step) Choice {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m := c.store.Disk().Model()
 	n := c.ds.Pages
 	if n == 0 {
@@ -78,9 +172,13 @@ func (c *Chooser) Choose(path []xpath.Step) Choice {
 	span := int64(n)
 
 	// CPU per visited page: decoding into the swizzled image (one node
-	// visit per record) plus navigating the records once. The bulk loader
-	// packs ≈330 records into an 8 KiB page.
+	// visit per record) plus navigating the records once. The measured
+	// average from the cluster synopses replaces the loader's nominal
+	// ≈330 records per 8 KiB page once statistics exist.
 	recsPerPage := stats.Ticks(330)
+	if avg := c.live / int64(n); avg > 0 {
+		recsPerPage = stats.Ticks(avg)
+	}
 	pageCPU := 2 * recsPerPage * m.CPUNodeVisit
 
 	// XSchedule: one reordered random access per touched cluster. The
@@ -174,5 +272,8 @@ func minf(a, b float64) float64 {
 // point used by the pathdb facade.
 func (c *Chooser) Build(path []xpath.Step, contexts []storage.NodeID, opts core.PlanOptions) (*core.Plan, Choice) {
 	choice := c.Choose(path)
-	return core.BuildPlan(c.store, path, contexts, choice.Strategy, opts), choice
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	return core.BuildPlan(st, path, contexts, choice.Strategy, opts), choice
 }

@@ -6,6 +6,7 @@ import (
 	"pathdb/internal/core"
 	"pathdb/internal/stats"
 	"pathdb/internal/storage"
+	"pathdb/internal/txn"
 	"pathdb/internal/vdisk"
 	"pathdb/internal/xmark"
 	"pathdb/internal/xmltree"
@@ -119,5 +120,115 @@ func TestChoiceString(t *testing.T) {
 	choice := ch.Choose(xpath.MustParse(dict, "//keyword").Simplify().Steps)
 	if choice.String() == "" {
 		t.Fatal("empty choice string")
+	}
+}
+
+// TestChooserRefreshMatchesFreshWalk validates the incremental statistics
+// path: after a series of committed inserts and deletes, Refresh (which
+// folds in only the rewritten clusters via their synopses) must agree
+// with a from-scratch NewChooser walk of the same version — exactly on
+// per-tag record counts, border totals, and live records; within the
+// documented SubtreePages approximation on page footprints; and on the
+// final strategy decision for the benchmark paths.
+func TestChooserRefreshMatchesFreshWalk(t *testing.T) {
+	dict, st := xmarkStore(t, 0.25)
+	ch := NewChooser(st)
+
+	mgr, err := txn.NewManager(st, txn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	parentPath := xpath.MustParse(dict, "/site/regions").Simplify().Steps
+	rs := core.BuildPlan(st, parentPath, st.Roots(), core.StrategySimple, core.PlanOptions{}).Run()
+	if len(rs) == 0 {
+		t.Fatal("no /site/regions in fixture")
+	}
+	parent := rs[0].Node
+
+	probe := dict.Intern("refreshprobe")
+	kw := dict.Intern("keyword")
+	var inserted []storage.NodeID
+	for i := 0; i < 5; i++ {
+		err := mgr.Update(func(tx *txn.Tx) error {
+			e := xmltree.NewElement(probe)
+			k := xmltree.NewElement(kw)
+			k.AppendChild(xmltree.NewText("delta"))
+			e.AppendChild(k)
+			id, err := tx.InsertSubtree(parent, storage.InvalidNodeID, e)
+			inserted = append(inserted, id)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range inserted[:2] {
+		if err := mgr.Update(func(tx *txn.Tx) error { return tx.DeleteSubtree(id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := mgr.Snapshot()
+	defer snap.Release()
+	view := snap.View(stats.NewLedger())
+
+	// Pages rewritten since the chooser's base epoch bound the documented
+	// SubtreePages drift below.
+	changed := 0
+	view.WrittenSince(ch.Epoch(), func(vdisk.PageID, uint64) { changed++ })
+
+	ch.Refresh(view)
+	fresh := NewChooser(view)
+
+	if ch.Epoch() != fresh.Epoch() {
+		t.Fatalf("epoch: refreshed %d, fresh %d", ch.Epoch(), fresh.Epoch())
+	}
+	if ch.ds.Borders != fresh.ds.Borders {
+		t.Errorf("borders: refreshed %d, fresh %d", ch.ds.Borders, fresh.ds.Borders)
+	}
+	if ch.live != fresh.live {
+		t.Errorf("live records: refreshed %d, fresh %d", ch.live, fresh.live)
+	}
+	if ch.ds.Pages != fresh.ds.Pages {
+		t.Errorf("pages: refreshed %d, fresh %d", ch.ds.Pages, fresh.ds.Pages)
+	}
+	for tag, fs := range fresh.ds.Tags {
+		is, ok := ch.ds.Tags[tag]
+		if !ok {
+			t.Errorf("tag %v missing after refresh (fresh count %d)", dict.Name(tag), fs.Count)
+			continue
+		}
+		if is.Count != fs.Count {
+			t.Errorf("tag %v count: refreshed %d, fresh %d", dict.Name(tag), is.Count, fs.Count)
+		}
+		if is.Pages != fs.Pages {
+			t.Errorf("tag %v pages: refreshed %d, fresh %d", dict.Name(tag), is.Pages, fs.Pages)
+		}
+		// SubtreePages is documented as approximate under refresh: the
+		// presence delta can drift from the exact whole-document value by
+		// at most the number of rewritten clusters per commit direction.
+		if d := is.SubtreePages - fs.SubtreePages; d < -changed || d > changed {
+			t.Errorf("tag %v subtree pages: refreshed %d, fresh %d (drift beyond %d rewritten pages)",
+				dict.Name(tag), is.SubtreePages, fs.SubtreePages, changed)
+		}
+	}
+	for tag, is := range ch.ds.Tags {
+		if _, ok := fresh.ds.Tags[tag]; !ok && is.Count > 0 {
+			t.Errorf("stale tag %v survives refresh with count %d", dict.Name(tag), is.Count)
+		}
+	}
+
+	for _, src := range []string{
+		"/site/regions//item",
+		"/site//description",
+		"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
+	} {
+		p := xpath.MustParse(dict, src).Simplify().Steps
+		if a, b := ch.Choose(p), fresh.Choose(p); a.Strategy != b.Strategy {
+			t.Errorf("%s: refreshed chooser picks %v, fresh walk picks %v\nrefreshed: %v\nfresh:     %v",
+				src, a.Strategy, b.Strategy, a, b)
+		}
 	}
 }

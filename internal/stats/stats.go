@@ -90,6 +90,7 @@ type Counters struct {
 	AsyncWithdrawn int64 // prefetches cancelled before delivery
 
 	ClustersVisited int64 // distinct cluster activations by I/O operators
+	ClustersSkipped int64 // pooled accesses avoided via cluster synopses
 	SpecInstances   int64 // speculative left-incomplete instances created
 	FallbackEvents  int64 // low-memory fallback activations
 
@@ -124,13 +125,13 @@ func (l *Ledger) fields() [numFields]*int64 {
 		&l.Swizzles, &l.Unswizzles,
 		&l.NodesVisited, &l.TuplesMoved, &l.SetInserts, &l.SetLookups,
 		&l.AsyncSubmitted, &l.AsyncCompleted, &l.AsyncWithdrawn,
-		&l.ClustersVisited, &l.SpecInstances, &l.FallbackEvents,
+		&l.ClustersVisited, &l.ClustersSkipped, &l.SpecInstances, &l.FallbackEvents,
 		&l.ReadFaults, &l.ReadRetries, &l.ChecksumFails, &l.LatencySpikes,
 	}
 }
 
 // numFields is the number of int64-backed ledger fields.
-const numFields = 28
+const numFields = 29
 
 // fieldNames are the exported snapshot names of every ledger field, in
 // fields() order. The first three are virtual clocks in nanoseconds; the
@@ -143,7 +144,7 @@ var fieldNames = [numFields]string{
 	"swizzles", "unswizzles",
 	"nodes_visited", "tuples_moved", "set_inserts", "set_lookups",
 	"async_submitted", "async_completed", "async_withdrawn",
-	"clusters_visited", "spec_instances", "fallback_events",
+	"clusters_visited", "clusters_skipped", "spec_instances", "fallback_events",
 	"read_faults", "read_retries", "checksum_fails", "latency_spikes",
 }
 

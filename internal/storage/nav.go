@@ -2,12 +2,24 @@ package storage
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"pathdb/internal/stats"
 	"pathdb/internal/xmltree"
 	"pathdb/internal/xpath"
 )
+
+// liveIters counts StepIters checked out by Step and not yet Released. A
+// query that ends — normally, by cancellation, or by a fault-plane panic
+// unwinding through the operator chain — must restore the count, so tests
+// can assert no navigation iterator leaks from any exit path.
+var liveIters atomic.Int64
+
+// LiveStepIters returns the number of navigation iterators currently
+// checked out of the pool (leak detection in tests).
+func LiveStepIters() int64 { return liveIters.Load() }
 
 // StepIter enumerates, one node at a time, the result of applying a single
 // location step to a context cursor using intra-cluster navigation only —
@@ -46,8 +58,18 @@ type StepIter struct {
 	selfAttr bool     // emit the context attribute itself first
 	done     bool
 
+	// Bitmap-batched state (modeBits, and bit-filtered list modes): the
+	// name-test occupancy mask over the cluster's pre-order positions.
+	// bits may be nil (test matches no core record — only borders emit);
+	// it aliases either an immutable nav-owned bitset or maskBuf.
+	bits    []uint64
+	bitPos  int // next pre-order position to probe (modeBits)
+	bitEnd  int // exclusive end of the pre-order range (modeBits)
+	useBits bool
+
 	owned   bool     // slots is iterator-owned scratch, not a page alias
 	scratch []uint16 // retained backing array for owned slots
+	maskBuf []uint64 // retained scratch for combined test masks
 }
 
 type iterMode uint8
@@ -59,6 +81,7 @@ const (
 	modeDFS
 	modeUp
 	modeAttrs
+	modeBits
 )
 
 // stepIterPool recycles released StepIters (with their slot scratch) so
@@ -72,12 +95,34 @@ func (it *StepIter) Release() {
 	if it == nil {
 		return
 	}
+	liveIters.Add(-1)
 	scratch := it.scratch
 	if it.owned && cap(it.slots) > cap(scratch) {
 		scratch = it.slots
 	}
-	*it = StepIter{scratch: scratch[:0]}
+	maskBuf := it.maskBuf
+	*it = StepIter{scratch: scratch[:0], maskBuf: maskBuf[:0]}
 	stepIterPool.Put(it)
+}
+
+// initMask materializes the test's occupancy mask for the cluster and
+// enables bit-filtered emission. The mask build costs one set operation
+// per bitset word, charged here; every emitted node still pays its visit.
+func (it *StepIter) initMask(nav *pageNav) {
+	if cap(it.maskBuf) < nav.words {
+		it.maskBuf = make([]uint64, nav.words)
+	}
+	it.bits = nav.testMask(it.test, it.maskBuf[:nav.words])
+	it.useBits = true
+	it.st.led.AdvanceCPU(stats.Ticks(nav.words) * it.st.model.CPUSetOp)
+}
+
+// initBitRange switches the iterator to modeBits over the pre-order range
+// [lo, hi) — the batched equivalent of a DFS enumeration.
+func (it *StepIter) initBitRange(nav *pageNav, lo, hi int) {
+	it.mode = modeBits
+	it.bitPos, it.bitEnd = lo, hi
+	it.initMask(nav)
 }
 
 // own makes slots a single iterator-owned candidate.
@@ -99,8 +144,10 @@ func (it *StepIter) ownReversed(s []uint16) {
 // Step starts the enumeration of one location step from ctx.
 func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter {
 	it := stepIterPool.Get().(*StepIter)
+	liveIters.Add(1)
 	scratch := it.scratch
-	*it = StepIter{st: s, img: ctx.img, axis: axis, test: test, slot: ctx.slot, scratch: scratch[:0]}
+	maskBuf := it.maskBuf
+	*it = StepIter{st: s, img: ctx.img, axis: axis, test: test, slot: ctx.slot, scratch: scratch[:0], maskBuf: maskBuf[:0]}
 	r := ctx.rec()
 
 	if ctx.attr >= 0 {
@@ -129,6 +176,9 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 		return it
 	}
 
+	nav := ctx.img.nav
+	useBits := nav != nil && !navBitmapsOff.Load()
+
 	switch r.kind {
 	case RecProxyParent:
 		// Downward continuation: everything below this anchor belongs to
@@ -138,9 +188,16 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 			it.mode = modeList
 			it.slots = r.children
 			it.rev = axis == xpath.PrecedingSibling
+			if useBits {
+				it.initMask(nav)
+			}
 		case xpath.Descendant, xpath.DescendantOrSelf:
-			it.mode = modeDFS
-			it.ownReversed(r.children)
+			if useBits {
+				it.initBitRange(nav, int(nav.pre[ctx.slot])+1, int(nav.subEnd[ctx.slot]))
+			} else {
+				it.mode = modeDFS
+				it.ownReversed(r.children)
+			}
 		default:
 			it.mode = modeDone
 		}
@@ -159,6 +216,9 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 			it.up = r.parent
 		case xpath.FollowingSibling, xpath.PrecedingSibling:
 			it.initSiblings(r)
+			if useBits && it.mode == modeList {
+				it.initMask(nav)
+			}
 		default:
 			it.mode = modeDone
 		}
@@ -170,12 +230,23 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 		case xpath.Child:
 			it.mode = modeList
 			it.slots = r.children
+			if useBits {
+				it.initMask(nav)
+			}
 		case xpath.Descendant:
-			it.mode = modeDFS
-			it.ownReversed(r.children)
+			if useBits {
+				it.initBitRange(nav, int(nav.pre[ctx.slot])+1, int(nav.subEnd[ctx.slot]))
+			} else {
+				it.mode = modeDFS
+				it.ownReversed(r.children)
+			}
 		case xpath.DescendantOrSelf:
-			it.mode = modeDFS
-			it.own(ctx.slot)
+			if useBits {
+				it.initBitRange(nav, int(nav.pre[ctx.slot]), int(nav.subEnd[ctx.slot]))
+			} else {
+				it.mode = modeDFS
+				it.own(ctx.slot)
+			}
 		case xpath.Parent:
 			it.mode = modeSingle
 			if r.parent == noParent {
@@ -191,6 +262,9 @@ func (s *Store) Step(ctx Cursor, axis xpath.Axis, test xpath.NodeTest) *StepIter
 			it.up = int(ctx.slot)
 		case xpath.FollowingSibling, xpath.PrecedingSibling:
 			it.initSiblings(r)
+			if useBits && it.mode == modeList {
+				it.initMask(nav)
+			}
 		case xpath.AttributeAxis:
 			if r.kind == RecElem && len(r.attrs) > 0 {
 				it.mode = modeAttrs
@@ -323,6 +397,36 @@ func (it *StepIter) Next() (Cursor, bool) {
 				continue
 			}
 			return Cursor{st: it.st, img: it.img, page: it.img.page, slot: it.slot, attr: a}, true
+
+		case modeBits:
+			// Batched enumeration: scan the (test ∪ border) occupancy
+			// words over the subtree's pre-order range. The virtual clock
+			// still charges one node visit per live record passed over —
+			// the cost model describes the paper's node-at-a-time system,
+			// not this implementation's word-level scan — accrued at the
+			// same per-Next granularity as the DFS it replaces.
+			nav := it.img.nav
+			for it.bitPos < it.bitEnd {
+				w := it.bitPos >> 6
+				word := nav.proxy[w]
+				if it.bits != nil {
+					word |= it.bits[w]
+				}
+				word &= ^uint64(0) << uint(it.bitPos&63)
+				if w == it.bitEnd>>6 {
+					word &= uint64(1)<<uint(it.bitEnd&63) - 1
+				}
+				if word == 0 {
+					it.chargeLive(w, it.bitPos, it.bitEnd)
+					it.bitPos = (w + 1) << 6
+					continue
+				}
+				pos := w<<6 + bits.TrailingZeros64(word)
+				it.chargeLive(w, it.bitPos, pos+1)
+				it.bitPos = pos + 1
+				return it.cursor(nav.byPre[pos]), true
+			}
+			return Cursor{}, false
 		}
 
 		stats.Inc(&led.NodesVisited)
@@ -331,9 +435,34 @@ func (it *StepIter) Next() (Cursor, bool) {
 		if r.kind.IsProxy() {
 			return it.cursor(uint16(slot)), true
 		}
+		if it.useBits {
+			// List candidates filter through the precomputed mask: one
+			// word probe instead of a record inspection.
+			if it.bits != nil && hasBit(it.bits, it.img.nav.pre[slot]) {
+				return it.cursor(uint16(slot)), true
+			}
+			continue
+		}
 		if it.test.Matches(r.kind.LogicalKind(), r.tag) {
 			return it.cursor(uint16(slot)), true
 		}
+	}
+}
+
+// chargeLive bills a node visit for every live record (core or border)
+// whose pre-order position falls in [lo, min(hi, end of word w)) — the
+// records a node-at-a-time DFS would have visited and rejected where the
+// batched scan skips whole words.
+func (it *StepIter) chargeLive(w, lo, hi int) {
+	nav := it.img.nav
+	live := nav.core[w] | nav.proxy[w]
+	live &= ^uint64(0) << uint(lo&63)
+	if hi>>6 == w {
+		live &= uint64(1)<<uint(hi&63) - 1
+	}
+	if n := bits.OnesCount64(live); n > 0 {
+		stats.Add(&it.st.led.NodesVisited, int64(n))
+		it.st.led.AdvanceCPU(stats.Ticks(n) * it.st.model.CPUNodeVisit)
 	}
 }
 

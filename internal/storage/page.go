@@ -8,6 +8,7 @@ import (
 	"pathdb/internal/ordpath"
 	"pathdb/internal/vdisk"
 	"pathdb/internal/xmltree"
+	"pathdb/internal/xpath"
 )
 
 // RecKind classifies physical records. Core kinds mirror logical node
@@ -110,6 +111,232 @@ type pageImage struct {
 	recs      []rec
 	borders   []uint16 // slots of proxy records, for XScan's speculation
 	borderIDs []NodeID // the same borders as NodeIDs, for BordersOf
+	nav       *pageNav // cluster-resident name-test index, built at decode
+}
+
+// pageNav is the cluster-resident navigation index: every live record gets
+// a pre-order position (the exact order modeDFS enumerates, so a slot's
+// subtree is the contiguous range [pre[s], subEnd[s])), and occupancy
+// bitsets over those positions answer name/kind tests for a whole cluster
+// at once. Immutable after decode, shared with the image.
+type pageNav struct {
+	pre    []uint16 // slot → pre-order position (preNone for dead slots)
+	byPre  []uint16 // pre-order position → slot
+	subEnd []uint16 // slot → exclusive pre-order end of its subtree
+	words  int      // uint64 words per bitset
+
+	tags    []xmltree.TagID // sorted distinct record tags (NoTag bucket included)
+	tagCnt  []int32         // live records per tags[i]
+	tagBits [][]uint64      // tagBits[i]: positions of records tagged tags[i]
+
+	core    []uint64 // all live non-proxy positions
+	elem    []uint64 // RecElem positions
+	text    []uint64 // RecText positions
+	comment []uint64 // RecComment positions
+	pi      []uint64 // RecPI positions
+	proxy   []uint64 // proxy (border) positions
+
+	elemCount, textCount, commentCount, piCount int
+	proxyChildCount                             int // outgoing downward borders
+}
+
+const preNone = 0xFFFF
+
+func setBit(w []uint64, i uint16) { w[i>>6] |= 1 << (i & 63) }
+
+func hasBit(w []uint64, i uint16) bool { return w[i>>6]&(1<<(i&63)) != 0 }
+
+// tagIndex returns the index of t in nav.tags, or -1.
+func (nav *pageNav) tagIndex(t xmltree.TagID) int {
+	lo, hi := 0, len(nav.tags)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nav.tags[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nav.tags) && nav.tags[lo] == t {
+		return lo
+	}
+	return -1
+}
+
+// kindMask returns the occupancy bitset for a kind test (nil means "no
+// record of this kind exists", an always-empty mask).
+func (nav *pageNav) kindMask(k xpath.KindTest) []uint64 {
+	switch k {
+	case xpath.KindAny:
+		return nav.core
+	case xpath.KindElement:
+		// Records never carry xmltree.Attribute kind (attributes are
+		// inline), so the element bitset is exact for KindElement.
+		return nav.elem
+	case xpath.KindText:
+		return nav.text
+	case xpath.KindComment:
+		return nav.comment
+	case xpath.KindPI:
+		return nav.pi
+	}
+	return nil
+}
+
+// testMask materializes the occupancy bitset of records matching test,
+// writing into scratch when a combination is needed. The returned slice is
+// either an immutable nav-owned bitset or scratch; callers must treat it as
+// read-only and not retain it past the next call with the same scratch.
+// The bitset reproduces xpath.NodeTest.Matches exactly: kind check ANDed
+// with the name check (tag membership; non-element records sit in the
+// NoTag bucket, matching Matches' behaviour on their NoTag field).
+func (nav *pageNav) testMask(test xpath.NodeTest, scratch []uint64) []uint64 {
+	km := nav.kindMask(test.Kind)
+	if test.AnyName {
+		return km
+	}
+	// Named test: OR the tag buckets, then AND with the kind mask. The
+	// common case (element name test, one tag) short-circuits: real tags
+	// only ever appear on element records, so the bucket is already ⊆ elem.
+	if len(test.Tags) == 1 && test.Kind == xpath.KindElement && test.Tags[0] != xmltree.NoTag {
+		if i := nav.tagIndex(test.Tags[0]); i >= 0 {
+			return nav.tagBits[i]
+		}
+		return nil
+	}
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	any := false
+	for _, t := range test.Tags {
+		if i := nav.tagIndex(t); i >= 0 {
+			for w, v := range nav.tagBits[i] {
+				scratch[w] |= v
+			}
+			any = true
+		}
+	}
+	if !any || km == nil {
+		return nil
+	}
+	if test.Kind == xpath.KindAny && (len(test.Tags) > 1 || test.Tags[0] != xmltree.NoTag) {
+		// Real tags imply element records, elem ⊆ core: no AND needed
+		// unless NoTag is among the names.
+		hasNoTag := false
+		for _, t := range test.Tags {
+			if t == xmltree.NoTag {
+				hasNoTag = true
+			}
+		}
+		if !hasNoTag {
+			return scratch
+		}
+	}
+	for w := range scratch {
+		scratch[w] &= km[w]
+	}
+	return scratch
+}
+
+// buildPageNav derives the navigation index from a decoded image. The
+// pre-order walk mirrors StepIter's modeDFS (children lists are already
+// sibling-sorted), so bitmap range enumeration and per-node DFS agree on
+// emission order byte for byte.
+func buildPageNav(img *pageImage) *pageNav {
+	n := len(img.recs)
+	live := 0
+	for i := range img.recs {
+		if !img.recs[i].dead {
+			live++
+		}
+	}
+	nav := &pageNav{
+		pre:    make([]uint16, n),
+		subEnd: make([]uint16, n),
+		byPre:  make([]uint16, 0, live),
+		words:  (live + 63) / 64,
+	}
+	for i := range nav.pre {
+		nav.pre[i] = preNone
+	}
+	var walk func(s uint16)
+	walk = func(s uint16) {
+		nav.pre[s] = uint16(len(nav.byPre))
+		nav.byPre = append(nav.byPre, s)
+		for _, c := range img.recs[s].children {
+			walk(c)
+		}
+		nav.subEnd[s] = uint16(len(nav.byPre))
+	}
+	for i := 0; i < n; i++ {
+		if r := &img.recs[i]; !r.dead && r.parent == noParent {
+			walk(uint16(i))
+		}
+	}
+
+	// Distinct tags (non-element records land in the NoTag bucket, exactly
+	// the field Matches inspects on them).
+	tags := make([]xmltree.TagID, 0, 16)
+	for p := range nav.byPre {
+		r := &img.recs[nav.byPre[p]]
+		if r.kind.IsProxy() {
+			continue
+		}
+		tags = append(tags, r.tag)
+	}
+	sort.Slice(tags, func(a, b int) bool { return tags[a] < tags[b] })
+	dst := 0
+	for i, t := range tags {
+		if i == 0 || t != tags[dst-1] {
+			tags[dst] = t
+			dst++
+		}
+	}
+	nav.tags = tags[:dst]
+	nav.tagCnt = make([]int32, len(nav.tags))
+
+	// One backing allocation for every bitset.
+	w := nav.words
+	backing := make([]uint64, (len(nav.tags)+6)*w)
+	cut := func() []uint64 { b := backing[:w:w]; backing = backing[w:]; return b }
+	nav.core, nav.elem, nav.text = cut(), cut(), cut()
+	nav.comment, nav.pi, nav.proxy = cut(), cut(), cut()
+	nav.tagBits = make([][]uint64, len(nav.tags))
+	for i := range nav.tagBits {
+		nav.tagBits[i] = cut()
+	}
+
+	for p := range nav.byPre {
+		pos := uint16(p)
+		r := &img.recs[nav.byPre[p]]
+		switch r.kind {
+		case RecProxyChild:
+			setBit(nav.proxy, pos)
+			nav.proxyChildCount++
+			continue
+		case RecProxyParent:
+			setBit(nav.proxy, pos)
+			continue
+		case RecElem:
+			setBit(nav.elem, pos)
+			nav.elemCount++
+		case RecText:
+			setBit(nav.text, pos)
+			nav.textCount++
+		case RecComment:
+			setBit(nav.comment, pos)
+			nav.commentCount++
+		case RecPI:
+			setBit(nav.pi, pos)
+			nav.piCount++
+		}
+		setBit(nav.core, pos)
+		if i := nav.tagIndex(r.tag); i >= 0 {
+			setBit(nav.tagBits[i], pos)
+			nav.tagCnt[i]++
+		}
+	}
+	return nav
 }
 
 // --- binary encoding -------------------------------------------------------
@@ -203,7 +430,13 @@ func appendString(dst []byte, s string) []byte {
 // parent pointers at decode time, which keeps record sizes fixed once
 // written).
 func encodeRec(r *rec) []byte {
-	out := make([]byte, 0, encodedSize(r))
+	return appendRec(make([]byte, 0, encodedSize(r)), r)
+}
+
+// appendRec appends r's serialized form to out and returns the extended
+// slice; callers with a pre-sized destination (the page rewrite path)
+// encode without a per-record allocation.
+func appendRec(out []byte, r *rec) []byte {
 	out = append(out, byte(r.kind))
 	out = appendUvarint(out, uint64(r.parent+1))
 	switch r.kind {
@@ -274,6 +507,13 @@ func (e *corruptError) Error() string {
 // decodePage parses raw page bytes into a pageImage. The slot table sits at
 // the end of the usable region; the trailing checksum bytes (verified by the
 // buffer pool before raw reaches us) are not part of the record layout.
+//
+// Decoding is slab-allocated: one immutable string copy of the page backs
+// every text and attribute value, one byte slab every ord key, and one
+// uint16 slab every child list, so the per-record cost is a few appends
+// into pre-sized arrays instead of hundreds of small heap objects. raw
+// itself aliases a buffer frame that is recycled on eviction, so no decoded
+// field may point into it.
 func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error) {
 	cap := usable(pageSize)
 	if len(raw) < pageHeaderSize {
@@ -284,6 +524,13 @@ func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error)
 		return nil, &corruptError{page, "slot table overlaps header"}
 	}
 	img := &pageImage{page: page, recs: make([]rec, n)}
+	pd := pageDecoder{
+		raw: raw,
+		str: string(raw),
+		// Ord keys are substrings of the page, so their total length can
+		// never exceed it: the slab never regrows and every key aliases it.
+		ords: make([]byte, 0, len(raw)),
+	}
 	for i := 0; i < n; i++ {
 		off := int(binary.LittleEndian.Uint16(raw[cap-2*(i+1):]))
 		if off == deadSlotOff {
@@ -293,13 +540,15 @@ func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error)
 		if off < pageHeaderSize || off >= cap {
 			return nil, &corruptError{page, fmt.Sprintf("slot %d offset %d out of range", i, off)}
 		}
-		if err := decodeRec(&img.recs[i], raw[off:]); err != nil {
+		if err := pd.decodeRec(&img.recs[i], off); err != nil {
 			return nil, &corruptError{page, fmt.Sprintf("slot %d: %v", i, err)}
 		}
 	}
 	// Derive children lists and the border index, then order siblings by
 	// their document-order keys: the initial bulk load allocates slots in
-	// DFS order, but updates may insert out of slot order.
+	// DFS order, but updates may insert out of slot order. Child lists are
+	// carved from one slab, sized by a counting pass.
+	nkids, nborders := 0, 0
 	for i := 0; i < n; i++ {
 		r := &img.recs[i]
 		if r.dead {
@@ -309,20 +558,44 @@ func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error)
 			if r.parent < 0 || r.parent >= n || img.recs[r.parent].dead {
 				return nil, &corruptError{page, fmt.Sprintf("slot %d: bad parent %d", i, r.parent)}
 			}
-			p := &img.recs[r.parent]
-			p.children = append(p.children, uint16(i))
+			nkids++
 		}
 		if r.kind.IsProxy() {
-			img.borders = append(img.borders, uint16(i))
+			nborders++
+		}
+	}
+	if nkids > 0 {
+		counts := make([]uint16, n)
+		for i := 0; i < n; i++ {
+			if r := &img.recs[i]; !r.dead && r.parent != noParent {
+				counts[r.parent]++
+			}
+		}
+		kidSlab := make([]uint16, nkids)
+		pos := 0
+		for i := 0; i < n; i++ {
+			if c := int(counts[i]); c > 0 {
+				img.recs[i].children = kidSlab[pos : pos : pos+c]
+				pos += c
+			}
+		}
+		for i := 0; i < n; i++ {
+			if r := &img.recs[i]; !r.dead && r.parent != noParent {
+				p := &img.recs[r.parent]
+				p.children = append(p.children, uint16(i))
+			}
+		}
+	}
+	if nborders > 0 {
+		img.borders = make([]uint16, 0, nborders)
+		for i := 0; i < n; i++ {
+			if r := &img.recs[i]; !r.dead && r.kind.IsProxy() {
+				img.borders = append(img.borders, uint16(i))
+			}
 		}
 	}
 	for i := 0; i < n; i++ {
-		kids := img.recs[i].children
-		if len(kids) > 1 {
-			sort.SliceStable(kids, func(a, b int) bool {
-				return ordpath.Compare(img.recs[kids[a]].ord, img.recs[kids[b]].ord) < 0
-			})
-		}
+		sortKidsByOrd(img.recs, img.recs[i].children)
 	}
 	if len(img.borders) > 0 {
 		// Materialized once here so BordersOf can hand out a shared slice
@@ -332,6 +605,7 @@ func decodePage(page vdisk.PageID, raw []byte, pageSize int) (*pageImage, error)
 			img.borderIDs[i] = MakeNodeID(page, slot)
 		}
 	}
+	img.nav = buildPageNav(img)
 	return img, nil
 }
 
@@ -353,13 +627,16 @@ func encodePageImage(img *pageImage, pageSize int) ([]byte, error) {
 			binary.LittleEndian.PutUint16(out[slotPos:], deadSlotOff)
 			continue
 		}
-		enc := encodeRec(&img.recs[i])
-		if dataOff+len(enc) > cap-2*n {
+		// Size check before encoding: appendRec writes straight into out,
+		// so an overflowing record must never start (it would clobber slot
+		// entries already written at the top of the region).
+		sz := encodedSize(&img.recs[i])
+		if dataOff+sz > cap-2*n {
 			return nil, &corruptError{img.page, "page overflow during rewrite"}
 		}
-		copy(out[dataOff:], enc)
+		appendRec(out[dataOff:dataOff], &img.recs[i])
 		binary.LittleEndian.PutUint16(out[slotPos:], uint16(dataOff))
-		dataOff += len(enc)
+		dataOff += sz
 	}
 	binary.LittleEndian.PutUint16(out[0:2], uint16(n))
 	binary.LittleEndian.PutUint16(out[2:4], uint16(dataOff))
@@ -421,12 +698,47 @@ func (d *decodeCursor) bytes() ([]byte, error) {
 	return out, nil
 }
 
-func decodeRec(r *rec, raw []byte) error {
-	if len(raw) == 0 {
+// span reads a length-prefixed bytes field and returns its [start, end)
+// indexes within the cursor's buffer instead of the bytes themselves, so
+// the caller can alias a stable copy of the same buffer.
+func (d *decodeCursor) span() (int, int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if d.i+int(n) > len(d.b) {
+		return 0, 0, fmt.Errorf("truncated bytes field")
+	}
+	s := d.i
+	d.i += int(n)
+	return s, d.i, nil
+}
+
+// pageDecoder carries the slabs one decodePage call shares across all its
+// records: str is an immutable copy of the page that every string field
+// aliases, ords collects ord key copies, attrs collects attribute records.
+type pageDecoder struct {
+	raw   []byte
+	str   string
+	ords  []byte
+	attrs []attrRec
+}
+
+// ordKey copies b into the ord slab and returns the slab-backed key. The
+// slab is pre-sized to the page length so it never regrows.
+func (pd *pageDecoder) ordKey(s, e int) ordpath.Key {
+	o := len(pd.ords)
+	pd.ords = append(pd.ords, pd.raw[s:e]...)
+	return ordpath.Key(pd.ords[o:len(pd.ords):len(pd.ords)])
+}
+
+func (pd *pageDecoder) decodeRec(r *rec, off int) error {
+	raw := pd.raw
+	if off >= len(raw) {
 		return fmt.Errorf("empty record")
 	}
-	d := &decodeCursor{b: raw, i: 1}
-	r.kind = RecKind(raw[0])
+	d := &decodeCursor{b: raw, i: off + 1}
+	r.kind = RecKind(raw[off])
 	r.tag = xmltree.NoTag
 	p, err := d.uvarint()
 	if err != nil {
@@ -441,46 +753,47 @@ func decodeRec(r *rec, raw []byte) error {
 			return err
 		}
 		r.tag = xmltree.TagID(tag)
-		ord, err := d.bytes()
+		s, e, err := d.span()
 		if err != nil {
 			return err
 		}
-		r.ord = ordpath.Key(append([]byte(nil), ord...))
+		r.ord = pd.ordKey(s, e)
 		na, err := d.uvarint()
 		if err != nil {
 			return err
 		}
 		if na > 0 {
-			r.attrs = make([]attrRec, na)
-			for i := range r.attrs {
+			start := len(pd.attrs)
+			for i := 0; i < int(na); i++ {
 				at, err := d.uvarint()
 				if err != nil {
 					return err
 				}
-				v, err := d.bytes()
+				s, e, err := d.span()
 				if err != nil {
 					return err
 				}
-				r.attrs[i] = attrRec{tag: xmltree.TagID(at), val: string(v)}
+				pd.attrs = append(pd.attrs, attrRec{tag: xmltree.TagID(at), val: pd.str[s:e]})
 			}
+			r.attrs = pd.attrs[start:len(pd.attrs):len(pd.attrs)]
 		}
 	case RecText, RecComment, RecPI:
-		ord, err := d.bytes()
+		s, e, err := d.span()
 		if err != nil {
 			return err
 		}
-		r.ord = ordpath.Key(append([]byte(nil), ord...))
-		txt, err := d.bytes()
+		r.ord = pd.ordKey(s, e)
+		s, e, err = d.span()
 		if err != nil {
 			return err
 		}
-		r.text = string(txt)
+		r.text = pd.str[s:e]
 	case RecProxyChild:
-		ord, err := d.bytes()
+		s, e, err := d.span()
 		if err != nil {
 			return err
 		}
-		r.ord = ordpath.Key(append([]byte(nil), ord...))
+		r.ord = pd.ordKey(s, e)
 		if d.i+8 > len(raw) {
 			return fmt.Errorf("truncated proxy target")
 		}
@@ -491,7 +804,24 @@ func decodeRec(r *rec, raw []byte) error {
 		}
 		r.target = NodeID(binary.LittleEndian.Uint64(raw[d.i:]))
 	default:
-		return fmt.Errorf("unknown record kind %d", raw[0])
+		return fmt.Errorf("unknown record kind %d", raw[off])
 	}
 	return nil
+}
+
+// sortKidsByOrd stably orders one child list by document-order key. Bulk
+// load emits children in DFS order, so the list is almost always already
+// sorted and the insertion sort runs in linear time; unlike sort.SliceStable
+// it allocates nothing (no reflection-based swapper).
+func sortKidsByOrd(recs []rec, kids []uint16) {
+	for i := 1; i < len(kids); i++ {
+		k := kids[i]
+		ord := recs[k].ord
+		j := i - 1
+		for j >= 0 && ordpath.Compare(recs[kids[j]].ord, ord) > 0 {
+			kids[j+1] = kids[j]
+			j--
+		}
+		kids[j+1] = k
+	}
 }

@@ -38,6 +38,7 @@ type Store struct {
 	extras    []vdisk.PageID // data pages appended by updates
 
 	cache *swizCache     // decoded page images, shared across views
+	syn   *synTable      // per-cluster synopses, shared across views
 	w     *buffer.Waiter // async cluster requests of this view
 
 	// Multi-version state. vh shares the latest published version across
@@ -72,6 +73,7 @@ func newStore(disk *vdisk.Disk, dict *xmltree.Dictionary, roots []NodeID, firstD
 		nData:     nData,
 		extras:    extras,
 		cache:     newSwizCache(),
+		syn:       newSynTable(),
 		vh:        &versionHandle{},
 	}
 	s.buf.SetEvictHandler(s.cache.drop)
@@ -124,6 +126,33 @@ func (s *Store) resolve(p vdisk.PageID) vdisk.PageID {
 		return vm.Resolve(p)
 	}
 	return p
+}
+
+// pageEpoch returns the write epoch of logical page p in this view's
+// version (0 for never-written pages and versionless volumes).
+func (s *Store) pageEpoch(p vdisk.PageID) uint64 {
+	if vm := s.version(); vm != nil {
+		return vm.PageEpoch(p)
+	}
+	return 0
+}
+
+// VersionEpoch returns the commit epoch of this view's version (0 for
+// versionless volumes and the initial version).
+func (s *Store) VersionEpoch() uint64 {
+	if vm := s.version(); vm != nil {
+		return vm.Epoch()
+	}
+	return 0
+}
+
+// WrittenSince calls fn for every logical page whose last-write epoch in
+// this view's version is strictly greater than since. No-op on versionless
+// volumes. Used by the plan chooser's incremental statistics refresh.
+func (s *Store) WrittenSince(since uint64, fn func(p vdisk.PageID, epoch uint64)) {
+	if vm := s.version(); vm != nil {
+		vm.WrittenSince(since, fn)
+	}
 }
 
 // extrasList returns the extension-page directory of this view's version.
@@ -259,12 +288,14 @@ func (s *Store) image(p vdisk.PageID) *pageImage {
 			return img
 		}
 	}
-	// The cache and pool are keyed by the resolved *physical* page (the
-	// version-unique home of these bytes); the decode below keeps the
-	// *logical* id, which is what NodeIDs embed. The version map is
-	// injective, so one physical page never serves two logical ones.
-	phys := s.resolve(p)
-	e := s.cache.entry(phys)
+	// The cache is keyed by (logical page, write epoch) — the
+	// version-independent name of these bytes — so snapshots at different
+	// epochs share one decoded image for every page the commits between
+	// them did not touch, and a commit invalidates exactly the clusters it
+	// rewrote. The buffer pool below stays keyed by the resolved *physical*
+	// page; the decode keeps the *logical* id, which is what NodeIDs embed.
+	key := swizKey{page: p, epoch: s.pageEpoch(p)}
+	e := s.cache.entry(key)
 	if img := e.img.Load(); img != nil {
 		return img
 	}
@@ -273,6 +304,7 @@ func (s *Store) image(p vdisk.PageID) *pageImage {
 	if img := e.img.Load(); img != nil {
 		return img
 	}
+	phys := s.resolve(p)
 	f, err := s.buf.FixOn(s.led, phys)
 	if err != nil {
 		throwPageError(p, err)
@@ -284,6 +316,8 @@ func (s *Store) image(p vdisk.PageID) *pageImage {
 	}
 	s.led.AdvanceCPU(stats.Ticks(len(img.recs)) * s.model.CPUNodeVisit)
 	e.img.Store(img)
+	s.cache.track(phys, key)
+	s.syn.publish(p, synopsisOf(img, key.epoch))
 	return img
 }
 

@@ -256,8 +256,22 @@ func (u *updater) live(p vdisk.PageID) *livePage {
 	}
 	src := u.st.image(p)
 	cp := &pageImage{page: p, recs: append([]rec(nil), src.recs...)}
+	// Copy the child lists through one slab (they must not alias the shared
+	// immutable image). Each carved list has exact capacity, so an insert
+	// that grows it reallocates just that list.
+	nk := 0
 	for i := range cp.recs {
-		cp.recs[i].children = append([]uint16(nil), cp.recs[i].children...)
+		nk += len(cp.recs[i].children)
+	}
+	if nk > 0 {
+		slab := make([]uint16, 0, nk)
+		for i := range cp.recs {
+			if kids := cp.recs[i].children; len(kids) > 0 {
+				o := len(slab)
+				slab = append(slab, kids...)
+				cp.recs[i].children = slab[o:len(slab):len(slab)]
+			}
+		}
 	}
 	lp := &livePage{page: p, img: cp, used: pageUsage(cp)}
 	u.pages[p] = lp
@@ -797,6 +811,7 @@ func (u *updater) commit() error {
 	for p := range images {
 		u.st.cache.drop(p)     // invalidate the swizzled view…
 		u.st.buf.Invalidate(p) // …and the stale buffered bytes
+		u.st.syn.drop(p)       // …and the cluster synopsis (no epoch move here)
 	}
 	return nil
 }

@@ -28,15 +28,31 @@ type VersionMap struct {
 	epoch  uint64
 	m      map[vdisk.PageID]vdisk.PageID
 	extras []vdisk.PageID
+	// wrote records, per logical page, the epoch of the last commit that
+	// rewrote it. Pages never written since volume adoption carry no entry
+	// and report epoch 0. This is what makes decoded-cluster caching
+	// epoch-precise: (logical page, wrote[page]) names one immutable byte
+	// image across every version that shares it.
+	wrote map[vdisk.PageID]uint64
 }
 
 // NewVersionMap builds a version from recovered or initial state. The map
 // and extras slices are adopted, not copied; callers hand over ownership.
+// Every relocated and extension page is conservatively stamped with the
+// recovered epoch: recovery starts with an empty decoded-cluster cache, so
+// over-stamping only forgoes cross-version sharing, never correctness.
 func NewVersionMap(epoch uint64, m map[vdisk.PageID]vdisk.PageID, extras []vdisk.PageID) *VersionMap {
 	if m == nil {
 		m = map[vdisk.PageID]vdisk.PageID{}
 	}
-	return &VersionMap{epoch: epoch, m: m, extras: extras}
+	wrote := make(map[vdisk.PageID]uint64, len(m)+len(extras))
+	for l := range m {
+		wrote[l] = epoch
+	}
+	for _, p := range extras {
+		wrote[p] = epoch
+	}
+	return &VersionMap{epoch: epoch, m: m, extras: extras, wrote: wrote}
 }
 
 // Epoch returns the version's commit epoch (0 for the initial version).
@@ -67,9 +83,26 @@ func (vm *VersionMap) Entries() map[vdisk.PageID]vdisk.PageID {
 	return out
 }
 
+// PageEpoch returns the epoch of the last commit that rewrote logical page
+// p, or 0 if p has never been written since adoption. (logical, PageEpoch)
+// uniquely names a page's byte image across versions.
+func (vm *VersionMap) PageEpoch(p vdisk.PageID) uint64 { return vm.wrote[p] }
+
+// WrittenSince calls fn for every logical page whose last-write epoch is
+// strictly greater than since (i.e. pages rewritten or created by commits
+// after epoch `since`). Iteration order is unspecified.
+func (vm *VersionMap) WrittenSince(since uint64, fn func(p vdisk.PageID, epoch uint64)) {
+	for p, e := range vm.wrote {
+		if e > since {
+			fn(p, e)
+		}
+	}
+}
+
 // Apply builds the successor version: deltas relocate logical pages to new
 // physical homes, fresh appends identity-mapped extension pages to the
-// directory. The receiver is not modified.
+// directory. Both delta and fresh pages are stamped with the new epoch in
+// the per-page write-epoch table. The receiver is not modified.
 func (vm *VersionMap) Apply(epoch uint64, deltas map[vdisk.PageID]vdisk.PageID, fresh []vdisk.PageID) *VersionMap {
 	nm := make(map[vdisk.PageID]vdisk.PageID, len(vm.m)+len(deltas))
 	for l, p := range vm.m {
@@ -82,7 +115,17 @@ func (vm *VersionMap) Apply(epoch uint64, deltas map[vdisk.PageID]vdisk.PageID, 
 	if len(fresh) > 0 {
 		extras = append(append([]vdisk.PageID(nil), vm.extras...), fresh...)
 	}
-	return &VersionMap{epoch: epoch, m: nm, extras: extras}
+	wrote := make(map[vdisk.PageID]uint64, len(vm.wrote)+len(deltas)+len(fresh))
+	for p, e := range vm.wrote {
+		wrote[p] = e
+	}
+	for l := range deltas {
+		wrote[l] = epoch
+	}
+	for _, p := range fresh {
+		wrote[p] = epoch
+	}
+	return &VersionMap{epoch: epoch, m: nm, extras: extras, wrote: wrote}
 }
 
 // versionHandle shares the latest published version between a base store

@@ -369,6 +369,9 @@ func (m *Manager) stageCommitLocked(base *storage.VersionMap, ws storage.WriteSe
 	next := base.Apply(m.epoch, deltas, ws.Fresh)
 	m.cur.Store(next)
 	m.st.PublishVersion(next)
+	// Register the committed clusters' synopses at the new epoch so
+	// cluster-skip and chooser refresh stay current without a rebuild.
+	m.st.RefreshSynopses(m.epoch, ws.Images)
 
 	return &commitReq{
 		epoch:  m.epoch,

@@ -163,26 +163,21 @@ type DB struct {
 	txnOpts txn.Options
 }
 
-// getChooser returns the document's cost-model chooser, building it when
-// missing or invalidated by an update. The build walks the whole document,
-// so it runs over a snapshot view with a throwaway ledger: statistics
-// collection is offline bookkeeping, not query work, and must not inflate
-// the volume's cost report or any query's measured latency.
+// getChooser returns the document's cost-model chooser, building it on
+// first use and incrementally refreshing its statistics from the per-cluster
+// synopses when commits have advanced the volume since. Both paths run over
+// a snapshot view with a throwaway ledger: statistics collection is offline
+// bookkeeping, not query work, and must not inflate the volume's cost report
+// or any query's measured latency.
 func (db *DB) getChooser() *plan.Chooser {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.chooser == nil {
 		db.chooser = plan.NewChooser(db.store.SnapshotView(new(stats.Ledger)))
+	} else {
+		db.chooser.Refresh(db.store.SnapshotView(new(stats.Ledger)))
 	}
 	return db.chooser
-}
-
-// invalidateChooser drops the chooser after a commit: its document
-// statistics are stale.
-func (db *DB) invalidateChooser() {
-	db.mu.Lock()
-	db.chooser = nil
-	db.mu.Unlock()
 }
 
 // LoadXML parses an XML document and stores it.
@@ -477,10 +472,16 @@ func (q *Query) steps() []xpath.Step {
 	return q.path.Simplify().Steps
 }
 
-func (q *Query) build() *core.Plan {
+func (q *Query) build() *core.Plan { return q.buildWith(nil) }
+
+// buildWith compiles the plan with pooled per-query scratch attached. The
+// arena's lifetime must cover the plan's execution — Count/Nodes/Each
+// borrow one around each run; Plan()/Describe pass nil (no execution).
+func (q *Query) buildWith(arena *core.Arena) *core.Plan {
 	steps := q.steps()
 	opts := q.opts
 	opts.SortResults = q.sorted
+	opts.Arena = arena
 	strat := q.strategy
 	if strat == Auto {
 		choice := q.db.getChooser().Choose(steps)
@@ -495,9 +496,11 @@ func (q *Query) isUnion() bool { return len(q.branches) > 1 }
 
 // runUnion evaluates every branch — with one shared XSchedule when the
 // strategy allows — and merges the node sets.
-func (q *Query) runUnion() []core.Result {
+func (q *Query) runUnion(arena *core.Arena) []core.Result {
 	var all []core.Result
 	strat := q.strategy
+	opts := q.opts
+	opts.Arena = arena
 	if strat == Auto || strat == Schedule {
 		var queries []core.MultiQuery
 		for _, b := range q.branches {
@@ -506,12 +509,12 @@ func (q *Query) runUnion() []core.Result {
 				Contexts: q.contexts,
 			})
 		}
-		for _, rs := range core.BuildMultiPlan(q.db.store, queries, q.opts).Run() {
+		for _, rs := range core.BuildMultiPlan(q.db.store, queries, opts).Run() {
 			all = append(all, rs...)
 		}
 	} else {
 		for _, b := range q.branches {
-			plan := core.BuildPlan(q.db.store, b.Simplify().Steps, q.contexts, strat.internal(), q.opts)
+			plan := core.BuildPlan(q.db.store, b.Simplify().Steps, q.contexts, strat.internal(), opts)
 			all = append(all, plan.Run()...)
 		}
 	}
@@ -535,19 +538,23 @@ func (q *Query) runUnion() []core.Result {
 
 // Count executes the query and returns its cardinality.
 func (q *Query) Count() int {
+	arena := core.GetArena()
+	defer core.PutArena(arena)
 	if q.isUnion() {
-		return len(q.runUnion())
+		return len(q.runUnion(arena))
 	}
-	return q.build().Count()
+	return q.buildWith(arena).Count()
 }
 
 // Nodes executes the query and returns handles on the result nodes.
 func (q *Query) Nodes() []Node {
+	arena := core.GetArena()
+	defer core.PutArena(arena)
 	var rs []core.Result
 	if q.isUnion() {
-		rs = q.runUnion()
+		rs = q.runUnion(arena)
 	} else {
-		rs = q.build().Run()
+		rs = q.buildWith(arena).Run()
 	}
 	out := make([]Node, len(rs))
 	for i, r := range rs {
@@ -560,15 +567,17 @@ func (q *Query) Nodes() []Node {
 // Union queries are materialized first (their branches interleave on the
 // shared scheduler).
 func (q *Query) Each(f func(Node) bool) {
+	arena := core.GetArena()
+	defer core.PutArena(arena)
 	if q.isUnion() {
-		for _, r := range q.runUnion() {
+		for _, r := range q.runUnion(arena) {
 			if !f(Node{db: q.db, id: r.Node}) {
 				return
 			}
 		}
 		return
 	}
-	p := q.build()
+	p := q.buildWith(arena)
 	root := p.Root()
 	root.Open()
 	defer root.Close()

@@ -38,7 +38,9 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 
 	led := db.store.Ledger()
 	start := led.Snapshot()
-	popts := core.PlanOptions{MemLimit: opts.MemLimit, Ctx: ctx}
+	arena := core.GetArena()
+	defer core.PutArena(arena)
+	popts := core.PlanOptions{MemLimit: opts.MemLimit, Ctx: ctx, Arena: arena}
 
 	strat := opts.Strategy
 	out := ExecResult{Strategy: strat}

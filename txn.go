@@ -148,7 +148,8 @@ func (db *DB) Update(fn func(*Tx) error) error {
 	}); err != nil {
 		return err
 	}
-	db.invalidateChooser() // document statistics are stale
+	// No chooser invalidation: the next getChooser call folds the commit's
+	// rewritten clusters into the statistics incrementally (plan.Refresh).
 	return nil
 }
 
