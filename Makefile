@@ -1,7 +1,7 @@
 # CI entry points. `make` runs the full set.
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-load bench-compare bench-json profile test-faults test-txn fuzz-short clean
+.PHONY: all build test race vet fmt bench bench-load bench-load-sharded bench-compare bench-compare-sharded bench-json profile test-faults test-txn test-shard fuzz-short clean
 
 all: build fmt vet test race
 
@@ -31,6 +31,13 @@ bench-load:
 	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 384 \
 		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -json .
 
+# Same closed loop against a 4-shard scatter-gather cluster: writes
+# BENCH_xload_sharded.json with per-shard throughput alongside the
+# aggregate, so scale-out is part of the tracked trajectory.
+bench-load-sharded:
+	$(GO) run ./cmd/xload -xmark 0.5 -shards 4 -clients 8 -requests 384 \
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -json .
+
 # Allocation regression gate (run by CI): regenerates the load snapshot
 # into a scratch directory and fails if allocs/op exceeds the committed
 # BENCH_xload.json baseline by more than 10% (plus a small absolute
@@ -44,6 +51,17 @@ bench-compare:
 	$(GO) run ./cmd/benchgate -old BENCH_xload.json \
 		-new bench-cmp/BENCH_xload.json -max-alloc-regress 0.10
 	@rm -rf bench-cmp
+
+# Sharded counterpart of bench-compare: regenerates the 4-shard snapshot
+# and gates allocs/op against the committed BENCH_xload_sharded.json
+# (benchgate refuses to compare snapshots at different shard counts).
+bench-compare-sharded:
+	@rm -rf bench-cmp-sharded && mkdir -p bench-cmp-sharded
+	$(GO) run ./cmd/xload -xmark 0.5 -shards 4 -clients 8 -requests 384 \
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -json bench-cmp-sharded
+	$(GO) run ./cmd/benchgate -old BENCH_xload_sharded.json \
+		-new bench-cmp-sharded/BENCH_xload_sharded.json -max-alloc-regress 0.10
+	@rm -rf bench-cmp-sharded
 
 # CPU + heap profiles of the load workload, for digging into hot-path
 # regressions bench-compare flags: `go tool pprof profiles/cpu.pprof`.
@@ -69,6 +87,14 @@ fmt:
 test-txn:
 	$(GO) test -race ./internal/txn/
 	$(GO) test -race -run 'TestUpdate|TestQueryChoice' ./internal/server/ .
+
+# Sharding subsystem: ring placement/skew/degradation, the split
+# invariants, the scatter-gather coordinator, and the HTTP router
+# (labeled metrics, quotas, degraded partials), all under -race.
+test-shard:
+	$(GO) test -race ./internal/shard/
+	$(GO) test -race -run 'TestShardSplit|TestCompareDocOrder' .
+	$(GO) test -race -run 'TestRouter|TestSharded' ./internal/server/
 
 # Fault matrix: seeded fault-plane sweeps under -race. Covers the
 # device schedule itself (vdisk), retry/poison fanout (buffer),

@@ -22,6 +22,16 @@ type snapshot struct {
 	Clients       int     `json:"clients"`
 	Requests      int     `json:"requests"`
 	WriteFraction float64 `json:"write_frac"`
+	Shards        int     `json:"shards"` // 0 (pre-sharding snapshots) and 1 both mean single-volume
+}
+
+// shardsOf normalizes the shard count: snapshots written before sharding
+// existed omit the field entirely, which is the same shape as 1 shard.
+func shardsOf(s snapshot) int {
+	if s.Shards < 2 {
+		return 1
+	}
+	return s.Shards
 }
 
 func load(path string) (snapshot, error) {
@@ -61,6 +71,11 @@ func main() {
 	if old.Mix != cur.Mix || old.WriteFraction != cur.WriteFraction || old.Requests != cur.Requests {
 		fmt.Fprintf(os.Stderr, "benchgate: workloads differ (baseline %q write-frac %g requests %d, new %q write-frac %g requests %d); not comparable\n",
 			old.Mix, old.WriteFraction, old.Requests, cur.Mix, cur.WriteFraction, cur.Requests)
+		os.Exit(2)
+	}
+	if shardsOf(old) != shardsOf(cur) {
+		fmt.Fprintf(os.Stderr, "benchgate: shard counts differ (baseline %d, new %d); not comparable\n",
+			shardsOf(old), shardsOf(cur))
 		os.Exit(2)
 	}
 

@@ -37,6 +37,18 @@
 // round-robin, so per-query result counts are independent of -clients —
 // the tool self-checks this and exits non-zero if any path's count varies
 // between completed requests.
+//
+// -shards N (engine mode) splits the corpus across N independent volumes
+// and drives the scatter-gather coordinator instead of a single engine:
+// counts are merged cluster-wide (so the self-check still holds), the
+// report adds per-shard throughput, and the snapshot is written as
+// BENCH_xload_sharded.json with shards/per-shard/degraded fields so
+// benchgate gates sharded runs separately from single-volume ones. With
+// -degrade-shard I the -fault-* flags apply to shard I alone; requests
+// that lost that shard come back as typed partial results (counted, not
+// fatal) under the coordinator's quorum policy. In -url mode the tool
+// detects a sharded server from pathdb_cluster_shards in /metrics and
+// reads the per-shard series off the shard-labeled samples.
 package main
 
 import (
@@ -61,6 +73,7 @@ import (
 
 	"pathdb"
 	"pathdb/internal/bench"
+	"pathdb/internal/shard"
 	"pathdb/internal/stats"
 )
 
@@ -82,6 +95,8 @@ type sample struct {
 	isWrite  bool // a commit; wall is the transaction's commit latency
 	timedOut bool
 	errKind  string // non-empty for a typed storage fault ("io", "corrupt")
+	partial  bool   // sharded: a degraded shard was excluded from the merge
+	degraded int    // sharded: how many shards faulted out of this request
 }
 
 // backend issues one query and reports cluster-wide engine state at the
@@ -100,6 +115,16 @@ type backend interface {
 	// txnMetrics returns the transaction subsystem's counters.
 	txnMetrics() (pathdb.TxnMetrics, error)
 	close()
+}
+
+// shardAware is the optional backend extension for sharded runs: the
+// cluster backend always implements it meaningfully; the HTTP backend
+// does once it detects pathdb_cluster_shards in /metrics.
+type shardAware interface {
+	shardCount() int
+	// perShard reports each shard's slice of the run; wall is the run's
+	// total wall time (for per-shard q/s).
+	perShard(wall time.Duration) ([]bench.ShardLoadJSON, error)
 }
 
 // resolveMix expands -mix into the request pattern. A single name maps to
@@ -174,6 +199,8 @@ func main() {
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability a page read returns a torn image (engine mode only)")
 	faultLatency := flag.Float64("fault-latency", 0, "probability a page read takes a latency spike (engine mode only)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault plane")
+	shards := flag.Int("shards", 1, "split the corpus across N volumes behind the scatter-gather coordinator (engine mode)")
+	degradeShard := flag.Int("degrade-shard", -1, "apply the -fault-* schedule to this shard only (requires -shards > 1)")
 
 	url := flag.String("url", "", "drive a running xserved at this base URL instead of an in-process engine")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
@@ -243,14 +270,72 @@ func main() {
 
 	faultsOn := *faultRead > 0 || *faultCorrupt > 0 || *faultLatency > 0
 
+	if *shards < 1 {
+		fail("-shards must be >= 1")
+	}
+	if *degradeShard >= *shards {
+		fail("-degrade-shard %d out of range for %d shards", *degradeShard, *shards)
+	}
+
 	var be backend
 	mode := "engine"
 	if *url != "" {
 		if faultsOn {
 			fail("-fault-* flags require engine mode (the server owns its disk)")
 		}
+		if *shards > 1 {
+			fail("-shards requires engine mode (a sharded server is detected from its /metrics)")
+		}
 		mode = "url"
 		be = newHTTPBackend(strings.TrimRight(*url, "/"), strat, *timeoutMS, *sorted)
+	} else if *shards > 1 {
+		layout, ok := map[string]pathdb.Layout{
+			"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
+		}[*layoutName]
+		if !ok {
+			fail("unknown -layout %q", *layoutName)
+		}
+		opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
+		cfg := shard.Config{
+			Shards: *shards,
+			Engine: pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel},
+		}
+		var cl *shard.Cluster
+		switch {
+		case *xmlFile != "":
+			data, rerr := os.ReadFile(*xmlFile)
+			if rerr != nil {
+				fail("%v", rerr)
+			}
+			cl, err = shard.NewXML(data, opts, cfg)
+		case *xmarkSF > 0:
+			cl, err = shard.NewXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts, cfg)
+		default:
+			fail("need -xml, -xmark or -url")
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		var pages []string
+		for _, sm := range cl.Metrics() {
+			pages = append(pages, strconv.Itoa(sm.Pages))
+		}
+		fmt.Printf("cluster: %d shards, pages per shard: %s\n", cl.Shards(), strings.Join(pages, "/"))
+		if faultsOn {
+			if *degradeShard < 0 {
+				fail("-fault-* with -shards needs -degrade-shard to pick the faulty volume")
+			}
+			cl.SetFaults(*degradeShard, pathdb.FaultConfig{
+				Seed:      *faultSeed,
+				ReadError: *faultRead,
+				Corrupt:   *faultCorrupt,
+				Latency:   *faultLatency,
+			})
+			cl.MarkDegraded(*degradeShard, true)
+			fmt.Printf("faults on shard %d: read=%g corrupt=%g latency=%g seed=%d\n",
+				*degradeShard, *faultRead, *faultCorrupt, *faultLatency, *faultSeed)
+		}
+		be = &clusterBackend{cl: cl, strat: strat, timeoutMS: *timeoutMS, sorted: *sorted}
 	} else {
 		layout, ok := map[string]pathdb.Layout{
 			"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
@@ -351,7 +436,7 @@ func main() {
 	// consistency.
 	counts := map[string]int{}
 	countOK := true
-	var timeouts int64
+	var timeouts, partials, degradedHits int64
 	faultKinds := map[string]int64{}
 	for _, s := range samples {
 		if s.timedOut {
@@ -365,6 +450,14 @@ func main() {
 		if s.isWrite { // commits don't return result counts
 			continue
 		}
+		if s.partial {
+			// A degraded shard was excluded, so this count legitimately
+			// misses that shard's entities; it would poison the
+			// determinism self-check.
+			partials++
+			degradedHits += int64(s.degraded)
+			continue
+		}
 		if prev, seen := counts[s.path]; seen && prev != s.count {
 			fmt.Fprintf(os.Stderr, "xload: count(%s) varies between requests: %d vs %d\n", s.path, prev, s.count)
 			countOK = false
@@ -375,6 +468,9 @@ func main() {
 		fmt.Printf("count(%s) = %d\n", p, counts[p])
 	}
 
+	// Partial (degraded-shard) results completed with real work done, so
+	// they count toward throughput and latency; only the count self-check
+	// above excludes them.
 	var virtLat, wallLat, commitLat []float64
 	var writes int64
 	for _, s := range samples {
@@ -410,12 +506,32 @@ func main() {
 	if len(faultKinds) > 0 {
 		fmt.Printf("faulted: io=%d corrupt=%d\n", faultKinds["io"], faultKinds["corrupt"])
 	}
+	if partials > 0 {
+		fmt.Printf("partial results=%d (degraded-shard faults absorbed: %d)\n", partials, degradedHits)
+	}
 	m, merr := be.engineMetrics()
 	if merr != nil {
 		fail("engine metrics: %v", merr)
 	}
 	fmt.Printf("engine: gangs=%d batched=%d/%d rejected=%d faulted=%d overhead=%v\n",
 		m.Gangs, m.Batched, m.Submitted, m.Rejected, m.Faulted, m.OverheadV)
+
+	// Per-shard slice of the run (sharded engine mode, or a sharded server
+	// detected over /metrics).
+	var perShard []bench.ShardLoadJSON
+	shardCount := 0
+	if sa, ok := be.(shardAware); ok && sa.shardCount() > 1 {
+		shardCount = sa.shardCount()
+		var perr error
+		perShard, perr = sa.perShard(wallTotal)
+		if perr != nil {
+			fail("per-shard metrics: %v", perr)
+		}
+		for _, ps := range perShard {
+			fmt.Printf("shard %d: %.1f q/s wall, completed=%d faulted=%d degraded_hits=%d\n",
+				ps.Shard, ps.WallQPS, ps.Completed, ps.Faulted, ps.DegradedHits)
+		}
+	}
 	var tm pathdb.TxnMetrics
 	if writes > 0 {
 		var terr error
@@ -459,7 +575,11 @@ func main() {
 			}
 			return xs[int(p*float64(len(xs)-1))]
 		}
-		jerr := bench.WriteLoadJSON(*jsonDir, "xload", bench.LoadJSON{
+		name := "xload"
+		if shardCount > 1 {
+			name = "xload_sharded"
+		}
+		jerr := bench.WriteLoadJSON(*jsonDir, name, bench.LoadJSON{
 			Mode:             mode,
 			Clients:          *clients,
 			Requests:         *requests,
@@ -489,6 +609,10 @@ func main() {
 			FlushesPerCommit: tm.FlushesPerCommit,
 			P50CommitSec:     pick(commitLat, 0.50),
 			P99CommitSec:     pick(commitLat, 0.99),
+			Shards:           shardCount,
+			PartialResults:   partials,
+			DegradedHits:     degradedHits,
+			PerShard:         perShard,
 		})
 		if jerr != nil {
 			fail("%v", jerr)
@@ -583,7 +707,141 @@ func (b *engineBackend) txnMetrics() (pathdb.TxnMetrics, error) { return b.db.Tx
 
 func (b *engineBackend) close() { b.eng.Close() }
 
-// httpBackend drives a running xserved over real sockets.
+// clusterBackend drives the scatter-gather coordinator over N independent
+// volumes in-process — the sharded counterpart of engineBackend. Counts
+// come back merged cluster-wide, so the per-path self-check holds at any
+// shard count; a request that lost a degraded shard is marked partial and
+// skipped by the check instead.
+type clusterBackend struct {
+	cl        *shard.Cluster
+	strat     pathdb.Strategy
+	timeoutMS int64
+	sorted    bool
+}
+
+func (b *clusterBackend) ctx() (context.Context, context.CancelFunc) {
+	if b.timeoutMS > 0 {
+		return context.WithTimeout(context.Background(), time.Duration(b.timeoutMS)*time.Millisecond)
+	}
+	return context.Background(), func() {}
+}
+
+func (b *clusterBackend) do(path string) (sample, int64, error) {
+	ctx, cancel := b.ctx()
+	defer cancel()
+	t0 := time.Now()
+	m, err := b.cl.Query(ctx, path, pathdb.QueryOptions{Strategy: b.strat, Sorted: b.sorted}, false)
+	if err != nil {
+		if errors.Is(err, pathdb.ErrTimeout) {
+			return sample{path: path, wall: time.Since(t0), timedOut: true}, 0, nil
+		}
+		if k := pathdb.KindOf(err); k == pathdb.KindIO || k == pathdb.KindCorrupt {
+			// Beyond the quorum policy's tolerance (or PolicyAll): the
+			// whole request failed on storage faults.
+			return sample{path: path, wall: time.Since(t0), errKind: k.String()}, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	// The shards run in parallel; the request's virtual latency is the
+	// slowest shard's.
+	var virt stats.Ticks
+	for _, ps := range m.PerShard {
+		if !ps.Failed && ps.VirtLat > virt {
+			virt = ps.VirtLat
+		}
+	}
+	return sample{
+		path:     path,
+		count:    m.Count,
+		virt:     virt,
+		wall:     time.Since(t0),
+		partial:  m.Partial,
+		degraded: len(m.Degraded),
+	}, 0, nil
+}
+
+func (b *clusterBackend) update() (sample, int64, error) {
+	ctx, cancel := b.ctx()
+	defer cancel()
+	t0 := time.Now()
+	_, err := b.cl.Insert(ctx, "/site", "<xloadpad/>")
+	if err != nil {
+		if errors.Is(err, pathdb.ErrTimeout) {
+			return sample{isWrite: true, wall: time.Since(t0), timedOut: true}, 0, nil
+		}
+		if k := pathdb.KindOf(err); k == pathdb.KindIO || k == pathdb.KindCorrupt {
+			return sample{isWrite: true, wall: time.Since(t0), errKind: k.String()}, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	return sample{isWrite: true, wall: time.Since(t0)}, 0, nil
+}
+
+func (b *clusterBackend) virtualTotal() stats.Ticks {
+	var total stats.Ticks
+	for _, db := range b.cl.Set().Shards {
+		total += db.CostReport().Total
+	}
+	return total
+}
+
+func (b *clusterBackend) engineMetrics() (pathdb.EngineMetrics, error) {
+	var sum pathdb.EngineMetrics
+	for _, sm := range b.cl.Metrics() {
+		sum.Submitted += sm.Engine.Submitted
+		sum.Rejected += sm.Engine.Rejected
+		sum.Completed += sm.Engine.Completed
+		sum.Cancelled += sm.Engine.Cancelled
+		sum.Gangs += sm.Engine.Gangs
+		sum.Batched += sm.Engine.Batched
+		sum.Faulted += sm.Engine.Faulted
+		sum.Updates += sm.Engine.Updates
+		sum.OverheadV += sm.Engine.OverheadV
+	}
+	return sum, nil
+}
+
+func (b *clusterBackend) txnMetrics() (pathdb.TxnMetrics, error) {
+	var sum pathdb.TxnMetrics
+	for _, sm := range b.cl.Metrics() {
+		sum.Commits += sm.Txn.Commits
+		sum.Aborts += sm.Txn.Aborts
+		sum.Groups += sm.Txn.Groups
+		sum.Flushes += sm.Txn.Flushes
+		if sm.Txn.MaxGroup > sum.MaxGroup {
+			sum.MaxGroup = sm.Txn.MaxGroup
+		}
+	}
+	if sum.Commits > 0 {
+		sum.FlushesPerCommit = float64(sum.Flushes) / float64(sum.Commits)
+	}
+	return sum, nil
+}
+
+func (b *clusterBackend) shardCount() int { return b.cl.Shards() }
+
+func (b *clusterBackend) perShard(wall time.Duration) ([]bench.ShardLoadJSON, error) {
+	out := make([]bench.ShardLoadJSON, 0, b.cl.Shards())
+	for _, sm := range b.cl.Metrics() {
+		out = append(out, bench.ShardLoadJSON{
+			Shard:        sm.Shard,
+			WallQPS:      float64(sm.Engine.Completed) / wall.Seconds(),
+			Submitted:    sm.Engine.Submitted,
+			Completed:    sm.Engine.Completed,
+			Faulted:      sm.Engine.Faulted,
+			DegradedHits: sm.DegradedHits,
+		})
+	}
+	return out, nil
+}
+
+func (b *clusterBackend) close() { b.cl.Close() }
+
+// httpBackend drives a running xserved over real sockets. It detects a
+// sharded server (router mode) from the pathdb_cluster_shards gauge and
+// then reads the labeled per-shard /metrics rollup: counters are summed
+// across shard labels, which reduces to the plain series when the server
+// is single-volume.
 type httpBackend struct {
 	base      string
 	client    *http.Client
@@ -591,7 +849,8 @@ type httpBackend struct {
 	timeoutMS int64
 	sorted    bool
 
-	virt0 stats.Ticks // virtual clock at start, from /metrics
+	shards int         // from pathdb_cluster_shards; 0 for a single-volume server
+	virt0  stats.Ticks // virtual clock at start, from /metrics
 }
 
 func newHTTPBackend(base string, strat pathdb.Strategy, timeoutMS int64, sorted bool) *httpBackend {
@@ -606,13 +865,31 @@ func newHTTPBackend(base string, strat pathdb.Strategy, timeoutMS int64, sorted 
 	if err != nil {
 		fail("cannot reach %s: %v", base, err)
 	}
-	b.virt0 = ticksOf(m, "pathdb_ledger_now_virtual_seconds_total")
+	b.shards = int(m["pathdb_cluster_shards"])
+	// Sharded: per-shard virtual clocks are independent domains; their sum
+	// is still a consistent "work done" baseline for throughput deltas.
+	b.virt0 = stats.Ticks(sumOf(m, "pathdb_ledger_now_virtual_seconds_total") * 1e9)
 	return b
 }
 
-// do POSTs one query. 503 (shedding or drain) is retried after the
-// server's Retry-After (capped at 50ms so the closed loop keeps offering
-// load); 504 marks the sample timed out.
+// retryAfter returns how long to back off before re-offering a shed
+// request: the server's Retry-After, capped at 50ms so the closed loop
+// keeps offering load.
+func retryAfter(resp *http.Response) time.Duration {
+	wait := 5 * time.Millisecond
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		if d := time.Duration(ra) * time.Second; d < 50*time.Millisecond {
+			wait = d
+		} else {
+			wait = 50 * time.Millisecond
+		}
+	}
+	return wait
+}
+
+// do POSTs one query. 503 (shedding or drain) and 429 (per-tenant quota,
+// router mode) are retried after the server's Retry-After (capped at 50ms
+// so the closed loop keeps offering load); 504 marks the sample timed out.
 func (b *httpBackend) do(path string) (sample, int64, error) {
 	req := map[string]any{"path": path}
 	if b.strat != pathdb.Auto {
@@ -645,23 +922,31 @@ func (b *httpBackend) do(path string) (sample, int64, error) {
 		case http.StatusOK:
 			var qr struct {
 				Count            int   `json:"count"`
-				VirtualLatencyNs int64 `json:"virtual_latency_ns"`
+				VirtualLatencyNs int64 `json:"virtual_latency_ns"` // single-volume server
+				CostVNs          int64 `json:"cost_v_ns"`          // sharded router
+				Partial          bool  `json:"partial"`
+				Degraded         []struct {
+					Shard int `json:"shard"`
+				} `json:"degraded"`
 			}
 			if err := json.Unmarshal(data, &qr); err != nil {
 				return sample{}, shed, fmt.Errorf("bad response: %v\n%s", err, data)
 			}
-			return sample{path: path, count: qr.Count, virt: stats.Ticks(qr.VirtualLatencyNs), wall: time.Since(t0)}, shed, nil
-		case http.StatusServiceUnavailable:
-			shed++
-			wait := 5 * time.Millisecond
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-				if d := time.Duration(ra) * time.Second; d < 50*time.Millisecond {
-					wait = d
-				} else {
-					wait = 50 * time.Millisecond
-				}
+			virt := qr.VirtualLatencyNs
+			if virt == 0 {
+				virt = qr.CostVNs
 			}
-			time.Sleep(wait)
+			return sample{
+				path:     path,
+				count:    qr.Count,
+				virt:     stats.Ticks(virt),
+				wall:     time.Since(t0),
+				partial:  qr.Partial,
+				degraded: len(qr.Degraded),
+			}, shed, nil
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			shed++
+			time.Sleep(retryAfter(resp))
 		case http.StatusGatewayTimeout:
 			return sample{path: path, wall: time.Since(t0), timedOut: true}, shed, nil
 		default:
@@ -697,17 +982,9 @@ func (b *httpBackend) update() (sample, int64, error) {
 		switch resp.StatusCode {
 		case http.StatusOK:
 			return sample{isWrite: true, wall: time.Since(t0)}, shed, nil
-		case http.StatusServiceUnavailable:
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
 			shed++
-			wait := 5 * time.Millisecond
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-				if d := time.Duration(ra) * time.Second; d < 50*time.Millisecond {
-					wait = d
-				} else {
-					wait = 50 * time.Millisecond
-				}
-			}
-			time.Sleep(wait)
+			time.Sleep(retryAfter(resp))
 		case http.StatusGatewayTimeout:
 			return sample{isWrite: true, wall: time.Since(t0), timedOut: true}, shed, nil
 		default:
@@ -721,15 +998,21 @@ func (b *httpBackend) txnMetrics() (pathdb.TxnMetrics, error) {
 	if err != nil {
 		return pathdb.TxnMetrics{}, err
 	}
-	return pathdb.TxnMetrics{
-		Commits:          uint64(m["pathdb_txn_commits_total"]),
-		Aborts:           uint64(m["pathdb_txn_aborts_total"]),
-		Groups:           uint64(m["pathdb_txn_groups_total"]),
-		Flushes:          uint64(m["pathdb_txn_wal_flushes_total"]),
-		MaxGroup:         uint64(m["pathdb_txn_max_group_size"]),
-		Epoch:            uint64(m["pathdb_txn_epoch"]),
+	t := pathdb.TxnMetrics{
+		Commits:          uint64(sumOf(m, "pathdb_txn_commits_total")),
+		Aborts:           uint64(sumOf(m, "pathdb_txn_aborts_total")),
+		Groups:           uint64(sumOf(m, "pathdb_txn_groups_total")),
+		Flushes:          uint64(sumOf(m, "pathdb_txn_wal_flushes_total")),
+		MaxGroup:         uint64(maxOf(m, "pathdb_txn_max_group_size")),
+		Epoch:            uint64(maxOf(m, "pathdb_txn_epoch")),
 		FlushesPerCommit: m["pathdb_txn_flushes_per_commit"],
-	}, nil
+	}
+	// The router exposes per-shard flush and commit counters but no
+	// derived ratio; recompute it from the sums.
+	if t.FlushesPerCommit == 0 && t.Commits > 0 {
+		t.FlushesPerCommit = float64(t.Flushes) / float64(t.Commits)
+	}
+	return t, nil
 }
 
 func (b *httpBackend) virtualTotal() stats.Ticks {
@@ -737,7 +1020,7 @@ func (b *httpBackend) virtualTotal() stats.Ticks {
 	if err != nil {
 		fail("metrics: %v", err)
 	}
-	return ticksOf(m, "pathdb_ledger_now_virtual_seconds_total") - b.virt0
+	return stats.Ticks(sumOf(m, "pathdb_ledger_now_virtual_seconds_total")*1e9) - b.virt0
 }
 
 func (b *httpBackend) engineMetrics() (pathdb.EngineMetrics, error) {
@@ -746,21 +1029,54 @@ func (b *httpBackend) engineMetrics() (pathdb.EngineMetrics, error) {
 		return pathdb.EngineMetrics{}, err
 	}
 	return pathdb.EngineMetrics{
-		Submitted: int64(m["pathdb_engine_submitted_total"]),
-		Rejected:  int64(m["pathdb_engine_rejected_total"]),
-		Completed: int64(m["pathdb_engine_completed_total"]),
-		Cancelled: int64(m["pathdb_engine_cancelled_total"]),
-		Gangs:     int64(m["pathdb_engine_gangs_total"]),
-		Batched:   int64(m["pathdb_engine_batched_total"]),
-		OverheadV: stats.Ticks(m["pathdb_engine_overhead_virtual_seconds_total"] * 1e9),
+		Submitted: int64(sumOf(m, "pathdb_engine_submitted_total")),
+		Rejected:  int64(sumOf(m, "pathdb_engine_rejected_total")),
+		Completed: int64(sumOf(m, "pathdb_engine_completed_total")),
+		Cancelled: int64(sumOf(m, "pathdb_engine_cancelled_total")),
+		Gangs:     int64(sumOf(m, "pathdb_engine_gangs_total")),
+		Batched:   int64(sumOf(m, "pathdb_engine_batched_total")),
+		Faulted:   int64(sumOf(m, "pathdb_engine_faulted_total")),
+		OverheadV: stats.Ticks(sumOf(m, "pathdb_engine_overhead_virtual_seconds_total") * 1e9),
 	}, nil
+}
+
+func (b *httpBackend) shardCount() int {
+	if b.shards > 1 {
+		return b.shards
+	}
+	return 1
+}
+
+// perShard reconstructs each shard's slice of the run from the labeled
+// /metrics rollup — the networked equivalent of clusterBackend.perShard.
+func (b *httpBackend) perShard(wall time.Duration) ([]bench.ShardLoadJSON, error) {
+	m, err := b.scrape()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bench.ShardLoadJSON, 0, b.shards)
+	for i := 0; i < b.shards; i++ {
+		l := labelKey("shard", strconv.Itoa(i))
+		completed := m["pathdb_engine_completed_total"+l]
+		out = append(out, bench.ShardLoadJSON{
+			Shard:        i,
+			WallQPS:      completed / wall.Seconds(),
+			Submitted:    int64(m["pathdb_engine_submitted_total"+l]),
+			Completed:    int64(completed),
+			Faulted:      int64(m["pathdb_engine_faulted_total"+l]),
+			DegradedHits: int64(m["pathdb_shard_degraded_hits_total"+l]),
+		})
+	}
+	return out, nil
 }
 
 func (b *httpBackend) close() {}
 
-var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*) (\S+)$`)
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
 
 // scrape fetches and parses the server's Prometheus text exposition.
+// Labeled samples (router mode) are keyed by name plus their literal
+// label set, e.g. `pathdb_engine_completed_total{shard="2"}`.
 func (b *httpBackend) scrape() (map[string]float64, error) {
 	resp, err := b.client.Get(b.base + "/metrics")
 	if err != nil {
@@ -777,17 +1093,42 @@ func (b *httpBackend) scrape() (map[string]float64, error) {
 	out := make(map[string]float64)
 	for _, line := range strings.Split(string(data), "\n") {
 		if m := promSample.FindStringSubmatch(line); m != nil {
-			if v, err := strconv.ParseFloat(m[2], 64); err == nil {
-				out[m[1]] = v
+			if v, err := strconv.ParseFloat(m[3], 64); err == nil {
+				out[m[1]+m[2]] = v
 			}
 		}
 	}
 	return out, nil
 }
 
-// ticksOf converts a seconds-valued series back to virtual ticks.
-func ticksOf(m map[string]float64, name string) stats.Ticks {
-	return stats.Ticks(m[name] * 1e9)
+// labelKey renders a one-label sample suffix exactly as scrape keys it.
+func labelKey(name, value string) string {
+	return `{` + name + `="` + value + `"}`
+}
+
+// sumOf totals a series across its label sets: the plain sample plus any
+// labeled samples of the same name. For a single-volume server this is
+// just the plain sample; for a sharded one, the sum over shards.
+func sumOf(m map[string]float64, name string) float64 {
+	total := m[name]
+	for k, v := range m {
+		if len(k) > len(name) && k[:len(name)] == name && k[len(name)] == '{' {
+			total += v
+		}
+	}
+	return total
+}
+
+// maxOf is sumOf's max-reduction counterpart, for gauges where summing
+// across shards is meaningless (epochs, max group sizes).
+func maxOf(m map[string]float64, name string) float64 {
+	best := m[name]
+	for k, v := range m {
+		if len(k) > len(name) && k[:len(name)] == name && k[len(name)] == '{' && v > best {
+			best = v
+		}
+	}
+	return best
 }
 
 func sortedKeys(m map[string]int) []string {

@@ -9,6 +9,16 @@
 //	GET  /metrics  Prometheus text exposition (engine + txn + cost ledger + server)
 //	GET  /healthz  200 while serving, 503 once draining
 //
+// With -shards N (N > 1) it serves the same endpoints in router mode: the
+// corpus is split across N fully independent volumes (replicated container
+// spine, consistent-hash-placed entity collections), /query scatter-gathers
+// across them with merged counts and document-order nodes, /update routes
+// to the owning shard, /metrics carries per-shard series under a shard
+// label plus pathdb_cluster_* aggregates, and the X-Tenant header is
+// subject to per-tenant admission quotas (429 + Retry-After at the quota).
+// A shard degraded by storage faults yields typed partial 200s under the
+// default quorum policy ("-shard-policy all" fails instead).
+//
 // Updates run as MVCC transactions: each commit publishes a new volume
 // version, concurrent commits batch onto shared WAL flushes (group commit),
 // and in-flight queries keep reading the version they started on. A racing
@@ -23,9 +33,10 @@
 // Usage:
 //
 //	xserved -xmark 0.5 -addr :8080
+//	xserved -xmark 0.5 -shards 4 -addr :8080
 //	xserved -xml doc.xml -inflight 8 -queue 64 -addr 127.0.0.1:0
 //	curl -s localhost:8080/query -d '{"path": "/site/regions//item"}'
-//	curl -s localhost:8080/update -d '{"op": "insert", "parent": "/site", "xml": "<note/>"}'
+//	curl -s -H 'X-Tenant: alice' localhost:8080/query -d '{"path": "/site"}'
 //	curl -s localhost:8080/metrics
 //
 // The actual listen address is printed on startup ("listening on ..."), so
@@ -40,11 +51,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pathdb"
 	"pathdb/internal/server"
+	"pathdb/internal/shard"
 )
 
 func main() {
@@ -62,6 +75,13 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "cap on result nodes per response (default 1000)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on per-request execution budget (default 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+
+	shards := flag.Int("shards", 1, "serve N independent volumes behind a scatter-gather router (1 = single-volume mode)")
+	replicas := flag.Int("replicas", 0, "consistent-hash virtual nodes per shard (default 256)")
+	policy := flag.String("shard-policy", "quorum", "degraded-shard policy: quorum (partial results) or all (first error fails)")
+	quorum := flag.Int("quorum", 0, "min answering shards for a partial result (default shards/2+1)")
+	quotaCap := flag.Int("quota", 0, "router admission capacity across all tenants (default 64)")
+	tenantShare := flag.Float64("tenant-share", 0, "max fraction of -quota one tenant may hold (default 0.5)")
 	flag.Parse()
 
 	layout, ok := map[string]pathdb.Layout{
@@ -70,30 +90,77 @@ func main() {
 	if !ok {
 		fail("unknown -layout %q", *layoutName)
 	}
+	if *shards < 1 {
+		fail("-shards must be >= 1")
+	}
 
 	opts := pathdb.Options{Layout: layout, LayoutSeed: *seed, BufferPages: *buffer}
-	var db *pathdb.DB
-	var err error
-	switch {
-	case *xmlFile != "":
-		var data []byte
-		if data, err = os.ReadFile(*xmlFile); err != nil {
+	engCfg := pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel}
+	srvOpts := server.Options{MaxNodes: *maxNodes, MaxTimeout: *maxTimeout}
+
+	var xmlData []byte
+	if *xmlFile != "" {
+		var err error
+		if xmlData, err = os.ReadFile(*xmlFile); err != nil {
 			fail("%v", err)
 		}
-		db, err = pathdb.LoadXML(data, opts)
-	case *xmarkSF > 0:
-		db, err = pathdb.GenerateXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts)
-	default:
+	} else if *xmarkSF <= 0 {
 		fail("need -xml or -xmark")
 	}
-	if err != nil {
-		fail("%v", err)
-	}
-	fmt.Printf("document: %d pages\n", db.Pages())
 
-	eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: *inflight, QueueDepth: *queue, Parallel: *parallel})
-	db.ResetStats() // cold start after the cost model's offline pass
-	srv := server.New(db, eng, server.Options{MaxNodes: *maxNodes, MaxTimeout: *maxTimeout})
+	// The service handler plus its drain hook — single-volume Server or
+	// sharded Router, same endpoints either way.
+	var handler http.Handler
+	var shutdown func(context.Context) error
+
+	if *shards > 1 {
+		pol, err := shard.ParsePolicy(*policy)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg := shard.Config{
+			Shards:   *shards,
+			Replicas: *replicas,
+			Policy:   pol,
+			Quorum:   *quorum,
+			Engine:   engCfg,
+		}
+		var cl *shard.Cluster
+		if xmlData != nil {
+			cl, err = shard.NewXML(xmlData, opts, cfg)
+		} else {
+			cl, err = shard.NewXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts, cfg)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		pages := make([]string, 0, cl.Shards())
+		for _, sm := range cl.Metrics() {
+			pages = append(pages, fmt.Sprintf("%d", sm.Pages))
+		}
+		fmt.Printf("cluster: %d shards, pages per shard: %s, policy %s\n",
+			cl.Shards(), strings.Join(pages, "/"), cfg.Policy)
+
+		rt := server.NewRouter(cl, srvOpts, shard.QuotaConfig{Capacity: *quotaCap, MaxTenantShare: *tenantShare})
+		handler, shutdown = rt, rt.Shutdown
+	} else {
+		var db *pathdb.DB
+		var err error
+		if xmlData != nil {
+			db, err = pathdb.LoadXML(xmlData, opts)
+		} else {
+			db, err = pathdb.GenerateXMark(pathdb.XMarkConfig{ScaleFactor: *xmarkSF, Seed: *seed, EntityScale: *scale}, opts)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("document: %d pages\n", db.Pages())
+
+		eng := db.NewEngine(engCfg)
+		db.ResetStats() // cold start after the cost model's offline pass
+		srv := server.New(db, eng, srvOpts)
+		handler, shutdown = srv, srv.Shutdown
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -103,7 +170,7 @@ func main() {
 	// resolved port when -addr ends in :0.
 	fmt.Printf("listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 	errs := make(chan error, 1)
 	go func() { errs <- hs.Serve(ln) }()
 
@@ -119,8 +186,8 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Drain order: first the query service (in-flight queries finish, new
-	// ones get 503, the engine closes), then the HTTP listener itself.
-	if err := srv.Shutdown(ctx); err != nil {
+	// ones get 503, the engines close), then the HTTP listener itself.
+	if err := shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "xserved: drain incomplete: %v\n", err)
 	}
 	if err := hs.Shutdown(ctx); err != nil {

@@ -105,12 +105,20 @@ func (db *DB) NewEngine(cfg EngineConfig) *Engine {
 // Shutdown has begun, Update fails with ErrClosed, and the engine waits
 // for admitted writers before its storage goes away.
 func (e *Engine) Update(fn func(*Tx) error) error {
+	_, err := e.UpdateEpoch(fn)
+	return err
+}
+
+// UpdateEpoch is Update, but additionally returns the publish epoch of the
+// committed version (see DB.UpdateEpoch).
+func (e *Engine) UpdateEpoch(fn func(*Tx) error) (uint64, error) {
 	release, err := e.e.AdmitWrite()
 	if err != nil {
-		return wrapErr("update", "", err)
+		return 0, wrapErr("update", "", err)
 	}
 	defer release()
-	return wrapErr("update", "", e.db.Update(fn))
+	epoch, uerr := e.db.UpdateEpoch(fn)
+	return epoch, wrapErr("update", "", uerr)
 }
 
 // TxnMetrics returns a snapshot of the underlying volume's transaction

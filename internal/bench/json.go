@@ -111,6 +111,24 @@ type LoadJSON struct {
 	FlushesPerCommit float64 `json:"flushes_per_commit,omitempty"`
 	P50CommitSec     float64 `json:"p50_commit_s,omitempty"`
 	P99CommitSec     float64 `json:"p99_commit_s,omitempty"`
+
+	// Sharded runs (-shards > 1): cluster shape, per-shard throughput and
+	// degraded-shard outcomes, so cmd/benchgate can gate sharded runs and
+	// refuse to compare snapshots taken at different shard counts.
+	Shards         int             `json:"shards,omitempty"`
+	PartialResults int64           `json:"partial_results,omitempty"` // 200s that excluded a degraded shard
+	DegradedHits   int64           `json:"degraded_hits,omitempty"`   // tolerable shard faults absorbed by quorum
+	PerShard       []ShardLoadJSON `json:"per_shard,omitempty"`
+}
+
+// ShardLoadJSON is one shard's slice of a sharded xload run.
+type ShardLoadJSON struct {
+	Shard        int     `json:"shard"`
+	WallQPS      float64 `json:"wall_qps"`
+	Submitted    int64   `json:"submitted"`
+	Completed    int64   `json:"completed"`
+	Faulted      int64   `json:"faulted"`
+	DegradedHits int64   `json:"degraded_hits"`
 }
 
 // WriteLoadJSON writes l to dir/BENCH_<name>.json.

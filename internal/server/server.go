@@ -201,6 +201,9 @@ type NodeJSON struct {
 	ID   uint64 `json:"id"`
 	Name string `json:"name,omitempty"`
 	Ord  string `json:"ord"`
+	// Shard is the source shard in router mode (omitted by the
+	// single-volume server, whose only volume is shard 0 anyway).
+	Shard int `json:"shard,omitempty"`
 }
 
 // QueryResponse is the POST /query result body.

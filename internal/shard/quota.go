@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+)
+
+// QuotaConfig tunes per-tenant admission quotas at the router.
+type QuotaConfig struct {
+	// Capacity caps requests admitted concurrently across all tenants
+	// (default 64, matching the engine's default queue depth).
+	Capacity int
+	// MaxTenantShare caps one tenant's concurrent admissions as a fraction
+	// of Capacity (default 0.5). The cap is what keeps one hot tenant from
+	// occupying the whole admission window: with the default, a second
+	// tenant always finds at least half the capacity available.
+	MaxTenantShare float64
+}
+
+func (c QuotaConfig) withDefaults() QuotaConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.MaxTenantShare <= 0 || c.MaxTenantShare > 1 {
+		c.MaxTenantShare = 0.5
+	}
+	return c
+}
+
+// Quotas is a per-tenant concurrent-admission limiter — the router-level
+// generalization of the engine's single admission queue. Each tenant may
+// hold at most perTenant slots of a shared capacity; Acquire beyond either
+// limit is shed (the router maps that to 429/Retry-After, kind
+// "overloaded").
+type Quotas struct {
+	capacity  int
+	perTenant int
+
+	mu      sync.Mutex
+	total   int
+	tenants map[string]*tenantState
+}
+
+type tenantState struct {
+	inflight int
+	admitted int64
+	shed     int64
+}
+
+// TenantStat is a snapshot of one tenant's admission counters.
+type TenantStat struct {
+	Tenant   string
+	InFlight int
+	Admitted int64
+	Shed     int64
+}
+
+// NewQuotas builds a limiter from cfg (zero values take defaults).
+func NewQuotas(cfg QuotaConfig) *Quotas {
+	cfg = cfg.withDefaults()
+	per := int(float64(cfg.Capacity) * cfg.MaxTenantShare)
+	if per < 1 {
+		per = 1
+	}
+	return &Quotas{
+		capacity:  cfg.Capacity,
+		perTenant: per,
+		tenants:   make(map[string]*tenantState),
+	}
+}
+
+// PerTenant returns the per-tenant concurrent-admission cap.
+func (q *Quotas) PerTenant() int { return q.perTenant }
+
+// Acquire admits one request for tenant, or reports false when either the
+// shared capacity or the tenant's share is exhausted. Every successful
+// Acquire must be paired with Release.
+func (q *Quotas) Acquire(tenant string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenants[tenant]
+	if t == nil {
+		t = &tenantState{}
+		q.tenants[tenant] = t
+	}
+	if q.total >= q.capacity || t.inflight >= q.perTenant {
+		t.shed++
+		return false
+	}
+	q.total++
+	t.inflight++
+	t.admitted++
+	return true
+}
+
+// Release returns tenant's slot.
+func (q *Quotas) Release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t := q.tenants[tenant]; t != nil && t.inflight > 0 {
+		t.inflight--
+		q.total--
+	}
+}
+
+// Stats snapshots every tenant seen so far, sorted by tenant name for
+// stable /metrics output.
+func (q *Quotas) Stats() []TenantStat {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantStat, 0, len(q.tenants))
+	for name, t := range q.tenants {
+		out = append(out, TenantStat{
+			Tenant:   name,
+			InFlight: t.inflight,
+			Admitted: t.admitted,
+			Shed:     t.shed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"pathdb"
+)
+
+// xmarkSet generates the XMark corpus split over a fresh n-shard ring,
+// returning both so tests can inspect placement.
+func xmarkSet(t *testing.T, n int) (*Ring, *pathdb.ShardSet) {
+	t.Helper()
+	ring := NewRing(n, 0)
+	set, err := pathdb.GenerateXMarkSharded(
+		pathdb.XMarkConfig{ScaleFactor: 0.5, Seed: 42, EntityScale: 0.1},
+		pathdb.Options{Layout: pathdb.Shuffled, LayoutSeed: 42},
+		n, ring.Place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring, set
+}
+
+// Placement must be a pure function of (shards, replicas, key): a restart
+// rebuilds the ring from scratch and must route every key identically, or
+// entities silently change owners.
+func TestRingPlacementDeterministicAcrossRestarts(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0) // a "restarted" process rebuilding the same ring
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("/site/people/person#%d", i)
+		if a.Place(key) != b.Place(key) {
+			t.Fatalf("key %q: placements diverge across rebuilds (%d vs %d)",
+				key, a.Place(key), b.Place(key))
+		}
+	}
+
+	// The split itself is deterministic too: two sharded loads of the same
+	// corpus assign every placement key to the same shard.
+	_, s1 := xmarkSet(t, 4)
+	_, s2 := xmarkSet(t, 4)
+	if len(s1.Keys) != len(s2.Keys) {
+		t.Fatalf("key counts differ across loads: %d vs %d", len(s1.Keys), len(s2.Keys))
+	}
+	for i := range s1.Keys {
+		if s1.Keys[i] != s2.Keys[i] || s1.Placement[i] != s2.Placement[i] {
+			t.Fatalf("entity %d: (%q -> %d) vs (%q -> %d) across loads",
+				i, s1.Keys[i], s1.Placement[i], s2.Keys[i], s2.Placement[i])
+		}
+	}
+}
+
+// The ring must spread the real corpus evenly: over 4 shards on the XMark
+// entity keys, no shard may deviate from the mean entity count by more
+// than 15%.
+func TestRingSkewXMarkCorpus(t *testing.T) {
+	_, set := xmarkSet(t, 4)
+	counts := set.EntityCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no entities were split")
+	}
+	mean := float64(total) / float64(len(counts))
+	for s, c := range counts {
+		skew := (float64(c) - mean) / mean
+		if skew < 0 {
+			skew = -skew
+		}
+		t.Logf("shard %d: %d entities (mean %.1f, skew %.1f%%)", s, c, mean, skew*100)
+		if skew > 0.15 {
+			t.Errorf("shard %d holds %d of %d entities: skew %.1f%% exceeds 15%%",
+				s, c, total, skew*100)
+		}
+	}
+}
+
+// Degrading a shard must not move any existing key (reads still find their
+// owner), while PlaceWrite routes new writes around the degraded shard
+// without disturbing keys owned by healthy shards.
+func TestRingStableRoutingWhenDegraded(t *testing.T) {
+	ring := NewRing(4, 0)
+	const degraded = 2
+
+	keys := make([]string, 2000)
+	owner := make([]int, len(keys))
+	writeOwner := make([]int, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/site/open_auctions/open_auction#%d", i)
+		owner[i] = ring.Place(keys[i])
+		writeOwner[i] = ring.PlaceWrite(keys[i])
+	}
+
+	ring.SetDegraded(degraded, true)
+	for i, k := range keys {
+		if got := ring.Place(k); got != owner[i] {
+			t.Fatalf("key %q: Place moved %d -> %d under degradation (ownership must be stable)",
+				k, owner[i], got)
+		}
+		w := ring.PlaceWrite(k)
+		if w == degraded {
+			t.Fatalf("key %q: PlaceWrite still targets degraded shard %d", k, degraded)
+		}
+		if writeOwner[i] != degraded && w != writeOwner[i] {
+			t.Fatalf("key %q: PlaceWrite moved %d -> %d though its owner is healthy",
+				k, writeOwner[i], w)
+		}
+	}
+
+	ring.SetDegraded(degraded, false)
+	for i, k := range keys {
+		if got := ring.PlaceWrite(k); got != writeOwner[i] {
+			t.Fatalf("key %q: PlaceWrite did not recover after un-degrading (%d vs %d)",
+				k, got, writeOwner[i])
+		}
+	}
+}

@@ -282,15 +282,25 @@ func (m *Manager) Metrics() Metrics {
 // acknowledged when its group's log chain has been written (see the
 // package comment for what that guarantees under an armed crash fault).
 func (m *Manager) Update(fn func(*Tx) error) error {
+	_, err := m.UpdateEpoch(fn)
+	return err
+}
+
+// UpdateEpoch is Update, but additionally returns the publish epoch of
+// the committed version — the exact epoch this transaction's mutations
+// became visible at, assigned under the staging lock so concurrent
+// commits can attribute epochs unambiguously. A transaction that staged
+// nothing returns the epoch it read (no version was published).
+func (m *Manager) UpdateEpoch(fn func(*Tx) error) (uint64, error) {
 	if m.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	led := stats.NewLedger()
 
 	m.staging.Lock()
 	if m.closed.Load() {
 		m.staging.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	base := m.cur.Load()
 	tx := &Tx{wt: m.st.BeginWrite(base, led), led: led}
@@ -298,19 +308,19 @@ func (m *Manager) Update(fn func(*Tx) error) error {
 		m.abortLocked(tx)
 		m.staging.Unlock()
 		m.st.Ledger().Merge(led.Snapshot())
-		return err
+		return 0, err
 	}
 	ws, err := tx.wt.WriteSet()
 	if err != nil {
 		m.abortLocked(tx)
 		m.staging.Unlock()
 		m.st.Ledger().Merge(led.Snapshot())
-		return err
+		return 0, err
 	}
 	if len(ws.Images) == 0 { // read-only transaction
 		m.staging.Unlock()
 		m.st.Ledger().Merge(led.Snapshot())
-		return nil
+		return base.Epoch(), nil
 	}
 
 	// Publish and enqueue before releasing the staging lock: the pending
@@ -326,7 +336,7 @@ func (m *Manager) Update(fn func(*Tx) error) error {
 
 	m.flush(req)
 	m.commits.Add(1)
-	return nil
+	return req.epoch, nil
 }
 
 // abortLocked recycles the pages an aborted staging allocated. Caller

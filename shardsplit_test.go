@@ -1,0 +1,163 @@
+package pathdb
+
+import (
+	"context"
+	"hash/fnv"
+	"sort"
+	"testing"
+)
+
+// splitTestPlace is a deterministic stand-in for the consistent-hash ring
+// (internal/shard cannot be imported here without a cycle).
+func splitTestPlace(n int) func(string) int {
+	return func(key string) int {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(key))
+		return int(h.Sum32()) % n
+	}
+}
+
+func splitTestSet(t *testing.T, n int) *ShardSet {
+	t.Helper()
+	set, err := GenerateXMarkSharded(
+		XMarkConfig{ScaleFactor: 0.25, Seed: 42, EntityScale: 0.1},
+		Options{Layout: Shuffled, LayoutSeed: 42, BufferPages: 256},
+		n, splitTestPlace(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func countOn(t *testing.T, db *DB, path string) int {
+	t.Helper()
+	res, err := db.QueryCtx(context.Background(), path, QueryOptions{})
+	if err != nil {
+		t.Fatalf("query %q: %v", path, err)
+	}
+	return res.Count()
+}
+
+// The split model's arithmetic: every path's cluster-wide count is the sum
+// of the per-shard counts minus (n-1) times the spine count, because spine
+// matches are replicated on every shard and entity matches on exactly one.
+// That must reproduce the single-volume count for the same corpus.
+func TestShardSplitCountInvariant(t *testing.T) {
+	single, err := GenerateXMark(
+		XMarkConfig{ScaleFactor: 0.25, Seed: 42, EntityScale: 0.1},
+		Options{Layout: Shuffled, LayoutSeed: 42, BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := splitTestSet(t, 4)
+	if set.Spine == nil {
+		t.Fatal("4-shard set has no spine volume")
+	}
+	paths := []string{
+		"/site/regions//item",
+		"/site//description",
+		"/site//annotation",
+		"/site/people/person/name",
+		"/site/regions",
+		"/site",
+	}
+	for _, path := range paths {
+		want := countOn(t, single, path)
+		spine := countOn(t, set.Spine, path)
+		sum := 0
+		for _, db := range set.Shards {
+			sum += countOn(t, db, path)
+		}
+		got := sum - (len(set.Shards)-1)*spine
+		if got != want {
+			t.Errorf("%q: shards sum %d, spine %d -> merged %d, single volume %d",
+				path, sum, spine, got, want)
+		}
+	}
+}
+
+// A spine node must carry the identical order key on every shard and on
+// the spine volume — the invariant that lets a scatter-gather merge count
+// replicated matches exactly once by key.
+func TestShardSplitSpineOrdIdentity(t *testing.T) {
+	set := splitTestSet(t, 4)
+	for _, path := range []string{"/site/regions", "/site/regions/africa", "/site/people"} {
+		ordsOf := func(db *DB) []string {
+			res, err := db.QueryCtx(context.Background(), path, QueryOptions{})
+			if err != nil {
+				t.Fatalf("query %q: %v", path, err)
+			}
+			out := make([]string, len(res.Nodes))
+			for i, n := range res.Nodes {
+				out[i] = n.OrdPath()
+			}
+			sort.Strings(out)
+			return out
+		}
+		want := ordsOf(set.Spine)
+		if len(want) == 0 {
+			t.Fatalf("%q matches nothing on the spine volume", path)
+		}
+		for s, db := range set.Shards {
+			got := ordsOf(db)
+			if len(got) != len(want) {
+				t.Fatalf("%q: shard %d has %d matches, spine %d", path, s, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%q: shard %d order key %s, spine %s — replicas diverge",
+						path, s, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// CompareDocOrder must order nodes across the volumes of one set
+// consistently: antisymmetric, zero exactly for replicated spine nodes,
+// and usable as a sort key for a cross-shard merge.
+func TestCompareDocOrderAcrossShards(t *testing.T) {
+	set := splitTestSet(t, 2)
+	ctx := context.Background()
+
+	spineA, err := set.Shards[0].QueryCtx(ctx, "/site/regions", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spineB, err := set.Shards[1].QueryCtx(ctx, "/site/regions", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spineA.Nodes) != 1 || len(spineB.Nodes) != 1 {
+		t.Fatalf("/site/regions resolves to %d/%d nodes, want 1/1", len(spineA.Nodes), len(spineB.Nodes))
+	}
+	if d := CompareDocOrder(spineA.Nodes[0], spineB.Nodes[0]); d != 0 {
+		t.Fatalf("replicated spine node compares %d across shards, want 0", d)
+	}
+
+	itemsA, err := set.Shards[0].QueryCtx(ctx, "/site/regions//item", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemsB, err := set.Shards[1].QueryCtx(ctx, "/site/regions//item", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := append(append([]Node{}, itemsA.Nodes...), itemsB.Nodes...)
+	if len(merged) == 0 {
+		t.Fatal("no items to merge")
+	}
+	for _, a := range merged[:min(len(merged), 50)] {
+		for _, b := range merged[:min(len(merged), 50)] {
+			if CompareDocOrder(a, b) != -CompareDocOrder(b, a) {
+				t.Fatalf("CompareDocOrder not antisymmetric for %s vs %s", a.OrdPath(), b.OrdPath())
+			}
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return CompareDocOrder(merged[i], merged[j]) < 0 })
+	for i := 1; i < len(merged); i++ {
+		if CompareDocOrder(merged[i-1], merged[i]) > 0 {
+			t.Fatalf("merged slice not sorted at %d", i)
+		}
+	}
+}

@@ -139,18 +139,30 @@ func parseFragment(dict *xmltree.Dictionary, fragment string) (*xmltree.Node, er
 // started on, and queries submitted after Update returns see everything it
 // staged.
 func (db *DB) Update(fn func(*Tx) error) error {
+	_, err := db.UpdateEpoch(fn)
+	return err
+}
+
+// UpdateEpoch is Update, but additionally returns the publish epoch of the
+// committed version — the exact epoch at which this transaction's mutations
+// became visible. Under group commit, concurrent writers each learn their
+// own epoch, so callers can attribute epoch transitions to transactions
+// unambiguously. A transaction that staged nothing returns the epoch it
+// read (no new version was published).
+func (db *DB) UpdateEpoch(fn func(*Tx) error) (uint64, error) {
 	m, err := db.txnMgr()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := m.Update(func(t *txn.Tx) error {
+	epoch, err := m.UpdateEpoch(func(t *txn.Tx) error {
 		return fn(&Tx{db: db, tx: t})
-	}); err != nil {
-		return err
+	})
+	if err != nil {
+		return 0, err
 	}
 	// No chooser invalidation: the next getChooser call folds the commit's
 	// rewritten clusters into the statistics incrementally (plan.Refresh).
-	return nil
+	return epoch, nil
 }
 
 // TxnMetrics is a snapshot of the transaction subsystem's counters. All
