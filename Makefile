@@ -1,9 +1,9 @@
 # CI entry points. `make` runs the full set.
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-load bench-load-sharded bench-compare bench-compare-sharded bench-json profile test-faults test-txn test-shard fuzz-short clean
+.PHONY: all build test race vet fmt api-check bench bench-load bench-load-sharded bench-compare bench-compare-sharded bench-json profile test-faults test-txn test-shard fuzz-short clean
 
-all: build fmt vet test race
+all: build fmt vet api-check test race
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,14 @@ bench: bench-load
 # repo root with wall+virtual throughput, tail latencies, the engine's
 # admission/dispatch counters, and — with the mixed workload below —
 # commit latency and WAL flushes per commit (group-commit batching).
+# -stream is the default delivery mode: the heavy-tailed mix is replayed
+# through cursors, and a dedicated uncontended pass after the closed
+# loop records time-to-first-result percentiles alongside the same
+# pass's full-drain times (ttfr << drain is the streaming win; under
+# the closed loop queue wait would hide it).
 bench-load:
 	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 384 \
-		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -json .
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -stream -json .
 
 # Same closed loop against a 4-shard scatter-gather cluster: writes
 # BENCH_xload_sharded.json with per-shard throughput alongside the
@@ -44,12 +49,16 @@ bench-load-sharded:
 # slack for pool warm-up jitter). Allocs/op is workload-determined, not
 # machine-speed-determined, so this gates code changes without flaking
 # on hardware; wall-clock throughput is printed for context only.
+# TTFR is gated loosely (2x) — it is wall-clock and machine dependent,
+# so only order-of-magnitude regressions (streaming silently degrading
+# to buffer-then-replay) should trip CI.
 bench-compare:
 	@rm -rf bench-cmp && mkdir -p bench-cmp
 	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 384 \
-		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -json bench-cmp
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -stream -json bench-cmp
 	$(GO) run ./cmd/benchgate -old BENCH_xload.json \
-		-new bench-cmp/BENCH_xload.json -max-alloc-regress 0.10
+		-new bench-cmp/BENCH_xload.json -max-alloc-regress 0.10 \
+		-max-ttfr-regress 1.0
 	@rm -rf bench-cmp
 
 # Sharded counterpart of bench-compare: regenerates the 4-shard snapshot
@@ -79,6 +88,13 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Public-surface gate: fails when the exported API of the root pathdb
+# package drifts from the committed API_pathdb.txt baseline. Intended
+# changes are landed by committing the regenerated baseline:
+# `go run ./cmd/apigate -update`.
+api-check:
+	$(GO) run ./cmd/apigate
 
 # Transaction subsystem: WAL/group-commit/recovery unit tests and the
 # seeded crash matrix (internal/txn), the facade's mixed read/write

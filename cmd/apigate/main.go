@@ -1,0 +1,208 @@
+// Command apigate snapshots the exported API surface of the root pathdb
+// package and compares it against the committed baseline (API_pathdb.txt),
+// failing (exit 1) on any difference — the CI gate behind `make api-check`
+// that catches unintended public-surface breaks before they ship.
+//
+// It is a self-contained, stdlib-only stand-in for golang.org/x/exp's
+// apidiff (this repository builds with no module downloads): the surface
+// is rendered as one normalized line per exported declaration — funcs and
+// methods by signature, types by kind with their exported fields or
+// interface methods, consts and vars by name and type — and sorted, so
+// the comparison is a plain line diff and the baseline file reviews like
+// documentation.
+//
+// Usage:
+//
+//	apigate              # compare current surface against API_pathdb.txt
+//	apigate -update      # rewrite the baseline after an intended change
+//
+// An intended API change is landed by committing the regenerated baseline
+// alongside the code, which makes the surface change visible in review.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to snapshot")
+	baseline := flag.String("baseline", "API_pathdb.txt", "committed API baseline file")
+	update := flag.Bool("update", false, "rewrite the baseline instead of comparing")
+	flag.Parse()
+
+	surface, err := snapshot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apigate: %v\n", err)
+		os.Exit(2)
+	}
+	current := strings.Join(surface, "\n") + "\n"
+
+	if *update {
+		if err := os.WriteFile(*baseline, []byte(current), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apigate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apigate: wrote %s (%d declarations)\n", *baseline, len(surface))
+		return
+	}
+
+	want, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apigate: no baseline: %v (run apigate -update to create it)\n", err)
+		os.Exit(2)
+	}
+	if string(want) == current {
+		fmt.Printf("apigate: ok (%d declarations)\n", len(surface))
+		return
+	}
+	fmt.Fprintln(os.Stderr, "apigate: FAIL exported API surface changed:")
+	diff(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), surface)
+	fmt.Fprintln(os.Stderr, "apigate: if intended, regenerate with: go run ./cmd/apigate -update")
+	os.Exit(1)
+}
+
+// diff prints removed (-) and added (+) lines between two sorted surfaces.
+func diff(old, new []string) {
+	in := func(set []string, s string) bool {
+		i := sort.SearchStrings(set, s)
+		return i < len(set) && set[i] == s
+	}
+	for _, l := range old {
+		if !in(new, l) {
+			fmt.Fprintln(os.Stderr, "  - "+l)
+		}
+	}
+	for _, l := range new {
+		if !in(old, l) {
+			fmt.Fprintln(os.Stderr, "  + "+l)
+		}
+	}
+}
+
+// snapshot renders the exported surface of the package in dir as sorted,
+// normalized declaration lines. Test files are skipped.
+func snapshot(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders one top-level declaration's exported surface.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		// Methods on unexported receivers are still reachable when the
+		// unexported type is embedded in an exported one (the volumeAPI
+		// pattern), so every exported method is part of the surface.
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv = "(" + render(fset, d.Recv.List[0].Type) + ") "
+		}
+		return []string{"func " + recv + d.Name.Name + strings.TrimPrefix(render(fset, d.Type), "func")}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				out = append(out, typeLines(fset, s)...)
+			case *ast.ValueSpec:
+				kind := "const"
+				if d.Tok == token.VAR {
+					kind = "var"
+				}
+				typ := ""
+				if s.Type != nil {
+					typ = " " + render(fset, s.Type)
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, kind+" "+name.Name+typ)
+					}
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// typeLines renders an exported type: one line for the type itself plus
+// one per exported struct field or interface method, so adding, removing
+// or retyping a member shows as a one-line diff.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	if !s.Name.IsExported() {
+		return nil
+	}
+	name := s.Name.Name
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + name + " struct"}
+		for _, f := range t.Fields.List {
+			typ := render(fset, f.Type)
+			if len(f.Names) == 0 {
+				// Embedded: exported when the terminal name is; unexported
+				// embeds (volumeAPI) contribute methods, not a field line.
+				if base := typ[strings.LastIndexByte(typ, '.')+1:]; ast.IsExported(strings.TrimLeft(base, "*")) {
+					out = append(out, "type "+name+" struct, embed "+typ)
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, "type "+name+" struct, field "+fn.Name+" "+typ)
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + name + " interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				out = append(out, "type "+name+" interface, embed "+render(fset, m.Type))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, "type "+name+" interface, method "+mn.Name+strings.TrimPrefix(render(fset, m.Type), "func"))
+				}
+			}
+		}
+		return out
+	default:
+		return []string{"type " + name + " " + render(fset, s.Type)}
+	}
+}
+
+// render prints one AST node on a single normalized line.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, n)
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

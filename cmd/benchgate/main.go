@@ -4,7 +4,10 @@
 // bench-compare`: allocs/op is deterministic for a fixed workload, so a
 // regression there is a code change, not machine noise; wall-clock
 // throughput is machine dependent and only reported, never gated, unless
-// -min-qps-ratio is set explicitly.
+// -min-qps-ratio is set explicitly. Streamed snapshots (xload -stream)
+// additionally report time-to-first-result percentiles, gated the same
+// opt-in way via -max-ttfr-regress; streamed and buffered snapshots are
+// never compared against each other.
 package main
 
 import (
@@ -23,6 +26,13 @@ type snapshot struct {
 	Requests      int     `json:"requests"`
 	WriteFraction float64 `json:"write_frac"`
 	Shards        int     `json:"shards"` // 0 (pre-sharding snapshots) and 1 both mean single-volume
+
+	// Streamed runs (xload -stream): time-to-first-result percentiles.
+	// Like wall qps these are machine dependent, so TTFR is reported by
+	// default and only gated when -max-ttfr-regress is set explicitly.
+	Stream     bool    `json:"stream"`
+	P50TTFRSec float64 `json:"p50_ttfr_s"`
+	P99TTFRSec float64 `json:"p99_ttfr_s"`
 }
 
 // shardsOf normalizes the shard count: snapshots written before sharding
@@ -52,6 +62,8 @@ func main() {
 		"absolute allocs/op headroom on top of the fractional limit (pool warm-up jitter)")
 	minQPSRatio := flag.Float64("min-qps-ratio", 0,
 		"if >0, fail when new wall qps falls below baseline*ratio (off by default: machine dependent)")
+	maxTTFRRegress := flag.Float64("max-ttfr-regress", 0,
+		"if >0, fail when new p50 time-to-first-result exceeds baseline*(1+this) on streamed snapshots (off by default: machine dependent)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
@@ -78,6 +90,11 @@ func main() {
 			shardsOf(old), shardsOf(cur))
 		os.Exit(2)
 	}
+	if old.Stream != cur.Stream {
+		fmt.Fprintf(os.Stderr, "benchgate: delivery modes differ (baseline stream=%v, new stream=%v); not comparable\n",
+			old.Stream, cur.Stream)
+		os.Exit(2)
+	}
 
 	limit := int64(float64(old.AllocsPerOp)*(1+*maxAllocRegress)) + *allocSlack
 	fmt.Printf("allocs/op: baseline %d, new %d (limit %d)\n", old.AllocsPerOp, cur.AllocsPerOp, limit)
@@ -92,6 +109,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL wall qps regressed %.1f -> %.1f (below %.0f%% of baseline)\n",
 			old.WallQPS, cur.WallQPS, *minQPSRatio*100)
 		fail = true
+	}
+	if cur.Stream {
+		fmt.Printf("ttfr p50:  baseline %.6fs, new %.6fs (p99 %.6fs -> %.6fs)\n",
+			old.P50TTFRSec, cur.P50TTFRSec, old.P99TTFRSec, cur.P99TTFRSec)
+		if *maxTTFRRegress > 0 && old.P50TTFRSec > 0 &&
+			cur.P50TTFRSec > old.P50TTFRSec*(1+*maxTTFRRegress) {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL p50 ttfr regressed %.6fs -> %.6fs (>%d%%)\n",
+				old.P50TTFRSec, cur.P50TTFRSec, int(*maxTTFRRegress*100))
+			fail = true
+		}
 	}
 	if fail {
 		os.Exit(1)

@@ -52,6 +52,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -92,7 +93,8 @@ type sample struct {
 	count    int
 	virt     stats.Ticks
 	wall     time.Duration
-	isWrite  bool // a commit; wall is the transaction's commit latency
+	ttfr     time.Duration // streamed: submit to first result node
+	isWrite  bool          // a commit; wall is the transaction's commit latency
 	timedOut bool
 	errKind  string // non-empty for a typed storage fault ("io", "corrupt")
 	partial  bool   // sharded: a degraded shard was excluded from the merge
@@ -105,6 +107,10 @@ type backend interface {
 	// do runs one request; shed is the number of 503-and-retry rounds it
 	// took to get admitted.
 	do(path string) (s sample, shed int64, err error)
+	// stream runs one request with streamed delivery (a cursor in engine
+	// mode, NDJSON in url mode), draining it fully; the sample's ttfr is
+	// the time to the first result node.
+	stream(path string) (s sample, shed int64, err error)
 	// update commits one write transaction (an <xloadpad/> insert under
 	// /site); the sample's wall is the commit latency.
 	update() (s sample, shed int64, err error)
@@ -213,6 +219,7 @@ func main() {
 	queue := flag.Int("queue", 0, "engine QueueDepth (default 64)")
 	parallel := flag.Int("parallel", 0, "engine worker-pool width per gang (default min(MaxInFlight, GOMAXPROCS))")
 	sorted := flag.Bool("sorted", false, "request document-order results")
+	streamMode := flag.Bool("stream", false, "streamed delivery: drain a cursor (engine mode) or NDJSON (url mode) per request and report time-to-first-result")
 	jsonDir := flag.String("json", "", "write BENCH_xload.json into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -270,6 +277,15 @@ func main() {
 
 	faultsOn := *faultRead > 0 || *faultCorrupt > 0 || *faultLatency > 0
 
+	// One QueryOptions for the whole run: strategy, ordering, per-request
+	// budget and (streamed runs) limit all travel in the same struct every
+	// evaluation surface takes, instead of per-call-site flag plumbing.
+	queryOpts := pathdb.QueryOptions{
+		Strategy: strat,
+		Sorted:   *sorted,
+		Timeout:  time.Duration(*timeoutMS) * time.Millisecond,
+	}
+
 	if *shards < 1 {
 		fail("-shards must be >= 1")
 	}
@@ -287,7 +303,7 @@ func main() {
 			fail("-shards requires engine mode (a sharded server is detected from its /metrics)")
 		}
 		mode = "url"
-		be = newHTTPBackend(strings.TrimRight(*url, "/"), strat, *timeoutMS, *sorted)
+		be = newHTTPBackend(strings.TrimRight(*url, "/"), queryOpts)
 	} else if *shards > 1 {
 		layout, ok := map[string]pathdb.Layout{
 			"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
@@ -335,7 +351,7 @@ func main() {
 			fmt.Printf("faults on shard %d: read=%g corrupt=%g latency=%g seed=%d\n",
 				*degradeShard, *faultRead, *faultCorrupt, *faultLatency, *faultSeed)
 		}
-		be = &clusterBackend{cl: cl, strat: strat, timeoutMS: *timeoutMS, sorted: *sorted}
+		be = &clusterBackend{cl: cl, opts: queryOpts}
 	} else {
 		layout, ok := map[string]pathdb.Layout{
 			"natural": pathdb.Natural, "contiguous": pathdb.Contiguous, "shuffled": pathdb.Shuffled,
@@ -373,7 +389,7 @@ func main() {
 			fmt.Printf("faults: read=%g corrupt=%g latency=%g seed=%d\n",
 				*faultRead, *faultCorrupt, *faultLatency, *faultSeed)
 		}
-		be = &engineBackend{db: db, eng: eng, strat: strat, timeoutMS: *timeoutMS, sorted: *sorted}
+		be = &engineBackend{db: db, eng: eng, opts: queryOpts}
 	}
 	defer be.close()
 
@@ -409,9 +425,12 @@ func main() {
 					shed int64
 					err  error
 				)
-				if isWriteReq(i) {
+				switch {
+				case isWriteReq(i):
 					s, shed, err = be.update()
-				} else {
+				case *streamMode:
+					s, shed, err = be.stream(paths[i%len(paths)])
+				default:
 					s, shed, err = be.do(paths[i%len(paths)])
 				}
 				if err != nil {
@@ -544,6 +563,40 @@ func main() {
 		fmt.Printf("commit latency wall [s]: %s\n", percentiles(commitLat))
 	}
 
+	// Streamed runs add a dedicated time-to-first-result pass. TTFR is a
+	// per-request property: in the closed loop above, the engine's
+	// gang-sequential dispatch makes queue wait dominate both the first
+	// and the last node, so contended TTFR cannot distinguish genuine
+	// incremental delivery from buffer-then-replay. One client replaying
+	// the read mix sequentially can — the drain percentiles below are the
+	// same pass's full-drain wall times, so ttfr≪drain is the streaming
+	// win and ttfr≈drain is a delivery regression.
+	var ttfrLat, drainLat []float64
+	if *streamMode {
+		n := 2 * len(paths)
+		if n < 32 {
+			n = 32
+		}
+		if n > 96 {
+			n = 96
+		}
+		for i := 0; i < n; i++ {
+			s, _, serr := be.stream(paths[i%len(paths)])
+			if serr != nil {
+				fail("ttfr pass: %v", serr)
+			}
+			if s.timedOut || s.errKind != "" {
+				continue
+			}
+			ttfrLat = append(ttfrLat, s.ttfr.Seconds())
+			drainLat = append(drainLat, s.wall.Seconds())
+		}
+		if len(ttfrLat) > 0 {
+			fmt.Printf("ttfr wall       [s]: %s (uncontended pass, %d requests)\n", percentiles(ttfrLat), len(ttfrLat))
+			fmt.Printf("drain wall      [s]: %s\n", percentiles(drainLat))
+		}
+	}
+
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
 		if merr != nil {
@@ -568,6 +621,8 @@ func main() {
 	if *jsonDir != "" {
 		sort.Float64s(virtLat)
 		sort.Float64s(wallLat)
+		sort.Float64s(ttfrLat)
+		sort.Float64s(drainLat)
 		sort.Float64s(commitLat)
 		pick := func(xs []float64, p float64) float64 {
 			if len(xs) == 0 {
@@ -595,6 +650,11 @@ func main() {
 			P99WallSec:       pick(wallLat, 0.99),
 			P50VirtSec:       pick(virtLat, 0.50),
 			P99VirtSec:       pick(virtLat, 0.99),
+			Stream:           *streamMode,
+			P50TTFRSec:       pick(ttfrLat, 0.50),
+			P99TTFRSec:       pick(ttfrLat, 0.99),
+			P50DrainSec:      pick(drainLat, 0.50),
+			P99DrainSec:      pick(drainLat, 0.99),
 			Submitted:        m.Submitted,
 			Rejected:         m.Rejected,
 			Gangs:            m.Gangs,
@@ -625,12 +685,12 @@ func main() {
 }
 
 // engineBackend drives an in-process pathdb.Engine (the original mode).
+// The run's whole query configuration — strategy, ordering, per-request
+// budget — travels in one pathdb.QueryOptions.
 type engineBackend struct {
-	db        *pathdb.DB
-	eng       *pathdb.Engine
-	strat     pathdb.Strategy
-	timeoutMS int64
-	sorted    bool
+	db   *pathdb.DB
+	eng  *pathdb.Engine
+	opts pathdb.QueryOptions
 
 	once sync.Once
 	ses  *pathdb.Session
@@ -640,29 +700,65 @@ type engineBackend struct {
 	rootErr  error
 }
 
-func (b *engineBackend) do(path string) (sample, int64, error) {
-	b.once.Do(func() { b.ses = b.eng.NewSession() })
-	s := b.ses // sessions are safe for concurrent use
-	ctx := context.Background()
-	if b.timeoutMS > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(b.timeoutMS)*time.Millisecond)
-		defer cancel()
+// classify maps a failed request onto a sample: timeouts and typed storage
+// faults are recorded outcomes, anything else aborts the run.
+func classify(path string, err error, t0 time.Time, isWrite bool) (sample, bool) {
+	if errors.Is(err, pathdb.ErrTimeout) {
+		return sample{path: path, wall: time.Since(t0), timedOut: true, isWrite: isWrite}, true
 	}
+	if k := pathdb.KindOf(err); k == pathdb.KindIO || k == pathdb.KindCorrupt {
+		return sample{path: path, wall: time.Since(t0), errKind: k.String(), isWrite: isWrite}, true
+	}
+	return sample{}, false
+}
+
+func (b *engineBackend) session() *pathdb.Session {
+	b.once.Do(func() { b.ses = b.eng.NewSession() })
+	return b.ses // sessions are safe for concurrent use
+}
+
+func (b *engineBackend) do(path string) (sample, int64, error) {
 	t0 := time.Now()
-	res, err := s.Do(ctx, path, pathdb.QueryOptions{Strategy: b.strat, Sorted: b.sorted})
+	res, err := b.session().Do(context.Background(), path, b.opts)
 	if err != nil {
-		if errors.Is(err, pathdb.ErrTimeout) {
-			return sample{path: path, wall: time.Since(t0), timedOut: true}, 0, nil
-		}
-		if k := pathdb.KindOf(err); k == pathdb.KindIO || k == pathdb.KindCorrupt {
-			// A typed storage fault fails this query alone; record its
-			// kind instead of aborting the run.
-			return sample{path: path, wall: time.Since(t0), errKind: k.String()}, 0, nil
+		if s, ok := classify(path, err, t0, false); ok {
+			return s, 0, nil
 		}
 		return sample{}, 0, err
 	}
 	return sample{path: path, count: res.Count(), virt: res.VirtualLatency, wall: time.Since(t0)}, 0, nil
+}
+
+// stream drains a cursor, timing the first Next — the in-process
+// time-to-first-result, with no HTTP framing in the way.
+func (b *engineBackend) stream(path string) (sample, int64, error) {
+	t0 := time.Now()
+	cur, err := b.session().Stream(context.Background(), path, b.opts)
+	if err != nil {
+		if s, ok := classify(path, err, t0, false); ok {
+			return s, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	defer cur.Close()
+	var ttfr time.Duration
+	for cur.Next() {
+		if cur.Count() == 1 {
+			ttfr = time.Since(t0)
+		}
+	}
+	if err := cur.Err(); err != nil {
+		if s, ok := classify(path, err, t0, false); ok {
+			return s, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	wall := time.Since(t0)
+	var virt stats.Ticks
+	if res, ok := cur.Summary(); ok {
+		virt = res.VirtualLatency
+	}
+	return sample{path: path, count: cur.Count(), virt: virt, wall: wall, ttfr: ttfr}, 0, nil
 }
 
 // update commits one <xloadpad/> insert under the document root through
@@ -713,32 +809,27 @@ func (b *engineBackend) close() { b.eng.Close() }
 // shard count; a request that lost a degraded shard is marked partial and
 // skipped by the check instead.
 type clusterBackend struct {
-	cl        *shard.Cluster
-	strat     pathdb.Strategy
-	timeoutMS int64
-	sorted    bool
+	cl   *shard.Cluster
+	opts pathdb.QueryOptions
 }
 
+// ctx applies the run's per-request budget to operations that take a bare
+// context (cluster writes); queries carry the budget inside opts.Timeout.
 func (b *clusterBackend) ctx() (context.Context, context.CancelFunc) {
-	if b.timeoutMS > 0 {
-		return context.WithTimeout(context.Background(), time.Duration(b.timeoutMS)*time.Millisecond)
+	if b.opts.Timeout > 0 {
+		return context.WithTimeout(context.Background(), b.opts.Timeout)
 	}
 	return context.Background(), func() {}
 }
 
 func (b *clusterBackend) do(path string) (sample, int64, error) {
-	ctx, cancel := b.ctx()
-	defer cancel()
 	t0 := time.Now()
-	m, err := b.cl.Query(ctx, path, pathdb.QueryOptions{Strategy: b.strat, Sorted: b.sorted}, false)
+	m, err := b.cl.Query(context.Background(), path, b.opts, false)
 	if err != nil {
-		if errors.Is(err, pathdb.ErrTimeout) {
-			return sample{path: path, wall: time.Since(t0), timedOut: true}, 0, nil
-		}
-		if k := pathdb.KindOf(err); k == pathdb.KindIO || k == pathdb.KindCorrupt {
-			// Beyond the quorum policy's tolerance (or PolicyAll): the
-			// whole request failed on storage faults.
-			return sample{path: path, wall: time.Since(t0), errKind: k.String()}, 0, nil
+		// classify covers beyond-quorum storage faults (or PolicyAll): the
+		// whole request failed.
+		if s, ok := classify(path, err, t0, false); ok {
+			return s, 0, nil
 		}
 		return sample{}, 0, err
 	}
@@ -758,6 +849,44 @@ func (b *clusterBackend) do(path string) (sample, int64, error) {
 		partial:  m.Partial,
 		degraded: len(m.Degraded),
 	}, 0, nil
+}
+
+// stream drains the cluster's k-way merge cursor, timing the first merged
+// node — cross-shard time-to-first-result without HTTP framing.
+func (b *clusterBackend) stream(path string) (sample, int64, error) {
+	t0 := time.Now()
+	sc, err := b.cl.Stream(context.Background(), path, b.opts)
+	if err != nil {
+		if s, ok := classify(path, err, t0, false); ok {
+			return s, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	defer sc.Close()
+	var ttfr time.Duration
+	for sc.Next() {
+		if sc.Count() == 1 {
+			ttfr = time.Since(t0)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if s, ok := classify(path, err, t0, false); ok {
+			return s, 0, nil
+		}
+		return sample{}, 0, err
+	}
+	wall := time.Since(t0)
+	s := sample{path: path, count: sc.Count(), wall: wall, ttfr: ttfr}
+	if sum, ok := sc.Summary(); ok {
+		s.partial = sum.Partial
+		s.degraded = len(sum.Degraded)
+		for _, ps := range sum.PerShard {
+			if !ps.Failed && ps.VirtLat > s.virt {
+				s.virt = ps.VirtLat
+			}
+		}
+	}
+	return s, 0, nil
 }
 
 func (b *clusterBackend) update() (sample, int64, error) {
@@ -843,23 +972,19 @@ func (b *clusterBackend) close() { b.cl.Close() }
 // across shard labels, which reduces to the plain series when the server
 // is single-volume.
 type httpBackend struct {
-	base      string
-	client    *http.Client
-	strat     pathdb.Strategy
-	timeoutMS int64
-	sorted    bool
+	base   string
+	client *http.Client
+	opts   pathdb.QueryOptions
 
 	shards int         // from pathdb_cluster_shards; 0 for a single-volume server
 	virt0  stats.Ticks // virtual clock at start, from /metrics
 }
 
-func newHTTPBackend(base string, strat pathdb.Strategy, timeoutMS int64, sorted bool) *httpBackend {
+func newHTTPBackend(base string, opts pathdb.QueryOptions) *httpBackend {
 	b := &httpBackend{
-		base:      base,
-		client:    &http.Client{},
-		strat:     strat,
-		timeoutMS: timeoutMS,
-		sorted:    sorted,
+		base:   base,
+		client: &http.Client{},
+		opts:   opts,
 	}
 	m, err := b.scrape()
 	if err != nil {
@@ -887,21 +1012,26 @@ func retryAfter(resp *http.Response) time.Duration {
 	return wait
 }
 
+// queryBody marshals the run's QueryOptions into one /v1/query request.
+func (b *httpBackend) queryBody(path string) ([]byte, error) {
+	req := map[string]any{"path": path}
+	if b.opts.Strategy != pathdb.Auto {
+		req["strategy"] = b.opts.Strategy.String()
+	}
+	if b.opts.Timeout > 0 {
+		req["timeout_ms"] = b.opts.Timeout.Milliseconds()
+	}
+	if b.opts.Sorted {
+		req["sorted"] = true
+	}
+	return json.Marshal(req)
+}
+
 // do POSTs one query. 503 (shedding or drain) and 429 (per-tenant quota,
 // router mode) are retried after the server's Retry-After (capped at 50ms
 // so the closed loop keeps offering load); 504 marks the sample timed out.
 func (b *httpBackend) do(path string) (sample, int64, error) {
-	req := map[string]any{"path": path}
-	if b.strat != pathdb.Auto {
-		req["strategy"] = b.strat.String()
-	}
-	if b.timeoutMS > 0 {
-		req["timeout_ms"] = b.timeoutMS
-	}
-	if b.sorted {
-		req["sorted"] = true
-	}
-	body, err := json.Marshal(req)
+	body, err := b.queryBody(path)
 	if err != nil {
 		return sample{}, 0, err
 	}
@@ -909,7 +1039,7 @@ func (b *httpBackend) do(path string) (sample, int64, error) {
 	var shed int64
 	t0 := time.Now()
 	for {
-		resp, err := b.client.Post(b.base+"/query", "application/json", bytes.NewReader(body))
+		resp, err := b.client.Post(b.base+"/v1/query", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return sample{}, shed, err
 		}
@@ -955,12 +1085,130 @@ func (b *httpBackend) do(path string) (sample, int64, error) {
 	}
 }
 
-// update POSTs one <xloadpad/> insert to /update, with the same 503-retry
-// and 504-timeout handling as do.
+// streamRecord is one NDJSON line of a /v1/query stream: node lines carry
+// ord/name, the trailing summary line (Summary true) carries the totals.
+type streamRecord struct {
+	Summary          bool  `json:"summary"`
+	Count            int   `json:"count"`
+	VirtualLatencyNs int64 `json:"virtual_latency_ns"`
+	CostVNs          int64 `json:"cost_v_ns"`
+	Partial          bool  `json:"partial"`
+	Degraded         []struct {
+		Shard int `json:"shard"`
+	} `json:"degraded"`
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// stream POSTs one query negotiating NDJSON delivery and scans the response
+// line by line; ttfr is the time to the first node line on the wire. The
+// trailing summary line supplies count and cost; a mid-stream failure
+// arrives there too (the status line was long since 200). A stream that
+// ends without a summary line was aborted by the server.
+func (b *httpBackend) stream(path string) (sample, int64, error) {
+	body, err := b.queryBody(path)
+	if err != nil {
+		return sample{}, 0, err
+	}
+
+	var shed int64
+	t0 := time.Now()
+	for {
+		req, err := http.NewRequest(http.MethodPost, b.base+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			return sample{}, shed, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", "application/x-ndjson")
+		resp, err := b.client.Do(req)
+		if err != nil {
+			return sample{}, shed, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			s, err := b.scanStream(resp.Body, path, t0)
+			resp.Body.Close()
+			return s, shed, err
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			resp.Body.Close()
+			shed++
+			time.Sleep(retryAfter(resp))
+		case http.StatusGatewayTimeout:
+			resp.Body.Close()
+			return sample{path: path, wall: time.Since(t0), timedOut: true}, shed, nil
+		default:
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return sample{}, shed, fmt.Errorf("stream status %d: %s", resp.StatusCode, data)
+		}
+	}
+}
+
+func (b *httpBackend) scanStream(body io.Reader, path string, t0 time.Time) (sample, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var (
+		ttfr   time.Duration
+		lines  int
+		sum    streamRecord
+		sawSum bool
+	)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec streamRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return sample{}, fmt.Errorf("bad stream line: %v\n%s", err, line)
+		}
+		if rec.Summary {
+			sum, sawSum = rec, true
+			break
+		}
+		lines++
+		if lines == 1 {
+			ttfr = time.Since(t0)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sample{}, err
+	}
+	if !sawSum {
+		return sample{}, fmt.Errorf("stream for %s aborted: no summary line after %d nodes", path, lines)
+	}
+	wall := time.Since(t0)
+	if sum.Error != "" {
+		switch sum.Kind {
+		case "timeout":
+			return sample{path: path, wall: wall, timedOut: true}, nil
+		case "io", "corrupt":
+			return sample{path: path, wall: wall, errKind: sum.Kind}, nil
+		default:
+			return sample{}, fmt.Errorf("stream for %s failed: %s (%s)", path, sum.Error, sum.Kind)
+		}
+	}
+	virt := sum.VirtualLatencyNs
+	if virt == 0 {
+		virt = sum.CostVNs
+	}
+	return sample{
+		path:     path,
+		count:    sum.Count,
+		virt:     stats.Ticks(virt),
+		wall:     wall,
+		ttfr:     ttfr,
+		partial:  sum.Partial,
+		degraded: len(sum.Degraded),
+	}, nil
+}
+
+// update POSTs one <xloadpad/> insert to /v1/update, with the same
+// 503-retry and 504-timeout handling as do.
 func (b *httpBackend) update() (sample, int64, error) {
 	req := map[string]any{"op": "insert", "parent": "/site", "xml": "<xloadpad/>"}
-	if b.timeoutMS > 0 {
-		req["timeout_ms"] = b.timeoutMS
+	if b.opts.Timeout > 0 {
+		req["timeout_ms"] = b.opts.Timeout.Milliseconds()
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -970,7 +1218,7 @@ func (b *httpBackend) update() (sample, int64, error) {
 	var shed int64
 	t0 := time.Now()
 	for {
-		resp, err := b.client.Post(b.base+"/update", "application/json", bytes.NewReader(body))
+		resp, err := b.client.Post(b.base+"/v1/update", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return sample{}, shed, err
 		}
@@ -1078,7 +1326,7 @@ var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S
 // Labeled samples (router mode) are keyed by name plus their literal
 // label set, e.g. `pathdb_engine_completed_total{shard="2"}`.
 func (b *httpBackend) scrape() (map[string]float64, error) {
-	resp, err := b.client.Get(b.base + "/metrics")
+	resp, err := b.client.Get(b.base + "/v1/metrics")
 	if err != nil {
 		return nil, err
 	}

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pathdb"
 )
@@ -29,6 +31,8 @@ func main() {
 	layoutName := flag.String("layout", "natural", "physical layout: natural, contiguous, shuffled")
 	buffer := flag.Int("buffer", 0, "buffer pool pages (default 1000)")
 	sorted := flag.Bool("sorted", false, "return results in document order")
+	limit := flag.Int("limit", 0, "stop after N results (0 = all)")
+	timeoutMS := flag.Int64("timeout", 0, "per-query budget in milliseconds (0 = none)")
 	print := flag.Bool("print", false, "serialize result nodes instead of counting")
 	explain := flag.Bool("explain", false, "show the cost-model decision")
 	showPlan := flag.Bool("plan", false, "show the physical operator tree")
@@ -69,25 +73,32 @@ func main() {
 	}
 	fmt.Printf("document: %d pages\n", db.Pages())
 
-	q, err := db.Query(*query)
-	if err != nil {
-		fail("%v", err)
+	// The whole query configuration travels in one QueryOptions — the same
+	// struct Session.Do, Session.Stream, QueryCtx and the /v1 API take.
+	qopts := pathdb.QueryOptions{
+		Strategy: strat,
+		Sorted:   *sorted,
+		Limit:    *limit,
+		Timeout:  time.Duration(*timeoutMS) * time.Millisecond,
 	}
-	if *explain {
-		c := q.Choice()
-		fmt.Println("cost model:", q.Explain())
-		fmt.Printf("  chosen:   %s\n", c.Strategy)
-		fmt.Printf("  coverage: %.1f%% (~%d of %d pages touched)\n",
-			100*c.Coverage, c.PagesTouched, db.Pages())
-		fmt.Printf("  estimate: xschedule=%v xscan=%v simple=%v\n",
-			c.ScheduleCost, c.ScanCost, c.SimpleCost)
-	}
-	q.WithStrategy(strat)
-	if *sorted {
-		q.Sorted()
-	}
-	if *showPlan {
-		fmt.Print(q.Plan())
+
+	if *explain || *showPlan {
+		q, qerr := db.Query(*query)
+		if qerr != nil {
+			fail("%v", qerr)
+		}
+		if *explain {
+			c := q.Choice()
+			fmt.Println("cost model:", q.Explain())
+			fmt.Printf("  chosen:   %s\n", c.Strategy)
+			fmt.Printf("  coverage: %.1f%% (~%d of %d pages touched)\n",
+				100*c.Coverage, c.PagesTouched, db.Pages())
+			fmt.Printf("  estimate: xschedule=%v xscan=%v simple=%v\n",
+				c.ScheduleCost, c.ScanCost, c.SimpleCost)
+		}
+		if *showPlan {
+			fmt.Print(q.WithStrategy(strat).Plan())
+		}
 	}
 
 	db.ResetStats()
@@ -95,15 +106,28 @@ func main() {
 		db.SetIOTrace(true)
 	}
 	if *print {
+		// Streamed delivery: nodes print as the cursor produces them, and
+		// -limit stops evaluation instead of trimming a buffered result.
+		cur, cerr := db.QueryStream(context.Background(), *query, qopts)
+		if cerr != nil {
+			fail("%v", cerr)
+		}
 		n := 0
-		q.Each(func(node pathdb.Node) bool {
-			fmt.Println(node.XML())
+		for cur.Next() {
+			fmt.Println(cur.Node().XML())
 			n++
-			return true
-		})
+		}
+		cur.Close()
+		if cerr := cur.Err(); cerr != nil {
+			fail("%v", cerr)
+		}
 		fmt.Printf("-- %d results (%s)\n", n, strat)
 	} else {
-		fmt.Printf("count(%s) = %d  [%s]\n", *query, q.Count(), strat)
+		res, qerr := db.QueryCtx(context.Background(), *query, qopts)
+		if qerr != nil {
+			fail("%v", qerr)
+		}
+		fmt.Printf("count(%s) = %d  [%s]\n", *query, res.Count(), strat)
 	}
 	if *stats {
 		fmt.Println("cost:", db.CostReport())

@@ -9,9 +9,11 @@
 // or a backslash command:
 //
 //	\strategy auto|simple|xschedule|xscan   pick the physical strategy
+//	\limit <n>                              stop queries after n results (0 = all)
+//	\timeout <ms>                           per-query budget (0 = none)
 //	\explain <path>                         cost-model decision for a path
 //	\plan <path>                            physical operator tree
-//	\print <path>                           serialize result nodes
+//	\print <path>                           stream result nodes in document order
 //	\insert <parent-path> <xml-fragment>    append a fragment
 //	\delete <path>                          delete all matching subtrees
 //	\stats                                  volume statistics
@@ -21,10 +23,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"pathdb"
 )
@@ -56,7 +61,7 @@ func main() {
 		fail("%v", err)
 	}
 
-	sh := &shell{db: db, strategy: pathdb.Auto, out: os.Stdout}
+	sh := &shell{db: db, opts: pathdb.QueryOptions{Strategy: pathdb.Auto}, out: os.Stdout}
 	fmt.Printf("pathdb shell — %d pages loaded; \\help for commands\n", db.Pages())
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -72,10 +77,13 @@ func main() {
 	}
 }
 
+// shell holds the session's query configuration as one QueryOptions —
+// \strategy, \limit and \timeout each adjust a field, and every evaluation
+// (count, \print) passes the same struct.
 type shell struct {
-	db       *pathdb.DB
-	strategy pathdb.Strategy
-	out      *os.File
+	db   *pathdb.DB
+	opts pathdb.QueryOptions
+	out  *os.File
 }
 
 // exec runs one input line; it reports whether the shell should exit.
@@ -95,6 +103,7 @@ func (sh *shell) exec(line string) bool {
 	case "help":
 		fmt.Fprintln(sh.out, `paths evaluate directly; commands:
   \strategy auto|simple|xschedule|xscan
+  \limit <n>         \timeout <ms>
   \explain <path>    \plan <path>     \print <path>
   \insert <parent-path> <xml-fragment>
   \delete <path>     \stats           \quit`)
@@ -104,8 +113,24 @@ func (sh *shell) exec(line string) bool {
 			fmt.Fprintln(sh.out, err)
 			return false
 		}
-		sh.strategy = s
+		sh.opts.Strategy = s
 		fmt.Fprintln(sh.out, "strategy:", s)
+	case "limit":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			fmt.Fprintln(sh.out, `usage: \limit <n> (0 clears)`)
+			return false
+		}
+		sh.opts.Limit = n
+		fmt.Fprintln(sh.out, "limit:", n)
+	case "timeout":
+		ms, err := strconv.Atoi(rest)
+		if err != nil || ms < 0 {
+			fmt.Fprintln(sh.out, `usage: \timeout <ms> (0 clears)`)
+			return false
+		}
+		sh.opts.Timeout = time.Duration(ms) * time.Millisecond
+		fmt.Fprintln(sh.out, "timeout:", sh.opts.Timeout)
 	case "explain":
 		if q := sh.compile(rest); q != nil {
 			fmt.Fprintln(sh.out, q.Explain())
@@ -115,16 +140,32 @@ func (sh *shell) exec(line string) bool {
 			fmt.Fprint(sh.out, q.Plan())
 		}
 	case "print":
-		if q := sh.compile(rest); q != nil {
-			n := 0
-			q.Sorted().Each(func(node pathdb.Node) bool {
-				fmt.Fprintln(sh.out, node.XML())
-				n++
-				return n < 50 // keep interactive output bounded
-			})
-			if n == 50 {
-				fmt.Fprintln(sh.out, "… (truncated at 50)")
-			}
+		if rest == "" {
+			fmt.Fprintln(sh.out, "missing path")
+			return false
+		}
+		// Streamed delivery in document order; the session \limit (default
+		// 50, to keep interactive output bounded) stops evaluation early.
+		opts := sh.opts
+		opts.Sorted = true
+		if opts.Limit == 0 {
+			opts.Limit = 50
+		}
+		cur, err := sh.db.QueryStream(context.Background(), rest, opts)
+		if err != nil {
+			fmt.Fprintln(sh.out, err)
+			return false
+		}
+		for cur.Next() {
+			fmt.Fprintln(sh.out, cur.Node().XML())
+		}
+		cur.Close()
+		if err := cur.Err(); err != nil {
+			fmt.Fprintln(sh.out, "print:", err)
+			return false
+		}
+		if cur.Count() == opts.Limit {
+			fmt.Fprintf(sh.out, "… (truncated at %d)\n", opts.Limit)
 		}
 	case "insert":
 		parentPath, frag, ok := strings.Cut(rest, " ")
@@ -167,15 +208,16 @@ func (sh *shell) exec(line string) bool {
 	return false
 }
 
-// query evaluates a path, printing count and cost.
+// query evaluates a path with the session's QueryOptions, printing count
+// and cost. A \timeout expiry or storage fault prints as its typed error.
 func (sh *shell) query(path string) {
-	q := sh.compile(path)
-	if q == nil {
+	sh.db.ResetStats()
+	res, err := sh.db.QueryCtx(context.Background(), path, sh.opts)
+	if err != nil {
+		fmt.Fprintln(sh.out, err)
 		return
 	}
-	sh.db.ResetStats()
-	n := q.Count()
-	fmt.Fprintf(sh.out, "count = %d   [%s]  %s\n", n, sh.strategy, sh.db.CostReport())
+	fmt.Fprintf(sh.out, "count = %d   [%s]  %s\n", res.Count(), sh.opts.Strategy, sh.db.CostReport())
 }
 
 func (sh *shell) compile(path string) *pathdb.Query {
@@ -188,7 +230,7 @@ func (sh *shell) compile(path string) *pathdb.Query {
 		fmt.Fprintln(sh.out, err)
 		return nil
 	}
-	return q.WithStrategy(sh.strategy)
+	return q.WithStrategy(sh.opts.Strategy)
 }
 
 func fail(format string, args ...any) {

@@ -2,16 +2,12 @@ package pathdb
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"pathdb/internal/core"
 	"pathdb/internal/engine"
-	"pathdb/internal/ordpath"
 	"pathdb/internal/stats"
-	"pathdb/internal/storage"
 	"pathdb/internal/xpath"
 )
 
@@ -27,22 +23,6 @@ var (
 	// engine that has been closed or is draining.
 	ErrClosed = fmt.Errorf("pathdb: engine closed: %w", engine.ErrClosed)
 )
-
-// IsTimeout reports whether err is a deadline classification: a context
-// deadline (the usual way an engine query times out), an I/O deadline, or
-// anything implementing net.Error-style Timeout().
-//
-// Deprecated: use errors.Is(err, ErrTimeout). Every query path now returns
-// a typed *Error whose Is method matches the taxonomy sentinels; nothing in
-// this module calls IsTimeout anymore and it will be deleted in a future
-// release.
-func IsTimeout(err error) bool {
-	if errors.Is(err, ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
-		return true
-	}
-	var t interface{ Timeout() bool }
-	return errors.As(err, &t) && t.Timeout()
-}
 
 // EngineConfig tunes the concurrent engine's admission control.
 type EngineConfig struct {
@@ -70,6 +50,12 @@ type EngineConfig struct {
 // Every query pays its costs on a private virtual clock that is folded
 // into the volume clock at completion.
 type Engine struct {
+	// The engine's write/transaction surface is the same volumeAPI the DB
+	// embeds, parameterized with the engine's write-admission hook: Update
+	// through an Engine respects drain/close and is waited for by
+	// shutdown, but the transaction semantics cannot drift from DB.Update.
+	volumeAPI
+
 	db *DB
 	e  *engine.Engine
 }
@@ -79,7 +65,7 @@ type Engine struct {
 // measuring cold runs. Close the engine before using blocking single-query
 // DB methods again.
 func (db *DB) NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{
+	e := &Engine{
 		db: db,
 		e: engine.New(db.store, engine.Config{
 			MaxInFlight: cfg.MaxInFlight,
@@ -93,37 +79,9 @@ func (db *DB) NewEngine(cfg EngineConfig) *Engine {
 			Chooser: db.getChooser(),
 		}),
 	}
+	e.volumeAPI = volumeAPI{vol: db, admit: e.e.AdmitWrite}
+	return e
 }
-
-// Update runs fn in a write transaction while the engine keeps serving
-// reads: queries in flight finish on the snapshot their gang pinned at
-// admission, and gangs dispatched after Update returns see the committed
-// state. Concurrent Updates group-commit — they batch onto shared WAL
-// flushes (see DB.Update for the transaction semantics).
-//
-// The write is admitted against the engine's lifecycle: once Close or
-// Shutdown has begun, Update fails with ErrClosed, and the engine waits
-// for admitted writers before its storage goes away.
-func (e *Engine) Update(fn func(*Tx) error) error {
-	_, err := e.UpdateEpoch(fn)
-	return err
-}
-
-// UpdateEpoch is Update, but additionally returns the publish epoch of the
-// committed version (see DB.UpdateEpoch).
-func (e *Engine) UpdateEpoch(fn func(*Tx) error) (uint64, error) {
-	release, err := e.e.AdmitWrite()
-	if err != nil {
-		return 0, wrapErr("update", "", err)
-	}
-	defer release()
-	epoch, uerr := e.db.UpdateEpoch(fn)
-	return epoch, wrapErr("update", "", uerr)
-}
-
-// TxnMetrics returns a snapshot of the underlying volume's transaction
-// counters (all zeros before the first write).
-func (e *Engine) TxnMetrics() TxnMetrics { return e.db.TxnMetrics() }
 
 // Close stops the engine; queries still queued fail with ErrClosed.
 func (e *Engine) Close() { e.e.Close() }
@@ -187,15 +145,44 @@ type Session struct {
 	s   *engine.Session
 }
 
-// QueryOptions tunes one engine query.
+// QueryOptions tunes one query. It is the single options struct for every
+// evaluation surface — Session.Do/TryDo/Stream/TryStream, DB.QueryCtx and
+// DB.QueryStream — so callers plumb one value instead of per-call-site
+// flags.
 type QueryOptions struct {
 	// Strategy forces a physical strategy (default Auto: the cost model
 	// decides per query).
 	Strategy Strategy
-	// Sorted requests results in document order.
+	// Sorted requests results in document order. A sorted result must be
+	// fully evaluated before the first node is delivered (order
+	// enforcement buffers at the producer), so sorted streams trade
+	// time-to-first-result for ordering.
 	Sorted bool
 	// MemLimit bounds the speculative structure S (0 = unlimited).
 	MemLimit int
+	// Timeout, when positive, bounds the whole evaluation (queue wait
+	// included): the query fails with ErrTimeout when it expires. It
+	// composes with the caller's context — whichever deadline is sooner
+	// wins.
+	Timeout time.Duration
+	// Limit caps the result at N nodes (0 = unlimited). Unsorted
+	// evaluation stops pulling the operator tree after N matches; sorted
+	// evaluation sees everything, sorts, and keeps the first N in
+	// document order.
+	Limit int
+}
+
+// context derives the evaluation context: the caller's ctx, additionally
+// bounded by opts.Timeout when set. The returned cancel must always be
+// called.
+func (opts QueryOptions) context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		return context.WithTimeout(ctx, opts.Timeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // ExecResult is the outcome of one engine query.
@@ -247,8 +234,12 @@ func fromCore(s core.Strategy) Strategy {
 // Cancelling ctx abandons the query: if still queued it never runs, if
 // running it stops at the next operator poll point. A full admission queue
 // makes Do wait (backpressure); use TryDo to shed instead.
+//
+// Do is sugar over Stream: it opens a cursor in buffered delivery mode and
+// drains it, so the virtual-cost accounting of the two surfaces is
+// identical by construction.
 func (s *Session) Do(ctx context.Context, path string, opts QueryOptions) (ExecResult, error) {
-	return s.do(ctx, path, opts, false)
+	return s.drain(ctx, path, opts, false)
 }
 
 // TryDo is Do with non-blocking admission: when the engine's queue is at
@@ -258,118 +249,54 @@ func (s *Session) Do(ctx context.Context, path string, opts QueryOptions) (ExecR
 // the first branch; once that is admitted the remaining branches submit
 // blocking (the union is committed).
 func (s *Session) TryDo(ctx context.Context, path string, opts QueryOptions) (ExecResult, error) {
-	return s.do(ctx, path, opts, true)
+	return s.drain(ctx, path, opts, true)
 }
 
-func (s *Session) do(ctx context.Context, path string, opts QueryOptions, try bool) (ExecResult, error) {
-	queries, err := s.compile(path, opts)
+func (s *Session) drain(ctx context.Context, path string, opts QueryOptions, try bool) (ExecResult, error) {
+	c, err := s.stream(ctx, path, opts, try, false)
 	if err != nil {
 		return ExecResult{}, err
 	}
-
-	// Submit every branch before waiting so union branches can share a
-	// gang; the dispatcher drains the queue independently of this
-	// goroutine, so sequential Submit calls cannot deadlock.
-	pendings := make([]*engine.Pending, 0, len(queries))
-	for i, q := range queries {
-		var p *engine.Pending
-		var perr error
-		if try && i == 0 {
-			p, perr = s.s.TrySubmit(ctx, q)
-		} else {
-			p, perr = s.s.Submit(ctx, q)
-		}
-		if perr != nil {
-			return ExecResult{}, wrapErr("submit", path, perr)
-		}
-		pendings = append(pendings, p)
-	}
-
-	var branch []engine.Result
-	for _, p := range pendings {
-		res, werr := p.Wait(ctx)
-		if werr != nil {
-			return ExecResult{}, wrapErr("query", path, werr)
-		}
-		branch = append(branch, res)
-	}
-	return s.merge(branch, len(queries) > 1, opts), nil
+	defer c.Close()
+	return c.Drain()
 }
 
 // compile parses the path and maps it onto engine queries, one per union
-// branch.
-func (s *Session) compile(path string, opts QueryOptions) ([]engine.Query, error) {
+// branch. live requests incremental delivery through the engine sink; the
+// returned flag is the effective mode — a sorted union demotes to buffered
+// delivery, because its global document order only exists after every
+// branch has landed and merged (per-branch sinks would interleave).
+func (s *Session) compile(path string, opts QueryOptions, live bool) ([]engine.Query, bool, error) {
 	branches, err := xpathParseUnion(s.eng.db, path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	if opts.Sorted && len(branches) > 1 {
+		live = false
 	}
 	queries := make([]engine.Query, len(branches))
 	for i, b := range branches {
+		limit := opts.Limit
+		if opts.Sorted && len(branches) > 1 {
+			// A sorted union is merged and truncated after all branches
+			// land (the global first-N needs every branch's matches); a
+			// per-branch cap would cut the wrong nodes.
+			limit = 0
+		}
 		queries[i] = engine.Query{
 			Label:    path,
 			Path:     b,
 			Auto:     opts.Strategy == Auto,
 			Strategy: opts.Strategy.internal(),
-			// Union branches are merged and re-sorted below; plain paths
-			// sort inside the engine.
+			// Union branches are merged and re-sorted by the cursor; plain
+			// paths sort inside the engine.
 			Sorted:   opts.Sorted && len(branches) == 1,
 			MemLimit: opts.MemLimit,
+			Limit:    limit,
+			Stream:   live,
 		}
 	}
-	return queries, nil
-}
-
-// merge combines branch results into one ExecResult (union semantics: a
-// node set).
-func (s *Session) merge(branch []engine.Result, isUnion bool, opts QueryOptions) ExecResult {
-	out := ExecResult{Strategy: fromCore(branch[0].Strategy), Gang: branch[0].Gang}
-	if c := branch[0].Choice; c != nil {
-		pc := fromPlanChoice(*c)
-		out.Choice = &pc
-	}
-
-	var all []core.Result
-	minSubmit, maxDone := branch[0].SubmitV, branch[0].DoneV
-	for _, r := range branch {
-		all = append(all, r.Results...)
-		out.Shared = out.Shared || r.Shared
-		out.CostV += r.CostV
-		out.CPUV += r.CPUV
-		out.IOWaitV += r.IOWaitV
-		out.SharedV += r.SharedV
-		out.WallQueue += r.WallQueue
-		out.WallExec += r.WallExec
-		if r.SubmitV < minSubmit {
-			minSubmit = r.SubmitV
-		}
-		if r.DoneV > maxDone {
-			maxDone = r.DoneV
-		}
-	}
-	out.VirtualLatency = maxDone - minSubmit
-
-	if isUnion {
-		seen := make(map[storage.NodeID]bool, len(all))
-		dedup := all[:0]
-		for _, r := range all {
-			if seen[r.Node] {
-				continue
-			}
-			seen[r.Node] = true
-			dedup = append(dedup, r)
-		}
-		all = dedup
-		if opts.Sorted {
-			sort.Slice(all, func(i, j int) bool {
-				return ordpath.Compare(all[i].Ord, all[j].Ord) < 0
-			})
-		}
-	}
-	out.Nodes = make([]Node, len(all))
-	for i, r := range all {
-		out.Nodes[i] = Node{db: s.eng.db, id: r.Node}
-	}
-	return out
+	return queries, live, nil
 }
 
 // xpathParseUnion parses an absolute location path (or union) into

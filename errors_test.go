@@ -58,8 +58,8 @@ func TestWrapErrClassification(t *testing.T) {
 	if KindOf(deadline) != KindTimeout || !errors.Is(deadline, context.DeadlineExceeded) {
 		t.Errorf("deadline wrap: kind=%v, Is(DeadlineExceeded)=%v", KindOf(deadline), errors.Is(deadline, context.DeadlineExceeded))
 	}
-	if !IsTimeout(deadline) {
-		t.Error("deprecated IsTimeout must keep working on taxonomy errors")
+	if !errors.Is(deadline, ErrTimeout) {
+		t.Error("deadline wrap must match the ErrTimeout sentinel")
 	}
 	canceled := wrapErr("query", "/a", context.Canceled)
 	if KindOf(canceled) != KindCanceled {

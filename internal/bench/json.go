@@ -90,6 +90,22 @@ type LoadJSON struct {
 	P50VirtSec  float64 `json:"p50_virtual_s"`
 	P99VirtSec  float64 `json:"p99_virtual_s"`
 
+	// Streamed runs (-stream): the closed loop above delivered through
+	// cursors (engine mode) or NDJSON (url mode), and a dedicated
+	// uncontended pass measured time-to-first-result per request — TTFR
+	// is a per-request property, and under the closed loop the engine's
+	// gang-sequential dispatch makes queue wait dominate both the first
+	// and the last node, hiding the streaming shape. The drain
+	// percentiles are the same pass's full-drain times: p50_ttfr_s well
+	// under p50_drain_s is the incremental-delivery win, and benchgate
+	// gates TTFR regressions (streaming silently degrading to
+	// buffer-then-replay shows as TTFR jumping toward drain).
+	Stream      bool    `json:"stream,omitempty"`
+	P50TTFRSec  float64 `json:"p50_ttfr_s,omitempty"`
+	P99TTFRSec  float64 `json:"p99_ttfr_s,omitempty"`
+	P50DrainSec float64 `json:"p50_drain_s,omitempty"`
+	P99DrainSec float64 `json:"p99_drain_s,omitempty"`
+
 	// Engine counters (engine.Metrics, scraped from /metrics in url mode).
 	Submitted int64 `json:"engine_submitted"`
 	Rejected  int64 `json:"engine_rejected"`

@@ -143,6 +143,16 @@ type Query struct {
 	Sorted bool
 	// MemLimit bounds the speculative structure S (0 = unlimited).
 	MemLimit int
+	// Limit caps delivered results at N (0 = unlimited). Unsorted queries
+	// stop pulling the operator tree after N matches; Sorted queries must
+	// evaluate fully (order enforcement), sort, then truncate.
+	Limit int
+	// Stream delivers results incrementally through Pending.C instead of
+	// buffering them in Result.Results. Streaming queries always run solo
+	// (never on a gang-shared scheduler): their production is paced by the
+	// consumer, and parking a shared group's pooled I/O behind a slow
+	// consumer would stall the other members.
+	Stream bool
 }
 
 // Result is the outcome of one executed query.
@@ -474,7 +484,7 @@ func (e *Engine) execute(gang []*Pending) {
 			c := e.chooser.Choose(p.q.Path)
 			u.strat, u.choice = c.Strategy, &c
 		}
-		if batchable(u.strat, p.q.Path) {
+		if !p.q.Stream && batchable(u.strat, p.q.Path) {
 			shared = append(shared, u)
 		} else {
 			solo = append(solo, u)
@@ -622,7 +632,17 @@ func (e *Engine) runShared(snap Snapshot, units []execUnit, gangSize int) {
 		}()
 		mp = core.BuildMultiPlan(gview, queries, core.PlanOptions{K: e.cfg.K, Arena: arena})
 		mp.RunEach(
-			func(i int) bool { return units[i].p.ctx.Err() != nil },
+			func(i int) bool {
+				u := units[i]
+				if u.p.ctx.Err() != nil {
+					return true
+				}
+				// An unsorted member with a result cap is done once its
+				// bucket is full (a sorted member must see everything
+				// before truncating).
+				lim := u.p.q.Limit
+				return lim > 0 && !u.p.q.Sorted && len(buckets[i]) >= lim
+			},
 			func(i int, r core.Result) { buckets[i] = append(buckets[i], r) },
 		)
 		return nil
@@ -719,12 +739,30 @@ func (e *Engine) runSolo(snap Snapshot, u execUnit, gangSize int) {
 		root = p.Root()
 		root.Open()
 		opened = true
+		live := u.p.sink != nil && !u.p.q.Sorted
+		limit := u.p.q.Limit
 		for {
 			inst, ok := root.Next()
 			if !ok {
 				break
 			}
-			results = append(results, core.Result{Node: inst.NR, Ord: inst.Ord})
+			r := core.Result{Node: inst.NR, Ord: inst.Ord}
+			if live {
+				// Incremental delivery: hand the match to the consumer
+				// now; a false emit means the consumer is gone (context
+				// cancelled or engine stopping), so stop pulling.
+				if !e.emit(u.p, r) {
+					break
+				}
+				if limit > 0 && u.p.sent >= limit {
+					break
+				}
+				continue
+			}
+			results = append(results, r)
+			if limit > 0 && !u.p.q.Sorted && len(results) >= limit {
+				break
+			}
 		}
 		opened = false
 		root.Close()
@@ -761,6 +799,29 @@ func (e *Engine) runSolo(snap Snapshot, u execUnit, gangSize int) {
 	e.deliver(u.p, res, qled, baseV)
 }
 
+// emit hands one result to a streaming consumer, blocking when the sink is
+// full (back-pressure: the producer runs at most streamDepth results ahead).
+// It reports false — stop producing — when the query's context is cancelled
+// or the engine is stopping, so an abandoned consumer can never wedge a
+// worker or the dispatcher.
+func (e *Engine) emit(p *Pending, r core.Result) bool {
+	select {
+	case p.sink <- r:
+		p.sent++
+		return true
+	default:
+	}
+	select {
+	case p.sink <- r:
+		p.sent++
+		return true
+	case <-p.ctx.Done():
+		return false
+	case <-e.stop:
+		return false
+	}
+}
+
 // clockBase is a ledger snapshot representing a seeded arrival instant, for
 // subtracting the seed back out of a per-query ledger before merging it
 // into the volume ledger.
@@ -782,6 +843,22 @@ func (e *Engine) deliver(p *Pending, res Result, qled *stats.Ledger, baseV stats
 			})
 			qled.AdvanceCPU(stats.Ticks(cmp) * e.store.Disk().Model().CPUSetOp)
 		}
+		if p.q.Limit > 0 && len(rs) > p.q.Limit {
+			// Order enforcement saw everything (and paid for it); the cap
+			// keeps the first N in document order.
+			res.Results = rs[:p.q.Limit]
+		}
+	}
+	if p.sink != nil {
+		// Streaming delivery of whatever is still buffered: sorted runs
+		// buffer producer-side for order enforcement and flush here;
+		// unsorted runs already emitted from the pull loop.
+		for _, r := range res.Results {
+			if !e.emit(p, r) {
+				break
+			}
+		}
+		res.Results = nil
 	}
 	snap := qled.Sub(clockBase(baseV))
 	res.CostV, res.CPUV, res.IOWaitV = snap.Now, snap.CPU, snap.IOWait

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"pathdb/internal/core"
 	"pathdb/internal/stats"
 )
 
@@ -14,6 +15,12 @@ type Session struct {
 	e *Engine
 }
 
+// streamDepth is the per-query sink buffer: a streaming producer runs
+// ahead of its consumer by at most this many results before the channel
+// send blocks (back-pressure at the operator poll point). Queries at or
+// under this cardinality complete without ever waiting on the consumer.
+const streamDepth = 64
+
 // Pending is an admitted query waiting for (or holding) its outcome.
 type Pending struct {
 	ctx context.Context
@@ -21,6 +28,12 @@ type Pending struct {
 
 	submitW time.Time
 	submitV stats.Ticks // volume clock at submission
+
+	// sink carries results incrementally for streaming queries (Query.
+	// Stream); nil for buffered queries. It is closed by finish, so a
+	// consumer ranging over C() always unblocks when the query settles.
+	sink chan core.Result
+	sent int // results emitted into sink (producer side)
 
 	done chan struct{}
 	res  Result
@@ -31,7 +44,15 @@ type Pending struct {
 func (p *Pending) finish(res Result, err error) {
 	p.res, p.err = res, err
 	close(p.done)
+	if p.sink != nil {
+		close(p.sink)
+	}
 }
+
+// C is the result stream of a streaming query: one core.Result per match,
+// closed when the query settles. Nil for buffered queries. The summary
+// Result (costs, strategy, gang) is available from Wait after C closes.
+func (p *Pending) C() <-chan core.Result { return p.sink }
 
 // Wait blocks until the query finishes or ctx is done. A Wait abandoned by
 // its caller does not cancel the query — cancel the submission context for
@@ -52,13 +73,17 @@ func (s *Session) newPending(ctx context.Context, q Query) *Pending {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Pending{
+	p := &Pending{
 		ctx:     ctx,
 		q:       q,
 		submitW: time.Now(),
 		submitV: s.e.store.Ledger().Total(),
 		done:    make(chan struct{}),
 	}
+	if q.Stream {
+		p.sink = make(chan core.Result, streamDepth)
+	}
+	return p
 }
 
 // TrySubmit admits q without blocking. It returns ErrQueueFull when the

@@ -77,10 +77,10 @@ func NewRouter(cl *shard.Cluster, opts Options, quota shard.QuotaConfig) *Router
 		opts:    opts.withDefaults(),
 		mux:     http.NewServeMux(),
 	}
-	rt.mux.HandleFunc("/query", rt.handleQuery)
-	rt.mux.HandleFunc("/update", rt.handleUpdate)
-	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
-	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	registerVersioned(rt.mux, "query", rt.handleQuery)
+	registerVersioned(rt.mux, "update", rt.handleUpdate)
+	registerVersioned(rt.mux, "metrics", rt.handleMetrics)
+	registerVersioned(rt.mux, "healthz", rt.handleHealthz)
 	return rt
 }
 
@@ -248,6 +248,13 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+
+	// Content negotiation: Accept: application/x-ndjson streams the
+	// cluster's k-way merge straight to the wire.
+	if wantsStream(r) {
+		rt.streamQuery(ctx, w, r, req, opts)
+		return
+	}
 
 	m, err := rt.cluster.Query(ctx, req.Path, opts, req.Limit > 0)
 	if err != nil {

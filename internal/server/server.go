@@ -4,12 +4,16 @@
 // outlook points at — one I/O-performing operator serving many concurrent
 // location paths, now across real sockets.
 //
-// Endpoints:
+// Endpoints (versioned under /v1/; the unversioned paths remain as
+// deprecated aliases answering a Deprecation header):
 //
-//	POST /query    evaluate {path, strategy, limit, timeout_ms, sorted}
-//	POST /update   mutate {op, parent, xml, path, timeout_ms}
-//	GET  /metrics  Prometheus text exposition: engine counters + cost ledger
-//	GET  /healthz  200 while serving, 503 once draining
+//	POST /v1/query    evaluate {path, strategy, limit, timeout_ms, sorted};
+//	                  with Accept: application/x-ndjson the response is a
+//	                  stream — one node record per line plus a trailing
+//	                  summary record
+//	POST /v1/update   mutate {op, parent, xml, path, timeout_ms}
+//	GET  /v1/metrics  Prometheus text exposition: engine counters + cost ledger
+//	GET  /v1/healthz  200 while serving, 503 once draining
 //
 // The three operational properties the engine already provides in-process
 // are surfaced as HTTP semantics:
@@ -118,10 +122,10 @@ func New(db *pathdb.DB, eng *pathdb.Engine, opts Options) *Server {
 		opts: opts.withDefaults(),
 		mux:  http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/update", s.handleUpdate)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	registerVersioned(s.mux, "query", s.handleQuery)
+	registerVersioned(s.mux, "update", s.handleUpdate)
+	registerVersioned(s.mux, "metrics", s.handleMetrics)
+	registerVersioned(s.mux, "healthz", s.handleHealthz)
 	return s
 }
 
@@ -314,6 +318,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+
+	// Content negotiation: Accept: application/x-ndjson selects streamed
+	// delivery — one node record per line as the cursor produces them, a
+	// trailing summary record, bounded chunked flushes in between.
+	if wantsStream(r) {
+		s.streamQuery(ctx, w, r, req, opts)
+		return
+	}
 
 	res, err := s.ses.TryDo(ctx, req.Path, opts)
 	if err != nil {

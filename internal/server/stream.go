@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"pathdb"
+)
+
+// The HTTP API is versioned under /v1/. The unversioned paths from earlier
+// revisions remain mounted as aliases with identical behaviour, answering a
+// Deprecation header plus a Link to their successor so clients can migrate
+// mechanically.
+//
+// registerVersioned mounts h at /v1/<name> and the deprecated legacy alias
+// at /<name>.
+func registerVersioned(mux *http.ServeMux, name string, h http.HandlerFunc) {
+	mux.HandleFunc("/v1/"+name, h)
+	mux.HandleFunc("/"+name, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1/"+name+">; rel=\"successor-version\"")
+		h(w, r)
+	})
+}
+
+// ndjsonType is the media type selecting streamed delivery on /v1/query.
+const ndjsonType = "application/x-ndjson"
+
+// streamChunk is how many NDJSON lines are written between flushes: the
+// response path holds at most one chunk of encoded records plus the
+// cursor's bounded read-ahead, never the full result.
+const streamChunk = 64
+
+// wantsStream reports whether the request negotiated NDJSON streaming.
+func wantsStream(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == ndjsonType {
+			return true
+		}
+	}
+	return false
+}
+
+// StreamSummaryJSON is the trailing record of an NDJSON query stream: after
+// one NodeJSON line per result node, exactly one summary line closes the
+// stream. A query that fails mid-stream (the HTTP status is long since
+// written) reports the failure here, in Error and Kind; clients must treat
+// a stream that ends without a summary line as aborted.
+type StreamSummaryJSON struct {
+	// Summary is always true — the discriminator against NodeJSON lines,
+	// which never carry the field.
+	Summary bool   `json:"summary"`
+	Path    string `json:"path"`
+	// Count is how many node lines the stream carried.
+	Count int `json:"count"`
+	// Strategy is the resolved physical strategy ("xschedule", "xscan",
+	// "simple"); in router mode it is omitted (each shard chooses its own —
+	// see PerShard in the buffered response for the breakdown).
+	Strategy string `json:"strategy,omitempty"`
+	Shared   bool   `json:"shared,omitempty"`
+	// Truncated is set when the request's limit cut the stream short.
+	Truncated bool `json:"truncated,omitempty"`
+
+	CostVNs          int64 `json:"cost_v_ns,omitempty"`
+	VirtualLatencyNs int64 `json:"virtual_latency_ns,omitempty"`
+
+	// Partial and Degraded mirror the buffered router response: shards
+	// lost to tolerable storage faults mid-merge. Single-volume streams
+	// never set them.
+	Partial  bool           `json:"partial,omitempty"`
+	Degraded []DegradedJSON `json:"degraded,omitempty"`
+
+	// Error and Kind report a mid-stream failure (taxonomy kind included);
+	// both empty on success.
+	Error string `json:"error,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// ndjsonWriter emits NDJSON records with chunked flushing.
+type ndjsonWriter struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+	lines   int
+	failed  bool
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", ndjsonType)
+	w.WriteHeader(http.StatusOK)
+	f, _ := w.(http.Flusher)
+	return &ndjsonWriter{enc: json.NewEncoder(w), flusher: f}
+}
+
+// write encodes one record as a line, flushing every streamChunk lines.
+// After a transport failure (the client hung up) it reports false and goes
+// inert — the caller stops pulling the cursor.
+func (nw *ndjsonWriter) write(v any) bool {
+	if nw.failed {
+		return false
+	}
+	if err := nw.enc.Encode(v); err != nil {
+		nw.failed = true
+		return false
+	}
+	nw.lines++
+	if nw.lines%streamChunk == 0 {
+		nw.flush()
+	}
+	return true
+}
+
+func (nw *ndjsonWriter) flush() {
+	if nw.flusher != nil && !nw.failed {
+		nw.flusher.Flush()
+	}
+}
+
+// streamQuery is the NDJSON delivery mode of /v1/query on the single-volume
+// server: one NodeJSON line per node as the cursor produces them, a
+// trailing StreamSummaryJSON line, chunked flushes in between. The
+// request's limit truncates production (the cursor stops pulling the
+// operator tree), not just the echo; MaxNodes does not apply — a streamed
+// response is bounded by back-pressure, not by a response buffer.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http.Request, req QueryRequest, opts pathdb.QueryOptions) {
+	opts.Limit = req.Limit
+	cur, err := s.ses.TryStream(ctx, req.Path, opts)
+	if err != nil {
+		// Nothing streamed yet: fail with the same status mapping as the
+		// buffered mode.
+		s.queryError(w, r, err)
+		return
+	}
+	defer cur.Close()
+
+	nw := newNDJSONWriter(w)
+	for cur.Next() {
+		n := cur.Node()
+		if !nw.write(NodeJSON{ID: n.ID(), Name: n.Name(), Ord: n.OrdPath()}) {
+			// Client hung up; cancel the query (Close withdraws prefetches).
+			s.gone.Add(1)
+			return
+		}
+	}
+
+	sum := StreamSummaryJSON{
+		Summary:   true,
+		Path:      req.Path,
+		Count:     cur.Count(),
+		Truncated: opts.Limit > 0 && cur.Count() >= opts.Limit,
+	}
+	if err := cur.Err(); err != nil {
+		sum.Error, sum.Kind = err.Error(), errKind(err)
+		s.streamFailure(r, err)
+	} else {
+		s.served.Add(1)
+	}
+	cur.Close() // settle so the summary below is complete
+	if res, ok := cur.Summary(); ok {
+		sum.Strategy = res.Strategy.String()
+		sum.Shared = res.Shared
+		sum.CostVNs = int64(res.CostV)
+		sum.VirtualLatencyNs = int64(res.VirtualLatency)
+	}
+	nw.write(sum)
+	nw.flush()
+}
+
+// streamFailure counts a mid-stream failure (the status line is already on
+// the wire, so the failure is reported in-band by the summary record).
+func (s *Server) streamFailure(r *http.Request, err error) {
+	switch {
+	case r.Context().Err() != nil:
+		s.gone.Add(1)
+	case errors.Is(err, pathdb.ErrTimeout):
+		s.timeouts.Add(1)
+	case errors.Is(err, pathdb.ErrIO) || errors.Is(err, pathdb.ErrCorrupt):
+		s.ioErrors.Add(1)
+	}
+}
+
+// streamQuery is the router's NDJSON delivery mode: the cluster's k-way
+// merge feeds the response directly, so merged nodes go to the client in
+// global document order as the shards produce them and the router never
+// holds more than the heap of stream heads plus one flush chunk. Document
+// order is inherent to the merge, so the "sorted" request field is implied.
+func (rt *Router) streamQuery(ctx context.Context, w http.ResponseWriter, r *http.Request, req QueryRequest, opts pathdb.QueryOptions) {
+	opts.Limit = req.Limit
+	sc, err := rt.cluster.Stream(ctx, req.Path, opts)
+	if err != nil {
+		rt.queryError(w, r, err)
+		return
+	}
+	defer sc.Close()
+
+	nw := newNDJSONWriter(w)
+	for sc.Next() {
+		sn := sc.Node()
+		if !nw.write(NodeJSON{ID: sn.Node.ID(), Name: sn.Node.Name(), Ord: sn.Node.OrdPath(), Shard: sn.Shard}) {
+			rt.gone.Add(1)
+			return
+		}
+	}
+
+	out := StreamSummaryJSON{
+		Summary:   true,
+		Path:      req.Path,
+		Count:     sc.Count(),
+		Truncated: opts.Limit > 0 && sc.Count() >= opts.Limit,
+	}
+	if err := sc.Err(); err != nil {
+		out.Error, out.Kind = err.Error(), errKind(err)
+		rt.streamFailure(r, err)
+	} else {
+		rt.served.Add(1)
+	}
+	sc.Close()
+	if sum, ok := sc.Summary(); ok {
+		out.Partial = sum.Partial
+		for _, f := range sum.Degraded {
+			out.Degraded = append(out.Degraded, DegradedJSON{
+				Shard: f.Shard,
+				Kind:  f.Kind.String(),
+				Error: f.Err.Error(),
+			})
+		}
+		for _, ps := range sum.PerShard {
+			if !ps.Failed && !ps.Cached {
+				out.CostVNs += int64(ps.CostV)
+			}
+		}
+		if out.Partial {
+			rt.partials.Add(1)
+		}
+	}
+	nw.write(out)
+	nw.flush()
+}
+
+func (rt *Router) streamFailure(r *http.Request, err error) {
+	switch {
+	case r.Context().Err() != nil:
+		rt.gone.Add(1)
+	case errors.Is(err, pathdb.ErrTimeout):
+		rt.timeouts.Add(1)
+	case errors.Is(err, pathdb.ErrIO) || errors.Is(err, pathdb.ErrCorrupt):
+		rt.ioErrors.Add(1)
+	}
+}

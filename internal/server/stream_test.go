@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"pathdb"
+	"pathdb/internal/shard"
+)
+
+// openStream POSTs req to url negotiating NDJSON and returns the live
+// response (caller closes Body).
+func openStream(t *testing.T, url string, req QueryRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readStream drains an NDJSON response into node lines plus the trailing
+// summary, which must be present and last.
+func readStream(t *testing.T, body io.Reader) ([]NodeJSON, StreamSummaryJSON) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var nodes []NodeJSON
+	var sum StreamSummaryJSON
+	sawSum := false
+	for sc.Scan() {
+		if sawSum {
+			t.Fatalf("line after the summary record: %s", sc.Bytes())
+		}
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Bytes())
+		}
+		if probe.Summary {
+			if err := json.Unmarshal(sc.Bytes(), &sum); err != nil {
+				t.Fatal(err)
+			}
+			sawSum = true
+			continue
+		}
+		var n NodeJSON
+		if err := json.Unmarshal(sc.Bytes(), &n); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSum {
+		t.Fatalf("stream ended without a summary line (%d nodes)", len(nodes))
+	}
+	return nodes, sum
+}
+
+// drainShutdown tears down a hand-built server and asserts the goroutine
+// count settles back to the pre-construction baseline.
+func drainShutdown(t *testing.T, ts *httptest.Server, shut func(context.Context) error, baseline int) {
+	t.Helper()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := shut(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+			g, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// The streamed node sequence must be identical — same IDs, same order —
+// to the buffered /v1/query response for the same sorted query.
+func TestStreamQueryMatchesBuffered(t *testing.T) {
+	db := newTestDB(t, 0.1)
+	_, ts := newTestServer(t, db, pathdb.EngineConfig{}, Options{MaxNodes: 1 << 20})
+
+	// Buffered mode echoes min(limit, MaxNodes) nodes; ask for everything.
+	resp, data := postQuery(t, ts.URL, QueryRequest{Path: itemQuery, Sorted: true, Limit: 1 << 20})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status %d: %s", resp.StatusCode, data)
+	}
+	want := decodeResponse(t, data)
+	if len(want.Nodes) == 0 || len(want.Nodes) != want.Count {
+		t.Fatalf("buffered fixture unusable: %d nodes of count %d", len(want.Nodes), want.Count)
+	}
+
+	sresp := openStream(t, ts.URL, QueryRequest{Path: itemQuery, Sorted: true})
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", sresp.StatusCode)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != ndjsonType {
+		t.Fatalf("Content-Type %q, want %q", ct, ndjsonType)
+	}
+	nodes, sum := readStream(t, sresp.Body)
+	if len(nodes) != len(want.Nodes) {
+		t.Fatalf("streamed %d nodes, buffered %d", len(nodes), len(want.Nodes))
+	}
+	for i := range nodes {
+		if nodes[i].ID != want.Nodes[i].ID || nodes[i].Ord != want.Nodes[i].Ord {
+			t.Fatalf("node %d differs: streamed %+v, buffered %+v", i, nodes[i], want.Nodes[i])
+		}
+	}
+	if sum.Count != want.Count {
+		t.Fatalf("summary count %d, buffered %d", sum.Count, want.Count)
+	}
+	if sum.Error != "" || sum.Kind != "" {
+		t.Fatalf("clean stream carries error %q/%q", sum.Error, sum.Kind)
+	}
+	if sum.Strategy == "" || sum.Strategy == "auto" {
+		t.Fatalf("summary strategy %q unresolved", sum.Strategy)
+	}
+}
+
+// The request's limit truncates production in stream mode: exactly N node
+// lines, truncated flagged, count N.
+func TestStreamQueryLimit(t *testing.T) {
+	db := newTestDB(t, 0.1)
+	_, ts := newTestServer(t, db, pathdb.EngineConfig{}, Options{})
+
+	resp := openStream(t, ts.URL, QueryRequest{Path: itemQuery, Sorted: true, Limit: 5})
+	defer resp.Body.Close()
+	nodes, sum := readStream(t, resp.Body)
+	if len(nodes) != 5 || sum.Count != 5 || !sum.Truncated {
+		t.Fatalf("limited stream: %d nodes, count %d, truncated %v; want 5/5/true",
+			len(nodes), sum.Count, sum.Truncated)
+	}
+}
+
+// A storage fault mid-stream is reported in-band: HTTP 200 (the status
+// line is long gone), node lines stop, and the trailing summary carries
+// the typed kind; the server's io-error counter moves.
+func TestStreamQueryFaultInBand(t *testing.T) {
+	db := newTestDB(t, 0.1)
+	srv, ts := newTestServer(t, db, pathdb.EngineConfig{}, Options{})
+	db.SetFaults(pathdb.FaultConfig{Seed: 3, ReadError: 1})
+	defer db.SetFaults(pathdb.FaultConfig{})
+
+	resp := openStream(t, ts.URL, QueryRequest{Path: itemQuery, Strategy: "xschedule"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200 with in-band failure", resp.StatusCode)
+	}
+	_, sum := readStream(t, resp.Body)
+	if sum.Error == "" || (sum.Kind != "io" && sum.Kind != "corrupt") {
+		t.Fatalf("summary error %q kind %q, want in-band io/corrupt", sum.Error, sum.Kind)
+	}
+	if srv.ioErrors.Load() == 0 {
+		t.Fatal("in-band fault did not move the io error counter")
+	}
+}
+
+// A client that disconnects mid-stream cancels the query server-side: the
+// handler stops pulling the cursor, the disconnect is counted, and no
+// goroutine outlives the teardown (run with -race).
+func TestStreamClientDisconnect(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	db := newTestDB(t, 0.5)
+	eng := db.NewEngine(pathdb.EngineConfig{MaxInFlight: 2})
+	db.ResetStats()
+	srv := New(db, eng, Options{})
+	ts := httptest.NewServer(srv)
+
+	// Unsorted streams are live — production is paced by the heavy scan's
+	// I/O, so a hang-up after k lines provably lands mid-query.
+	for k := 0; k < 3; k++ {
+		resp := openStream(t, ts.URL, QueryRequest{Path: descQuery})
+		sc := bufio.NewScanner(resp.Body)
+		for i := 0; i <= k && sc.Scan(); i++ {
+		}
+		resp.Body.Close() // hang up mid-stream
+	}
+
+	// The handlers notice the dead connections — a failed write or the
+	// cancelled request context — and count the disconnects.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.gone.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := srv.gone.Load(); g < 3 {
+		t.Fatalf("client_gone = %d after 3 mid-stream disconnects", g)
+	}
+
+	drainShutdown(t, ts, srv.Shutdown, baseline)
+}
+
+// Legacy unversioned endpoints answer a Deprecation header pointing at
+// their /v1 successor; the /v1 mounts answer none.
+func TestDeprecationHeaders(t *testing.T) {
+	db := newTestDB(t, 0.1)
+	_, ts := newTestServer(t, db, pathdb.EngineConfig{}, Options{})
+
+	body, _ := json.Marshal(QueryRequest{Path: itemQuery})
+	legacy, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, legacy.Body)
+	legacy.Body.Close()
+	if legacy.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy /query missing Deprecation header")
+	}
+	if link := legacy.Header.Get("Link"); link != `</v1/query>; rel="successor-version"` {
+		t.Fatalf("legacy /query Link = %q", link)
+	}
+
+	v1, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, v1.Body)
+	v1.Body.Close()
+	if v1.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1/query must not be deprecated")
+	}
+
+	for _, name := range []string{"metrics", "healthz"} {
+		resp, err := http.Get(ts.URL + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Fatalf("legacy /%s missing Deprecation header", name)
+		}
+	}
+}
+
+// Router mode: the streamed NDJSON sequence must match the buffered
+// router response node for node — same global document order, same shard
+// attribution — with the cluster summary in the trailing record.
+func TestRouterStreamMatchesBuffered(t *testing.T) {
+	_, ts := newTestRouter(t, shard.Config{}, 256, shard.QuotaConfig{})
+
+	resp, data := postRouterQuery(t, ts.URL,
+		QueryRequest{Path: itemQuery, Sorted: true, Limit: 1000}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status %d: %s", resp.StatusCode, data)
+	}
+	want := decodeRouterResponse(t, data)
+	if len(want.Nodes) == 0 || len(want.Nodes) != want.Count {
+		t.Fatalf("buffered fixture unusable: %d nodes of count %d", len(want.Nodes), want.Count)
+	}
+
+	sresp := openStream(t, ts.URL, QueryRequest{Path: itemQuery, Sorted: true})
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", sresp.StatusCode)
+	}
+	nodes, sum := readStream(t, sresp.Body)
+	if len(nodes) != len(want.Nodes) {
+		t.Fatalf("streamed %d nodes, buffered %d", len(nodes), len(want.Nodes))
+	}
+	for i := range nodes {
+		if nodes[i].ID != want.Nodes[i].ID || nodes[i].Ord != want.Nodes[i].Ord ||
+			nodes[i].Shard != want.Nodes[i].Shard {
+			t.Fatalf("node %d differs: streamed %+v, buffered %+v", i, nodes[i], want.Nodes[i])
+		}
+	}
+	if sum.Count != want.Count {
+		t.Fatalf("summary count %d, buffered %d", sum.Count, want.Count)
+	}
+	if sum.Partial || len(sum.Degraded) != 0 {
+		t.Fatalf("healthy cluster streamed partial/degraded: %+v", sum)
+	}
+}
+
+// Router mode disconnect: hanging up mid-merge closes every shard cursor
+// (the scatter is cancelled) and leaves no goroutines behind.
+func TestRouterStreamClientDisconnect(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	cl, err := shard.NewXMark(
+		pathdb.XMarkConfig{ScaleFactor: 0.25, Seed: 42, EntityScale: 0.1},
+		pathdb.Options{Layout: pathdb.Shuffled, LayoutSeed: 42, BufferPages: 64},
+		shard.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(cl, Options{}, shard.QuotaConfig{})
+	ts := httptest.NewServer(rt)
+
+	// The merge's per-shard sort barrier means the whole scatter runs
+	// before the first byte, so a disconnect is only provably mid-query
+	// when it lands during that execution window: cancel the request
+	// context while Do is still waiting on headers. An attempt that loses
+	// the race (the scatter finished first) is retried.
+	body, _ := json.Marshal(QueryRequest{Path: descQuery})
+	deadline := time.Now().Add(15 * time.Second)
+	for rt.gone.Load() < 3 && time.Now().Before(deadline) {
+		ctx, cancel := context.WithCancel(context.Background())
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Accept", "application/x-ndjson")
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resp, err := http.DefaultClient.Do(hreq)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		time.Sleep(3 * time.Millisecond) // let the request reach the handler
+		cancel()
+		<-done
+	}
+	if g := rt.gone.Load(); g < 3 {
+		t.Fatalf("router client_gone = %d after repeated mid-scatter disconnects", g)
+	}
+
+	drainShutdown(t, ts, rt.Shutdown, baseline)
+}

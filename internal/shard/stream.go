@@ -1,0 +1,349 @@
+package shard
+
+import (
+	"container/heap"
+	"context"
+
+	"pathdb"
+)
+
+// StreamSummary is the trailing summary of a streamed scatter — what the
+// buffered Merged reports, minus the node list (the nodes went through the
+// cursor).
+type StreamSummary struct {
+	// Count is how many merged nodes the cursor yielded (spine replicas
+	// counted once). For a Limit-capped stream it is the cap.
+	Count int
+	// SpineMatches is how many matches fall on the replicated spine —
+	// the probe result the merge deduplicates replicas against.
+	SpineMatches int
+	// PerShard has one entry per shard that participated; Count there is
+	// the number of nodes the shard fed into the merge before dedup.
+	PerShard []ShardStat
+	// Degraded lists shards lost to tolerable storage faults; Partial is
+	// true when at least one was dropped mid-merge.
+	Degraded []ShardFailure
+	Partial  bool
+}
+
+// StreamCursor is a streaming k-way merge over per-shard cursors: nodes
+// surface in global document order as the shards produce them, and the
+// coordinator holds only the heap of stream heads plus the spine probe's
+// order-key set — never the merged result. Spine replicas (identical
+// order keys on every answering shard) are deduplicated on the fly,
+// keeping the lowest answering shard's copy; distinct entities that
+// coincide on a local order key across shards are NOT spine replicas and
+// all surface, in shard order — exactly the buffered merge's semantics,
+// which is why the probe against the spine volume is required rather
+// than deduplicating on order-key equality alone.
+//
+// Close is mandatory and idempotent; it closes every shard cursor, which
+// cancels their queries and withdraws in-flight prefetches.
+//
+// A StreamCursor is not safe for concurrent use.
+type StreamCursor struct {
+	c      *Cluster
+	cancel context.CancelFunc
+	limit  int
+
+	h       mergeHeap
+	streams []*shardStream
+
+	// spineOrds is the replicated spine's order-key set for this path;
+	// only these keys deduplicate (the spine volume is a few pages, so
+	// the probe is cheap relative to any scatter).
+	spineOrds    map[string]bool
+	spineMatches int
+
+	node     ShardNode
+	lastOrd  string
+	hasLast  bool
+	yielded  int
+	failures []ShardFailure
+	stats    []ShardStat
+
+	done   bool
+	closed bool
+	err    error
+	sum    *StreamSummary
+}
+
+// shardStream is one shard's contribution to the merge.
+type shardStream struct {
+	shard  int
+	cur    *pathdb.Cursor
+	count  int // nodes fed into the merge
+	closed bool
+}
+
+// mergeEntry is one stream head waiting in the heap.
+type mergeEntry struct {
+	node ShardNode
+	src  *shardStream
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(a, b int) bool {
+	if d := pathdb.CompareDocOrder(h[a].node.Node, h[b].node.Node); d != 0 {
+		return d < 0
+	}
+	return h[a].node.Shard < h[b].node.Shard
+}
+func (h mergeHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Stream fans path across every shard as sorted per-shard streams and
+// returns a cursor merging them in global document order. Admission is
+// non-blocking per shard (an overloaded shard fails the open, like the
+// buffered scatter's TryDo); the failure policy applies both at open and
+// mid-merge — under PolicyQuorum a shard lost to a storage fault mid-way
+// is dropped from the heap (its already-merged prefix stands, and the
+// trailing summary reports it degraded), under PolicyAll any failure
+// aborts the stream.
+//
+// opts.Sorted is implied (the merge requires per-shard document order);
+// opts.Limit caps the merged sequence, and is also pushed down to each
+// shard — the global first N in document order draws at most N from any
+// single shard.
+func (c *Cluster) Stream(ctx context.Context, path string, opts pathdb.QueryOptions) (*StreamCursor, error) {
+	opts.Sorted = true
+	sctx, cancel := context.WithCancel(ctx)
+	sc := &StreamCursor{c: c, cancel: cancel, limit: opts.Limit}
+
+	// Spine probe: the replica dedup below keys on the spine's order-key
+	// set, exactly like the buffered merge (order-key equality alone is
+	// not replication — distinct entities on different shards may share a
+	// local key). The probe must see every spine match, so the caller's
+	// Limit does not apply to it.
+	if c.spineSes != nil {
+		popts := opts
+		popts.Limit = 0
+		res, err := c.spineSes.Do(sctx, path, popts)
+		if err != nil {
+			sc.close()
+			return nil, err
+		}
+		sc.spineMatches = res.Count()
+		sc.spineOrds = make(map[string]bool, res.Count())
+		for _, sn := range res.Nodes {
+			sc.spineOrds[sn.OrdPath()] = true
+		}
+	}
+
+	for i := range c.sessions {
+		cur, err := c.sessions[i].TryStream(sctx, path, opts)
+		if err != nil {
+			if tolerable(err) && c.cfg.Policy == PolicyQuorum {
+				sc.failures = append(sc.failures, ShardFailure{Shard: i, Kind: pathdb.KindOf(err), Err: err})
+				c.degradedHits[i].Add(1)
+				continue
+			}
+			sc.close()
+			return nil, err
+		}
+		sc.streams = append(sc.streams, &shardStream{shard: i, cur: cur})
+	}
+	if len(c.sessions)-len(sc.failures) < c.cfg.Quorum {
+		qerr := &QuorumError{
+			Healthy:  len(c.sessions) - len(sc.failures),
+			Needed:   c.cfg.Quorum,
+			Failures: sc.failures,
+		}
+		sc.close()
+		return nil, qerr
+	}
+
+	// Prime the heap with each stream's head. The first merged node needs
+	// every head anyway (it is their minimum), so this is the stream's
+	// genuine time-to-first-result, not an implementation stall.
+	for _, s := range sc.streams {
+		if err := sc.advance(s); err != nil {
+			sc.close()
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// advance pulls the next node from s, pushing it on the heap; a drained
+// stream is settled (summary harvested, cursor closed) and a failed one is
+// classified under the policy. The returned error is fatal to the merge.
+func (sc *StreamCursor) advance(s *shardStream) error {
+	if s.cur.Next() {
+		s.count++
+		heap.Push(&sc.h, mergeEntry{node: ShardNode{Shard: s.shard, Node: s.cur.Node()}, src: s})
+		return nil
+	}
+	if err := s.cur.Err(); err != nil {
+		sc.settle(s)
+		if tolerable(err) && sc.c.cfg.Policy == PolicyQuorum {
+			sc.failures = append(sc.failures, ShardFailure{Shard: s.shard, Kind: pathdb.KindOf(err), Err: err})
+			sc.c.degradedHits[s.shard].Add(1)
+			if len(sc.c.sessions)-len(sc.failures) < sc.c.cfg.Quorum {
+				return &QuorumError{
+					Healthy:  len(sc.c.sessions) - len(sc.failures),
+					Needed:   sc.c.cfg.Quorum,
+					Failures: sc.failures,
+				}
+			}
+			return nil
+		}
+		return err
+	}
+	// Clean exhaustion: harvest the shard's execution stats.
+	if res, ok := s.cur.Summary(); ok {
+		sc.stats = append(sc.stats, ShardStat{
+			Shard:    s.shard,
+			Count:    s.count,
+			Strategy: res.Strategy,
+			Shared:   res.Shared,
+			CostV:    res.CostV,
+			VirtLat:  res.VirtualLatency,
+			WallExec: res.WallExec.Nanoseconds(),
+		})
+	}
+	sc.settle(s)
+	return nil
+}
+
+// settle closes one shard cursor (idempotent).
+func (sc *StreamCursor) settle(s *shardStream) {
+	if !s.closed {
+		s.closed = true
+		s.cur.Close()
+	}
+}
+
+// Next advances the merge to the next node in global document order,
+// reporting false on exhaustion, failure, or the Limit cap. Err
+// distinguishes afterwards.
+func (sc *StreamCursor) Next() bool {
+	if sc.done || sc.closed {
+		return false
+	}
+	for {
+		if sc.h.Len() == 0 {
+			sc.finish()
+			return false
+		}
+		e := heap.Pop(&sc.h).(mergeEntry)
+		if err := sc.advance(e.src); err != nil {
+			sc.fail(err)
+			return false
+		}
+		// Spine replicas carry identical order keys on every answering
+		// shard; the heap (order key, then shard) pops the lowest shard's
+		// copy first, so an equal-key successor on a spine key is a
+		// replica to drop. Equal keys off the spine are distinct entities
+		// and all surface (the heap's shard tiebreak orders them).
+		ord := e.node.Node.OrdPath()
+		if sc.hasLast && ord == sc.lastOrd && sc.spineOrds[ord] {
+			continue
+		}
+		sc.lastOrd, sc.hasLast = ord, true
+		sc.node = e.node
+		sc.yielded++
+		if sc.limit > 0 && sc.yielded >= sc.limit {
+			sc.finish()
+		}
+		return true
+	}
+}
+
+// Node returns the node Next positioned the cursor on.
+func (sc *StreamCursor) Node() ShardNode { return sc.node }
+
+// Err returns the error that terminated the merge, nil on clean completion
+// (including a Limit cut or an explicit Close).
+func (sc *StreamCursor) Err() error { return sc.err }
+
+// Count returns how many merged nodes the cursor has yielded so far.
+func (sc *StreamCursor) Count() int { return sc.yielded }
+
+// Summary returns the scatter's trailing summary once the merge has
+// terminated.
+func (sc *StreamCursor) Summary() (*StreamSummary, bool) {
+	if sc.sum == nil {
+		return nil, false
+	}
+	return sc.sum, true
+}
+
+// Close terminates the merge: every shard cursor is closed (cancelling its
+// query and withdrawing prefetches). Idempotent; always returns nil.
+func (sc *StreamCursor) Close() error {
+	if sc.closed {
+		return nil
+	}
+	sc.close()
+	sc.closed = true
+	if sc.sum == nil {
+		sc.buildSummary()
+	}
+	return nil
+}
+
+func (sc *StreamCursor) close() {
+	sc.cancel()
+	for _, s := range sc.streams {
+		sc.settle(s)
+	}
+	sc.h = nil
+}
+
+func (sc *StreamCursor) finish() {
+	sc.done = true
+	sc.close()
+	sc.buildSummary()
+}
+
+func (sc *StreamCursor) fail(err error) {
+	sc.err = err
+	sc.done = true
+	sc.close()
+	sc.buildSummary()
+}
+
+func (sc *StreamCursor) buildSummary() {
+	sum := &StreamSummary{
+		Count:        sc.yielded,
+		SpineMatches: sc.spineMatches,
+		Degraded:     sc.failures,
+		Partial:      len(sc.failures) > 0,
+	}
+	byShard := make(map[int]ShardStat, len(sc.c.sessions))
+	for _, st := range sc.stats {
+		byShard[st.Shard] = st
+	}
+	for _, f := range sc.failures {
+		byShard[f.Shard] = ShardStat{Shard: f.Shard, Failed: true, Kind: f.Kind}
+	}
+	for i := range sc.c.sessions {
+		st, ok := byShard[i]
+		if !ok {
+			// Closed or capped before this shard drained; report what it
+			// contributed to the merge.
+			for _, s := range sc.streams {
+				if s.shard == i {
+					st = ShardStat{Shard: i, Count: s.count}
+					break
+				}
+			}
+			st.Shard = i
+		}
+		sum.PerShard = append(sum.PerShard, st)
+	}
+	if sum.Partial {
+		sc.c.partials.Add(1)
+	}
+	sc.sum = sum
+}

@@ -149,8 +149,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// DB is one loaded document plus its evaluation machinery.
+// DB is one loaded document plus its evaluation machinery. The embedded
+// volumeAPI provides the write/transaction surface (Update, UpdateEpoch,
+// TxnMetrics, SetTxnOptions), shared with Engine.
 type DB struct {
+	volumeAPI
+
 	dict  *xmltree.Dictionary
 	store *storage.Store
 
@@ -161,6 +165,13 @@ type DB struct {
 	// (see txn.go). Reads load it lock-free.
 	mgr     atomic.Pointer[txn.Manager]
 	txnOpts txn.Options
+}
+
+// newDB wires a loaded store into a DB, closing the volumeAPI self-link.
+func newDB(dict *xmltree.Dictionary, st *storage.Store) *DB {
+	db := &DB{dict: dict, store: st}
+	db.volumeAPI = volumeAPI{vol: db}
+	return db
 }
 
 // getChooser returns the document's cost-model chooser, building it on
@@ -221,7 +232,7 @@ func LoadXMLCollection(docs [][]byte, opts Options) (*DB, error) {
 		return nil, err
 	}
 	st.SetBufferCapacity(opts.BufferPages)
-	return &DB{dict: dict, store: st}, nil
+	return newDB(dict, st), nil
 }
 
 // Documents returns the number of documents in the stored collection.
@@ -260,7 +271,7 @@ func loadTree(dict *xmltree.Dictionary, doc *xmltree.Node, opts Options) (*DB, e
 		return nil, err
 	}
 	st.SetBufferCapacity(opts.withDefaults().BufferPages)
-	return &DB{dict: dict, store: st}, nil
+	return newDB(dict, st), nil
 }
 
 // Pages returns the number of data pages the document occupies, including

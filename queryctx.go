@@ -26,6 +26,8 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 	if err != nil {
 		return ExecResult{}, err
 	}
+	ctx, cancel := opts.context(ctx)
+	defer cancel()
 	defer func() {
 		if r := recover(); r != nil {
 			if pe, ok := storage.AsPageFault(r); ok {
@@ -99,6 +101,9 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 		return ExecResult{}, wrapErr("query", path, cerr)
 	}
 
+	if opts.Limit > 0 && len(all) > opts.Limit {
+		all = all[:opts.Limit]
+	}
 	end := led.Snapshot()
 	out.CostV = end.Now - start.Now
 	out.CPUV = end.CPU - start.CPU

@@ -39,10 +39,67 @@ type TxnOptions struct {
 	CheckpointEvery int
 }
 
+// volumeAPI is the write/transaction surface of one volume, embedded by
+// both DB and Engine so the two facades share a single implementation of
+// Update/UpdateEpoch/TxnMetrics/SetTxnOptions and cannot drift. The engine
+// parameterizes it with an admission hook (engine.AdmitWrite) so writes
+// respect the engine lifecycle — that gating is the only difference between
+// the two facades.
+type volumeAPI struct {
+	vol *DB
+	// admit, when set, gates each write against a lifecycle (the engine's
+	// drain/close state) and registers it so shutdown waits for it. Errors
+	// from an admission-gated path are wrapped into the typed taxonomy.
+	admit func() (release func(), err error)
+}
+
+// Update runs fn inside a write transaction with snapshot isolation: fn
+// stages mutations through the Tx, and when it returns nil the whole batch
+// commits atomically — copy-on-write page images are published as one new
+// volume version, and the call returns once the commit's group has been
+// logged durably (group commit: concurrent Updates share one WAL flush).
+// Any error from fn aborts the transaction with the volume untouched.
+//
+// Readers — blocking Query calls and engine sessions alike — never see a
+// partial transaction: queries in flight keep reading the version they
+// started on, and queries submitted after Update returns see everything it
+// staged. Through an Engine the write is additionally admitted against the
+// engine's lifecycle: once Close or Shutdown has begun it fails with
+// ErrClosed, and the engine waits for admitted writers before its storage
+// goes away.
+func (v volumeAPI) Update(fn func(*Tx) error) error {
+	_, err := v.UpdateEpoch(fn)
+	return err
+}
+
+// UpdateEpoch is Update, but additionally returns the publish epoch of the
+// committed version — the exact epoch at which this transaction's mutations
+// became visible. Under group commit, concurrent writers each learn their
+// own epoch, so callers can attribute epoch transitions to transactions
+// unambiguously. A transaction that staged nothing returns the epoch it
+// read (no new version was published).
+func (v volumeAPI) UpdateEpoch(fn func(*Tx) error) (uint64, error) {
+	if v.admit == nil {
+		return v.vol.updateEpoch(fn)
+	}
+	release, err := v.admit()
+	if err != nil {
+		return 0, wrapErr("update", "", err)
+	}
+	defer release()
+	epoch, uerr := v.vol.updateEpoch(fn)
+	return epoch, wrapErr("update", "", uerr)
+}
+
+// TxnMetrics returns a snapshot of the transaction subsystem's counters.
+// All zeros before the first write (the manager is created lazily).
+func (v volumeAPI) TxnMetrics() TxnMetrics { return v.vol.txnMetrics() }
+
 // SetTxnOptions configures the transaction manager that the first write
-// creates. It fails once the manager exists (the first DB.Update, InsertXML
+// creates. It fails once the manager exists (the first Update, InsertXML
 // or Delete froze the options).
-func (db *DB) SetTxnOptions(o TxnOptions) error {
+func (v volumeAPI) SetTxnOptions(o TxnOptions) error {
+	db := v.vol
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.mgr.Load() != nil {
@@ -127,29 +184,9 @@ func parseFragment(dict *xmltree.Dictionary, fragment string) (*xmltree.Node, er
 	return frag.Children[0], nil
 }
 
-// Update runs fn inside a write transaction with snapshot isolation: fn
-// stages mutations through the Tx, and when it returns nil the whole batch
-// commits atomically — copy-on-write page images are published as one new
-// volume version, and the call returns once the commit's group has been
-// logged durably (group commit: concurrent Updates share one WAL flush).
-// Any error from fn aborts the transaction with the volume untouched.
-//
-// Readers — blocking Query calls and engine sessions alike — never see a
-// partial transaction: queries in flight keep reading the version they
-// started on, and queries submitted after Update returns see everything it
-// staged.
-func (db *DB) Update(fn func(*Tx) error) error {
-	_, err := db.UpdateEpoch(fn)
-	return err
-}
-
-// UpdateEpoch is Update, but additionally returns the publish epoch of the
-// committed version — the exact epoch at which this transaction's mutations
-// became visible. Under group commit, concurrent writers each learn their
-// own epoch, so callers can attribute epoch transitions to transactions
-// unambiguously. A transaction that staged nothing returns the epoch it
-// read (no new version was published).
-func (db *DB) UpdateEpoch(fn func(*Tx) error) (uint64, error) {
+// updateEpoch is the single write-transaction implementation behind both
+// facades (volumeAPI.Update / volumeAPI.UpdateEpoch).
+func (db *DB) updateEpoch(fn func(*Tx) error) (uint64, error) {
 	m, err := db.txnMgr()
 	if err != nil {
 		return 0, err
@@ -182,8 +219,7 @@ type TxnMetrics struct {
 	FlushesPerCommit float64
 }
 
-// TxnMetrics returns a snapshot of the transaction subsystem's counters.
-func (db *DB) TxnMetrics() TxnMetrics {
+func (db *DB) txnMetrics() TxnMetrics {
 	m := db.manager()
 	if m == nil {
 		return TxnMetrics{}
