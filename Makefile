@@ -34,7 +34,7 @@ bench: bench-load
 # the closed loop queue wait would hide it).
 bench-load:
 	$(GO) run ./cmd/xload -xmark 0.5 -clients 8 -requests 384 \
-		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -stream -json .
+		-mix q6,q7,q15 -write-frac 0.25 -parallel 8 -stream -pred-compare -json .
 
 # Same closed loop against a 4-shard scatter-gather cluster: writes
 # BENCH_xload_sharded.json with per-shard throughput alongside the

@@ -33,6 +33,28 @@ type snapshot struct {
 	Stream     bool    `json:"stream"`
 	P50TTFRSec float64 `json:"p50_ttfr_s"`
 	P99TTFRSec float64 `json:"p99_ttfr_s"`
+
+	// Predicate evaluation: the main run's evaluator and the optional
+	// join-vs-nested branch-mix replay (xload -pred-compare). Wall-based
+	// speedup is machine dependent and only reported; the replay's
+	// allocs/op figures are deterministic and gated like the headline one.
+	Preds       string `json:"preds"`
+	PredCompare *struct {
+		NestedWallS  float64 `json:"nested_wall_s"`
+		JoinWallS    float64 `json:"join_wall_s"`
+		NestedAllocs int64   `json:"nested_allocs_per_op"`
+		JoinAllocs   int64   `json:"join_allocs_per_op"`
+		Speedup      float64 `json:"speedup"`
+	} `json:"pred_compare"`
+}
+
+// predsOf normalizes the evaluator: snapshots written before predicate
+// evaluation was configurable omit the field, which means auto.
+func predsOf(s snapshot) string {
+	if s.Preds == "" {
+		return "auto"
+	}
+	return s.Preds
 }
 
 // shardsOf normalizes the shard count: snapshots written before sharding
@@ -95,6 +117,11 @@ func main() {
 			old.Stream, cur.Stream)
 		os.Exit(2)
 	}
+	if predsOf(old) != predsOf(cur) {
+		fmt.Fprintf(os.Stderr, "benchgate: predicate evaluators differ (baseline %q, new %q); not comparable\n",
+			predsOf(old), predsOf(cur))
+		os.Exit(2)
+	}
 
 	limit := int64(float64(old.AllocsPerOp)*(1+*maxAllocRegress)) + *allocSlack
 	fmt.Printf("allocs/op: baseline %d, new %d (limit %d)\n", old.AllocsPerOp, cur.AllocsPerOp, limit)
@@ -109,6 +136,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL wall qps regressed %.1f -> %.1f (below %.0f%% of baseline)\n",
 			old.WallQPS, cur.WallQPS, *minQPSRatio*100)
 		fail = true
+	}
+	if cur.PredCompare != nil {
+		fmt.Printf("pred-compare: nested %.3fs vs join %.3fs (%.2fx), allocs/op %d vs %d\n",
+			cur.PredCompare.NestedWallS, cur.PredCompare.JoinWallS, cur.PredCompare.Speedup,
+			cur.PredCompare.NestedAllocs, cur.PredCompare.JoinAllocs)
+		if old.PredCompare != nil {
+			limit := int64(float64(old.PredCompare.JoinAllocs)*(1+*maxAllocRegress)) + *allocSlack
+			if cur.PredCompare.JoinAllocs > limit {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL pred-compare join allocs/op regressed %d -> %d (limit %d)\n",
+					old.PredCompare.JoinAllocs, cur.PredCompare.JoinAllocs, limit)
+				fail = true
+			}
+		}
 	}
 	if cur.Stream {
 		fmt.Printf("ttfr p50:  baseline %.6fs, new %.6fs (p99 %.6fs -> %.6fs)\n",

@@ -142,8 +142,9 @@ func TestLoadGenerator(t *testing.T) {
 	conc := run(t, append(base, "-clients", "8")...)
 
 	seqCounts, concCounts := countLines(seq), countLines(conc)
-	if len(seqCounts) != 5 {
-		t.Fatalf("xload -clients 1 reported %d paths, want 5:\n%s", len(seqCounts), seq)
+	// q6 (1) + q7 (3) + q15 (1) + branch (3) paths in the "all" mix.
+	if len(seqCounts) != 8 {
+		t.Fatalf("xload -clients 1 reported %d paths, want 8:\n%s", len(seqCounts), seq)
 	}
 	if strings.Join(seqCounts, "\n") != strings.Join(concCounts, "\n") {
 		t.Fatalf("per-query results differ between 1 and 8 clients:\n%v\nvs\n%v", seqCounts, concCounts)

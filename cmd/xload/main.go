@@ -84,6 +84,14 @@ var mixes = map[string][]string{
 	"q15": {
 		"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
 	},
+	// Branching paths: structural predicates over wide candidate sets, the
+	// workload where the set-at-a-time semi-join (XJoin) earns its keep
+	// over per-candidate probing.
+	"branch": {
+		`/site//item[.//keyword="golden"]`,
+		"/site//item[mailbox/mail//keyword]",
+		"/site//parlist[(listitem/parlist){1,2}]",
+	},
 }
 
 // sample is the outcome of one request. A timed-out request has timedOut
@@ -123,6 +131,16 @@ type backend interface {
 	close()
 }
 
+// predConfigurable lets the -pred-compare pass swap the predicate
+// evaluator (and pin the access strategy) between replays of the branch
+// mix. Every backend implements it: the engine and cluster backends
+// thread it through QueryOptions, the HTTP backend through the request
+// body.
+type predConfigurable interface {
+	setPredEval(pathdb.PredEval)
+	setStrategy(pathdb.Strategy)
+}
+
 // shardAware is the optional backend extension for sharded runs: the
 // cluster backend always implements it meaningfully; the HTTP backend
 // does once it detects pathdb_cluster_shards in /metrics.
@@ -144,12 +162,12 @@ func resolveMix(mixName string) ([]string, error) {
 		}
 		if name == "all" {
 			var ps []string
-			for _, n := range []string{"q6", "q7", "q15"} {
+			for _, n := range []string{"q6", "q7", "q15", "branch"} {
 				ps = append(ps, mixes[n]...)
 			}
 			return ps, nil
 		}
-		return nil, fmt.Errorf("unknown mix %q (want q6, q7, q15 or all)", name)
+		return nil, fmt.Errorf("unknown mix %q (want q6, q7, q15, branch or all)", name)
 	}
 	names := strings.Split(mixName, ",")
 	if len(names) == 1 {
@@ -214,6 +232,8 @@ func main() {
 	mixName := flag.String("mix", "q6", "query mix: q6, q7, q15, all, or a comma-separated heavy-tailed list (q6,q7,q15)")
 	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are write transactions (0..0.9)")
 	strategy := flag.String("strategy", "auto", "plan strategy: auto, simple, xschedule, xscan")
+	predsName := flag.String("preds", "auto", "predicate evaluator: auto, nested, join")
+	predCompare := flag.Bool("pred-compare", false, "after the main run, replay the 'branch' mix under per-candidate (nested) and chooser-picked predicate evaluation and record both in the JSON snapshot")
 	timeoutMS := flag.Int64("timeout", 0, "per-request budget in milliseconds (0 = none)")
 	inflight := flag.Int("inflight", 0, "engine MaxInFlight (default 8)")
 	queue := flag.Int("queue", 0, "engine QueueDepth (default 64)")
@@ -227,6 +247,10 @@ func main() {
 	flag.Parse()
 
 	strat, err := pathdb.ParseStrategy(*strategy)
+	if err != nil {
+		fail("%v", err)
+	}
+	predEval, err := pathdb.ParsePredEval(*predsName)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -283,6 +307,7 @@ func main() {
 	queryOpts := pathdb.QueryOptions{
 		Strategy: strat,
 		Sorted:   *sorted,
+		PredEval: predEval,
 		Timeout:  time.Duration(*timeoutMS) * time.Millisecond,
 	}
 
@@ -597,6 +622,68 @@ func main() {
 		}
 	}
 
+	// -pred-compare: replay the branch mix — structural predicates over
+	// wide candidate sets — under both predicate evaluators, at the same
+	// client/parallel configuration as the main run. The access strategy is
+	// pinned to Simple for both replays — the lowest, identical navigation
+	// floor — so the comparison isolates the predicate evaluator, not the
+	// I/O operator choice; a warm-up pass first, so both measured replays
+	// run against the same buffer-pool and filter-set-cache state and
+	// measure steady state.
+	var predCmp *bench.PredCompareJSON
+	if *predCompare {
+		pc, ok := be.(predConfigurable)
+		if !ok {
+			fail("-pred-compare is not supported by this backend")
+		}
+		pc.setStrategy(pathdb.Simple)
+		branchPaths := mixes["branch"]
+		n := *requests
+		replay := func(pe pathdb.PredEval) (float64, int64) {
+			pc.setPredEval(pe)
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < *clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := c; i < n; i += *clients {
+						if _, _, err := be.do(branchPaths[i%len(branchPaths)]); err != nil {
+							fail("pred-compare request %d: %v", i, err)
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			wall := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&ms1)
+			return wall, int64(ms1.Mallocs-ms0.Mallocs) / int64(n)
+		}
+		// Warm-up, discarded: forced join seeds the epoch-keyed filter-set
+		// cache, so the chooser prices the resident builds and both measured
+		// replays run at steady state.
+		replay(pathdb.PredJoin)
+		nestedWall, nestedAllocs := replay(pathdb.PredNested)
+		autoWall, autoAllocs := replay(pathdb.PredAuto) // chooser-picked
+		pc.setPredEval(predEval)                        // restore the run's settings
+		pc.setStrategy(strat)
+		predCmp = &bench.PredCompareJSON{
+			Mix:          "branch",
+			Requests:     n,
+			NestedWallS:  nestedWall,
+			JoinWallS:    autoWall,
+			NestedAllocs: nestedAllocs,
+			JoinAllocs:   autoAllocs,
+		}
+		if autoWall > 0 {
+			predCmp.Speedup = nestedWall / autoWall
+		}
+		fmt.Printf("pred-compare (branch mix, %d requests): nested %.3fs, chooser-picked %.3fs (%.2fx), allocs/op %d vs %d\n",
+			n, nestedWall, autoWall, predCmp.Speedup, nestedAllocs, autoAllocs)
+	}
+
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
 		if merr != nil {
@@ -640,6 +727,8 @@ func main() {
 			Requests:         *requests,
 			Mix:              *mixName,
 			Strategy:         strat.String(),
+			Preds:            predEval.String(),
+			PredCompare:      predCmp,
 			Parallel:         effParallel,
 			VirtualSec:       virtTotal.Seconds(),
 			WallSec:          wallTotal.Seconds(),
@@ -795,6 +884,10 @@ func (b *engineBackend) update() (sample, int64, error) {
 	return sample{isWrite: true, wall: time.Since(t0)}, 0, nil
 }
 
+func (b *engineBackend) setPredEval(pe pathdb.PredEval) { b.opts.PredEval = pe }
+
+func (b *engineBackend) setStrategy(st pathdb.Strategy) { b.opts.Strategy = st }
+
 func (b *engineBackend) virtualTotal() stats.Ticks { return b.db.CostReport().Total }
 
 func (b *engineBackend) engineMetrics() (pathdb.EngineMetrics, error) { return b.eng.Metrics(), nil }
@@ -905,6 +998,10 @@ func (b *clusterBackend) update() (sample, int64, error) {
 	}
 	return sample{isWrite: true, wall: time.Since(t0)}, 0, nil
 }
+
+func (b *clusterBackend) setPredEval(pe pathdb.PredEval) { b.opts.PredEval = pe }
+
+func (b *clusterBackend) setStrategy(st pathdb.Strategy) { b.opts.Strategy = st }
 
 func (b *clusterBackend) virtualTotal() stats.Ticks {
 	var total stats.Ticks
@@ -1023,6 +1120,9 @@ func (b *httpBackend) queryBody(path string) ([]byte, error) {
 	}
 	if b.opts.Sorted {
 		req["sorted"] = true
+	}
+	if b.opts.PredEval != pathdb.PredAuto {
+		req["preds"] = b.opts.PredEval.String()
 	}
 	return json.Marshal(req)
 }
@@ -1240,6 +1340,10 @@ func (b *httpBackend) update() (sample, int64, error) {
 		}
 	}
 }
+
+func (b *httpBackend) setPredEval(pe pathdb.PredEval) { b.opts.PredEval = pe }
+
+func (b *httpBackend) setStrategy(st pathdb.Strategy) { b.opts.Strategy = st }
 
 func (b *httpBackend) txnMetrics() (pathdb.TxnMetrics, error) {
 	m, err := b.scrape()

@@ -170,6 +170,10 @@ type QueryOptions struct {
 	// evaluation sees everything, sorts, and keeps the first N in
 	// document order.
 	Limit int
+	// PredEval forces the predicate evaluator (default PredAuto: the
+	// cost model decides per query between per-candidate probing and the
+	// set-at-a-time structural semi-join).
+	PredEval PredEval
 }
 
 // context derives the evaluation context: the caller's ctx, additionally
@@ -294,6 +298,7 @@ func (s *Session) compile(path string, opts QueryOptions, live bool) ([]engine.Q
 			MemLimit: opts.MemLimit,
 			Limit:    limit,
 			Stream:   live,
+			PredEval: opts.PredEval.internal(),
 		}
 	}
 	return queries, live, nil

@@ -128,6 +128,15 @@ type LoadJSON struct {
 	P50CommitSec     float64 `json:"p50_commit_s,omitempty"`
 	P99CommitSec     float64 `json:"p99_commit_s,omitempty"`
 
+	// Predicate evaluation: the evaluator the main run used ("auto",
+	// "nested" or "join"), and — with xload -pred-compare — the branch
+	// mix replayed under per-candidate probing vs the chooser-picked
+	// structural semi-join, so the join win stays a tracked figure.
+	// benchgate refuses to compare snapshots taken at different preds
+	// settings.
+	Preds       string           `json:"preds,omitempty"`
+	PredCompare *PredCompareJSON `json:"pred_compare,omitempty"`
+
 	// Sharded runs (-shards > 1): cluster shape, per-shard throughput and
 	// degraded-shard outcomes, so cmd/benchgate can gate sharded runs and
 	// refuse to compare snapshots taken at different shard counts.
@@ -135,6 +144,21 @@ type LoadJSON struct {
 	PartialResults int64           `json:"partial_results,omitempty"` // 200s that excluded a degraded shard
 	DegradedHits   int64           `json:"degraded_hits,omitempty"`   // tolerable shard faults absorbed by quorum
 	PerShard       []ShardLoadJSON `json:"per_shard,omitempty"`
+}
+
+// PredCompareJSON is the join-vs-nested replay of the branching mix:
+// the same request multiset evaluated with per-candidate probing
+// (PredFilter) and with the chooser-picked evaluator (the structural
+// semi-join where the cost model selects it). Speedup is nested wall
+// over join wall — above 1 means the set-at-a-time evaluation wins.
+type PredCompareJSON struct {
+	Mix          string  `json:"mix"`
+	Requests     int     `json:"requests"`
+	NestedWallS  float64 `json:"nested_wall_s"`
+	JoinWallS    float64 `json:"join_wall_s"`
+	NestedAllocs int64   `json:"nested_allocs_per_op"`
+	JoinAllocs   int64   `json:"join_allocs_per_op"`
+	Speedup      float64 `json:"speedup"`
 }
 
 // ShardLoadJSON is one shard's slice of a sharded xload run.

@@ -44,6 +44,9 @@ func describeOp(b *strings.Builder, op Operator, dict *xmltree.Dictionary, depth
 	case *PredFilter:
 		fmt.Fprintf(b, "%sPredFilter(step %d, %d predicates)\n", indent, o.i, len(o.preds))
 		describeOp(b, o.input, dict, depth+1)
+	case *XJoin:
+		fmt.Fprintf(b, "%sXJoin(step %d, %d predicates, structural semi-join)\n", indent, o.i, len(o.preds))
+		describeOp(b, o.input, dict, depth+1)
 	case *XStep:
 		mode := ""
 		if o.CrossBorders {

@@ -53,6 +53,9 @@ type MultiQuery struct {
 	Ctx context.Context
 	// MemLimit overrides PlanOptions.MemLimit for this member when > 0.
 	MemLimit int
+	// PredEval overrides PlanOptions.PredEval for this member when not
+	// PredAuto — the cost model decides per member query.
+	PredEval PredEval
 	// Store, when non-nil, is the storage view this member's operators
 	// charge to (a per-query Reader over the group's base store). The
 	// shared scheduler still runs on the store passed to BuildMultiPlan —
@@ -108,9 +111,20 @@ func BuildMultiPlan(store *storage.Store, queries []MultiQuery, opts PlanOptions
 		// structures, later ones fall back to fresh ones.
 		es.Arena = opts.Arena
 		mp.es = append(mp.es, es)
+		pe := opts.PredEval
+		if q.PredEval != PredAuto {
+			pe = q.PredEval
+		}
 		var op Operator = &demuxPort{d: d, path: pi}
 		for i := 1; i <= len(q.Path); i++ {
 			op = NewXStep(es, op, i)
+			if len(q.Path[i-1].Predicates) > 0 {
+				if pe == PredJoin {
+					op = NewXJoin(es, op, i)
+				} else {
+					op = NewPredFilter(es, op, i)
+				}
+			}
 		}
 		mp.asms = append(mp.asms, NewXAssembly(es, op, shared))
 	}

@@ -36,6 +36,33 @@ func (s Strategy) String() string {
 	}
 }
 
+// PredEval selects the physical evaluator for step predicates.
+type PredEval uint8
+
+const (
+	// PredAuto defers to the cost model (internal/plan); a plan built
+	// without a chooser treats it as PredNested.
+	PredAuto PredEval = iota
+	// PredNested probes each candidate with a per-node Simple sub-plan
+	// (PredFilter) — the safe default, linear in candidates × probe cost.
+	PredNested
+	// PredJoin evaluates predicates set-at-a-time with ordpath structural
+	// semi-joins (XJoin); branches the join cannot express still fall back
+	// to per-candidate probes inside the operator.
+	PredJoin
+)
+
+func (p PredEval) String() string {
+	switch p {
+	case PredNested:
+		return "nested"
+	case PredJoin:
+		return "join"
+	default:
+		return "auto"
+	}
+}
+
 // PlanOptions tunes plan construction.
 type PlanOptions struct {
 	// K is XSchedule's queue fill target; 0 means DefaultK (100).
@@ -57,6 +84,9 @@ type PlanOptions struct {
 	// Arena supplies pooled per-query scratch to the plan's operators.
 	// Optional; one arena may serve only one running plan at a time.
 	Arena *Arena
+	// PredEval picks the predicate evaluator (default PredNested). The
+	// cost model (internal/plan) decides per query from the synopsis.
+	PredEval PredEval
 }
 
 // Plan is an executable physical plan for one location path.
@@ -82,15 +112,19 @@ func BuildPlan(store *storage.Store, path []xpath.Step, contexts []storage.NodeI
 	ctxIDs := append([]storage.NodeID(nil), contexts...)
 	p := &Plan{es: es, Strategy: strat}
 
-	// chain appends XStepᵢ (plus a predicate filter when the step carries
-	// predicates) for every location step.
+	// chain appends XStepᵢ (plus a predicate evaluator when the step
+	// carries predicates) for every location step.
 	chain := func(op Operator, crossBorders bool) Operator {
 		for i := 1; i <= len(path); i++ {
 			xs := NewXStep(es, op, i)
 			xs.CrossBorders = crossBorders
 			op = xs
 			if len(path[i-1].Predicates) > 0 {
-				op = NewPredFilter(es, op, i)
+				if opts.PredEval == PredJoin {
+					op = NewXJoin(es, op, i)
+				} else {
+					op = NewPredFilter(es, op, i)
+				}
 			}
 		}
 		return op

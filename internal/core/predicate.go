@@ -60,8 +60,16 @@ func (f *PredFilter) Next() (Instance, bool) {
 
 // matches evaluates every predicate of the step on the candidate node.
 func (f *PredFilter) matches(ctx storage.NodeID) bool {
-	for _, p := range f.preds {
-		if !f.evalPredicate(ctx, p) {
+	return evalPredicates(f.es, ctx, f.preds)
+}
+
+// evalPredicates is the shared per-candidate probe: it reports whether the
+// node passes every predicate in preds. PredFilter uses it on every
+// step-i candidate; XJoin uses it for non-joinable union branches, for
+// nested predicates on branch steps, and in its degraded mode.
+func evalPredicates(es *EvalState, ctx storage.NodeID, preds []xpath.Predicate) bool {
+	for _, p := range preds {
+		if !evalPredicate(es, ctx, p) {
 			return false
 		}
 	}
@@ -70,18 +78,21 @@ func (f *PredFilter) matches(ctx storage.NodeID) bool {
 
 // evalPredicate runs each nested union branch from ctx with a Simple
 // sub-plan, early-exiting on the first (matching) result.
-func (f *PredFilter) evalPredicate(ctx storage.NodeID, p xpath.Predicate) bool {
+func evalPredicate(es *EvalState, ctx storage.NodeID, p xpath.Predicate) bool {
 	for _, branch := range p.Paths {
-		if f.evalBranch(ctx, branch, p) {
+		if evalBranchProbe(es, ctx, branch, p) {
 			return true
 		}
 	}
 	return false
 }
 
-func (f *PredFilter) evalBranch(ctx storage.NodeID, branch *xpath.Path, p xpath.Predicate) bool {
+func evalBranchProbe(es *EvalState, ctx storage.NodeID, branch *xpath.Path, p xpath.Predicate) bool {
 	steps := branch.Simplify().Steps
-	sub := NewEvalState(f.es.Store, steps)
+	sub := NewEvalState(es.Store, steps)
+	// The probe inherits the outer query's cancellation (but never its
+	// arena: exactly one running plan may borrow an arena at a time).
+	sub.Ctx = es.Ctx
 	var op Operator = NewContextOp(sub, []storage.NodeID{ctx})
 	for i := 1; i <= len(steps); i++ {
 		xs := NewXStep(sub, op, i)
@@ -101,7 +112,7 @@ func (f *PredFilter) evalBranch(ctx storage.NodeID, branch *xpath.Path, p xpath.
 		if !p.HasLit {
 			return true
 		}
-		if f.es.Store.StringValue(out.NR) == p.Literal {
+		if es.Store.StringValue(out.NR) == p.Literal {
 			return true
 		}
 	}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathdb/internal/storage"
+	"pathdb/internal/xmltree"
+	"pathdb/internal/xpath"
+)
+
+// xjoinPaths exercises every join-relevant shape: child/descendant/
+// attribute branches, literals, nested predicates, unions, multi-level
+// branches, recursion under predicates, bounded repetition, and the
+// non-joinable axes that force the per-candidate fallback inside XJoin.
+var xjoinPaths = []string{
+	`/lib/book[meta]`,
+	`/lib/book[@lang]`,
+	`/lib/book[@lang="en"]/title`,
+	`//book[meta/year="1992"]`,
+	`//book[meta][@lang]`,
+	`//book[title="t9"]`,
+	`//book[meta/year]`,
+	`//book[//year]`,
+	`//book[.//year="1991"]`,
+	`//book[meta[year]]`,
+	`//book[title|meta]`,
+	`//book[(meta/year){1}]`,
+	`/lib/book[..]`,          // parent axis: fallback branch
+	`//year[ancestor::book]`, // ancestor axis: fallback branch
+	`//book[.]`,
+	`//book[.="x"]`,
+}
+
+func xjoinFixture(t testing.TB) (*xmltree.Dictionary, *xmltree.Node, *storage.Store) {
+	dict := xmltree.NewDictionary()
+	b := xmltree.NewBuilder(dict)
+	b.Begin("lib")
+	for i := 0; i < 40; i++ {
+		b.Begin("book")
+		if i%3 == 0 {
+			b.Attr("lang", "en")
+		}
+		b.Leaf("title", fmt.Sprintf("t%d", i))
+		if i%2 == 0 {
+			b.Begin("meta").Leaf("year", fmt.Sprintf("%d", 1990+i%5)).End()
+		}
+		b.End()
+	}
+	b.End()
+	doc := b.Doc()
+	return dict, doc, importTree(t, dict, doc, 256, storage.LayoutShuffled)
+}
+
+// TestXJoinMatchesReferenceAllStrategies drives the structural-join
+// evaluator across every strategy and path shape and compares against the
+// logical-tree reference (and hence, transitively, against PredFilter,
+// which TestPredicatesAllStrategies holds to the same reference).
+func TestXJoinMatchesReferenceAllStrategies(t *testing.T) {
+	dict, doc, st := xjoinFixture(t)
+	for _, src := range xjoinPaths {
+		parsed := xpath.MustParse(dict, src).Simplify()
+		want := logicalKeySet(doc, evalPathLogicalPred(doc, parsed.Steps))
+		for _, strat := range allStrategies {
+			got := resultKeySet(st, runStrategy(t, st, parsed.Steps, strat, PlanOptions{PredEval: PredJoin}))
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("%v on %q:\nwant %v\ngot  %v", strat, src, want, got)
+			}
+		}
+	}
+}
+
+// TestXJoinPropertyRandomTrees mirrors TestPredicatesPropertyRandomTrees
+// with the join evaluator.
+func TestXJoinPropertyRandomTrees(t *testing.T) {
+	srcs := []string{"//a[b]", "/a//c[d]", "//a[b/c]", `//b[.="t"]`, "//a[.//c]", "//a[b|c]", "//a[(b){1,2}]"}
+	f := func(seed uint64, pi uint8) bool {
+		dict, doc := buildTree(seed, 120)
+		st := importTree(t, dict, doc, 256, storage.LayoutShuffled)
+		src := srcs[int(pi)%len(srcs)]
+		parsed := xpath.MustParse(dict, src).Simplify()
+		want := logicalKeySet(doc, evalPathLogicalPred(doc, parsed.Steps))
+		for _, strat := range allStrategies {
+			got := resultKeySet(st, runStrategy(t, st, parsed.Steps, strat, PlanOptions{PredEval: PredJoin}))
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Logf("seed=%d src=%q strat=%v\nwant %v\ngot  %v", seed, src, strat, want, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestXJoinDegradesUnderMemLimit forces the buffer over the plan's memory
+// limit so the operator switches to per-candidate evaluation mid-run.
+func TestXJoinDegradesUnderMemLimit(t *testing.T) {
+	dict, doc, st := xjoinFixture(t)
+	parsed := xpath.MustParse(dict, `//book[meta]`).Simplify()
+	want := logicalKeySet(doc, evalPathLogicalPred(doc, parsed.Steps))
+	got := resultKeySet(st, runStrategy(t, st, parsed.Steps, StrategySimple,
+		PlanOptions{PredEval: PredJoin, MemLimit: 3}))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("degraded run diverged:\nwant %v\ngot  %v", want, got)
+	}
+}
+
+// TestMultiPlanHonorsPredicates is the regression test for the
+// shared-scheduler predicate gap: BuildMultiPlan used to build bare XStep
+// chains, silently dropping every predicate of a union branch. Both
+// evaluators must filter inside a multi-plan exactly as in a solo plan.
+func TestMultiPlanHonorsPredicates(t *testing.T) {
+	dict, doc, st := xjoinFixture(t)
+	srcs := []string{`//book[meta/year="1992"]`, `//book[@lang]`, `//title`}
+	for _, pe := range []PredEval{PredNested, PredJoin} {
+		var queries []MultiQuery
+		var want [][]string
+		for _, src := range srcs {
+			steps := xpath.MustParse(dict, src).Simplify().Steps
+			queries = append(queries, MultiQuery{Path: steps, Contexts: []storage.NodeID{st.Root()}})
+			want = append(want, logicalKeySet(doc, evalPathLogicalPred(doc, steps)))
+		}
+		st.ResetForRun()
+		results := BuildMultiPlan(st, queries, PlanOptions{PredEval: pe}).Run()
+		for i, rs := range results {
+			got := resultKeySet(st, rs)
+			if strings.Join(got, "\n") != strings.Join(want[i], "\n") {
+				t.Fatalf("%v multi-plan member %q:\nwant %v\ngot  %v", pe, srcs[i], want[i], got)
+			}
+		}
+	}
+}
+
+func TestXJoinDescribe(t *testing.T) {
+	dict, doc := buildTree(4, 50)
+	st := importTree(t, dict, doc, 512, storage.LayoutNatural)
+	steps := xpath.MustParse(dict, "/a//b[c]").Simplify().Steps
+	desc := BuildPlan(st, steps, []storage.NodeID{st.Root()}, StrategySchedule,
+		PlanOptions{PredEval: PredJoin}).Describe(dict)
+	if !strings.Contains(desc, "XJoin(step 2, 1 predicates, structural semi-join)") {
+		t.Fatalf("describe missing join:\n%s", desc)
+	}
+}

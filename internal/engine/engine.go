@@ -153,6 +153,9 @@ type Query struct {
 	// consumer, and parking a shared group's pooled I/O behind a slow
 	// consumer would stall the other members.
 	Stream bool
+	// PredEval forces the predicate evaluator; PredAuto defers to the
+	// cost model (resolved by the dispatcher alongside the strategy).
+	PredEval core.PredEval
 }
 
 // Result is the outcome of one executed query.
@@ -430,10 +433,12 @@ func batchable(strat core.Strategy, path []xpath.Step) bool {
 	return true
 }
 
-// execUnit is one gang member with its resolved strategy.
+// execUnit is one gang member with its resolved strategy and predicate
+// evaluator.
 type execUnit struct {
 	p      *Pending
 	strat  core.Strategy
+	pred   core.PredEval
 	choice *plan.Choice
 }
 
@@ -479,10 +484,17 @@ func (e *Engine) execute(gang []*Pending) {
 			p.finish(Result{}, err)
 			continue
 		}
-		u := execUnit{p: p, strat: p.q.Strategy}
+		u := execUnit{p: p, strat: p.q.Strategy, pred: p.q.PredEval}
 		if p.q.Auto {
 			c := e.chooser.Choose(p.q.Path)
 			u.strat, u.choice = c.Strategy, &c
+			if u.pred == core.PredAuto {
+				u.pred = c.PredEval
+			}
+		} else if u.pred == core.PredAuto && xpath.HasPredicates(p.q.Path) {
+			// A forced strategy still leaves the predicate evaluator to the
+			// cost model.
+			u.pred = e.chooser.Choose(p.q.Path).PredEval
 		}
 		if !p.q.Stream && batchable(u.strat, p.q.Path) {
 			shared = append(shared, u)
@@ -606,6 +618,7 @@ func (e *Engine) runShared(snap Snapshot, units []execUnit, gangSize int) {
 			Contexts: e.contextsOf(u.p.q),
 			Ctx:      u.p.ctx,
 			MemLimit: u.p.q.MemLimit,
+			PredEval: u.pred,
 			Store:    e.view(snap, qleds[i]),
 		}
 	}
@@ -735,6 +748,7 @@ func (e *Engine) runSolo(snap Snapshot, u execUnit, gangSize int) {
 			MemLimit: u.p.q.MemLimit,
 			Ctx:      u.p.ctx,
 			Arena:    arena,
+			PredEval: u.pred,
 		})
 		root = p.Root()
 		root.Open()

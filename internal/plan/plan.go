@@ -37,6 +37,17 @@ type Estimate struct {
 	Cost         stats.Ticks
 }
 
+// PredEstimate is the chooser's join-vs-nested decision detail for one
+// predicate-bearing location step.
+type PredEstimate struct {
+	Step       int         // 1-based location step index
+	Candidates int64       // estimated candidate nodes reaching the step
+	Nested     stats.Ticks // per-candidate probing (PredFilter)
+	Join       stats.Ticks // set-at-a-time structural semi-join (XJoin)
+	Joinable   bool        // every branch expressible as a semi-join
+	Cached     bool        // filter sets resident in the derived cache
+}
+
 // Choice is the chooser's full output, for explainability.
 type Choice struct {
 	Strategy core.Strategy
@@ -44,12 +55,26 @@ type Choice struct {
 	Scan     Estimate
 	Simple   Estimate
 	Coverage float64 // fraction of clusters the path is estimated to touch
+
+	// PredEval is the chosen predicate evaluator (PredNested when the
+	// path carries no predicates); Preds holds the per-step cost detail.
+	PredEval core.PredEval
+	Preds    []PredEstimate
 }
 
 // String renders the decision for logs and the xpathq tool.
 func (c Choice) String() string {
-	return fmt.Sprintf("choose %v (coverage %.0f%%: schedule %v, scan %v, simple %v)",
+	s := fmt.Sprintf("choose %v (coverage %.0f%%: schedule %v, scan %v, simple %v)",
 		c.Strategy, 100*c.Coverage, c.Schedule.Cost, c.Scan.Cost, c.Simple.Cost)
+	for _, p := range c.Preds {
+		s += fmt.Sprintf("; step %d preds → %v (C=%d: nested %v, join %v",
+			p.Step, c.PredEval, p.Candidates, p.Nested, p.Join)
+		if p.Cached {
+			s += ", build cached"
+		}
+		s += ")"
+	}
+	return s
 }
 
 // Chooser estimates plan costs over one store. Construct with NewChooser
@@ -213,7 +238,146 @@ func (c *Chooser) Choose(path []xpath.Step) Choice {
 	} else {
 		choice.Strategy = core.StrategySchedule
 	}
+	choice.PredEval, choice.Preds = c.predChoices(path, m)
 	return choice
+}
+
+// predChoices costs the two predicate evaluators for every
+// predicate-bearing step of the path. Nested (PredFilter) pays one probe
+// sub-plan per candidate per branch, with border crossings turning into
+// random reads; the structural join (XJoin) pays one bitmap-assisted
+// whole-document enumeration per branch level plus doc-order semi-join
+// merges, amortised over the whole candidate batch. The evaluator is a
+// plan-wide setting, so the decision sums over all predicate steps, with
+// non-joinable steps costed as nested on both sides (XJoin degenerates to
+// per-candidate probes for them). Caller holds c.mu.
+func (c *Chooser) predChoices(path []xpath.Step, m vdisk.CostModel) (core.PredEval, []PredEstimate) {
+	var elems int64
+	for _, ts := range c.ds.Tags {
+		elems += ts.Count
+	}
+	live := float64(c.live)
+	if live < 1 {
+		live = 1
+	}
+	// Average fanout calibrates child-step probe walks; a candidate's
+	// subtree share calibrates descendant-step walks.
+	fanout := live / float64(max64(elems, 1))
+	if fanout < 2 {
+		fanout = 2
+	}
+	crossRate := float64(c.ds.Borders) / live // chance one probe hop leaves the cluster
+	random := float64(m.SeekCost(int64(max64(int64(c.ds.Pages), 1))/3) + m.Transfer)
+
+	var out []PredEstimate
+	var totalNested, totalJoin float64
+	anyJoinable := false
+	for si, s := range path {
+		if len(s.Predicates) == 0 {
+			continue
+		}
+		cands := float64(c.testCount(s.Test))
+		if cands < 1 {
+			cands = 1
+		}
+		est := PredEstimate{Step: si + 1, Candidates: int64(cands), Joinable: true, Cached: true}
+		var nested, join float64
+		for _, p := range s.Predicates {
+			if !core.JoinCompatible(p) {
+				est.Joinable = false
+			}
+			// A filter set already resident in the derived cache (built by an
+			// earlier join over the same version) costs nothing to rebuild:
+			// charge only the merges, the way buffer-aware optimizers discount
+			// resident pages. The differential suites pin that a cached set is
+			// exactly what a fresh build would produce.
+			cached := core.JoinBuildCached(c.store, p)
+			est.Cached = est.Cached && cached
+			for _, branch := range p.Paths {
+				steps := branch.Simplify().Steps
+				// Identity self::node() steps (the "." in ".//a") navigate
+				// nowhere and join no level — skip them, as XJoin does.
+				kept := steps[:0:0]
+				for _, bs := range steps {
+					if bs.Axis == xpath.Self && bs.Test.Kind == xpath.KindAny && len(bs.Predicates) == 0 {
+						continue
+					}
+					kept = append(kept, bs)
+				}
+				steps = kept
+				// Nested: per candidate, sub-plan setup plus the walk —
+				// child steps visit the fanout, descendant steps the
+				// candidate's subtree.
+				subtree := live / cands
+				if subtree < fanout {
+					subtree = fanout
+				}
+				walk := float64(4*m.CPUTupleMove + 2*m.CPUSetOp)
+				for _, bs := range steps {
+					visits := fanout
+					switch bs.Axis {
+					case xpath.Descendant, xpath.DescendantOrSelf:
+						visits = subtree
+					}
+					walk += visits*float64(m.CPUNodeVisit) + crossRate*random
+				}
+				nested += cands * walk
+				// Join: one document enumeration per level — the virtual
+				// clock charges a node visit per live record even under the
+				// bitmap scan (it models the paper's node-at-a-time system)
+				// — with D_j survivors moved into the filter set, then the
+				// doc-order merges.
+				var d1 float64
+				for li, bs := range steps {
+					dj := float64(c.testCount(bs.Test))
+					if li == 0 {
+						d1 = dj
+					}
+					if !cached {
+						join += live*float64(m.CPUNodeVisit) +
+							dj*float64(m.CPUTupleMove+m.CPUSetOp)
+					}
+				}
+				join += (cands + d1) * float64(m.CPUSetOp)
+			}
+		}
+		est.Nested = stats.Ticks(nested)
+		est.Join = stats.Ticks(join)
+		out = append(out, est)
+		totalNested += nested
+		if est.Joinable {
+			anyJoinable = true
+			totalJoin += join
+		} else {
+			totalJoin += nested
+		}
+	}
+	pred := core.PredNested
+	if anyJoinable && totalJoin < totalNested {
+		pred = core.PredJoin
+	}
+	return pred, out
+}
+
+// testCount estimates how many document nodes match the node test; name
+// tests read the synopsis tag counts, everything else conservatively
+// assumes the whole document.
+func (c *Chooser) testCount(t xpath.NodeTest) int64 {
+	if !t.AnyName && t.Kind == xpath.KindElement {
+		var n int64
+		for _, tag := range t.Tags {
+			n += c.ds.Tags[tag].Count
+		}
+		return n
+	}
+	return c.live
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // pagesTouched estimates how many clusters the path evaluation must load.
@@ -272,6 +436,9 @@ func minf(a, b float64) float64 {
 // point used by the pathdb facade.
 func (c *Chooser) Build(path []xpath.Step, contexts []storage.NodeID, opts core.PlanOptions) (*core.Plan, Choice) {
 	choice := c.Choose(path)
+	if opts.PredEval == core.PredAuto {
+		opts.PredEval = choice.PredEval
+	}
 	c.mu.Lock()
 	st := c.store
 	c.mu.Unlock()

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"strings"
 	"testing"
 
 	"pathdb/internal/core"
@@ -230,5 +231,98 @@ func TestChooserRefreshMatchesFreshWalk(t *testing.T) {
 			t.Errorf("%s: refreshed chooser picks %v, fresh walk picks %v\nrefreshed: %v\nfresh:     %v",
 				src, a.Strategy, b.Strategy, a, b)
 		}
+	}
+}
+
+// TestChooserPredEval checks the join-vs-nested decision: a branching
+// predicate over a wide candidate set must pick the structural join, a
+// non-joinable (reverse-axis) predicate must stay nested, and the chosen
+// evaluator must be no slower than the rejected one on simulated cost.
+func TestChooserPredEval(t *testing.T) {
+	dict, st := xmarkStore(t, 1)
+	ch := NewChooser(st)
+
+	joinSrc := "//text[keyword]"
+	choice := ch.Choose(xpath.MustParse(dict, joinSrc).Simplify().Steps)
+	if choice.PredEval != core.PredJoin {
+		t.Fatalf("want join for %s, got %v (%v)", joinSrc, choice.PredEval, choice)
+	}
+	if len(choice.Preds) != 1 || !choice.Preds[0].Joinable || choice.Preds[0].Candidates == 0 {
+		t.Fatalf("bad predicate detail: %+v", choice.Preds)
+	}
+
+	nestedSrc := "//mail[ancestor::item]"
+	choice = ch.Choose(xpath.MustParse(dict, nestedSrc).Simplify().Steps)
+	if choice.PredEval != core.PredNested {
+		t.Fatalf("want nested for reverse-axis %s, got %v (%v)", nestedSrc, choice.PredEval, choice)
+	}
+	if len(choice.Preds) != 1 || choice.Preds[0].Joinable {
+		t.Fatalf("reverse-axis branch must not be joinable: %+v", choice.Preds)
+	}
+
+	// A path without predicates reports no detail and stays nested.
+	choice = ch.Choose(xpath.MustParse(dict, "//keyword").Simplify().Steps)
+	if choice.PredEval != core.PredNested || len(choice.Preds) != 0 {
+		t.Fatalf("predicate-free path: %v %+v", choice.PredEval, choice.Preds)
+	}
+}
+
+// TestChooserPredEvalMatchesMeasurement runs both evaluators on
+// branching queries from both sides of the crossover and verifies the
+// chooser's pick is the faster one on the simulated cost ledger.
+func TestChooserPredEvalMatchesMeasurement(t *testing.T) {
+	dict, st := xmarkStore(t, 1)
+	ch := NewChooser(st)
+	for _, src := range []string{
+		"//text[keyword]",        // wide candidate set: join territory
+		"//listitem[.//keyword]", // overlapping subtree probes: join
+		"//item[mailbox/mail]",   // few candidates, cheap probes: nested
+		"//open_auction[bidder/increase]",
+	} {
+		path := xpath.MustParse(dict, src).Simplify().Steps
+		choice := ch.Choose(path)
+
+		measure := func(pe core.PredEval) stats.Ticks {
+			st.ResetForRun()
+			core.BuildPlan(st, path, []storage.NodeID{st.Root()}, choice.Strategy,
+				core.PlanOptions{PredEval: pe}).Count()
+			return st.Ledger().Total()
+		}
+		nested := measure(core.PredNested)
+		join := measure(core.PredJoin)
+		faster := core.PredNested
+		if join < nested {
+			faster = core.PredJoin
+		}
+		if choice.PredEval != faster {
+			t.Errorf("%s: chooser picked %v but %v measured faster (nested=%v join=%v)",
+				src, choice.PredEval, faster, nested, join)
+		}
+	}
+}
+
+// TestBuildAppliesPredChoice verifies Chooser.Build threads the predicate
+// decision into the plan (PredAuto resolves to the chooser's pick, an
+// explicit setting wins).
+func TestBuildAppliesPredChoice(t *testing.T) {
+	dict, st := xmarkStore(t, 0.5)
+	ch := NewChooser(st)
+	path := xpath.MustParse(dict, "//text[keyword]").Simplify().Steps
+	st.ResetForRun()
+	p, choice := ch.Build(path, []storage.NodeID{st.Root()}, core.PlanOptions{})
+	if choice.PredEval != core.PredJoin {
+		t.Fatalf("expected join pick, got %v", choice.PredEval)
+	}
+	if n := p.Count(); n == 0 {
+		t.Fatal("plan returned no items")
+	}
+	desc := p.Describe(dict)
+	if !strings.Contains(desc, "XJoin") {
+		t.Fatalf("PredAuto did not resolve to the chooser's join pick:\n%s", desc)
+	}
+	st.ResetForRun()
+	p, _ = ch.Build(path, []storage.NodeID{st.Root()}, core.PlanOptions{PredEval: core.PredNested})
+	if desc := p.Describe(dict); strings.Contains(desc, "XJoin") {
+		t.Fatalf("explicit PredNested overridden:\n%s", desc)
 	}
 }

@@ -237,6 +237,14 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Strategy = strat
 	}
+	if req.Preds != "" {
+		pe, err := pathdb.ParsePredEval(req.Preds)
+		if err != nil {
+			rt.badRequest(w, err.Error())
+			return
+		}
+		opts.PredEval = pe
+	}
 	if err := rt.cluster.Check(req.Path); err != nil {
 		rt.badRequest(w, err.Error())
 		return

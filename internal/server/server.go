@@ -198,6 +198,9 @@ type QueryRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Sorted requests document-order results.
 	Sorted bool `json:"sorted,omitempty"`
+	// Preds forces the predicate evaluator ("auto", "nested", "join");
+	// empty means auto (the cost model decides per query).
+	Preds string `json:"preds,omitempty"`
 }
 
 // NodeJSON is one result node in a QueryResponse.
@@ -245,6 +248,9 @@ type ChoiceJSON struct {
 	ScheduleCostNs int64   `json:"schedule_cost_ns"`
 	ScanCostNs     int64   `json:"scan_cost_ns"`
 	SimpleCostNs   int64   `json:"simple_cost_ns"`
+	// PredEval is the chosen predicate evaluator ("nested" or "join");
+	// omitted when the path carries no predicates.
+	PredEval string `json:"pred_eval,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-200 response. Kind
@@ -302,6 +308,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Strategy = strat
+	}
+	if req.Preds != "" {
+		pe, err := pathdb.ParsePredEval(req.Preds)
+		if err != nil {
+			s.badRequest(w, err.Error())
+			return
+		}
+		opts.PredEval = pe
 	}
 	// Compile first so a malformed path is a 400, not a failed engine
 	// submission (the engine re-parses on submit; parsing is cheap).
@@ -588,6 +602,9 @@ func (s *Server) response(req QueryRequest, res *pathdb.ExecResult) QueryRespons
 			ScheduleCostNs: int64(c.ScheduleCost),
 			ScanCostNs:     int64(c.ScanCost),
 			SimpleCostNs:   int64(c.SimpleCost),
+		}
+		if len(c.Preds) > 0 {
+			out.Choice.PredEval = c.PredEval.String()
 		}
 	}
 	limit := req.Limit

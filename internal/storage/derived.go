@@ -1,0 +1,106 @@
+package storage
+
+import "sync"
+
+// maxDerivedEntries bounds the derived cache; when a generation fills up,
+// further inserts are dropped (the next epoch starts a fresh generation).
+const maxDerivedEntries = 256
+
+// DerivedCache memoizes document-only artifacts derived from a volume's
+// content — today the structural-join filter sets (internal/core.XJoin),
+// which depend on the document and the branch path but never on the
+// candidate set. It holds exactly one generation: the entries computed at
+// the highest version epoch seen so far. A commit advances the epoch, so
+// the first lookup at the new epoch drops the whole generation — the same
+// invalidation discipline as the epoch-keyed swizzle cache, at coarser
+// (whole-volume) grain because a filter set can span every cluster.
+//
+// Views pinned to an older snapshot simply miss (and their results are not
+// admitted), so MVCC readers can never observe entries from a version
+// other than their own.
+type DerivedCache struct {
+	mu    sync.Mutex
+	epoch uint64
+	m     map[string]any
+
+	hits, misses uint64
+}
+
+func newDerivedCache() *DerivedCache {
+	return &DerivedCache{m: make(map[string]any)}
+}
+
+// Get returns the entry for key computed at exactly the given epoch.
+func (c *DerivedCache) Get(epoch uint64, key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		c.misses++
+		return nil, false
+	}
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Put admits an entry computed at the given epoch. An epoch ahead of the
+// cache's generation replaces it wholesale; an older epoch (a query pinned
+// to a superseded snapshot) is dropped so stale artifacts never shadow
+// current ones.
+func (c *DerivedCache) Put(epoch uint64, key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case epoch > c.epoch:
+		c.epoch = epoch
+		c.m = make(map[string]any)
+	case epoch < c.epoch:
+		return
+	}
+	if len(c.m) >= maxDerivedEntries {
+		return
+	}
+	c.m[key] = v
+}
+
+// Contains reports whether key is resident at the given epoch, without
+// touching the hit/miss counters — cost-model probes are not lookups.
+func (c *DerivedCache) Contains(epoch uint64, key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		return false
+	}
+	_, ok := c.m[key]
+	return ok
+}
+
+// Stats returns the lifetime hit/miss counters (for tests and metrics).
+func (c *DerivedCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// reset drops every entry but keeps the generation epoch, so the next
+// queries repopulate from scratch (measured runs start cold).
+func (c *DerivedCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]any)
+}
+
+// Derived returns this view's derived-artifact cache together with the
+// version epoch its entries must be keyed by, or ok=false when the view
+// must not use it — a write transaction reading through its page overlay
+// sees staged images the epoch does not name yet.
+func (s *Store) Derived() (*DerivedCache, uint64, bool) {
+	if s.derived == nil || s.overlay != nil {
+		return nil, 0, false
+	}
+	return s.derived, s.VersionEpoch(), true
+}

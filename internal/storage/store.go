@@ -37,9 +37,10 @@ type Store struct {
 	nData     uint32
 	extras    []vdisk.PageID // data pages appended by updates
 
-	cache *swizCache     // decoded page images, shared across views
-	syn   *synTable      // per-cluster synopses, shared across views
-	w     *buffer.Waiter // async cluster requests of this view
+	cache   *swizCache     // decoded page images, shared across views
+	syn     *synTable      // per-cluster synopses, shared across views
+	derived *DerivedCache  // epoch-keyed derived artifacts, shared across views
+	w       *buffer.Waiter // async cluster requests of this view
 
 	// Multi-version state. vh shares the latest published version across
 	// all views; pinned fixes a snapshot view to one version (it takes
@@ -74,6 +75,7 @@ func newStore(disk *vdisk.Disk, dict *xmltree.Dictionary, roots []NodeID, firstD
 		extras:    extras,
 		cache:     newSwizCache(),
 		syn:       newSynTable(),
+		derived:   newDerivedCache(),
 		vh:        &versionHandle{},
 	}
 	s.buf.SetEvictHandler(s.cache.drop)
@@ -269,6 +271,7 @@ func (s *Store) ResetForRun() {
 	s.w.Cancel()
 	s.buf.FlushAll()
 	s.cache.reset()
+	s.derived.reset()
 	s.led.Reset()
 	s.disk.ResetClockState()
 }

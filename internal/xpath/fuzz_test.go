@@ -13,6 +13,13 @@ var pathCorpus = []string{
 	"a/following::b[.='v']",
 	"/descendant-or-self::node()/child::x",
 	"../preceding-sibling::*[y]",
+	// Branching-path grammar: bounded repetition, predicate recursion,
+	// nested predicates, unions and attributes inside predicates.
+	"//a[(b/c){1,3}]/d",
+	"//a[.//b='x'][@id]",
+	"//a[b[c][.//d]]|/e[(f){2}]",
+	"/a[b|c/d]//e[@k='v']",
+	"//a[(b[c]){1,2}]",
 }
 
 // TestPathParserNeverPanics mutates path inputs; Parse and ParseUnion must
@@ -65,8 +72,12 @@ func FuzzParsePath(f *testing.F) {
 		}
 		for _, p := range ps {
 			rendered := p.Render(dict)
-			if _, err := Parse(dict, rendered); err != nil {
+			p2, err := Parse(dict, rendered)
+			if err != nil {
 				t.Fatalf("accepted %q rendered to unparseable %q", src, rendered)
+			}
+			if p2.Render(dict) != rendered {
+				t.Fatalf("render not a fixpoint for %q: %q vs %q", src, rendered, p2.Render(dict))
 			}
 		}
 	})

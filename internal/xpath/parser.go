@@ -21,17 +21,39 @@ func (e *ParseError) Error() string {
 //
 // Grammar:
 //
-//	path     = ("/" | "//")? step (("/" | "//") step)*
+//	path     = ("/" | "//")? part (("/" | "//") part)*
 //	         | "/"                      (the document root itself)
+//	part     = step | group
+//	group    = "(" path ")" ("{" count ("," count)? "}")?
 //	step     = axis "::" nodetest | "@" nodetest | nodetest | "." | ".."
 //	nodetest = NCName | "*" | "node()" | "text()" | "comment()"
 //	         | "processing-instruction()"
 //
-// "//" abbreviates /descendant-or-self::node()/ as usual. Tag names are
-// interned into dict so the resulting tests are integer comparisons.
+// "//" abbreviates /descendant-or-self::node()/ as usual; inside a
+// predicate a leading "//" abbreviates .//, recursion anchored at the
+// candidate node. A group with a bounded repetition count, (a/b){1,3},
+// expands at parse time into one alternative step sequence per repeat
+// count (regular-path-style repetition with a static bound). A range of
+// counts therefore yields several alternatives: allowed wherever a union
+// already is — inside predicates and through ParseUnion — and rejected by
+// the single-path Parse. Tag names are interned into dict so the
+// resulting tests are integer comparisons.
 func Parse(dict *xmltree.Dictionary, src string) (*Path, error) {
+	paths, err := parseAlternatives(dict, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) > 1 {
+		return nil, &ParseError{Msg: "bounded repetition with a count range needs a union context (predicate or ParseUnion)"}
+	}
+	return paths[0], nil
+}
+
+// parseAlternatives parses src fully, returning every alternative the
+// path's repetition ranges expand to (exactly one for range-free paths).
+func parseAlternatives(dict *xmltree.Dictionary, src string) ([]*Path, error) {
 	p := &pathParser{dict: dict, src: src}
-	path, err := p.parse("")
+	paths, err := p.parsePaths("", false)
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +61,7 @@ func Parse(dict *xmltree.Dictionary, src string) (*Path, error) {
 	if !p.eof() {
 		return nil, p.errf("unexpected %q", p.src[p.pos:])
 	}
-	return path, nil
+	return paths, nil
 }
 
 // MustParse is Parse, panicking on error; for tests and fixed queries.
@@ -77,42 +99,175 @@ func (p *pathParser) consume(s string) bool {
 	return false
 }
 
-// parse reads a path until EOF or one of the stop characters.
-func (p *pathParser) parse(stops string) (*Path, error) {
+// Expansion bounds: a repetition range may multiply alternatives, so both
+// the per-group fanout and the whole path's cross product are capped.
+const (
+	maxRepeat       = 4  // largest count in {min,max}
+	maxAlternatives = 16 // alternatives one path may expand to
+)
+
+// parsePaths reads a path until EOF or one of the stop characters and
+// returns the alternative step sequences it expands to — exactly one
+// unless a repetition range is present. relative marks predicate/group
+// context: absolute paths are rejected there and a leading "//" recurses
+// from the context node instead of the root.
+func (p *pathParser) parsePaths(stops string, relative bool) ([]*Path, error) {
 	p.skipWS()
 	if p.eof() {
 		return nil, p.errf("empty path")
 	}
-	path := &Path{}
+	absolute := false
+	alts := [][]Step{nil}
 	switch {
 	case p.consume("//"):
-		path.Absolute = true
-		path.Steps = append(path.Steps, Step{Axis: DescendantOrSelf, Test: AnyNode()})
+		absolute = !relative
+		for i := range alts {
+			alts[i] = append(alts[i], Step{Axis: DescendantOrSelf, Test: AnyNode()})
+		}
 	case p.consume("/"):
-		path.Absolute = true
+		if relative {
+			return nil, p.errf("absolute path inside predicate")
+		}
+		absolute = true
 		p.skipWS()
 		if p.eof() {
-			return path, nil // "/" selects the document root
+			return []*Path{{Absolute: true}}, nil // "/" selects the document root
 		}
 	}
 	for {
-		steps, err := p.parseStep()
-		if err != nil {
-			return nil, err
-		}
-		path.Steps = append(path.Steps, steps...)
 		p.skipWS()
-		if p.eof() || (!p.eof() && strings.IndexByte(stops, p.src[p.pos]) >= 0) {
-			return path, nil
+		if !p.eof() && p.src[p.pos] == '(' {
+			seqs, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			alts, err = p.crossAlts(alts, seqs)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			steps, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			for i := range alts {
+				alts[i] = append(alts[i], steps...)
+			}
+		}
+		p.skipWS()
+		if p.eof() || strings.IndexByte(stops, p.src[p.pos]) >= 0 {
+			out := make([]*Path, len(alts))
+			for i, s := range alts {
+				out[i] = &Path{Absolute: absolute, Steps: s}
+			}
+			return out, nil
 		}
 		switch {
 		case p.consume("//"):
-			path.Steps = append(path.Steps, Step{Axis: DescendantOrSelf, Test: AnyNode()})
+			for i := range alts {
+				alts[i] = append(alts[i], Step{Axis: DescendantOrSelf, Test: AnyNode()})
+			}
 		case p.consume("/"):
 		default:
 			return nil, p.errf("unexpected %q", p.src[p.pos:])
 		}
 	}
+}
+
+// parseGroup parses "(" path ")" with an optional "{min,max}" repetition
+// count and returns the expanded step sequences: each inner alternative
+// concatenated with itself k times for every k in min..max.
+func (p *pathParser) parseGroup() ([][]Step, error) {
+	p.pos++ // '('
+	inner, err := p.parsePaths(")", true)
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.src[p.pos] != ')' {
+		return nil, p.errf("unterminated group")
+	}
+	p.pos++
+	min, max := 1, 1
+	if !p.eof() && p.src[p.pos] == '{' {
+		p.pos++
+		if min, err = p.parseCount(); err != nil {
+			return nil, err
+		}
+		max = min
+		p.skipWS()
+		if !p.eof() && p.src[p.pos] == ',' {
+			p.pos++
+			if max, err = p.parseCount(); err != nil {
+				return nil, err
+			}
+		}
+		p.skipWS()
+		if p.eof() || p.src[p.pos] != '}' {
+			return nil, p.errf("unterminated repetition count")
+		}
+		p.pos++
+		if min < 1 || max < min || max > maxRepeat {
+			return nil, p.errf("repetition count out of range (1 <= min <= max <= %d)", maxRepeat)
+		}
+	}
+	var seqs [][]Step
+	for k := min; k <= max; k++ {
+		// k-fold concatenations over the inner alternatives.
+		combos := [][]Step{nil}
+		for r := 0; r < k; r++ {
+			next := make([][]Step, 0, len(combos)*len(inner))
+			for _, c := range combos {
+				for _, in := range inner {
+					seq := make([]Step, 0, len(c)+len(in.Steps))
+					seq = append(append(seq, c...), in.Steps...)
+					next = append(next, seq)
+				}
+			}
+			combos = next
+			if len(combos) > maxAlternatives {
+				return nil, p.errf("repetition expands to more than %d alternatives", maxAlternatives)
+			}
+		}
+		seqs = append(seqs, combos...)
+		if len(seqs) > maxAlternatives {
+			return nil, p.errf("repetition expands to more than %d alternatives", maxAlternatives)
+		}
+	}
+	return seqs, nil
+}
+
+// crossAlts appends every expanded group sequence to every alternative
+// accumulated so far (the cross product), enforcing the expansion cap.
+func (p *pathParser) crossAlts(alts [][]Step, seqs [][]Step) ([][]Step, error) {
+	if len(alts)*len(seqs) > maxAlternatives {
+		return nil, p.errf("repetition expands to more than %d alternatives", maxAlternatives)
+	}
+	out := make([][]Step, 0, len(alts)*len(seqs))
+	for _, a := range alts {
+		for _, s := range seqs {
+			seq := make([]Step, 0, len(a)+len(s))
+			seq = append(append(seq, a...), s...)
+			out = append(out, seq)
+		}
+	}
+	return out, nil
+}
+
+// parseCount reads a decimal repetition count.
+func (p *pathParser) parseCount() (int, error) {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || p.pos-start > 2 {
+		return 0, p.errf("expected repetition count")
+	}
+	n := 0
+	for _, c := range []byte(p.src[start:p.pos]) {
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
 }
 
 // parsePredicates reads zero or more [..] predicates and attaches them to
@@ -126,14 +281,13 @@ func (p *pathParser) parsePredicates(steps []Step) ([]Step, error) {
 		p.pos++
 		var branches []*Path
 		for {
-			nested, err := p.parse("]=|")
+			// Repetition ranges expand in place: every alternative the
+			// nested path expands to becomes one existential union branch.
+			nested, err := p.parsePaths("]=|", true)
 			if err != nil {
 				return nil, err
 			}
-			if nested.Absolute {
-				return nil, p.errf("absolute path inside predicate")
-			}
-			branches = append(branches, nested)
+			branches = append(branches, nested...)
 			p.skipWS()
 			if !p.eof() && p.src[p.pos] == '|' {
 				p.pos++
@@ -320,11 +474,11 @@ func ParseUnion(dict *xmltree.Dictionary, src string) ([]*Path, error) {
 		if part == "" {
 			return &ParseError{Pos: start, Msg: "empty union branch"}
 		}
-		p, err := Parse(dict, part)
+		ps, err := parseAlternatives(dict, part)
 		if err != nil {
 			return err
 		}
-		out = append(out, p)
+		out = append(out, ps...)
 		return nil
 	}
 	inQuote := byte(0)
@@ -337,9 +491,9 @@ func ParseUnion(dict *xmltree.Dictionary, src string) ([]*Path, error) {
 			}
 		case c == '"' || c == '\'':
 			inQuote = c
-		case c == '[':
+		case c == '[' || c == '(':
 			depth++
-		case c == ']':
+		case c == ']' || c == ')':
 			depth--
 		case c == '|' && depth == 0:
 			if err := flush(i); err != nil {

@@ -214,6 +214,18 @@ func (s Step) Render(dict *xmltree.Dictionary) string {
 	return out
 }
 
+// HasPredicates reports whether any of the steps carries a predicate —
+// the gate callers use to spare predicate-free queries a join-vs-nested
+// cost consultation.
+func HasPredicates(steps []Step) bool {
+	for _, s := range steps {
+		if len(s.Predicates) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Path is a location path. Absolute paths start at the document root;
 // relative paths start at an externally supplied context node sequence.
 type Path struct {
@@ -246,20 +258,45 @@ func (p *Path) Render(dict *xmltree.Dictionary) string {
 // orthogonal logical optimization the paper's requirement 4 asks the
 // physical layer to interoperate with.
 func (p *Path) Simplify() *Path {
-	out := &Path{Absolute: p.Absolute}
-	for i := 0; i < len(p.Steps); i++ {
-		s := p.Steps[i]
+	return &Path{Absolute: p.Absolute, Steps: simplifySteps(p.Steps)}
+}
+
+func simplifySteps(steps []Step) []Step {
+	var out []Step
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
 		if s.Axis == DescendantOrSelf && s.Test.Kind == KindAny && len(s.Predicates) == 0 &&
-			i+1 < len(p.Steps) && p.Steps[i+1].Axis == Child {
-			out.Steps = append(out.Steps, Step{
+			i+1 < len(steps) && steps[i+1].Axis == Child {
+			out = append(out, Step{
 				Axis:       Descendant,
-				Test:       p.Steps[i+1].Test,
-				Predicates: p.Steps[i+1].Predicates,
+				Test:       steps[i+1].Test,
+				Predicates: simplifyPredicates(steps[i+1].Predicates),
 			})
 			i++
 			continue
 		}
-		out.Steps = append(out.Steps, s)
+		s.Predicates = simplifyPredicates(s.Predicates)
+		out = append(out, s)
+	}
+	return out
+}
+
+// simplifyPredicates applies the rewrite inside predicate branches — the
+// [.//a]-style recursion the parser accepts desugars to descendant steps
+// the same way top-level '//' does. Returns fresh slices; the input is
+// never mutated.
+func simplifyPredicates(preds []Predicate) []Predicate {
+	if len(preds) == 0 {
+		return nil
+	}
+	out := make([]Predicate, len(preds))
+	for i, pr := range preds {
+		np := Predicate{Literal: pr.Literal, HasLit: pr.HasLit}
+		np.Paths = make([]*Path, len(pr.Paths))
+		for j, b := range pr.Paths {
+			np.Paths[j] = b.Simplify()
+		}
+		out[i] = np
 	}
 	return out
 }

@@ -1,0 +1,160 @@
+package pathdb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// joinDiffPaths exercises every join-relevant branching shape over the
+// XMark corpus: existence and literal predicates, child/descendant/
+// attribute branches, multi-level branches, nested predicates, unions and
+// bounded repetition inside predicates, recursion under predicates,
+// multi-predicate conjunctions, and the reverse axes that force XJoin's
+// per-candidate fallback.
+var joinDiffPaths = []string{
+	"/site//text[keyword]",
+	"/site//text[keyword][emph]",
+	"/site//listitem[.//keyword]",
+	"/site/regions//item[mailbox/mail]",
+	"/site//item[mailbox/mail/from]",
+	"/site//open_auction[bidder/increase]",
+	`/site//open_auction[privacy="Yes"]`,
+	`/site//closed_auction[type="Regular"]`,
+	"/site//person[@id]",
+	"/site//person[profile[interest]]",
+	"/site//person[profile/@income]",
+	"/site//text[keyword|bold]",
+	"/site//parlist[(listitem/parlist){1,2}]",
+	"/site//item[payment][quantity]",
+	"/site//annotation[description//keyword]",
+	"/site//person[watches/watch]",
+	"/site//item[incategory/@category]",
+	"/site//bidder[personref][increase]",
+	"/site//keyword[ancestor::listitem]", // ancestor branch: fallback probes
+	"/site//mail[..]",                    // parent branch: fallback probes
+}
+
+// joinDiffStrategies: every physical strategy the evaluators run under.
+var joinDiffStrategies = []Strategy{Simple, Schedule, Scan}
+
+// joinFingerprint runs path with the given strategy and predicate
+// evaluator and returns a byte-exact rendition of the sorted result set.
+func joinFingerprint(t *testing.T, db *DB, path string, strat Strategy, pe PredEval) string {
+	t.Helper()
+	res, err := db.QueryCtx(context.Background(), path,
+		QueryOptions{Sorted: true, Strategy: strat, PredEval: pe})
+	if err != nil {
+		t.Fatalf("%s [%v/%v]: %v", path, strat, pe, err)
+	}
+	var b strings.Builder
+	for _, n := range res.Nodes {
+		fmt.Fprintf(&b, "%d|%s|%s\n", n.ID(), n.OrdPath(), n.Name())
+	}
+	return b.String()
+}
+
+// TestJoinDifferential pins the tentpole's correctness contract: the
+// set-at-a-time structural semi-join (XJoin) must be a pure optimization
+// over per-candidate probing (PredFilter). For every branching shape,
+// under every physical strategy, the node sets of the nested, join, and
+// cost-chosen evaluators are byte-identical — on the freshly loaded
+// volume, and again after mixed MVCC writes have rewritten clusters and
+// advanced epochs.
+func TestJoinDifferential(t *testing.T) {
+	db := engineFixture(t)
+
+	compare := func(label string) {
+		t.Helper()
+		nonEmpty := 0
+		for _, p := range joinDiffPaths {
+			for _, strat := range joinDiffStrategies {
+				ref := joinFingerprint(t, db, p, strat, PredNested)
+				for _, pe := range []PredEval{PredJoin, PredAuto} {
+					if got := joinFingerprint(t, db, p, strat, pe); got != ref {
+						t.Errorf("%s: %s [%v] diverges with %v:\nnested %d bytes, %v %d bytes",
+							label, p, strat, pe, len(ref), pe, len(got))
+					}
+				}
+				if ref != "" {
+					nonEmpty++
+				}
+			}
+		}
+		if nonEmpty < len(joinDiffPaths)*len(joinDiffStrategies)/2 {
+			t.Fatalf("%s: only %d/%d differential queries matched nodes; fixture too small to be meaningful",
+				label, nonEmpty, len(joinDiffPaths)*len(joinDiffStrategies))
+		}
+	}
+
+	compare("fresh volume")
+
+	// Mixed writes: insert branching probes (so join-relevant subtrees grow),
+	// across several commits so page epochs advance and synopses rebuild,
+	// then delete one so clusters shrink too.
+	regions := mustOne(t, db, "/site/regions")
+	var probes []Node
+	for i := 0; i < 3; i++ {
+		err := db.Update(func(tx *Tx) error {
+			n, err := tx.InsertXML(regions, fmt.Sprintf(
+				`<item id='probe%d'><mailbox><mail><from>a b</from></mail></mailbox>`+
+					`<payment>cash</payment><quantity>1</quantity>`+
+					`<description><text><keyword>delta</keyword><emph><keyword>gamma</keyword></emph></text></description></item>`, i))
+			if err != nil {
+				return err
+			}
+			probes = append(probes, n)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Update(func(tx *Tx) error { return tx.Delete(probes[0]) }); err != nil {
+		t.Fatal(err)
+	}
+
+	compare("after mixed writes")
+}
+
+// TestJoinDifferentialUnderFaults re-runs the differential with the seeded
+// fault plane armed: transient read errors and latency spikes must never
+// make the join evaluator disagree with the nested one. Terminal typed
+// faults are retried (the schedule is seeded, so a retry draws new
+// outcomes); a silent divergence fails the test.
+func TestJoinDifferentialUnderFaults(t *testing.T) {
+	db := engineFixture(t)
+	db.SetFaults(FaultConfig{Seed: 99, ReadError: 0.03, Latency: 0.05})
+	defer db.SetFaults(FaultConfig{})
+
+	faulty := func(path string, strat Strategy, pe PredEval) string {
+		t.Helper()
+		for attempt := 0; ; attempt++ {
+			res, err := db.QueryCtx(context.Background(), path,
+				QueryOptions{Sorted: true, Strategy: strat, PredEval: pe})
+			if err != nil {
+				if attempt > 50 {
+					t.Fatalf("%s: still faulting after %d attempts: %v", path, attempt, err)
+				}
+				continue
+			}
+			var b strings.Builder
+			for _, n := range res.Nodes {
+				fmt.Fprintf(&b, "%d|%s|%s\n", n.ID(), n.OrdPath(), n.Name())
+			}
+			return b.String()
+		}
+	}
+
+	for _, p := range joinDiffPaths {
+		for _, strat := range []Strategy{Schedule, Scan} {
+			ref := faulty(p, strat, PredNested)
+			got := faulty(p, strat, PredJoin)
+			if got != ref {
+				t.Errorf("%s [%v]: join evaluator diverges under faults (%d vs %d bytes)",
+					p, strat, len(ref), len(got))
+			}
+		}
+	}
+}

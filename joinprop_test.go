@@ -1,0 +1,198 @@
+package pathdb
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pathdb/internal/rng"
+	"pathdb/internal/storage"
+)
+
+// propTags is the tag alphabet of the generated documents — small enough
+// that random branching paths hit real matches, large enough that
+// predicates discriminate.
+var propTags = []string{"a", "b", "c", "d", "e"}
+
+// randDoc generates a random XML document: element tree over propTags,
+// depth-bounded, with occasional k="v" attributes and t0..t2 leaf texts,
+// wrapped in a fixed root <r>. Deterministic in the RNG.
+func randDoc(r *rng.RNG) string {
+	var b strings.Builder
+	var emit func(depth int)
+	emit = func(depth int) {
+		tag := propTags[r.Intn(len(propTags))]
+		b.WriteString("<" + tag)
+		if r.Bool(0.3) {
+			b.WriteString(` k="v"`)
+		}
+		b.WriteString(">")
+		if depth < 5 && r.Bool(0.7) {
+			for i, n := 0, r.IntRange(1, 4); i < n; i++ {
+				emit(depth + 1)
+			}
+		} else {
+			b.WriteString("t" + strconv.Itoa(r.Intn(3)))
+		}
+		b.WriteString("</" + tag + ">")
+	}
+	b.WriteString(`<r k="v">`)
+	for i, n := 0, r.IntRange(4, 8); i < n; i++ {
+		emit(1)
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+// randPredicate draws one predicate over the grammar the structural join
+// handles (plus shapes that force its fallback): existence, multi-level,
+// recursive, literal, union, attribute, bounded repetition, and nested.
+func randPredicate(r *rng.RNG) string {
+	tag := func() string { return propTags[r.Intn(len(propTags))] }
+	switch r.Intn(8) {
+	case 0:
+		return "[" + tag() + "]"
+	case 1:
+		return "[" + tag() + "/" + tag() + "]"
+	case 2:
+		return "[.//" + tag() + "]"
+	case 3:
+		return `[` + tag() + `="t` + strconv.Itoa(r.Intn(3)) + `"]`
+	case 4:
+		return "[" + tag() + "|" + tag() + "]"
+	case 5:
+		return "[@k]"
+	case 6:
+		return "[(" + tag() + "){1,2}]"
+	default:
+		return "[" + tag() + "[" + tag() + "]]"
+	}
+}
+
+// randBranchingPath draws a 1-3 step location path over the generated
+// documents, guaranteed to carry at least one predicate.
+func randBranchingPath(r *rng.RNG) string {
+	var b strings.Builder
+	b.WriteString("/r")
+	preds := 0
+	for i, n := 0, r.IntRange(1, 3); i < n; i++ {
+		if r.Bool(0.5) {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		if r.Bool(0.15) {
+			b.WriteString("*")
+		} else {
+			b.WriteString(propTags[r.Intn(len(propTags))])
+		}
+		for p, np := 0, r.Intn(3); p < np; p++ {
+			b.WriteString(randPredicate(r))
+			preds++
+		}
+	}
+	if preds == 0 {
+		b.WriteString(randPredicate(r))
+	}
+	return b.String()
+}
+
+// TestJoinPropertyInvariants drives randomly generated documents and
+// branching paths through both predicate evaluators and checks the
+// invariants no counterexample may violate:
+//
+//   - the join and nested evaluators agree byte-exactly,
+//   - the result set is duplicate-free,
+//   - sorted results come back in strictly increasing document order,
+//   - Limit truncation is a pure prefix of the sorted result, and
+//   - closing a cursor early leaks no navigation iterators.
+//
+// Everything is seeded through internal/rng, so a failure names its
+// (doc, path) pair and replays exactly.
+func TestJoinPropertyInvariants(t *testing.T) {
+	ctx := context.Background()
+	baseIters := storage.LiveStepIters()
+
+	for trial := 0; trial < 40; trial++ {
+		r := rng.New(uint64(1000 + trial))
+		doc := randDoc(r)
+		db, err := LoadXMLString(doc, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: load: %v", trial, err)
+		}
+		for pi := 0; pi < 4; pi++ {
+			path := randBranchingPath(r)
+			label := fmt.Sprintf("trial %d path %q", trial, path)
+
+			ref, err := db.QueryCtx(ctx, path, QueryOptions{Sorted: true, PredEval: PredNested})
+			if err != nil {
+				t.Fatalf("%s [nested]: %v", label, err)
+			}
+			got, err := db.QueryCtx(ctx, path, QueryOptions{Sorted: true, PredEval: PredJoin})
+			if err != nil {
+				t.Fatalf("%s [join]: %v", label, err)
+			}
+
+			// Differential: identical node streams.
+			refIDs := make([]uint64, len(ref.Nodes))
+			for i, n := range ref.Nodes {
+				refIDs[i] = n.ID()
+			}
+			gotIDs := make([]uint64, len(got.Nodes))
+			for i, n := range got.Nodes {
+				gotIDs[i] = n.ID()
+			}
+			if fmt.Sprint(refIDs) != fmt.Sprint(gotIDs) {
+				t.Fatalf("%s: join diverges\nnested %v\njoin   %v", label, refIDs, gotIDs)
+			}
+
+			// Duplicate-free and strictly doc-ordered.
+			seen := make(map[uint64]bool, len(got.Nodes))
+			for i, n := range got.Nodes {
+				if seen[n.ID()] {
+					t.Fatalf("%s: duplicate node %d in result", label, n.ID())
+				}
+				seen[n.ID()] = true
+				if i > 0 && CompareDocOrder(got.Nodes[i-1], n) >= 0 {
+					t.Fatalf("%s: results not in strict document order at %d", label, i)
+				}
+			}
+
+			// Limit truncation is a pure prefix.
+			for _, k := range []int{1, len(got.Nodes) / 2} {
+				if k == 0 || k >= len(got.Nodes) {
+					continue
+				}
+				lim, err := db.QueryCtx(ctx, path, QueryOptions{Sorted: true, PredEval: PredJoin, Limit: k})
+				if err != nil {
+					t.Fatalf("%s [limit %d]: %v", label, k, err)
+				}
+				if len(lim.Nodes) != k {
+					t.Fatalf("%s: limit %d returned %d nodes", label, k, len(lim.Nodes))
+				}
+				for i, n := range lim.Nodes {
+					if n.ID() != got.Nodes[i].ID() {
+						t.Fatalf("%s: limit %d result is not a prefix at %d", label, k, i)
+					}
+				}
+			}
+
+			// Early cursor Close releases every navigation iterator.
+			cur, err := db.QueryStream(ctx, path, QueryOptions{PredEval: PredJoin})
+			if err != nil {
+				t.Fatalf("%s [stream]: %v", label, err)
+			}
+			for i, n := 0, r.Intn(3); i < n && cur.Next(); i++ {
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+			if iters := storage.LiveStepIters(); iters != baseIters {
+				t.Fatalf("%s: early Close leaked navigation iterators: %d live, baseline %d",
+					label, iters, baseIters)
+			}
+		}
+	}
+}

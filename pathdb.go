@@ -100,6 +100,68 @@ func (s Strategy) internal() core.Strategy {
 	}
 }
 
+// PredEval selects the evaluator for step predicates ([path] and
+// [path = "lit"] filters).
+type PredEval uint8
+
+// Predicate evaluators. PredAuto lets the cost model pick per query
+// between per-candidate probing (PredFilter) and the set-at-a-time
+// structural semi-join (XJoin).
+const (
+	PredAuto PredEval = iota
+	PredNested
+	PredJoin
+)
+
+func (p PredEval) String() string {
+	switch p {
+	case PredAuto:
+		return "auto"
+	case PredNested:
+		return "nested"
+	case PredJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("predeval(%d)", uint8(p))
+	}
+}
+
+// ParsePredEval parses a predicate-evaluator name, round-tripping
+// PredEval.String: "auto", "nested" and "join" (case-insensitive).
+func ParsePredEval(s string) (PredEval, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto":
+		return PredAuto, nil
+	case "nested":
+		return PredNested, nil
+	case "join":
+		return PredJoin, nil
+	}
+	return PredAuto, fmt.Errorf("pathdb: unknown predicate evaluator %q (want auto, nested or join)", s)
+}
+
+func (p PredEval) internal() core.PredEval {
+	switch p {
+	case PredNested:
+		return core.PredNested
+	case PredJoin:
+		return core.PredJoin
+	default:
+		return core.PredAuto
+	}
+}
+
+func fromCorePredEval(p core.PredEval) PredEval {
+	switch p {
+	case core.PredNested:
+		return PredNested
+	case core.PredJoin:
+		return PredJoin
+	default:
+		return PredAuto
+	}
+}
+
 // Layout selects the physical cluster placement at load time.
 type Layout uint8
 
@@ -438,6 +500,13 @@ func (q *Query) WithMemoryLimit(instances int) *Query {
 	return q
 }
 
+// WithPredEval forces the predicate evaluator (default PredAuto: the
+// cost model decides per query).
+func (q *Query) WithPredEval(pe PredEval) *Query {
+	q.opts.PredEval = pe.internal()
+	return q
+}
+
 // Plan returns the physical operator tree the query will execute, one
 // operator per line (EXPLAIN output).
 func (q *Query) Plan() string {
@@ -460,17 +529,43 @@ type PlanChoice struct {
 	ScheduleCost stats.Ticks // estimated virtual cost of XSchedule
 	ScanCost     stats.Ticks // estimated virtual cost of XScan
 	SimpleCost   stats.Ticks // estimated virtual cost of the Simple baseline
+
+	// PredEval is the chosen predicate evaluator (PredNested for paths
+	// without predicates); Preds carries the per-step cost detail.
+	PredEval PredEval
+	Preds    []PredChoice
+}
+
+// PredChoice is the cost model's join-vs-nested detail for one
+// predicate-bearing location step.
+type PredChoice struct {
+	Step       int         // 1-based location step index
+	Candidates int64       // estimated candidate nodes reaching the step
+	NestedCost stats.Ticks // estimated cost of per-candidate probing
+	JoinCost   stats.Ticks // estimated cost of the structural semi-join
+	Joinable   bool        // every branch expressible as a semi-join
 }
 
 func fromPlanChoice(c plan.Choice) PlanChoice {
-	return PlanChoice{
+	out := PlanChoice{
 		Strategy:     fromCore(c.Strategy),
 		Coverage:     c.Coverage,
 		PagesTouched: c.Schedule.PagesTouched,
 		ScheduleCost: c.Schedule.Cost,
 		ScanCost:     c.Scan.Cost,
 		SimpleCost:   c.Simple.Cost,
+		PredEval:     fromCorePredEval(c.PredEval),
 	}
+	for _, p := range c.Preds {
+		out.Preds = append(out.Preds, PredChoice{
+			Step:       p.Step,
+			Candidates: p.Candidates,
+			NestedCost: p.Nested,
+			JoinCost:   p.Join,
+			Joinable:   p.Joinable,
+		})
+	}
+	return out
 }
 
 // Choice returns the cost model's structured decision for this query —
@@ -482,6 +577,11 @@ func (q *Query) Choice() PlanChoice {
 func (q *Query) steps() []xpath.Step {
 	return q.path.Simplify().Steps
 }
+
+// hasPredicates reports whether any location step carries a predicate —
+// the gate that spares predicate-free forced-strategy queries a chooser
+// consultation (and the statistics walk constructing one implies).
+func hasPredicates(steps []xpath.Step) bool { return xpath.HasPredicates(steps) }
 
 func (q *Query) build() *core.Plan { return q.buildWith(nil) }
 
@@ -497,7 +597,13 @@ func (q *Query) buildWith(arena *core.Arena) *core.Plan {
 	if strat == Auto {
 		choice := q.db.getChooser().Choose(steps)
 		q.choice = &choice
+		if opts.PredEval == core.PredAuto {
+			opts.PredEval = choice.PredEval
+		}
 		return core.BuildPlan(q.db.store, steps, q.contexts, choice.Strategy, opts)
+	}
+	if opts.PredEval == core.PredAuto && hasPredicates(steps) {
+		opts.PredEval = q.db.getChooser().Choose(steps).PredEval
 	}
 	return core.BuildPlan(q.db.store, steps, q.contexts, strat.internal(), opts)
 }
@@ -515,17 +621,26 @@ func (q *Query) runUnion(arena *core.Arena) []core.Result {
 	if strat == Auto || strat == Schedule {
 		var queries []core.MultiQuery
 		for _, b := range q.branches {
-			queries = append(queries, core.MultiQuery{
+			mq := core.MultiQuery{
 				Path:     b.Simplify().Steps,
 				Contexts: q.contexts,
-			})
+			}
+			if opts.PredEval == core.PredAuto && hasPredicates(mq.Path) {
+				mq.PredEval = q.db.getChooser().Choose(mq.Path).PredEval
+			}
+			queries = append(queries, mq)
 		}
 		for _, rs := range core.BuildMultiPlan(q.db.store, queries, opts).Run() {
 			all = append(all, rs...)
 		}
 	} else {
 		for _, b := range q.branches {
-			plan := core.BuildPlan(q.db.store, b.Simplify().Steps, q.contexts, strat.internal(), opts)
+			steps := b.Simplify().Steps
+			bopts := opts
+			if bopts.PredEval == core.PredAuto && hasPredicates(steps) {
+				bopts.PredEval = q.db.getChooser().Choose(steps).PredEval
+			}
+			plan := core.BuildPlan(q.db.store, steps, q.contexts, strat.internal(), bopts)
 			all = append(all, plan.Run()...)
 		}
 	}

@@ -42,7 +42,8 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 	start := led.Snapshot()
 	arena := core.GetArena()
 	defer core.PutArena(arena)
-	popts := core.PlanOptions{MemLimit: opts.MemLimit, Ctx: ctx, Arena: arena}
+	popts := core.PlanOptions{MemLimit: opts.MemLimit, Ctx: ctx, Arena: arena,
+		PredEval: opts.PredEval.internal()}
 
 	strat := opts.Strategy
 	out := ExecResult{Strategy: strat}
@@ -54,6 +55,11 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 			out.Strategy = strat
 			pc := fromPlanChoice(c)
 			out.Choice = &pc
+			if popts.PredEval == core.PredAuto {
+				popts.PredEval = c.PredEval
+			}
+		} else if popts.PredEval == core.PredAuto && hasPredicates(branches[0]) {
+			popts.PredEval = db.getChooser().Choose(branches[0]).PredEval
 		}
 		popts.SortResults = opts.Sorted
 		all = core.BuildPlan(db.store, branches[0], db.store.Roots(), strat.internal(), popts).Run()
@@ -66,6 +72,9 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 			queries := make([]core.MultiQuery, len(branches))
 			for i, b := range branches {
 				queries[i] = core.MultiQuery{Path: b, Contexts: db.store.Roots()}
+				if popts.PredEval == core.PredAuto && hasPredicates(b) {
+					queries[i].PredEval = db.getChooser().Choose(b).PredEval
+				}
 			}
 			for _, rs := range core.BuildMultiPlan(db.store, queries, popts).Run() {
 				all = append(all, rs...)
@@ -73,7 +82,11 @@ func (db *DB) QueryCtx(ctx context.Context, path string, opts QueryOptions) (res
 			out.Shared = true
 		} else {
 			for _, b := range branches {
-				p := core.BuildPlan(db.store, b, db.store.Roots(), strat.internal(), popts)
+				bopts := popts
+				if bopts.PredEval == core.PredAuto && hasPredicates(b) {
+					bopts.PredEval = db.getChooser().Choose(b).PredEval
+				}
+				p := core.BuildPlan(db.store, b, db.store.Roots(), strat.internal(), bopts)
 				all = append(all, p.Run()...)
 			}
 		}

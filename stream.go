@@ -513,8 +513,16 @@ func (d *directCursor) open(ctx context.Context, opts QueryOptions) (ferr error)
 			d.strat = strat
 		}
 	}
+	pe := opts.PredEval.internal()
+	if pe == core.PredAuto && hasPredicates(d.branches[d.bi]) {
+		if d.choice != nil && d.bi == 0 {
+			pe = d.choice.PredEval.internal()
+		} else {
+			pe = d.db.getChooser().Choose(d.branches[d.bi]).PredEval
+		}
+	}
 	p := core.BuildPlan(d.db.store, d.branches[d.bi], d.db.store.Roots(), d.strat.internal(),
-		core.PlanOptions{MemLimit: opts.MemLimit, Ctx: ctx, Arena: d.arena})
+		core.PlanOptions{MemLimit: opts.MemLimit, Ctx: ctx, Arena: d.arena, PredEval: pe})
 	d.root = p.Root()
 	d.root.Open()
 	d.opened = true
