@@ -166,7 +166,8 @@ func (j *XJoin) flush() {
 	for k := range keep {
 		keep[k] = true
 	}
-	pass := make([]bool, len(cands)) // by sorted position, reused per predicate
+	pass := make([]bool, len(cands))    // by sorted position, reused per predicate
+	scratch := make([]bool, len(cands)) // per-branch marks, OR-ed into pass
 	for _, jp := range j.compiled {
 		if jp.always {
 			continue
@@ -174,8 +175,27 @@ func (j *XJoin) flush() {
 		for k := range pass {
 			pass[k] = false
 		}
-		for _, br := range jp.branches {
-			semiJoinMark(ords, br.set, br.rel, pass)
+		for bi, br := range jp.branches {
+			// Each union branch marks its own zeroed array: semiJoinMark's
+			// stop-at-first-mark shortcut assumes every mark it encounters
+			// covers a chain suffix toward the root, which marks left by a
+			// child or attribute branch of the same union do not. The first
+			// branch writes straight into the freshly cleared pass.
+			dst := pass
+			if bi > 0 {
+				dst = scratch
+				for k := range scratch {
+					scratch[k] = false
+				}
+			}
+			semiJoinMark(ords, br.set, br.rel, dst)
+			if bi > 0 {
+				for k, v := range scratch {
+					if v {
+						pass[k] = true
+					}
+				}
+			}
 		}
 		j.es.chargeSetOp(len(cands))
 		for k, idx := range order {
@@ -260,13 +280,15 @@ func compileJoinPreds(es *EvalState, preds []xpath.Predicate) []joinPred {
 			}
 			var set []ordpath.Key
 			var key string
+			cached := false
 			if cacheable {
 				key = joinBranchKey(es.Store.Dict(), steps, p)
 				if v, ok := dcache.Get(epoch, key); ok {
 					set = v.([]ordpath.Key)
+					cached = true
 				}
 			}
-			if set == nil {
+			if !cached {
 				set = branchFilterSet(es, steps, p)
 				if cacheable {
 					// Detach the keys from the decoded page images they
@@ -303,10 +325,12 @@ func joinBranchKey(dict *xmltree.Dictionary, steps []xpath.Step, p xpath.Predica
 	return b.String()
 }
 
-// cloneKeys copies a filter set into one private backing array.
+// cloneKeys copies a filter set into one private backing array. Empty
+// sets come back non-nil so they survive the cache round-trip as a
+// present (if hollow) value rather than decaying into a miss.
 func cloneKeys(set []ordpath.Key) []ordpath.Key {
 	if len(set) == 0 {
-		return set
+		return []ordpath.Key{}
 	}
 	n := 0
 	for _, k := range set {
@@ -464,6 +488,13 @@ func levelNodes(es *EvalState, step xpath.Step, keepFn func(Result) bool) []ordp
 // at least one desc partner under rel. One pass: document order puts an
 // ancestor before its descendants, so an explicit stack of the current
 // anc ancestor chain replaces per-pair containment checks.
+//
+// The relDesc/relDescOrSelf cases stop re-marking at the first already
+// marked chain entry, which is only sound while every mark in the array
+// covers an ancestor-closed chain suffix — true for marks those two cases
+// set themselves, false for relChild/relAttr marks. Callers combining
+// union branches must therefore give each branch a zeroed array and OR
+// the results, never share one array across semiJoinMark calls.
 func semiJoinMark(anc, desc []ordpath.Key, rel relKind, mark []bool) {
 	if len(anc) == 0 || len(desc) == 0 {
 		return

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pathdb/internal/ordpath"
 	"pathdb/internal/storage"
 	"pathdb/internal/xmltree"
 	"pathdb/internal/xpath"
@@ -93,6 +94,58 @@ func TestXJoinPropertyRandomTrees(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestXJoinCachesEmptyFilterSets pins the empty-set round-trip through
+// the derived cache: a branch with zero matches must be cached as a
+// present (empty, non-nil) set — resident for JoinBuildCached and served
+// on the next compile — not silently rebuilt with a whole-document
+// enumeration on every query while the chooser prices the build as free.
+func TestXJoinCachesEmptyFilterSets(t *testing.T) {
+	dict, _, st := xjoinFixture(t)
+	// Two levels with an empty lower level: branchFilterSet's bottom-up
+	// loop returns its nil early-exit, the shape that used to decay into a
+	// cache miss on every Get.
+	parsed := xpath.MustParse(dict, `//book[meta/zzz]`).Simplify()
+	run := func() int {
+		plan := BuildPlan(st, parsed.Steps, []storage.NodeID{st.Root()}, StrategySimple,
+			PlanOptions{PredEval: PredJoin})
+		return len(plan.Run())
+	}
+	if n := run(); n != 0 {
+		t.Fatalf("query over absent tag returned %d nodes", n)
+	}
+	var pred xpath.Predicate
+	found := false
+	for _, s := range parsed.Steps {
+		if len(s.Predicates) > 0 {
+			pred, found = s.Predicates[0], true
+		}
+	}
+	if !found {
+		t.Fatal("no predicate on parsed path")
+	}
+	if !JoinBuildCached(st, pred) {
+		t.Fatal("empty filter set not resident in the derived cache after the first join")
+	}
+	dcache, epoch, ok := st.Derived()
+	if !ok {
+		t.Fatal("store has no derived cache")
+	}
+	// The cached value must be a present empty slice, not a typed nil:
+	// compileJoinPreds once used `set == nil` as its miss test, so a nil
+	// round-trip silently redid the whole-document enumeration every query.
+	key := joinBranchKey(dict, joinableSteps(pred.Paths[0]), pred)
+	v, ok := dcache.Get(epoch, key)
+	if !ok {
+		t.Fatalf("filter set key %q missing from the derived cache", key)
+	}
+	if set, ok := v.([]ordpath.Key); !ok || set == nil {
+		t.Fatalf("empty filter set cached as %#v; a nil value decays every Get into a rebuild", v)
+	}
+	if n := run(); n != 0 {
+		t.Fatalf("second run returned %d nodes", n)
 	}
 }
 

@@ -193,24 +193,23 @@ func TestStreamClientDisconnect(t *testing.T) {
 	srv := New(db, eng, Options{})
 	ts := httptest.NewServer(srv)
 
-	// Unsorted streams are live — production is paced by the heavy scan's
-	// I/O, so a hang-up after k lines provably lands mid-query.
-	for k := 0; k < 3; k++ {
+	// Unsorted streams are live, but a warm-cache result can land entirely
+	// in socket buffers before the hang-up is visible server-side, in which
+	// case the handler legitimately finishes without a failed write. As in
+	// the router-mode test below, an attempt that loses that race is
+	// retried: keep hanging up after k lines until three disconnects were
+	// provably noticed mid-stream.
+	deadline := time.Now().Add(15 * time.Second)
+	for k := 0; srv.gone.Load() < 3 && time.Now().Before(deadline); k = (k + 1) % 3 {
 		resp := openStream(t, ts.URL, QueryRequest{Path: descQuery})
 		sc := bufio.NewScanner(resp.Body)
 		for i := 0; i <= k && sc.Scan(); i++ {
 		}
 		resp.Body.Close() // hang up mid-stream
-	}
-
-	// The handlers notice the dead connections — a failed write or the
-	// cancelled request context — and count the disconnects.
-	deadline := time.Now().Add(10 * time.Second)
-	for srv.gone.Load() < 3 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
 	}
 	if g := srv.gone.Load(); g < 3 {
-		t.Fatalf("client_gone = %d after 3 mid-stream disconnects", g)
+		t.Fatalf("client_gone = %d after repeated mid-stream disconnects", g)
 	}
 
 	drainShutdown(t, ts, srv.Shutdown, baseline)

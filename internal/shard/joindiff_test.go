@@ -20,6 +20,7 @@ var joinDiffPaths = []string{
 	`/site//open_auction[privacy="Yes"]`,
 	"/site//person[profile[interest]]",
 	"/site//text[keyword|bold]",
+	"/site//listitem[parlist/listitem|.//keyword]", // mixed-axis union
 	"/site//item[payment][quantity]",
 	"/site//keyword[ancestor::listitem]", // fallback branch inside XJoin
 }

@@ -26,6 +26,13 @@ var joinDiffPaths = []string{
 	"/site//person[profile[interest]]",
 	"/site//person[profile/@income]",
 	"/site//text[keyword|bold]",
+	// Mixed-axis unions over nested same-name elements: a child or
+	// attribute branch marks positions that are not ancestor-closed, and
+	// the .// branch joining the same candidate batch must not stop its
+	// chain walk at them (see semiJoinMark).
+	"/site//listitem[parlist/listitem|.//keyword]",
+	"/site//item[@id|.//keyword]",
+	"/site//parlist[listitem/text|.//parlist]",
 	"/site//parlist[(listitem/parlist){1,2}]",
 	"/site//item[payment][quantity]",
 	"/site//annotation[description//keyword]",
@@ -116,6 +123,32 @@ func TestJoinDifferential(t *testing.T) {
 	}
 
 	compare("after mixed writes")
+}
+
+// TestJoinUnionMixedAxisNesting pins the minimal counterexample for the
+// mark-sharing hazard in semiJoinMark: with nested same-name candidates,
+// a child branch marks the inner <s> (not an ancestor-closed position),
+// and a .// branch sharing the mark array would stop its chain walk there
+// and silently drop the outer <s>. Both evaluators must return both.
+func TestJoinUnionMixedAxisNesting(t *testing.T) {
+	db, err := LoadXMLString("<r><s><s><b><c>t</c></b><x>t</x></s></s></r>", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const path = "//s[b/c|.//x]"
+	for _, pe := range []PredEval{PredNested, PredJoin, PredAuto} {
+		res, err := db.QueryCtx(context.Background(), path, QueryOptions{Sorted: true, PredEval: pe})
+		if err != nil {
+			t.Fatalf("%v: %v", pe, err)
+		}
+		if len(res.Nodes) != 2 {
+			ids := make([]uint64, len(res.Nodes))
+			for i, n := range res.Nodes {
+				ids[i] = n.ID()
+			}
+			t.Errorf("%v: want both nested <s> elements, got %d nodes %v", pe, len(res.Nodes), ids)
+		}
+	}
 }
 
 // TestJoinDifferentialUnderFaults re-runs the differential with the seeded

@@ -48,10 +48,13 @@ func randDoc(r *rng.RNG) string {
 
 // randPredicate draws one predicate over the grammar the structural join
 // handles (plus shapes that force its fallback): existence, multi-level,
-// recursive, literal, union, attribute, bounded repetition, and nested.
+// recursive, literal, union (same-axis and mixed-axis), attribute,
+// bounded repetition, and nested. The mixed-axis unions matter: a child
+// or attribute branch marks join positions a following .// branch must
+// not mistake for its own ancestor-closed marks.
 func randPredicate(r *rng.RNG) string {
 	tag := func() string { return propTags[r.Intn(len(propTags))] }
-	switch r.Intn(8) {
+	switch r.Intn(10) {
 	case 0:
 		return "[" + tag() + "]"
 	case 1:
@@ -66,6 +69,10 @@ func randPredicate(r *rng.RNG) string {
 		return "[@k]"
 	case 6:
 		return "[(" + tag() + "){1,2}]"
+	case 7:
+		return "[" + tag() + "/" + tag() + "|.//" + tag() + "]"
+	case 8:
+		return "[@k|.//" + tag() + "]"
 	default:
 		return "[" + tag() + "[" + tag() + "]]"
 	}
